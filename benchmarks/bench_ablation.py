@@ -1,0 +1,119 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Three axes, each measured on the Epinions-like stand-in:
+
+1. **Rewiring rules** — removal only / replacement only / both / neither
+   (= plain lazy-less SRW): trace-side mixing (integrated autocorrelation
+   time of the degree trace) per configuration;
+2. **Theorem 5 degree cache** — removals certified with and without the
+   cached-degree extension;
+3. **Algorithm 1's lazy coin** — query cost per committed move with the
+   literal lazy loop vs. the default.
+"""
+
+import pytest
+
+from repro.analysis.walk_stats import integrated_autocorrelation_time
+from repro.core.mto import MTOSampler
+from repro.datasets import load
+from repro.utils.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def network():
+    return load("epinions_like", seed=0, scale=0.4)
+
+
+def _trace_iat(network, steps=4000, **mto_kwargs) -> tuple:
+    api = network.interface()
+    sampler = MTOSampler(api, start=network.seed_node(3), seed=11, **mto_kwargs)
+    for _ in range(steps):
+        sampler.step()
+    iat = integrated_autocorrelation_time(list(sampler.trace))
+    return iat, api.query_cost, sampler.overlay.removal_count
+
+
+def test_ablation_rewiring_rules(benchmark, figure_report, network):
+    def run():
+        rows = []
+        for label, kwargs in [
+            ("both", {}),
+            ("removal_only", {"enable_replacement": False}),
+            ("replacement_only", {"enable_removal": False}),
+            ("neither (SRW)", {"enable_removal": False, "enable_replacement": False}),
+        ]:
+            iat, cost, removals = _trace_iat(network, **kwargs)
+            rows.append((label, iat, cost, removals))
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    figure_report(
+        format_table(
+            ["config", "trace_IAT", "query_cost", "removals"],
+            rows,
+            title="Ablation — rewiring rules (Epinions-like, 4000 steps)",
+        )
+    )
+    by_label = {label: iat for label, iat, _, _ in rows}
+    # Removal must not make mixing worse than the plain walk by more than
+    # noise; it usually improves it.
+    assert by_label["removal_only"] <= by_label["neither (SRW)"] * 1.5
+
+
+def test_ablation_degree_cache(benchmark, figure_report, network):
+    def run():
+        rows = []
+        for label, kwargs in [
+            ("theorem3_only", {"use_degree_cache": False}),
+            ("theorem5_cache", {"use_degree_cache": True}),
+        ]:
+            iat, cost, removals = _trace_iat(network, **kwargs)
+            rows.append((label, iat, cost, removals))
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    figure_report(
+        format_table(
+            ["config", "trace_IAT", "query_cost", "removals"],
+            rows,
+            title="Ablation — Theorem 5 degree cache",
+        )
+    )
+    # Per-run removal counts are stochastic (the walks diverge after the
+    # first differing decision), so the dominance claim — Theorem 5 with
+    # knowledge certifies a superset of Theorem 3 — is checked
+    # deterministically per edge on the underlying graph.
+    from repro.core.criteria import is_removable
+
+    g = network.graph
+    degrees = {v: g.degree(v) for v in g.nodes()}
+    t3 = {e for e in g.edges() if is_removable(g, *e)}
+    t5 = {e for e in g.edges() if is_removable(g, *e, cached_degrees=degrees)}
+    assert t3 <= t5
+    assert len(t5) >= len(t3)
+
+
+def test_ablation_lazy_coin(benchmark, figure_report, network):
+    def run():
+        rows = []
+        for label, kwargs in [("non_lazy (default)", {}), ("lazy (Algorithm 1)", {"lazy": True})]:
+            api = network.interface()
+            sampler = MTOSampler(
+                api, start=network.seed_node(5), seed=13, **kwargs
+            )
+            for _ in range(1500):
+                sampler.step()
+            rows.append((label, api.query_cost, api.query_cost / 1500))
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    figure_report(
+        format_table(
+            ["config", "query_cost", "cost_per_move"],
+            rows,
+            title="Ablation — Algorithm 1's lazy coin (1500 committed moves)",
+        )
+    )
+    cost = {label: c for label, c, _ in rows}
+    # The lazy loop bills at least as many unique queries per move.
+    assert cost["lazy (Algorithm 1)"] >= cost["non_lazy (default)"] * 0.9

@@ -1,0 +1,35 @@
+"""Benchmark: Figure 10 — theoretical mixing time on latent space graphs.
+
+Expected shape (paper): every MTO variant's overlay mixes no slower than
+the original graph; MTO_Both is the fastest of the three; the Theorem 6
+bound is conservative (sits between Original and the measured overlays).
+"""
+
+import math
+
+from repro.experiments import run_fig10
+
+
+def test_fig10(benchmark, figure_report):
+    result = benchmark.pedantic(
+        run_fig10,
+        kwargs={"node_counts": (50, 55, 60, 65, 70, 75), "runs": 3, "seed": 0},
+        iterations=1,
+        rounds=1,
+    )
+    figure_report(str(result))
+    n_points = len(result.node_counts)
+    both_wins = rm_ok = 0
+    for i in range(n_points):
+        original = result.series["Original"][i]
+        assert math.isfinite(original)
+        # Theorem 6's bound predicts an improvement.
+        assert result.series["Theoretical"][i] <= original + 1e-9
+        if result.series["MTO_Both"][i] <= original * 1.05:
+            both_wins += 1
+        if result.series["MTO_RM"][i] <= original * 1.05:
+            rm_ok += 1
+    # MTO never decreases conductance, so its mixing time should be at or
+    # below the original on (nearly) every point.
+    assert both_wins >= n_points - 1
+    assert rm_ok >= n_points - 1

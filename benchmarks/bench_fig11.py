@@ -1,0 +1,38 @@
+"""Benchmark: Figure 11 — the Google Plus (online network) protocol.
+
+Expected shape (paper): SRW and MTO converge to compatible values (11a);
+MTO spends fewer queries than SRW at most error levels for the average
+degree (11b) and stays competitive for the self-description length (11c).
+"""
+
+from repro.experiments import run_fig11
+
+
+def test_fig11(benchmark, figure_report):
+    result = benchmark.pedantic(
+        run_fig11,
+        kwargs={"runs": 8, "num_samples": 2500, "scale": 0.5, "seed": 0},
+        iterations=1,
+        rounds=1,
+    )
+    figure_report(str(result))
+    srw_val = result.converged_degree["SRW"]
+    mto_val = result.converged_degree["MTO"]
+    # The two samplers must agree on the presumptive truth within 15%.
+    assert abs(srw_val - mto_val) / srw_val < 0.15
+    # Panels (b)+(c): compare only non-trivial error levels (loose levels
+    # are satisfied within a handful of queries for every sampler, so
+    # their ordering is noise).  The converged-value protocol makes any
+    # single panel noisy run-to-run — the paper's own panels share one
+    # crawl — so the check pools both aggregates and allows 40% slack;
+    # EXPERIMENTS.md reports the per-panel numbers.
+    contested = [
+        (s, m)
+        for costs in (result.degree_costs, result.desc_costs)
+        for s, m in zip(costs["SRW"], costs["MTO"])
+        if max(s, m) >= 20
+    ]
+    assert contested, "error grid never left the trivial regime"
+    srw_mean = sum(s for s, _ in contested) / len(contested)
+    mto_mean = sum(m for _, m in contested) / len(contested)
+    assert mto_mean <= srw_mean * 1.4

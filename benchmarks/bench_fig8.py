@@ -1,0 +1,34 @@
+"""Benchmark: Figure 8 — long-run KL divergence and query cost.
+
+Expected shape (paper): at the same Geweke threshold, MTO's burn-in query
+cost does not exceed SRW's by more than noise, and its sampling bias (KL)
+is in the same band or lower.
+"""
+
+from repro.experiments import run_fig8
+
+
+def test_fig8(benchmark, figure_report):
+    result = benchmark.pedantic(
+        run_fig8,
+        kwargs={
+            "num_samples": 8000,
+            "geweke_threshold": 0.3,
+            "runs": 3,
+            "scale": 0.4,
+            "seed": 0,
+            "max_steps": 30_000,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    figure_report(str(result))
+    datasets = sorted({d for d, _ in result.kl})
+    assert len(datasets) == 3
+    mto_not_worse = 0
+    for d in datasets:
+        assert result.kl[(d, "SRW")] > 0
+        assert result.kl[(d, "MTO")] > 0
+        if result.query_cost[(d, "MTO")] <= result.query_cost[(d, "SRW")] * 1.15:
+            mto_not_worse += 1
+    assert mto_not_worse >= 2  # MTO at/below SRW cost on most datasets

@@ -1,0 +1,30 @@
+"""Benchmark: Figure 9 — Geweke threshold sweep on Slashdot B.
+
+Expected shape (paper): query cost decreases as the threshold loosens;
+bias (KL) trends the other way; MTO's bias stays at or below SRW's band.
+"""
+
+from repro.experiments import run_fig9
+
+
+def test_fig9(benchmark, figure_report):
+    result = benchmark.pedantic(
+        run_fig9,
+        kwargs={
+            "thresholds": (0.2, 0.4, 0.6, 0.8),
+            "num_samples": 6000,
+            "runs": 3,
+            "scale": 0.4,
+            "seed": 0,
+            "max_steps": 30_000,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    figure_report(str(result))
+    # Cost is non-increasing in the threshold (within 20% noise), for both.
+    for series in (result.qc_srw, result.qc_mto):
+        assert series[-1] <= series[0] * 1.2
+    # The strictest threshold yields the least bias for each sampler.
+    assert result.kl_srw[0] <= max(result.kl_srw) + 1e-9
+    assert result.kl_mto[0] <= max(result.kl_mto) + 1e-9

@@ -1,0 +1,52 @@
+"""Micro-benchmarks: per-operation costs of the hot paths.
+
+These are classic pytest-benchmark timing runs (many iterations) for the
+operations that dominate experiment wall-clock: walk steps, the removal
+criterion, overlay materialization, conductance search, and SLEM.
+"""
+
+import pytest
+
+from repro.analysis.conductance import min_conductance_exact, sweep_conductance
+from repro.analysis.spectral import slem
+from repro.core.criteria import removal_criterion
+from repro.core.mto import MTOSampler
+from repro.datasets import load
+from repro.generators import barbell_graph, paper_barbell
+from repro.interface import RestrictedSocialAPI
+from repro.walks import SimpleRandomWalk
+
+
+@pytest.fixture(scope="module")
+def network():
+    return load("epinions_like", seed=0, scale=0.3)
+
+
+def test_srw_step(benchmark, network):
+    api = network.interface()
+    walk = SimpleRandomWalk(api, start=network.seed_node(0), seed=1)
+    benchmark(walk.step)
+
+
+def test_mto_step(benchmark, network):
+    api = network.interface()
+    mto = MTOSampler(api, start=network.seed_node(0), seed=1)
+    benchmark(mto.step)
+
+
+def test_removal_criterion(benchmark):
+    benchmark(removal_criterion, 9, 10, 11)
+
+
+def test_exact_conductance_barbell12(benchmark):
+    g = barbell_graph(6)  # 12 nodes → 2^11 Gray-code states
+    benchmark(min_conductance_exact, g)
+
+
+def test_sweep_conductance_standin(benchmark, network):
+    benchmark(sweep_conductance, network.graph)
+
+
+def test_slem_barbell(benchmark):
+    g = paper_barbell()
+    benchmark(slem, g)

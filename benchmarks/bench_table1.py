@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table I (dataset statistics)."""
+
+from repro.experiments import run_table1
+
+
+def test_table1(benchmark, figure_report):
+    result = benchmark.pedantic(
+        run_table1, kwargs={"seed": 0, "scale": 0.5}, iterations=1, rounds=1
+    )
+    figure_report(str(result))
+    assert len(result.rows) == 4
+    for row in result.rows:
+        assert row.num_nodes > 0
+        assert row.num_edges > row.num_nodes  # denser than a tree
+        # OSN signature: small effective diameter, non-trivial clustering.
+        assert row.effective_diameter_90 < 10
+        assert row.average_clustering > 0.2

@@ -1,0 +1,36 @@
+"""Benchmark-suite plumbing.
+
+Each figure benchmark registers its rendered table/series through the
+``figure_report`` fixture; ``pytest_terminal_summary`` prints everything at
+the end of the run, so ``pytest benchmarks/ --benchmark-only | tee
+bench_output.txt`` captures the same rows the paper reports without
+needing ``-s``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+_REPORTS: List[str] = []
+
+
+@pytest.fixture
+def figure_report():
+    """Callable that registers a rendered experiment report for printing."""
+
+    def _register(text: str) -> None:
+        _REPORTS.append(text)
+
+    return _register
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper tables & figures (reproduced)")
+    for text in _REPORTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,53 @@
+"""Scenario: watch MTO rewire the running example's barbell graph.
+
+Reproduces the paper's §II–III narrative interactively: start from the
+22-node barbell (two K11 cliques + one bridge), run Algorithm 1 until it
+has seen every node, and inspect what the overlay looks like — how many
+edges were removed/replaced, what happened to the conductance and to the
+theoretical mixing-time bound.
+
+Run:
+    python examples/overlay_anatomy.py
+"""
+
+from repro import MTOSampler, RestrictedSocialAPI
+from repro.analysis import min_conductance_exact
+from repro.analysis.spectral import mixing_time_coefficient, mixing_time_from_slem
+from repro.experiments.runner import run_to_coverage
+from repro.generators import paper_barbell
+from repro.graph import is_connected
+
+
+def main() -> None:
+    g = paper_barbell()
+    phi0 = min_conductance_exact(g).conductance
+    print(f"original barbell: {g.num_nodes} nodes, {g.num_edges} edges")
+    print(f"  conductance Φ(G) = {phi0:.4f}  (paper: 0.018)")
+    print(f"  mixing coefficient = {mixing_time_coefficient(phi0):,.1f}")
+    print(f"  SLEM mixing time   = {mixing_time_from_slem(g):,.1f}\n")
+
+    api = RestrictedSocialAPI(g)
+    mto = MTOSampler(api, start=0, seed=3)
+    steps = run_to_coverage(mto, g.num_nodes)
+    overlay = mto.overlay.known_subgraph()
+
+    print(f"MTO walk covered all nodes in {steps} steps / {api.query_cost} queries")
+    print(
+        f"  overlay: {overlay.num_edges} edges "
+        f"({mto.overlay.removal_count} removals, "
+        f"{mto.overlay.replacement_count} replacements)"
+    )
+    if is_connected(overlay):
+        phi1 = min_conductance_exact(overlay).conductance
+        print(f"  conductance Φ(G*) = {phi1:.4f}  (never below Φ(G): {phi1 >= phi0})")
+        coeff0 = mixing_time_coefficient(phi0)
+        coeff1 = mixing_time_coefficient(phi1)
+        print(
+            f"  mixing bound cut: {1 - coeff1 / coeff0:.0%} "
+            f"(paper reports 89% for its sparser fixpoint; see EXPERIMENTS.md)"
+        )
+        print(f"  SLEM mixing time  = {mixing_time_from_slem(overlay):,.1f}")
+
+
+if __name__ == "__main__":
+    main()

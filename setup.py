@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+This environment has setuptools but no ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) fail at ``bdist_wheel``.  This shim
+lets ``python setup.py develop`` provide an equivalent editable install;
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

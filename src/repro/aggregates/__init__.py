@@ -1,0 +1,5 @@
+"""Aggregate query objects and ground-truth evaluation."""
+
+from repro.aggregates.queries import AggregateQuery, ground_truth
+
+__all__ = ["AggregateQuery", "ground_truth"]

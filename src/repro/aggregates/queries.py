@@ -1,0 +1,154 @@
+"""Aggregate queries over a social network (§I-A's analytics).
+
+An :class:`AggregateQuery` bundles an aggregate kind (AVG / SUM / COUNT), a
+per-user value function over the ``q(v)`` response, and an optional
+selection predicate — covering the paper's examples: "the average age of
+users", "the COUNT of user posts that contain a given word", the average
+degree (Figures 7–11), and the average self-description length (Figure
+11c).
+
+:func:`ground_truth` evaluates the same query exactly against a fully known
+network, which is how the experiments measure relative error on the local
+datasets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Hashable, Optional
+
+from repro.datastore.documents import DocumentStore
+from repro.errors import EstimationError
+from repro.graph.adjacency import Graph
+from repro.interface.api import QueryResponse
+
+Node = Hashable
+
+_VALID_KINDS = ("avg", "sum", "count")
+
+
+@dataclasses.dataclass(frozen=True)
+class AggregateQuery:
+    """A third-party aggregate over all users.
+
+    Attributes:
+        kind: ``"avg"``, ``"sum"``, or ``"count"``.
+        name: Human-readable label used in experiment reports.
+        value_fn: Maps a query response to the aggregated value (ignored
+            for COUNT).
+        predicate: Optional selection condition; ``None`` selects everyone.
+    """
+
+    kind: str
+    name: str
+    value_fn: Optional[Callable[[QueryResponse], float]] = None
+    predicate: Optional[Callable[[QueryResponse], bool]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(f"kind must be one of {_VALID_KINDS}, got {self.kind!r}")
+        if self.kind != "count" and self.value_fn is None:
+            raise ValueError(f"{self.kind.upper()} queries need a value_fn")
+
+    def matches(self, response: QueryResponse) -> bool:
+        """Whether the user satisfies the selection condition."""
+        return self.predicate is None or bool(self.predicate(response))
+
+    def value(self, response: QueryResponse) -> float:
+        """The aggregated value for one user.
+
+        Raises:
+            EstimationError: For COUNT queries (which have no per-user
+                value).
+        """
+        if self.value_fn is None:
+            raise EstimationError("COUNT queries have no per-user value")
+        return float(self.value_fn(response))
+
+    # ------------------------------------------------------------------
+    # the paper's queries
+    # ------------------------------------------------------------------
+    @staticmethod
+    def average_degree() -> "AggregateQuery":
+        """AVG of user degree — the paper's headline aggregate."""
+        return AggregateQuery(
+            kind="avg", name="average_degree", value_fn=lambda r: float(r.degree)
+        )
+
+    @staticmethod
+    def average_attribute(field: str) -> "AggregateQuery":
+        """AVG of a numeric profile attribute (e.g. ``"age"``).
+
+        Users lacking the attribute are excluded via the predicate.
+        """
+        return AggregateQuery(
+            kind="avg",
+            name=f"average_{field}",
+            value_fn=lambda r: float(r.attributes.get(field, 0.0)),
+            predicate=lambda r: field in r.attributes,
+        )
+
+    @staticmethod
+    def average_self_description_length() -> "AggregateQuery":
+        """Figure 11(c)'s aggregate: mean characters of self-description."""
+        return AggregateQuery(
+            kind="avg",
+            name="average_self_description_length",
+            value_fn=lambda r: float(len(r.attributes.get("self_description", ""))),
+            predicate=lambda r: "self_description" in r.attributes,
+        )
+
+    @staticmethod
+    def count_where(name: str, predicate: Callable[[QueryResponse], bool]) -> "AggregateQuery":
+        """COUNT of users matching ``predicate`` (needs the published total)."""
+        return AggregateQuery(kind="count", name=name, predicate=predicate)
+
+    @staticmethod
+    def sum_attribute(field: str) -> "AggregateQuery":
+        """SUM of a numeric profile attribute over all users."""
+        return AggregateQuery(
+            kind="sum",
+            name=f"sum_{field}",
+            value_fn=lambda r: float(r.attributes.get(field, 0.0)),
+            predicate=lambda r: field in r.attributes,
+        )
+
+
+def ground_truth(
+    query: AggregateQuery, graph: Graph, profiles: Optional[DocumentStore] = None
+) -> float:
+    """Exact aggregate value over a fully known network.
+
+    Builds the same :class:`QueryResponse` objects the interface would
+    serve, so value functions and predicates behave identically to the
+    sampled path.
+
+    Raises:
+        EstimationError: If no user matches an AVG query's selection.
+    """
+    total = 0.0
+    matched = 0
+    for node in graph.nodes():
+        attrs = {}
+        if profiles is not None:
+            doc = profiles.get_or_none(node)
+            if doc is not None:
+                attrs = doc
+        resp = QueryResponse(
+            user=node,
+            neighbors=graph.neighbors(node),
+            attributes=attrs,
+            from_cache=True,
+        )
+        if not query.matches(resp):
+            continue
+        matched += 1
+        if query.kind != "count":
+            total += query.value(resp)
+    if query.kind == "count":
+        return float(matched)
+    if query.kind == "sum":
+        return total
+    if matched == 0:
+        raise EstimationError("no user matches the selection")
+    return total / matched

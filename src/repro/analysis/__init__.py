@@ -1,0 +1,78 @@
+"""Analysis substrate: spectral mixing-time tools, conductance, distances.
+
+Implements the quantitative machinery of the paper's Sections II and V:
+
+* :mod:`repro.analysis.spectral` — transition matrices, the second-largest
+  eigenvalue modulus (SLEM), the theoretical mixing time
+  ``Θ(1 / log(1/µ))`` used in Figure 10, the relative point-wise distance
+  Δ(t) of Definition 2, and the conductance→mixing-time bounds of
+  equations (3)–(6);
+* :mod:`repro.analysis.conductance` — the paper's conductance (Definition
+  3, which counts edges *incident* to each side), exact minimum-conductance
+  cuts by Gray-code enumeration, Fiedler sweep cuts for large graphs,
+  cross-cutting edge identification (Definition 4), and Cheeger bounds;
+* :mod:`repro.analysis.distances` — KL divergence (the paper's symmetric
+  form), total variation, Kolmogorov–Smirnov, and sampling-bias measures.
+"""
+
+from repro.analysis.conductance import (
+    CutResult,
+    cheeger_bounds,
+    cross_cutting_edges,
+    cut_conductance,
+    cut_conductance_volume,
+    min_conductance_exact,
+    min_conductance_volume_exact,
+    sweep_conductance,
+)
+from repro.analysis.distances import (
+    empirical_distribution,
+    kl_divergence,
+    ks_distance,
+    sampling_bias_kl,
+    symmetric_kl,
+    total_variation,
+)
+from repro.analysis.walk_stats import (
+    autocorrelation,
+    effective_sample_size,
+    integrated_autocorrelation_time,
+)
+from repro.analysis.spectral import (
+    mixing_time_bound_paper,
+    mixing_time_from_slem,
+    mixing_time_exact,
+    relative_pointwise_distance,
+    slem,
+    spectral_gap,
+    srw_stationary,
+    transition_matrix,
+)
+
+__all__ = [
+    "autocorrelation",
+    "effective_sample_size",
+    "integrated_autocorrelation_time",
+    "CutResult",
+    "cheeger_bounds",
+    "cross_cutting_edges",
+    "cut_conductance",
+    "cut_conductance_volume",
+    "min_conductance_exact",
+    "min_conductance_volume_exact",
+    "sweep_conductance",
+    "empirical_distribution",
+    "kl_divergence",
+    "ks_distance",
+    "sampling_bias_kl",
+    "symmetric_kl",
+    "total_variation",
+    "mixing_time_bound_paper",
+    "mixing_time_from_slem",
+    "mixing_time_exact",
+    "relative_pointwise_distance",
+    "slem",
+    "spectral_gap",
+    "srw_stationary",
+    "transition_matrix",
+]

@@ -1,0 +1,142 @@
+"""Distribution distances and sampling-bias measures.
+
+The paper measures sampling bias with a *symmetric* KL divergence
+(§V-A.3): ``D_KL(P‖P_sam) + D_KL(P_sam‖P)`` between the ideal stationary
+distribution and the measured sampling distribution.  Total variation and
+Kolmogorov–Smirnov distances are included because the related-work
+comparisons (Gjoka et al., Mohaisen et al.) report them for degree
+distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Hashable, Iterable, Mapping, Sequence
+
+from repro.graph.adjacency import Graph
+from repro.analysis.spectral import srw_stationary
+
+Node = Hashable
+
+
+def _validated(dist: Mapping, name: str) -> Dict:
+    if not dist:
+        raise ValueError(f"{name} must be non-empty")
+    total = float(sum(dist.values()))
+    if total <= 0:
+        raise ValueError(f"{name} must have positive mass")
+    if any(p < 0 for p in dist.values()):
+        raise ValueError(f"{name} has negative probabilities")
+    return {k: v / total for k, v in dist.items()}
+
+
+def empirical_distribution(samples: Sequence[Node]) -> Dict[Node, float]:
+    """Normalized frequency distribution of ``samples``.
+
+    Raises:
+        ValueError: If ``samples`` is empty.
+    """
+    if not samples:
+        raise ValueError("no samples")
+    counts = Counter(samples)
+    n = len(samples)
+    return {k: c / n for k, c in counts.items()}
+
+
+def kl_divergence(
+    p: Mapping[Node, float],
+    q: Mapping[Node, float],
+    smoothing: float = 1e-12,
+) -> float:
+    """``D_KL(p ‖ q) = Σ p(x) log(p(x)/q(x))`` in nats.
+
+    Args:
+        p: Reference distribution (normalized internally).
+        q: Comparison distribution (normalized internally).
+        smoothing: Floor applied to ``q`` where ``p`` has mass but ``q``
+            does not — an empirical sampling distribution always misses
+            some nodes, and the unsmoothed divergence would be infinite.
+
+    Raises:
+        ValueError: On empty/negative inputs or negative smoothing.
+    """
+    if smoothing < 0:
+        raise ValueError("smoothing must be non-negative")
+    pn = _validated(p, "p")
+    qn = _validated(q, "q")
+    out = 0.0
+    for x, px in pn.items():
+        if px == 0:
+            continue
+        qx = qn.get(x, 0.0)
+        if qx <= 0:
+            if smoothing == 0:
+                return math.inf
+            qx = smoothing
+        out += px * math.log(px / qx)
+    return max(0.0, out)
+
+
+def symmetric_kl(
+    p: Mapping[Node, float],
+    q: Mapping[Node, float],
+    smoothing: float = 1e-12,
+) -> float:
+    """The paper's bias measure: ``D_KL(p‖q) + D_KL(q‖p)`` (§V-A.3)."""
+    return kl_divergence(p, q, smoothing) + kl_divergence(q, p, smoothing)
+
+
+def total_variation(p: Mapping[Node, float], q: Mapping[Node, float]) -> float:
+    """``TV(p, q) = ½ Σ |p(x) − q(x)|``, in [0, 1]."""
+    pn = _validated(p, "p")
+    qn = _validated(q, "q")
+    keys = set(pn) | set(qn)
+    return 0.5 * sum(abs(pn.get(k, 0.0) - qn.get(k, 0.0)) for k in keys)
+
+
+def ks_distance(xs: Iterable[float], ys: Iterable[float]) -> float:
+    """Two-sample Kolmogorov–Smirnov statistic.
+
+    Used for degree-distribution comparisons (a convergence measure the
+    paper cites from the OSN-sampling literature).
+
+    Raises:
+        ValueError: If either sample is empty.
+    """
+    a = sorted(xs)
+    b = sorted(ys)
+    if not a or not b:
+        raise ValueError("samples must be non-empty")
+    i = j = 0
+    d = 0.0
+    na, nb = len(a), len(b)
+    while i < na and j < nb:
+        # Advance past all ties at the current value before comparing the
+        # empirical CDFs, otherwise identical samples register a gap.
+        x = min(a[i], b[j])
+        while i < na and a[i] == x:
+            i += 1
+        while j < nb and b[j] == x:
+            j += 1
+        d = max(d, abs(i / na - j / nb))
+    return d
+
+
+def sampling_bias_kl(samples: Sequence[Node], graph: Graph) -> float:
+    """Bias of walk samples against the SRW stationary target (§V-A.3).
+
+    Computes the symmetric KL divergence between the ideal distribution
+    ``π(v) = k_v / 2|E|`` and the empirical distribution of ``samples``,
+    exactly the Figure 8/9 measure.
+
+    Args:
+        samples: Node samples from a (converged) walk.
+        graph: The sampled graph (ground-truth topology).
+
+    Raises:
+        ValueError: If ``samples`` is empty or the graph has no edges.
+    """
+    ideal = srw_stationary(graph)
+    measured = empirical_distribution(samples)
+    return symmetric_kl(ideal, measured)

@@ -1,0 +1,312 @@
+"""Spectral analysis of simple random walks.
+
+The paper measures walk efficiency three ways; all are implemented here:
+
+1. **SLEM mixing time** (footnote 12, Figure 10): the theoretical mixing
+   time of a simple random walk is ``Θ(1 / log(1/µ))`` where ``µ`` is the
+   second largest eigenvalue modulus of the transition matrix ``P``.
+2. **Relative point-wise distance** Δ(t) (Definition 2):
+   ``max_{u,v} |P^t_uv − π(v)| / π(v)``, the bias after ``t`` steps.
+3. **Conductance bounds** (equations 3–6): ``(1 − 2Φ)^t ≤ Δ(t) ≤
+   c (1 − Φ²/2)^t`` with ``c = 2|E| / min_v k_v``; solving the upper bound
+   for ``t`` gives the paper's mixing-time expressions.  The paper's
+   numeric constants (e.g. 14212.3·log(22.2/ε) for the barbell) arise from
+   **base-10** logarithms; :func:`mixing_time_bound_paper` reproduces them.
+
+All matrix work uses dense numpy (the graphs these quantities are computed
+on — the running example, Figure 10's 50–100 node latent space graphs, the
+overlay snapshots — are small; walk *simulation* on large graphs never
+builds a matrix).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Tuple
+
+import numpy as np
+
+from repro.graph.adjacency import Graph
+
+Node = Hashable
+
+
+def _node_order(graph: Graph) -> List[Node]:
+    return list(graph.nodes())
+
+
+def transition_matrix(
+    graph: Graph, lazy: bool = False
+) -> Tuple[np.ndarray, List[Node]]:
+    """Simple-random-walk transition matrix ``P`` with its node ordering.
+
+    ``P[i, j] = 1/k_i`` if ``j ∈ N(i)`` else 0 (Definition 1); the lazy
+    variant returns ``(I + P) / 2``.
+
+    Args:
+        graph: Graph; every node must have degree ≥ 1 (a dead-end node has
+            no outgoing distribution).
+        lazy: Return the lazy walk's matrix instead.
+
+    Returns:
+        ``(P, order)`` where ``order[i]`` is the node of row/column ``i``.
+
+    Raises:
+        ValueError: If the graph is empty or has an isolated node.
+    """
+    order = _node_order(graph)
+    n = len(order)
+    if n == 0:
+        raise ValueError("transition matrix of empty graph")
+    index = {node: i for i, node in enumerate(order)}
+    P = np.zeros((n, n))
+    for i, u in enumerate(order):
+        k = graph.degree(u)
+        if k == 0:
+            raise ValueError(f"node {u!r} is isolated; SRW undefined")
+        w = 1.0 / k
+        for v in graph.neighbors_view(u):
+            P[i, index[v]] = w
+    if lazy:
+        P = 0.5 * (np.eye(n) + P)
+    return P, order
+
+
+def srw_stationary(graph: Graph) -> Dict[Node, float]:
+    """The SRW stationary distribution ``π(v) = k_v / 2|E|``.
+
+    Raises:
+        ValueError: If the graph has no edges.
+    """
+    total = graph.total_degree()
+    if total == 0:
+        raise ValueError("stationary distribution undefined without edges")
+    return {v: graph.degree(v) / total for v in graph.nodes()}
+
+
+def _symmetric_spectrum(graph: Graph, lazy: bool = False) -> np.ndarray:
+    """Eigenvalues of the degree-symmetrized SRW operator, descending.
+
+    ``S = D^{-1/2} A D^{-1/2}`` is symmetric and similar to ``P``, so their
+    spectra coincide; symmetric eigensolvers are faster and numerically
+    stable.
+    """
+    order = _node_order(graph)
+    n = len(order)
+    index = {node: i for i, node in enumerate(order)}
+    degrees = np.array([graph.degree(v) for v in order], dtype=float)
+    if n == 0:
+        raise ValueError("spectrum of empty graph")
+    if np.any(degrees == 0):
+        raise ValueError("graph has isolated nodes; SRW undefined")
+    S = np.zeros((n, n))
+    inv_sqrt = 1.0 / np.sqrt(degrees)
+    for i, u in enumerate(order):
+        for v in graph.neighbors_view(u):
+            j = index[v]
+            S[i, j] = inv_sqrt[i] * inv_sqrt[j]
+    eigs = np.linalg.eigvalsh(S)
+    if lazy:
+        eigs = 0.5 * (1.0 + eigs)
+    return eigs[::-1]
+
+
+def slem(graph: Graph, lazy: bool = False) -> float:
+    """Second largest eigenvalue modulus of the SRW transition matrix.
+
+    Args:
+        graph: Connected graph with ≥ 2 nodes.
+        lazy: Use the lazy walk's matrix (shifts the spectrum to ≥ 0, so
+            periodicity never inflates the SLEM).
+
+    Returns:
+        ``µ = max(|λ2|, |λn|)``.
+
+    Raises:
+        ValueError: For graphs where the walk/spectrum is undefined.
+    """
+    eigs = _symmetric_spectrum(graph, lazy=lazy)
+    if len(eigs) < 2:
+        raise ValueError("SLEM needs at least two nodes")
+    return float(max(abs(eigs[1]), abs(eigs[-1])))
+
+
+def spectral_gap(graph: Graph, lazy: bool = False) -> float:
+    """``1 − µ`` — the quantity conductance squeezes via Cheeger."""
+    return 1.0 - slem(graph, lazy=lazy)
+
+
+def mixing_time_from_slem(graph: Graph, lazy: bool = True) -> float:
+    """The paper's theoretical mixing time ``1 / log(1/µ)`` (footnote 12).
+
+    Figure 10 plots exactly this quantity.  The lazy walk is used by
+    default: on graphs with near-bipartite structure the non-lazy SLEM can
+    reflect periodicity rather than bottlenecks.
+
+    Returns:
+        ``1 / ln(1/µ)``; ``math.inf`` when µ = 1 (disconnected graph),
+        0.0 when µ = 0.
+
+    Raises:
+        ValueError: For graphs where the spectrum is undefined.
+    """
+    mu = slem(graph, lazy=lazy)
+    if mu >= 1.0:
+        return math.inf
+    if mu <= 0.0:
+        return 0.0
+    return 1.0 / math.log(1.0 / mu)
+
+
+def relative_pointwise_distance(
+    graph: Graph,
+    t: int,
+    lazy: bool = False,
+    neighbors_only: bool = False,
+) -> float:
+    """Δ(t) of Definition 2: ``max |P^t_uv − π(v)| / π(v)``.
+
+    Args:
+        graph: Connected graph.
+        t: Number of walk steps (≥ 0).
+        lazy: Use the lazy walk.
+        neighbors_only: Restrict the max to pairs with ``v ∈ N(u)``, the
+            literal reading of Definition 2; the default takes all pairs
+            (the standard Sinclair definition, which upper-bounds the
+            restricted one).
+
+    Raises:
+        ValueError: If ``t`` is negative or the walk is undefined.
+    """
+    if t < 0:
+        raise ValueError("t must be non-negative")
+    P, order = transition_matrix(graph, lazy=lazy)
+    pi = srw_stationary(graph)
+    pi_vec = np.array([pi[v] for v in order])
+    Pt = np.linalg.matrix_power(P, t)
+    ratio = np.abs(Pt - pi_vec[None, :]) / pi_vec[None, :]
+    if neighbors_only:
+        index = {node: i for i, node in enumerate(order)}
+        best = 0.0
+        for u in graph.nodes():
+            i = index[u]
+            for v in graph.neighbors_view(u):
+                best = max(best, float(ratio[i, index[v]]))
+        return best
+    return float(ratio.max())
+
+
+def mixing_time_exact(
+    graph: Graph,
+    epsilon: float = 0.25,
+    lazy: bool = True,
+    t_max: int = 100_000,
+) -> int:
+    """Smallest ``t`` with ``Δ(t) ≤ ε``, by doubling + bisection.
+
+    Args:
+        graph: Connected non-bipartite (or lazy) graph.
+        epsilon: Bias threshold.
+        lazy: Use the lazy walk (guarantees convergence).
+        t_max: Give-up bound.
+
+    Returns:
+        The exact mixing time (in steps).
+
+    Raises:
+        ValueError: If ``ε`` is non-positive or convergence was not reached
+            by ``t_max``.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    P, order = transition_matrix(graph, lazy=lazy)
+    pi = srw_stationary(graph)
+    pi_vec = np.array([pi[v] for v in order])
+
+    def delta_of(Pt: np.ndarray) -> float:
+        return float((np.abs(Pt - pi_vec[None, :]) / pi_vec[None, :]).max())
+
+    # Doubling phase.
+    t = 1
+    Pt = P.copy()
+    while delta_of(Pt) > epsilon:
+        t *= 2
+        if t > t_max:
+            raise ValueError(f"no convergence to {epsilon} within {t_max} steps")
+        Pt = Pt @ Pt
+    if t == 1:
+        return 1
+    # Bisection on [t/2, t].
+    lo, hi = t // 2, t
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if delta_of(np.linalg.matrix_power(P, mid)) <= epsilon:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def mixing_time_bound_paper(
+    conductance: float,
+    num_edges: int,
+    min_degree: int,
+    epsilon: float = 1.0,
+    log_base: float = 10.0,
+) -> float:
+    """The paper's conductance upper bound on mixing time (eqs. 4–6).
+
+    Solving ``c (1 − Φ²/2)^t ≤ ε`` with ``c = 2|E| / min_v k_v`` gives
+    ``t ≥ log(c/ε) / (−log(1 − Φ²/2))``.  With base-10 logs this
+    reproduces the paper's constants: the barbell's Φ = 0.018 yields the
+    coefficient 14212.3, and Φ = 0.010 → 46050.5, Φ = 0.012 → 31979.1
+    (§II-D).
+
+    Args:
+        conductance: Φ(G) in (0, 1].
+        num_edges: ``|E|``.
+        min_degree: ``min_v k_v`` (≥ 1).
+        epsilon: Bias threshold; with ``ε = 1`` the returned value is the
+            bare coefficient ``−log(c)/log(1 − Φ²/2)`` is *not* returned —
+            instead use :func:`mixing_time_coefficient` for the coefficient
+            alone.
+        log_base: 10 to match the paper's numbers; use ``math.e`` for the
+            natural-log variant.
+
+    Returns:
+        The upper bound on the mixing time (may be fractional).
+
+    Raises:
+        ValueError: On out-of-range parameters.
+    """
+    coeff = mixing_time_coefficient(conductance, log_base=log_base)
+    c = 2.0 * num_edges / min_degree
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    return coeff * (math.log(c / epsilon, log_base))
+
+
+def mixing_time_coefficient(conductance: float, log_base: float = 10.0) -> float:
+    """``−1 / log(1 − Φ²/2)`` — the paper's mixing-time coefficient.
+
+    The paper reports mixing times in the form ``coefficient · log(c/ε)``;
+    this returns the coefficient (base-10 by default, matching §II-D).
+
+    Raises:
+        ValueError: If Φ is not in (0, 1].
+    """
+    if not 0 < conductance <= 1:
+        raise ValueError("conductance must be in (0, 1]")
+    inner = 1.0 - conductance * conductance / 2.0
+    return -1.0 / math.log(inner, log_base)
+
+
+def mixing_lower_bound_factor(conductance: float) -> float:
+    """``1 − 2Φ`` — the base of the paper's lower bound ``(1−2Φ)^t ≤ Δ(t)``.
+
+    Raises:
+        ValueError: If Φ is not in [0, 1].
+    """
+    if not 0 <= conductance <= 1:
+        raise ValueError("conductance must be in [0, 1]")
+    return 1.0 - 2.0 * conductance

@@ -1,0 +1,25 @@
+"""Convergence monitoring for random-walk samplers.
+
+The paper uses the Geweke diagnostic (§V-A.3): compare the first 10% and
+last 50% of the post-burn-in trace of a per-node attribute (degree by
+default); the walk is declared converged when the Z score drops below a
+threshold (0.1 by default, swept 0.1–0.8 in Figure 9).
+"""
+
+from repro.convergence.gelman_rubin import GelmanRubinDiagnostic
+from repro.convergence.geweke import GewekeDiagnostic
+from repro.convergence.monitors import (
+    CompositeMonitor,
+    ConvergenceMonitor,
+    FixedLengthMonitor,
+    NeverConvergedMonitor,
+)
+
+__all__ = [
+    "GelmanRubinDiagnostic",
+    "GewekeDiagnostic",
+    "CompositeMonitor",
+    "ConvergenceMonitor",
+    "FixedLengthMonitor",
+    "NeverConvergedMonitor",
+]

@@ -1,0 +1,78 @@
+"""Gelman–Rubin diagnostic for parallel walks (multi-chain R-hat).
+
+The paper's related work (§VI, citing Alon et al.'s "Many random walks
+are faster than one") notes MTO applies unchanged to parallel random
+walks.  With several chains available, the natural convergence monitor is
+the potential scale reduction factor
+
+    R̂ = sqrt( ( (n−1)/n · W + B/n ) / W )
+
+where ``W`` is the mean within-chain variance and ``B`` the between-chain
+variance of the chain means (times n).  R̂ → 1 as all chains forget their
+starts; the conventional threshold is 1.1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.utils.stats import OnlineMeanVar
+
+
+class GelmanRubinDiagnostic:
+    """Multi-chain R-hat convergence monitor.
+
+    Args:
+        threshold: Converged when ``R̂ <= threshold`` (default 1.1).
+        min_chain_length: Chains shorter than this report non-convergence.
+
+    Raises:
+        ValueError: On out-of-range parameters.
+    """
+
+    def __init__(self, threshold: float = 1.1, min_chain_length: int = 50) -> None:
+        if threshold < 1.0:
+            raise ValueError("threshold must be at least 1.0")
+        if min_chain_length < 4:
+            raise ValueError("min_chain_length must be at least 4")
+        self.threshold = threshold
+        self.min_chain_length = min_chain_length
+
+    def r_hat(self, traces: Sequence[Sequence[float]]) -> float:
+        """The potential scale reduction factor over ``traces``.
+
+        Uses the common length prefix of all chains (chains advance in
+        lock-step under the parallel driver, so this is a no-op there).
+
+        Returns:
+            R̂, or ``math.inf`` when chains are too short / degenerate
+            with disagreeing means; 1.0 when all chains are constant and
+            equal.
+
+        Raises:
+            ValueError: With fewer than two chains.
+        """
+        if len(traces) < 2:
+            raise ValueError("Gelman-Rubin needs at least two chains")
+        n = min(len(t) for t in traces)
+        if n < self.min_chain_length:
+            return math.inf
+        means: List[float] = []
+        variances: List[float] = []
+        for t in traces:
+            acc = OnlineMeanVar()
+            acc.extend(t[:n])
+            means.append(acc.mean)
+            variances.append(acc.sample_variance)
+        w = sum(variances) / len(variances)
+        grand = sum(means) / len(means)
+        b_over_n = sum((m - grand) ** 2 for m in means) / (len(means) - 1)
+        if w == 0:
+            return 1.0 if b_over_n == 0 else math.inf
+        var_plus = (n - 1) / n * w + b_over_n
+        return math.sqrt(var_plus / w)
+
+    def converged(self, traces: Sequence[Sequence[float]]) -> bool:
+        """Whether the chains' R̂ is at or below the threshold."""
+        return self.r_hat(traces) <= self.threshold

@@ -1,0 +1,70 @@
+"""Stopping-rule interface and simple monitors.
+
+Algorithm 1's ``Stopping rule`` "can be any convergence monitor used in
+Markov Chain" — this module defines the interface and trivial instances;
+the paper's actual choice (Geweke) lives in
+:mod:`repro.convergence.geweke`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+
+class ConvergenceMonitor(abc.ABC):
+    """Decides whether a walk's attribute trace looks stationary."""
+
+    @abc.abstractmethod
+    def converged(self, trace: Sequence[float]) -> bool:
+        """Whether the walk that produced ``trace`` has converged."""
+
+    def reset(self) -> None:
+        """Clear internal state before a fresh walk (no-op by default)."""
+
+
+class FixedLengthMonitor(ConvergenceMonitor):
+    """Converged after a fixed number of steps (classic burn-in length).
+
+    Args:
+        length: Steps after which the walk counts as converged; positive.
+
+    Raises:
+        ValueError: If ``length`` is not positive.
+    """
+
+    def __init__(self, length: int) -> None:
+        if length <= 0:
+            raise ValueError("length must be positive")
+        self.length = length
+
+    def converged(self, trace: Sequence[float]) -> bool:
+        return len(trace) >= self.length
+
+
+class NeverConvergedMonitor(ConvergenceMonitor):
+    """Never converges — for measuring pure trace statistics."""
+
+    def converged(self, trace: Sequence[float]) -> bool:
+        return False
+
+
+class CompositeMonitor(ConvergenceMonitor):
+    """Converged when *all* child monitors agree.
+
+    Useful for "Geweke, but walk at least N steps first" configurations,
+    which the experiments use to keep tiny traces from passing Z tests by
+    luck.
+    """
+
+    def __init__(self, *monitors: ConvergenceMonitor) -> None:
+        if not monitors:
+            raise ValueError("need at least one monitor")
+        self.monitors = monitors
+
+    def converged(self, trace: Sequence[float]) -> bool:
+        return all(m.converged(trace) for m in self.monitors)
+
+    def reset(self) -> None:
+        for m in self.monitors:
+            m.reset()

@@ -1,0 +1,120 @@
+"""Constructive counterexamples for the paper's tightness corollaries.
+
+The paper does not only prove its criteria sound — it proves them *tight*:
+
+* **Corollary 1**: whenever Theorem 3's inequality fails, there exists a
+  graph (with the given common-neighborhood size and degrees) in which the
+  edge *is* cross-cutting.  :func:`corollary1_graph` builds that graph,
+  following the appendix construction: `u` and `v` share `n` common
+  neighbors, carry their remaining degree as "outer" pendant-decorated
+  edges, and every auxiliary node is inflated with pendants so the
+  minimum-conductance cut is forced through the (u, v) region.
+* **Corollary 2**: degree 3 is the *only* safe replacement pivot.
+  :func:`corollary2_graph` builds, for a pivot degree ``kv ≥ 4``, a graph
+  where both ``e_uv`` and ``e_wv`` are cross-cutting — so replacing one
+  with ``e_uw`` would merge two cross-cutting edges into one and lower
+  conductance (the paper's Fig. 13 situation).
+
+These are used by the test suite to verify the tightness claims
+empirically (via exact minimum-conductance search) rather than taking the
+appendix's word for it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.graph.adjacency import Graph
+
+
+def _attach_pendants(graph: Graph, node, count: int, tag: str) -> None:
+    """Give ``node`` ``count`` degree-1 neighbors (unique string ids)."""
+    for i in range(count):
+        graph.add_edge(node, f"{tag}:{node}:{i}")
+
+
+def corollary1_graph(
+    common_neighbors: int, ku: int, kv: int, pendant_weight: int = 6
+) -> Tuple[Graph, Tuple[str, str]]:
+    """A graph where ``e_uv`` (with the given local stats) is cross-cutting.
+
+    Valid when Theorem 3's inequality FAILS for the parameters, i.e.
+    ``ceil(n/2) + 1 <= max(ku, kv)/2`` — Corollary 1's hypothesis.
+
+    Args:
+        common_neighbors: Desired ``|N(u) ∩ N(v)|``.
+        ku: Desired degree of ``u`` (≥ common_neighbors + 1).
+        kv: Desired degree of ``v`` (≥ common_neighbors + 1).
+        pendant_weight: Pendants attached to every auxiliary node; the
+            appendix's ``k_w ≫ max(ku, kv)`` inflation that forces the
+            minimum cut through the (u, v) region.
+
+    Returns:
+        ``(graph, ("u", "v"))``.
+
+    Raises:
+        ValueError: If the degree targets cannot host the common
+            neighborhood plus the (u, v) edge.
+    """
+    if ku < common_neighbors + 1 or kv < common_neighbors + 1:
+        raise ValueError("degrees must cover the common neighborhood and e_uv")
+    g = Graph()
+    u, v = "u", "v"
+    g.add_edge(u, v)
+    for i in range(common_neighbors):
+        w = f"c{i}"
+        g.add_edge(u, w)
+        g.add_edge(v, w)
+        _attach_pendants(g, w, pendant_weight, "pw")
+    for i in range(ku - common_neighbors - 1):
+        o = f"ou{i}"
+        g.add_edge(u, o)
+        _attach_pendants(g, o, pendant_weight, "pu")
+    for i in range(kv - common_neighbors - 1):
+        o = f"ov{i}"
+        g.add_edge(v, o)
+        _attach_pendants(g, o, pendant_weight, "pv")
+    return g, (u, v)
+
+
+def corollary2_graph(kv: int = 4, block: int = 5) -> Tuple[Graph, Tuple[str, str, str]]:
+    """A graph where replacing ``e_uv`` by ``e_uw`` at a degree-``kv``
+    pivot lowers the conductance.
+
+    Construction (paper Fig. 13): two dense blocks; the pivot ``v`` sits
+    between them with ``u`` and ``w`` in the *other* block, so both
+    ``e_uv`` and ``e_wv`` are cross-cutting.  Replacing ``e_uv`` with
+    ``e_uw`` turns two cross-cutting edges into one intra-block edge plus
+    one cross-cutting edge — strictly fewer crossings, lower conductance.
+
+    Args:
+        kv: Pivot degree (must be ≥ 4; degree 3 is exactly the safe case).
+        block: Size of each dense block.
+
+    Returns:
+        ``(graph, ("u", "v", "w"))``.
+
+    Raises:
+        ValueError: If ``kv < 4`` (Theorem 4's safe case) or blocks are
+            too small.
+    """
+    if kv < 4:
+        raise ValueError("Corollary 2 concerns pivot degrees >= 4")
+    if block < 3:
+        raise ValueError("blocks need at least 3 nodes")
+    g = Graph()
+    left = [f"L{i}" for i in range(block)]
+    right = [f"R{i}" for i in range(block)]
+    for side in (left, right):
+        for i in range(block):
+            for j in range(i + 1, block):
+                g.add_edge(side[i], side[j])
+    v = "v"
+    u, w = right[0], right[1]
+    # v lives in the left block with kv - 2 intra-block edges, plus the
+    # two cross-cutting edges to u and w.
+    for i in range(kv - 2):
+        g.add_edge(v, left[i % block])
+    g.add_edge(v, u)
+    g.add_edge(v, w)
+    return g, (u, v, w)

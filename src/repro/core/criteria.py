@@ -1,0 +1,158 @@
+"""Edge-manipulation criteria: Theorems 3, 4, and 5.
+
+These are the paper's theoretical core.  All three operate on *local*
+knowledge only — the neighborhoods of the edge's endpoints (already paid
+for by the walk) plus, for Theorem 5, degrees of common neighbors cached
+from earlier steps.
+
+**Theorem 3 (removal).**  For an edge ``e_uv``, if
+
+    ceil(|N(u) ∩ N(v)| / 2) + 1  >  max(k_u, k_v) / 2
+
+then ``e_uv`` is provably *not* cross-cutting and can be removed from the
+overlay without lowering conductance.  Corollary 1 shows the bound is
+tight.
+
+**Theorem 5 (extension).**  With cached degrees, let
+``N* = {w ∈ N(u) ∩ N(v) : k_w known and 2 ≤ k_w ≤ 3}``.  If
+
+    ceil((|N(u) ∩ N(v)| − |N*|) / 2) + 1 + ½ Σ_{w∈N*} (4 − k_w)
+        >  max(k_u, k_v) / 2
+
+then ``e_uv`` is not cross-cutting.  With ``N* = ∅`` this reduces to
+Theorem 3.
+
+**Theorem 4 (replacement).**  If ``k_v = 3`` and ``u, w ∈ N(v)``, then
+replacing ``e_uv`` by ``e_uw`` never decreases conductance (and may
+increase it).  Corollary 2 shows ``k_v = 3`` is the *only* safe degree.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, Hashable, Mapping, Optional
+
+Node = Hashable
+
+
+def removal_criterion(common_neighbors: int, ku: int, kv: int) -> bool:
+    """Theorem 3's inequality: is the edge provably non-cross-cutting?
+
+    Args:
+        common_neighbors: ``|N(u) ∩ N(v)|``.
+        ku: Degree of ``u`` (including the edge to ``v``).
+        kv: Degree of ``v`` (including the edge to ``u``).
+
+    Returns:
+        ``True`` iff ``ceil(n/2) + 1 > max(ku, kv)/2``.
+
+    Raises:
+        ValueError: On negative counts or degrees below 1 (the edge itself
+            guarantees degree ≥ 1 at both ends).
+    """
+    if common_neighbors < 0:
+        raise ValueError("common neighbor count cannot be negative")
+    if ku < 1 or kv < 1:
+        raise ValueError("endpoint degrees must be at least 1")
+    return math.ceil(common_neighbors / 2) + 1 > max(ku, kv) / 2
+
+
+def extension_criterion(
+    common_neighbors: int,
+    ku: int,
+    kv: int,
+    known_common_degrees: Mapping[Node, int],
+) -> bool:
+    """Theorem 5's inequality, using cached common-neighbor degrees.
+
+    Only cached degrees in {2, 3} contribute (the paper's ``N*``); larger
+    cached degrees are ignored, exactly as the theorem prescribes.
+
+    Args:
+        common_neighbors: ``|N(u) ∩ N(v)|``.
+        ku: Degree of ``u``.
+        kv: Degree of ``v``.
+        known_common_degrees: Mapping ``w -> k_w`` for those common
+            neighbors whose degree the sampler already knows (from its
+            local cache; never queried for this test).
+
+    Returns:
+        ``True`` iff the extended inequality holds.
+
+    Raises:
+        ValueError: On invalid counts, or if more qualifying degrees are
+            supplied than there are common neighbors.
+    """
+    if common_neighbors < 0:
+        raise ValueError("common neighbor count cannot be negative")
+    if ku < 1 or kv < 1:
+        raise ValueError("endpoint degrees must be at least 1")
+    n_star = {w: k for w, k in known_common_degrees.items() if 2 <= k <= 3}
+    if len(n_star) > common_neighbors:
+        raise ValueError("N* cannot exceed the common neighborhood")
+    bonus = 0.5 * sum(4 - k for k in n_star.values())
+    lhs = math.ceil((common_neighbors - len(n_star)) / 2) + 1 + bonus
+    return lhs > max(ku, kv) / 2
+
+
+class NeighborhoodView:
+    """Minimal protocol the criteria need: neighborhoods and degrees.
+
+    Both :class:`repro.graph.adjacency.Graph` and
+    :class:`repro.core.overlay.OverlayGraph` satisfy it structurally
+    (``neighbors(node)`` returning a set and ``degree(node)``).
+    """
+
+    def neighbors(self, node: Node) -> AbstractSet[Node]:  # pragma: no cover
+        raise NotImplementedError
+
+    def degree(self, node: Node) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+
+def is_removable(
+    view,
+    u: Node,
+    v: Node,
+    cached_degrees: Optional[Mapping[Node, int]] = None,
+) -> bool:
+    """Whether edge ``(u, v)`` is removable under Theorem 3 / Theorem 5.
+
+    Args:
+        view: Any object with ``neighbors(node)`` and ``degree(node)`` —
+            the overlay during a walk, or a plain graph offline.
+        u: One endpoint.
+        v: The other endpoint.
+        cached_degrees: Optional ``w -> k_w`` cache enabling the Theorem 5
+            extension; ``None`` (or an empty mapping) falls back to
+            Theorem 3.
+
+    Returns:
+        ``True`` iff the applicable criterion certifies the edge
+        non-cross-cutting.
+
+    Raises:
+        ValueError: If ``(u, v)`` is not an edge of ``view``.
+    """
+    nu = view.neighbors(u)
+    nv = view.neighbors(v)
+    if v not in nu:
+        raise ValueError(f"({u!r}, {v!r}) is not an edge")
+    common = nu & nv if isinstance(nu, (set, frozenset)) else set(nu) & set(nv)
+    ku = view.degree(u)
+    kv = view.degree(v)
+    if cached_degrees:
+        known = {w: cached_degrees[w] for w in common if w in cached_degrees}
+        return extension_criterion(len(common), ku, kv, known)
+    return removal_criterion(len(common), ku, kv)
+
+
+def replacement_allowed(kv: int) -> bool:
+    """Theorem 4 / Corollary 2: replacement is safe exactly when k_v = 3.
+
+    Raises:
+        ValueError: For non-positive degrees.
+    """
+    if kv < 1:
+        raise ValueError("degree must be positive")
+    return kv == 3

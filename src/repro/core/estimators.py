@@ -1,0 +1,184 @@
+"""Importance-sampling aggregate estimation (§IV-A).
+
+All walkers produce samples from *some* stationary distribution τ (degree-
+proportional for SRW, overlay-degree-proportional for MTO, uniform for
+MHRW/RJ).  To answer aggregates over all users the samples are re-weighted
+to the uniform target with ``w(x) ∝ π(x)/τ(x)`` and combined with the
+self-normalizing ratio estimator the paper states::
+
+    A(f) = ( Σ f(x_i) w(x_i) ) / ( Σ w(x_i) )
+
+AVG aggregates need nothing else; COUNT and SUM additionally use the
+provider-published total user count (footnote 4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Hashable, List, Optional, Sequence
+
+from repro.aggregates.queries import AggregateQuery
+from repro.errors import EstimationError
+from repro.interface.api import QueryResponse, RestrictedSocialAPI
+from repro.walks.base import WalkSample
+
+Node = Hashable
+
+
+@dataclasses.dataclass(frozen=True)
+class EstimationResult:
+    """An aggregate estimate with its provenance.
+
+    Attributes:
+        query: The aggregate that was estimated.
+        estimate: The estimate.
+        num_samples: Samples used.
+        query_cost: Billed interface queries spent producing them.
+        effective_sample_size: Kish ESS ``(Σw)² / Σw²`` — how many unit-
+            weight samples the weighted set is worth.
+    """
+
+    query: AggregateQuery
+    estimate: float
+    num_samples: int
+    query_cost: int
+    effective_sample_size: float
+
+
+class Estimator:
+    """Incremental self-normalizing importance-sampling estimator.
+
+    Feed ``(f_value, weight, predicate)`` triples (or whole samples via
+    :meth:`add_sample`); read :attr:`estimate` at any time.  Experiments
+    use the incremental form to draw estimate-vs-query-cost curves from a
+    single run.
+
+    Args:
+        query: The aggregate to estimate.
+        total_users: Provider-published user count; required for COUNT and
+            SUM aggregates, ignored for AVG.
+    """
+
+    def __init__(self, query: AggregateQuery, total_users: Optional[int] = None) -> None:
+        if query.kind in ("count", "sum") and total_users is None:
+            raise EstimationError(f"{query.kind.upper()} estimation needs total_users")
+        self._query = query
+        self._total_users = total_users
+        self._sum_w = 0.0
+        self._sum_w_pred = 0.0
+        self._sum_fw = 0.0
+        self._n = 0
+
+    def add(self, response: QueryResponse, weight: float) -> None:
+        """Fold in one sampled user's query response with its weight.
+
+        Raises:
+            EstimationError: For non-positive weights.
+        """
+        if weight <= 0:
+            raise EstimationError("weights must be positive")
+        self._n += 1
+        self._sum_w += weight
+        if self._query.matches(response):
+            self._sum_w_pred += weight
+            if self._query.kind != "count":
+                self._sum_fw += self._query.value(response) * weight
+
+    @property
+    def num_samples(self) -> int:
+        """Samples folded so far."""
+        return self._n
+
+    @property
+    def estimate(self) -> float:
+        """Current estimate.
+
+        Raises:
+            EstimationError: With no (matching) samples yet.
+        """
+        if self._n == 0:
+            raise EstimationError("no samples")
+        kind = self._query.kind
+        if kind == "avg":
+            if self._sum_w_pred == 0:
+                raise EstimationError("no samples matched the selection")
+            return self._sum_fw / self._sum_w_pred
+        if self._sum_w == 0:  # pragma: no cover - weights are positive
+            raise EstimationError("zero total weight")
+        fraction = (
+            self._sum_w_pred / self._sum_w
+            if kind == "count"
+            else self._sum_fw / self._sum_w
+        )
+        assert self._total_users is not None
+        return fraction * self._total_users
+
+
+def estimate(
+    query: AggregateQuery,
+    samples: Sequence[WalkSample],
+    api: RestrictedSocialAPI,
+    total_users: Optional[int] = None,
+) -> EstimationResult:
+    """One-shot estimation from a finished sampling run.
+
+    The sampled nodes' responses are re-read through the interface — they
+    are cached, so this costs nothing.
+
+    Args:
+        query: Aggregate to estimate.
+        samples: Output of :meth:`RandomWalkSampler.run`.
+        api: The interface the samples came from (for cached responses).
+        total_users: Provider-published count (COUNT/SUM only); defaults
+            to ``api.published_user_count()`` when those kinds need it.
+
+    Raises:
+        EstimationError: If ``samples`` is empty.
+    """
+    if not samples:
+        raise EstimationError("no samples")
+    if total_users is None and query.kind in ("count", "sum"):
+        total_users = api.published_user_count()
+    est = Estimator(query, total_users=total_users)
+    sum_w = 0.0
+    sum_w2 = 0.0
+    for sample in samples:
+        resp = api.query(sample.node)  # cached, free
+        est.add(resp, sample.weight)
+        sum_w += sample.weight
+        sum_w2 += sample.weight * sample.weight
+    ess = (sum_w * sum_w / sum_w2) if sum_w2 > 0 else 0.0
+    return EstimationResult(
+        query=query,
+        estimate=est.estimate,
+        num_samples=len(samples),
+        query_cost=api.query_cost,
+        effective_sample_size=ess,
+    )
+
+
+def estimate_curve(
+    query: AggregateQuery,
+    samples: Sequence[WalkSample],
+    api: RestrictedSocialAPI,
+    total_users: Optional[int] = None,
+) -> List[tuple]:
+    """Estimate after each prefix of ``samples``: ``[(query_cost, estimate)]``.
+
+    The raw material of the paper's Figures 7 and 11: how the estimate
+    evolves as query budget is spent.  Prefixes whose estimate is undefined
+    (no matching samples yet) are skipped.
+    """
+    if not samples:
+        raise EstimationError("no samples")
+    if total_users is None and query.kind in ("count", "sum"):
+        total_users = api.published_user_count()
+    est = Estimator(query, total_users=total_users)
+    out: List[tuple] = []
+    for sample in samples:
+        est.add(api.query(sample.node), sample.weight)
+        try:
+            out.append((sample.query_cost, est.estimate))
+        except EstimationError:
+            continue
+    return out

@@ -1,0 +1,207 @@
+"""MTO-Sampler: the paper's Algorithm 1.
+
+A simple random walk that, at every step, uses the local neighborhood
+knowledge it has already paid for to *rewire its own view* of the network:
+
+1. **Removal** — when the freshly drawn neighbor ``v`` forms an edge with
+   the current node ``u`` that Theorem 3 (or Theorem 5, using degrees
+   cached from earlier steps) certifies as non-cross-cutting, the edge is
+   deleted from the overlay and the draw repeats.
+2. **Replacement** — when ``v``'s overlay degree is exactly 3 (the one
+   degree Theorem 4 proves safe), the walk may replace ``e_uv`` by
+   ``e_uw`` for another neighbor ``w`` of ``v``, steering probability mass
+   toward likely cross-cutting edges.
+3. **Lazy transition** — the walk finally moves to the surviving candidate
+   with probability 1/2, else redraws (Algorithm 1's ``rand(0,1) < 1/2``
+   branch), guaranteeing aperiodicity.
+
+The walk is exactly a (lazy) simple random walk on the final overlay G*,
+whose stationary distribution is ``τ*(u) = k*_u / 2|E*|`` (eq. 10), so
+uniform-target importance weights are ``1 / k*_u`` with the overlay degree
+read from the sampler's own bookkeeping — no extra queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+from repro.core.criteria import is_removable, replacement_allowed
+from repro.core.overlay import OverlayGraph
+from repro.errors import DeadEndError, PrivateUserError, WalkError
+from repro.interface.api import RestrictedSocialAPI
+from repro.utils.rng import RngLike
+from repro.walks.base import RandomWalkSampler
+
+Node = Hashable
+
+
+class MTOSampler(RandomWalkSampler):
+    """Modified-TOpology sampler (Algorithm 1).
+
+    Args:
+        api: Restrictive interface.
+        start: Start node.
+        seed: Randomness.
+        enable_removal: Apply the Theorem 3/5 removal rule (``MTO_RM`` and
+            ``MTO_Both`` in Figure 10).
+        enable_replacement: Apply the Theorem 4 replacement rule
+            (``MTO_RP`` and ``MTO_Both``).
+        use_degree_cache: Use Theorem 5 with degrees cached from earlier
+            queries instead of plain Theorem 3 (§III-D extension).
+        replacement_probability: Chance of performing an eligible
+            replacement (Algorithm 1 leaves the choice free; 0.5 mirrors
+            its coin-flip structure).
+        lazy: Algorithm 1's 1/2-probability redraw coin.  Off by default:
+            each redraw queries a freshly drawn neighbor, which under the
+            unique-query cost model doubles the cost per committed move
+            without changing the stationary distribution — the paper's
+            reported savings are only attainable without it (DESIGN.md
+            §3.3 discusses the deviation).
+        max_redraws: Bound on removal/lazy redraws within one step — a
+            pathological overlay cannot stall the walk silently.
+        overlay: Existing overlay to share (parallel walks, §VI: rewirings
+            discovered by one chain benefit every chain).  Must wrap the
+            same ``api``; a private overlay is created when omitted.
+
+    Example:
+        >>> from repro.generators import paper_barbell
+        >>> from repro.interface import RestrictedSocialAPI
+        >>> api = RestrictedSocialAPI(paper_barbell())
+        >>> mto = MTOSampler(api, start=0, seed=7)
+        >>> run = mto.run(num_samples=50)
+        >>> mto.overlay.removal_count > 0
+        True
+    """
+
+    def __init__(
+        self,
+        api: RestrictedSocialAPI,
+        start: Node,
+        seed: RngLike = None,
+        enable_removal: bool = True,
+        enable_replacement: bool = True,
+        use_degree_cache: bool = True,
+        replacement_probability: float = 0.5,
+        lazy: bool = False,
+        max_redraws: int = 10_000,
+        overlay: OverlayGraph | None = None,
+    ) -> None:
+        if not 0 <= replacement_probability <= 1:
+            raise ValueError("replacement_probability must be in [0, 1]")
+        if max_redraws < 1:
+            raise ValueError("max_redraws must be positive")
+        super().__init__(api, start, seed=seed)
+        self._overlay = overlay if overlay is not None else OverlayGraph(api)
+        self._overlay.ensure_known(start)
+        self._enable_removal = enable_removal
+        self._enable_replacement = enable_replacement
+        self._use_degree_cache = use_degree_cache
+        self._replacement_probability = replacement_probability
+        self._lazy = lazy
+        self._max_redraws = max_redraws
+
+    @property
+    def overlay(self) -> OverlayGraph:
+        """The virtual topology built so far."""
+        return self._overlay
+
+    # ------------------------------------------------------------------
+    def _cached_degrees_for(self, common: frozenset) -> Dict[Node, int]:
+        """Overlay degrees of common neighbors already materialized.
+
+        This is the Theorem 5 side channel: "when the random walk reaches
+        the nodes we have accessed before, we can use their degree
+        information without issuing extra web requests" (§III-D).
+        """
+        out: Dict[Node, int] = {}
+        for w in common:
+            k = self._overlay.known_degree(w)
+            if k is not None:
+                out[w] = k
+        return out
+
+    def _removable(self, u: Node, v: Node) -> bool:
+        nu = self._overlay.neighbors(u)
+        nv = self._overlay.neighbors(v)
+        cached = None
+        if self._use_degree_cache:
+            cached = self._cached_degrees_for(nu & nv)
+        return is_removable(self._overlay, u, v, cached_degrees=cached)
+
+    def step(self) -> Node:
+        """One Algorithm 1 step: draw, maybe remove/replace, maybe move.
+
+        Raises:
+            DeadEndError: If the overlay leaves the current node with no
+                neighbors.
+            WalkError: If ``max_redraws`` is exhausted (degenerate
+                overlay).
+        """
+        u = self.current
+        self._overlay.ensure_known(u)
+        for _ in range(self._max_redraws):
+            nbrs = sorted(self._overlay.neighbors(u), key=repr)
+            if not nbrs:
+                raise DeadEndError(u)
+            v = nbrs[self._rng.randrange(len(nbrs))]
+            try:
+                self._overlay.ensure_known(v)  # the step's (potential) query
+            except PrivateUserError:
+                # Private neighbor: never traversable, so drop the overlay
+                # edge (the walk lives on the accessible subgraph) and
+                # redraw.  One billed refusal, cached afterwards.
+                if self._overlay.degree(u) > 1:
+                    self._overlay.remove_edge(u, v)
+                    continue
+                self._stay()
+                return self.current
+
+            # --- removal branch (Theorem 3 / Theorem 5) ---------------
+            if (
+                self._enable_removal
+                and self._overlay.degree(u) > 1
+                and self._overlay.degree(v) > 1
+                and self._removable(u, v)
+            ):
+                self._overlay.remove_edge(u, v)
+                continue  # redraw from the shrunken neighborhood
+
+            # --- replacement branch (Theorem 4) -----------------------
+            if (
+                self._enable_replacement
+                and replacement_allowed(self._overlay.degree(v))
+                and self._rng.random() < self._replacement_probability
+            ):
+                others = [
+                    w
+                    for w in sorted(self._overlay.neighbors(v), key=repr)
+                    if w != u and not self._overlay.has_edge(u, w)
+                ]
+                if others:
+                    w = others[self._rng.randrange(len(others))]
+                    try:
+                        self._overlay.ensure_known(w)
+                    except PrivateUserError:
+                        w = None
+                    if w is not None:
+                        self._overlay.replace_edge(u, v, w)
+                        v = w  # the walk's candidate follows the moved edge
+
+            # --- lazy transition ---------------------------------------
+            if not self._lazy or self._rng.random() < 0.5:
+                resp = self._api.query(v)  # cached by now — free
+                self._advance(v, resp)
+                return v
+            # lazy hold: redraw a neighbor without committing a move
+        raise WalkError(f"step at {u!r} exceeded {self._max_redraws} redraws")
+
+    def weight(self, node: Node) -> float:
+        """``1 / k*_node`` — corrects the overlay-degree stationary (eq. 10).
+
+        The overlay degree comes from the sampler's own bookkeeping; for a
+        just-visited node it is always materialized.
+        """
+        k_star = self._overlay.known_degree(node)
+        if k_star is None or k_star == 0:
+            raise WalkError(f"overlay degree unknown for {node!r}")
+        return 1.0 / k_star

@@ -1,0 +1,280 @@
+"""The virtual overlay topology MTO-Sampler walks on.
+
+The sampler cannot modify the real social network; what it modifies is its
+*own view* — the overlay graph G* (§I-C).  :class:`OverlayGraph` keeps, per
+node, the set of edge modifications recorded so far (removals and
+additions), and materializes a node's overlay neighborhood the first time
+the walk needs it by combining the interface's query answer with those
+modifications.  All bookkeeping is symmetric: removing ``(u, v)`` at ``u``
+is visible from ``v`` whenever ``v`` is materialized, so the overlay is a
+well-defined undirected graph at every instant.
+
+:func:`build_overlay_fixpoint` is the offline analogue used by the running
+example (Fig. 1): apply Theorem 3 removals to a fully known graph until no
+edge qualifies, optionally followed by Theorem 4 replacement passes —
+producing the G* / G** whose conductances §II-D and §III report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterator, Optional, Set, Tuple
+
+from repro.core.criteria import is_removable, replacement_allowed
+from repro.errors import EdgeNotFoundError, SelfLoopError, WalkError
+from repro.graph.adjacency import Graph
+from repro.interface.api import RestrictedSocialAPI
+from repro.utils.rng import RngLike, ensure_rng
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class OverlayGraph:
+    """Sampler-side virtual topology over a restrictive interface.
+
+    Args:
+        api: The interface supplying original neighborhoods (each
+            materialization costs one billed query unless cached).
+
+    Notes:
+        Only *materialized* nodes (those the walk has queried) have overlay
+        neighborhoods; modifications touching un-materialized nodes are
+        recorded and applied lazily when those nodes are first seen.
+    """
+
+    def __init__(self, api: RestrictedSocialAPI) -> None:
+        self._api = api
+        self._known: Dict[Node, Set[Node]] = {}
+        self._removed: Dict[Node, Set[Node]] = {}
+        self._added: Dict[Node, Set[Node]] = {}
+        self._removal_count = 0
+        self._replacement_count = 0
+
+    # ------------------------------------------------------------------
+    # materialization
+    # ------------------------------------------------------------------
+    def ensure_known(self, node: Node) -> None:
+        """Materialize ``node``'s overlay neighborhood (queries if needed)."""
+        if node in self._known:
+            return
+        resp = self._api.query(node)
+        nbrs = set(resp.neighbors)
+        nbrs -= self._removed.get(node, set())
+        nbrs |= self._added.get(node, set())
+        nbrs.discard(node)
+        self._known[node] = nbrs
+
+    def is_known(self, node: Node) -> bool:
+        """Whether ``node`` has been materialized."""
+        return node in self._known
+
+    def known_nodes(self) -> Iterator[Node]:
+        """Iterate over materialized nodes."""
+        return iter(self._known)
+
+    # ------------------------------------------------------------------
+    # overlay queries (require materialization)
+    # ------------------------------------------------------------------
+    def neighbors(self, node: Node) -> FrozenSet[Node]:
+        """Overlay neighborhood of a materialized node.
+
+        Raises:
+            WalkError: If the node has not been materialized.
+        """
+        try:
+            return frozenset(self._known[node])
+        except KeyError:
+            raise WalkError(f"node {node!r} not materialized in overlay") from None
+
+    def degree(self, node: Node) -> int:
+        """Overlay degree ``k*_node`` of a materialized node.
+
+        Raises:
+            WalkError: If the node has not been materialized.
+        """
+        try:
+            return len(self._known[node])
+        except KeyError:
+            raise WalkError(f"node {node!r} not materialized in overlay") from None
+
+    def known_degree(self, node: Node) -> Optional[int]:
+        """Overlay degree if materialized, else ``None`` (never queries)."""
+        nbrs = self._known.get(node)
+        return len(nbrs) if nbrs is not None else None
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Edge test from ``u``'s side (``u`` must be materialized).
+
+        Raises:
+            WalkError: If ``u`` has not been materialized.
+        """
+        if u not in self._known:
+            raise WalkError(f"node {u!r} not materialized in overlay")
+        return v in self._known[u]
+
+    # ------------------------------------------------------------------
+    # modifications
+    # ------------------------------------------------------------------
+    def _note_removed(self, u: Node, v: Node) -> None:
+        self._removed.setdefault(u, set()).add(v)
+        self._removed.setdefault(v, set()).add(u)
+        self._added.get(u, set()).discard(v)
+        self._added.get(v, set()).discard(u)
+
+    def _note_added(self, u: Node, v: Node) -> None:
+        self._added.setdefault(u, set()).add(v)
+        self._added.setdefault(v, set()).add(u)
+        self._removed.get(u, set()).discard(v)
+        self._removed.get(v, set()).discard(u)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove overlay edge ``(u, v)`` (both endpoints materialized or not).
+
+        Raises:
+            EdgeNotFoundError: If a materialized endpoint does not carry
+                the edge.
+        """
+        for a, b in ((u, v), (v, u)):
+            if a in self._known:
+                if b not in self._known[a]:
+                    raise EdgeNotFoundError(u, v)
+        self._note_removed(u, v)
+        for a, b in ((u, v), (v, u)):
+            if a in self._known:
+                self._known[a].discard(b)
+        self._removal_count += 1
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Insert overlay edge ``(u, v)``.
+
+        Raises:
+            SelfLoopError: If ``u == v``.
+        """
+        if u == v:
+            raise SelfLoopError(u)
+        self._note_added(u, v)
+        for a, b in ((u, v), (v, u)):
+            if a in self._known:
+                self._known[a].add(b)
+
+    def replace_edge(self, u: Node, v: Node, w: Node) -> None:
+        """Theorem 4's operation: replace ``e_uv`` by ``e_uw``.
+
+        Args:
+            u: The pivot endpoint that keeps its edge.
+            v: The degree-3 node losing the edge.
+            w: The new far endpoint (must differ from ``u``).
+
+        Raises:
+            SelfLoopError: If ``w == u``.
+            EdgeNotFoundError: If ``(u, v)`` is absent.
+        """
+        if w == u:
+            raise SelfLoopError(u)
+        self.remove_edge(u, v)
+        self._removal_count -= 1  # counted as a replacement, not a removal
+        self.add_edge(u, w)
+        self._replacement_count += 1
+
+    # ------------------------------------------------------------------
+    # accounting / export
+    # ------------------------------------------------------------------
+    @property
+    def removal_count(self) -> int:
+        """Number of pure removals performed."""
+        return self._removal_count
+
+    @property
+    def replacement_count(self) -> int:
+        """Number of replacements performed."""
+        return self._replacement_count
+
+    def known_subgraph(self) -> Graph:
+        """The overlay restricted to materialized nodes, as a plain graph.
+
+        Used by experiments that measure the overlay's conductance/SLEM
+        after the walk visited everything (§V-A.3's theoretical measure).
+        """
+        g = Graph()
+        for node in self._known:
+            g.add_node(node)
+        for u, nbrs in self._known.items():
+            for v in nbrs:
+                if v in self._known:
+                    g.add_edge(u, v)
+        return g
+
+
+def build_overlay_fixpoint(
+    graph: Graph,
+    use_replacement: bool = False,
+    seed: RngLike = 0,
+    max_passes: int = 100,
+) -> Graph:
+    """Offline overlay construction: apply Theorem 3 (and optionally
+    Theorem 4) to a fully known graph until fixpoint.
+
+    The criterion is evaluated against the *current* overlay state — the
+    progressive semantics Algorithm 1 has on-the-fly (see DESIGN.md §3.1;
+    a single simultaneous pass would disconnect dense graphs).  Edges are
+    visited in random order each pass; passes repeat until a pass makes no
+    change.
+
+    Args:
+        graph: Original topology (not modified).
+        use_replacement: After removals reach fixpoint, run one Theorem 4
+            replacement pass (each degree-3 node ``v`` donates one edge
+            ``e_uv → e_uw``), then re-run removal passes — producing G**.
+        seed: Randomness for edge visit order and replacement choices.
+        max_passes: Safety bound on total passes.
+
+    Returns:
+        The overlay graph (a new :class:`Graph`).
+
+    Raises:
+        WalkError: If ``max_passes`` is exhausted (should not happen:
+            removals strictly decrease the edge count).
+    """
+    rng = ensure_rng(seed)
+    overlay = graph.copy()
+
+    def removal_pass() -> bool:
+        changed = False
+        edges = list(overlay.edges())
+        rng.shuffle(edges)
+        for u, v in edges:
+            if not overlay.has_edge(u, v):
+                continue
+            if overlay.degree(u) <= 1 or overlay.degree(v) <= 1:
+                continue  # never disconnect a pendant node
+            if is_removable(overlay, u, v):
+                overlay.remove_edge(u, v)
+                changed = True
+        return changed
+
+    passes = 0
+    while removal_pass():
+        passes += 1
+        if passes > max_passes:
+            raise WalkError("removal fixpoint did not converge")
+
+    if use_replacement:
+        nodes = sorted(overlay.nodes(), key=repr)
+        rng.shuffle(nodes)
+        for v in nodes:
+            if overlay.degree(v) < 1 or not replacement_allowed(overlay.degree(v)):
+                continue
+            nbrs = sorted(overlay.neighbors(v), key=repr)
+            u = nbrs[rng.randrange(len(nbrs))]
+            others = [w for w in nbrs if w != u and not overlay.has_edge(u, w)]
+            if not others:
+                continue
+            w = others[rng.randrange(len(others))]
+            overlay.remove_edge(u, v)
+            overlay.add_edge(u, w)
+        while removal_pass():
+            passes += 1
+            if passes > max_passes:
+                raise WalkError("post-replacement fixpoint did not converge")
+
+    return overlay

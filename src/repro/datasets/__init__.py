@@ -1,0 +1,30 @@
+"""Dataset stand-ins for the paper's evaluation datasets.
+
+The paper evaluates on SNAP snapshots of Epinions and Slashdot (Table I)
+and on the live Google Plus API.  Neither is available offline, so this
+subpackage builds *stand-ins*: synthetic attributed social networks with
+the topological signatures that drive the paper's results (heavy-tailed
+degrees, strong community structure, low conductance, small effective
+diameter), scaled to laptop size.  Real SNAP edge lists, when present on
+disk, can be loaded through :func:`repro.datasets.registry.load_snap_file`.
+"""
+
+from repro.datasets.registry import DATASET_NAMES, load, table1_rows
+from repro.datasets.standins import (
+    SocialNetwork,
+    epinions_like,
+    google_plus_like,
+    slashdot_a_like,
+    slashdot_b_like,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "load",
+    "table1_rows",
+    "SocialNetwork",
+    "epinions_like",
+    "google_plus_like",
+    "slashdot_a_like",
+    "slashdot_b_like",
+]

@@ -1,0 +1,20 @@
+"""Local storage substrate.
+
+The paper's implementation cached crawled data "in the in-memory Redis
+database and the MongoDB database" (§V-A.1).  This subpackage provides the
+equivalent roles in pure Python:
+
+* :class:`~repro.datastore.kv.KeyValueStore` — Redis stand-in: string-keyed
+  store with optional TTL expiry and LRU capacity, used to cache queried
+  neighborhoods so duplicate queries are free.
+* :class:`~repro.datastore.documents.DocumentStore` — MongoDB stand-in:
+  id-keyed JSON-like documents with field queries, used for user profiles.
+* :class:`~repro.datastore.querylog.QueryLog` — append-only log of interface
+  queries with unique-query accounting (the paper's query-cost measure).
+"""
+
+from repro.datastore.documents import DocumentStore
+from repro.datastore.kv import KeyValueStore
+from repro.datastore.querylog import QueryLog, QueryRecord
+
+__all__ = ["DocumentStore", "KeyValueStore", "QueryLog", "QueryRecord"]

@@ -1,0 +1,155 @@
+"""In-memory key-value store (the Redis stand-in).
+
+Supports the subset of semantics the sampler needs: get/set/delete,
+optional per-key TTL against an injectable clock (the interface layer runs
+on simulated time), and an optional LRU capacity bound so memory stays
+bounded during very long crawls.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Iterator, Optional
+
+from repro.errors import DataStoreError
+
+
+class KeyValueStore:
+    """String/hashable-keyed value store with TTL and LRU eviction.
+
+    Args:
+        capacity: Maximum number of live keys; ``None`` for unbounded.  When
+            full, the least-recently-used key is evicted (Redis
+            ``allkeys-lru`` policy).
+        clock: Zero-argument callable returning the current time in seconds;
+            defaults to a logical clock that only advances via
+            :meth:`advance`.  Injectable so TTL tests and the simulated
+            interface control time explicitly.
+
+    Example:
+        >>> kv = KeyValueStore()
+        >>> kv.set("user:1:neighbors", [2, 3])
+        >>> kv.get("user:1:neighbors")
+        [2, 3]
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise DataStoreError("capacity must be positive or None")
+        self._capacity = capacity
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._expires: Dict[Hashable, float] = {}
+        self._logical_now = 0.0
+        self._clock = clock if clock is not None else self._logical_clock
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def _logical_clock(self) -> float:
+        return self._logical_now
+
+    def advance(self, seconds: float) -> None:
+        """Advance the built-in logical clock (no-op for injected clocks)."""
+        if seconds < 0:
+            raise DataStoreError("cannot advance time backwards")
+        self._logical_now += seconds
+
+    def _expired(self, key: Hashable) -> bool:
+        deadline = self._expires.get(key)
+        return deadline is not None and self._clock() >= deadline
+
+    def _purge(self, key: Hashable) -> None:
+        self._data.pop(key, None)
+        self._expires.pop(key, None)
+
+    # ------------------------------------------------------------------
+    def set(self, key: Hashable, value: object, ttl: Optional[float] = None) -> None:
+        """Store ``value`` under ``key``.
+
+        Args:
+            key: Hashable key.
+            value: Arbitrary value.
+            ttl: Seconds until expiry (clock units); ``None`` for no expiry.
+
+        Raises:
+            DataStoreError: For non-positive TTLs.
+        """
+        if ttl is not None and ttl <= 0:
+            raise DataStoreError("ttl must be positive or None")
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if ttl is None:
+            self._expires.pop(key, None)
+        else:
+            self._expires[key] = self._clock() + ttl
+        if self._capacity is not None:
+            while len(self._data) > self._capacity:
+                evicted, _ = self._data.popitem(last=False)
+                self._expires.pop(evicted, None)
+                self._evictions += 1
+
+    def get(self, key: Hashable, default: object = None) -> object:
+        """Fetch the value for ``key`` or ``default`` if absent/expired."""
+        if key in self._data and not self._expired(key):
+            self._data.move_to_end(key)
+            self._hits += 1
+            return self._data[key]
+        if key in self._data:  # present but expired
+            self._purge(key)
+        self._misses += 1
+        return default
+
+    def contains(self, key: Hashable) -> bool:
+        """Whether ``key`` is live (present and unexpired). No LRU touch."""
+        if key in self._data and not self._expired(key):
+            return True
+        if key in self._data:
+            self._purge(key)
+        return False
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self.contains(key)
+
+    def delete(self, key: Hashable) -> bool:
+        """Remove ``key``; returns whether it was present (and unexpired)."""
+        live = self.contains(key)
+        self._purge(key)
+        return live
+
+    def keys(self) -> Iterator[Hashable]:
+        """Iterate over live keys (expired keys are skipped, not purged)."""
+        for key in list(self._data):
+            if not self._expired(key):
+                yield key
+
+    def clear(self) -> None:
+        """Drop all keys and reset hit/miss counters."""
+        self._data.clear()
+        self._expires.clear()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        """Number of successful :meth:`get` calls."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Number of :meth:`get` calls that fell through to the default."""
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        """Number of keys evicted by the LRU capacity bound."""
+        return self._evictions

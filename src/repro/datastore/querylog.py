@@ -1,0 +1,96 @@
+"""Append-only query log with the paper's unique-query cost accounting.
+
+Section II-B: *"we consider the number of unique queries one has to issue
+for the sampling process, as any duplicate query can be answered from local
+cache without consuming the query limit."*  The log records every logical
+query, distinguishes cache hits from billed (unique) queries, and exposes
+the running unique-query count that all experiment drivers report as
+"query cost".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Hashable, Iterator, List, Optional, Set
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryRecord:
+    """One logical interface query.
+
+    Attributes:
+        index: 0-based position in the log.
+        user: Queried user id.
+        billed: Whether this query consumed the provider's limit (first
+            time the user was queried) or was served from local cache.
+        timestamp: Simulated time the query was issued at.
+    """
+
+    index: int
+    user: Hashable
+    billed: bool
+    timestamp: float
+
+
+class QueryLog:
+    """Record of all queries issued through a restricted interface."""
+
+    def __init__(self) -> None:
+        self._records: List[QueryRecord] = []
+        self._unique: Set[Hashable] = set()
+
+    def record(self, user: Hashable, timestamp: float = 0.0) -> QueryRecord:
+        """Append a query for ``user``; returns the created record."""
+        billed = user not in self._unique
+        if billed:
+            self._unique.add(user)
+        rec = QueryRecord(
+            index=len(self._records), user=user, billed=billed, timestamp=timestamp
+        )
+        self._records.append(rec)
+        return rec
+
+    @property
+    def total_queries(self) -> int:
+        """All logical queries, including cache hits."""
+        return len(self._records)
+
+    @property
+    def unique_queries(self) -> int:
+        """Billed queries — the paper's *query cost* measure."""
+        return len(self._unique)
+
+    def was_queried(self, user: Hashable) -> bool:
+        """Whether ``user`` was ever queried (i.e. is locally cached)."""
+        return user in self._unique
+
+    def queried_users(self) -> frozenset:
+        """Set of all users queried so far."""
+        return frozenset(self._unique)
+
+    def __iter__(self) -> Iterator[QueryRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def tail(self, n: int) -> List[QueryRecord]:
+        """The most recent ``n`` records."""
+        if n <= 0:
+            return []
+        return self._records[-n:]
+
+    def billed_between(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> int:
+        """Billed queries with ``start <= timestamp < end`` (for rate audits)."""
+        count = 0
+        for rec in self._records:
+            if not rec.billed:
+                continue
+            if start is not None and rec.timestamp < start:
+                continue
+            if end is not None and rec.timestamp >= end:
+                continue
+            count += 1
+        return count

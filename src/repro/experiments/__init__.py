@@ -1,0 +1,52 @@
+"""Experiment drivers — one per table/figure in the paper.
+
+Every driver takes size/run-count parameters so the same code scales from
+benchmark-smoke size to full figure reproduction, returns a structured
+result object, and renders the same rows/series the paper reports via
+``str(result)``.
+
+| Paper artifact | Driver |
+|---|---|
+| Running example (§II–III) | :func:`repro.experiments.running_example.run_running_example` |
+| Table I | :func:`repro.experiments.table1.run_table1` |
+| Figure 7 (a–c) | :func:`repro.experiments.fig7.run_fig7` |
+| Figure 8 | :func:`repro.experiments.fig8.run_fig8` |
+| Figure 9 | :func:`repro.experiments.fig9.run_fig9` |
+| Figure 10 | :func:`repro.experiments.fig10.run_fig10` |
+| Figure 11 (a–c) | :func:`repro.experiments.fig11.run_fig11` |
+"""
+
+from repro.experiments.fig7 import Fig7Result, run_fig7
+from repro.experiments.fig8 import Fig8Result, run_fig8
+from repro.experiments.fig9 import Fig9Result, run_fig9
+from repro.experiments.fig10 import Fig10Result, run_fig10
+from repro.experiments.fig11 import Fig11Result, run_fig11
+from repro.experiments.runner import (
+    SAMPLER_NAMES,
+    cost_at_error,
+    make_sampler,
+    mean_cost_at_error_curve,
+)
+from repro.experiments.running_example import RunningExampleResult, run_running_example
+from repro.experiments.table1 import Table1Result, run_table1
+
+__all__ = [
+    "Fig7Result",
+    "run_fig7",
+    "Fig8Result",
+    "run_fig8",
+    "Fig9Result",
+    "run_fig9",
+    "Fig10Result",
+    "run_fig10",
+    "Fig11Result",
+    "run_fig11",
+    "SAMPLER_NAMES",
+    "cost_at_error",
+    "make_sampler",
+    "mean_cost_at_error_curve",
+    "RunningExampleResult",
+    "run_running_example",
+    "Table1Result",
+    "run_table1",
+]

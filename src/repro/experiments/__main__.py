@@ -1,0 +1,98 @@
+"""Command-line entry point: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro.experiments table1
+    python -m repro.experiments running_example
+    python -m repro.experiments fig7  --runs 20 --scale 1.0
+    python -m repro.experiments fig8  --runs 3
+    python -m repro.experiments fig9
+    python -m repro.experiments fig10
+    python -m repro.experiments fig11
+    python -m repro.experiments all   --scale 0.5
+
+Each command prints the same rows/series the paper's artifact reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_running_example,
+    run_table1,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "table1",
+            "running_example",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "all",
+        ],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="dataset size multiplier"
+    )
+    parser.add_argument(
+        "--runs", type=int, default=None, help="runs per point (driver default)"
+    )
+    parser.add_argument(
+        "--samples", type=int, default=None, help="samples per walk (driver default)"
+    )
+    return parser
+
+
+def _kw(args: argparse.Namespace, **extra) -> dict:
+    kw = {"seed": args.seed, **extra}
+    if args.runs is not None:
+        kw["runs"] = args.runs
+    if args.samples is not None:
+        kw["num_samples"] = args.samples
+    return kw
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, run the experiment(s), print the report."""
+    args = _build_parser().parse_args(argv)
+    jobs = {
+        "table1": lambda: run_table1(seed=args.seed, scale=args.scale),
+        "running_example": lambda: run_running_example(seed=args.seed),
+        "fig7": lambda: run_fig7(**_kw(args, scale=args.scale)),
+        "fig8": lambda: run_fig8(**_kw(args, scale=args.scale)),
+        "fig9": lambda: run_fig9(**_kw(args, scale=args.scale)),
+        "fig10": lambda: run_fig10(**{k: v for k, v in _kw(args).items() if k != "num_samples"}),
+        "fig11": lambda: run_fig11(**_kw(args, scale=args.scale)),
+    }
+    names = list(jobs) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        result = jobs[name]()
+        elapsed = time.time() - started
+        print(result)
+        print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

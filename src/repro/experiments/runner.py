@@ -1,0 +1,188 @@
+"""Shared experiment machinery: sampler factory and cost-at-error curves.
+
+The paper's Figures 7 and 11(b,c) plot, per relative-error level ``e``,
+"the maximum query cost for a random walk to generate an estimation with
+relative error above ``e``" — i.e. how many queries a run burns before its
+estimate settles within ``e`` of the truth for good.  Each point averages
+20 runs.  :func:`mean_cost_at_error_curve` reproduces that pipeline from a
+single sampling run per seed (the per-sample query costs recorded by the
+walk make the whole curve recoverable retrospectively).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.aggregates.queries import AggregateQuery
+from repro.core.estimators import estimate_curve
+from repro.core.mto import MTOSampler
+from repro.datasets.standins import SocialNetwork
+from repro.errors import ExperimentError
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.walks.base import RandomWalkSampler
+from repro.walks.mhrw import MetropolisHastingsWalk
+from repro.walks.nbrw import NonBacktrackingWalk
+from repro.walks.rj import RandomJumpWalk
+from repro.walks.srw import SimpleRandomWalk
+
+#: The four algorithms of §V-A.3.
+SAMPLER_NAMES = ("SRW", "MTO", "MHRW", "RJ")
+
+#: Additional comparators from the paper's related work (§VI): the
+#: non-backtracking walk of ref. [14].  Not part of the paper's figures,
+#: available for extension studies.
+EXTRA_SAMPLER_NAMES = ("NBRW",)
+
+
+def make_sampler(
+    name: str,
+    network: SocialNetwork,
+    seed,
+    jump_probability: float = 0.5,
+    **mto_kwargs,
+) -> RandomWalkSampler:
+    """Instantiate one of the paper's four samplers over a fresh interface.
+
+    Args:
+        name: One of :data:`SAMPLER_NAMES`.
+        network: The dataset to sample.
+        seed: Randomness (start node and walk share it).
+        jump_probability: RJ teleport probability (paper: 0.5).
+        **mto_kwargs: Extra :class:`MTOSampler` options (e.g.
+            ``enable_replacement=False`` for the Figure 10 ablations).
+
+    Raises:
+        ExperimentError: For unknown sampler names.
+    """
+    rng = ensure_rng(seed)
+    api = network.interface()
+    start = network.seed_node(rng)
+    if name == "SRW":
+        return SimpleRandomWalk(api, start=start, seed=rng)
+    if name == "MTO":
+        return MTOSampler(api, start=start, seed=rng, **mto_kwargs)
+    if name == "MHRW":
+        return MetropolisHastingsWalk(api, start=start, seed=rng)
+    if name == "NBRW":
+        return NonBacktrackingWalk(api, start=start, seed=rng)
+    if name == "RJ":
+        # The jump needs the global id space (paper footnote 5); the
+        # simulation grants it the node list, as the paper's setup does.
+        return RandomJumpWalk(
+            api,
+            start=start,
+            id_space=sorted(network.graph.nodes()),
+            jump_probability=jump_probability,
+            seed=rng,
+        )
+    raise ExperimentError(f"unknown sampler {name!r}; expected one of {SAMPLER_NAMES}")
+
+
+def cost_at_error(
+    curve: Sequence[Tuple[int, float]], truth: float, error: float
+) -> Optional[int]:
+    """Query cost after which the estimate stays within ``error`` of truth.
+
+    Scans the (query_cost, estimate) curve from the end: the returned cost
+    is the first checkpoint of the final all-within-``error`` suffix —
+    the paper's "maximum query cost with relative error above the value".
+
+    Args:
+        curve: Output of :func:`repro.core.estimators.estimate_curve`.
+        truth: Ground-truth aggregate value (non-zero).
+        error: Relative error level.
+
+    Returns:
+        The query cost, or ``None`` if the run never settles within
+        ``error`` (censored).
+    """
+    if truth == 0:
+        raise ExperimentError("ground truth is zero; relative error undefined")
+    settle: Optional[int] = None
+    for qc, est in reversed(curve):
+        if abs(est - truth) / abs(truth) > error:
+            break
+        settle = qc
+    return settle
+
+
+def mean_cost_at_error_curve(
+    network: SocialNetwork,
+    query: AggregateQuery,
+    truth: float,
+    sampler_name: str,
+    errors: Sequence[float],
+    runs: int = 20,
+    num_samples: int = 2000,
+    seed=0,
+    censor_cost: Optional[int] = None,
+    **sampler_kwargs,
+) -> List[float]:
+    """Mean query cost per error level, averaged over ``runs`` walks.
+
+    Args:
+        network: Dataset.
+        query: Aggregate to estimate.
+        truth: Ground truth (or converged value, for online datasets).
+        sampler_name: One of :data:`SAMPLER_NAMES`.
+        errors: Relative error grid (the figure's x axis).
+        runs: Independent walks per point (paper: 20).
+        num_samples: Samples collected per walk (bounds the curve length).
+        seed: Master seed; per-run streams are derived from it.
+        censor_cost: Cost charged to runs that never settle within an
+            error level; defaults to each run's final query cost.
+        **sampler_kwargs: Passed to :func:`make_sampler`.
+
+    Returns:
+        One mean cost per entry of ``errors``.
+    """
+    if runs <= 0:
+        raise ExperimentError("runs must be positive")
+    rng = ensure_rng(seed)
+    per_error_costs: List[List[float]] = [[] for _ in errors]
+    for run_idx in range(runs):
+        run_rng = spawn_rng(rng, run_idx)
+        sampler = make_sampler(sampler_name, network, run_rng, **sampler_kwargs)
+        result = sampler.run(num_samples=num_samples)
+        curve = estimate_curve(query, result.samples, sampler.api)
+        final_cost = result.query_cost
+        for i, err in enumerate(errors):
+            cost = cost_at_error(curve, truth, err)
+            if cost is None:
+                cost = censor_cost if censor_cost is not None else final_cost
+            per_error_costs[i].append(float(cost))
+    return [sum(costs) / len(costs) for costs in per_error_costs]
+
+
+def run_to_coverage(
+    sampler: RandomWalkSampler,
+    node_count: int,
+    max_steps: int = 2_000_000,
+) -> int:
+    """Walk until the sampler has queried every node at least once.
+
+    The Figure 10 / §V-A.3 protocol: "we continuously ran our MTO-Sampler
+    until it hits each node at least once — so we could actually obtain the
+    topology of the overlay graph."
+
+    Args:
+        sampler: Any walk sampler.
+        node_count: Total nodes in the (connected) graph.
+        max_steps: Safety bound.
+
+    Returns:
+        Steps taken.
+
+    Raises:
+        ExperimentError: If coverage was not reached within ``max_steps``.
+    """
+    steps = 0
+    while sampler.api.query_cost < node_count:
+        if steps >= max_steps:
+            raise ExperimentError(
+                f"coverage not reached after {max_steps} steps "
+                f"({sampler.api.query_cost}/{node_count} nodes)"
+            )
+        sampler.step()
+        steps += 1
+    return steps

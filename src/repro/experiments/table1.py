@@ -1,0 +1,54 @@
+"""Table I: dataset statistics (#nodes, #edges, 90% effective diameter)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.datasets.registry import PAPER_TABLE1, table1_rows
+from repro.graph.metrics import GraphStats
+from repro.utils.rng import RngLike
+from repro.utils.tables import format_table
+
+
+@dataclasses.dataclass
+class Table1Result:
+    """Measured Table I rows, with the paper's originals for reference."""
+
+    rows: List[GraphStats]
+
+    def __str__(self) -> str:
+        headers = [
+            "dataset",
+            "nodes",
+            "edges",
+            "diam90",
+            "avg_deg",
+            "clustering",
+            "paper_nodes",
+            "paper_edges",
+            "paper_diam90",
+        ]
+        body = []
+        for row in self.rows:
+            paper = PAPER_TABLE1.get(row.name, {})
+            body.append(
+                (
+                    *row.as_row(),
+                    paper.get("nodes", "-"),
+                    paper.get("edges", "-"),
+                    paper.get("diameter90", "-"),
+                )
+            )
+        return format_table(headers, body, title="Table I — dataset statistics")
+
+
+def run_table1(seed: RngLike = 0, scale: float = 1.0) -> Table1Result:
+    """Compute the Table I statistics for every dataset stand-in.
+
+    Args:
+        seed: Randomness for the stand-in generators (``None`` keeps each
+            builder's default).
+        scale: Stand-in size multiplier.
+    """
+    return Table1Result(rows=table1_rows(seed=seed, scale=scale))

@@ -1,0 +1,61 @@
+"""Synthetic graph generators.
+
+Covers every topology the paper uses or depends on:
+
+* the **barbell** running example (two K11 cliques joined by one edge —
+  22 nodes, 111 edges, conductance 1/56 ≈ 0.018);
+* the **latent space model** of Sarkar–Chakrabarti–Moore, used for the
+  paper's theoretical analysis (Theorem 6) and Figure 10;
+* classic models (complete, cycle, path, star, grid, Erdős–Rényi,
+  Watts–Strogatz, Barabási–Albert) used by tests and ablations;
+* community-structured models (planted partition, relaxed caveman,
+  Chung–Lu) from which the OSN dataset stand-ins are built.
+"""
+
+from repro.generators.barbell import barbell_graph, paper_barbell
+from repro.generators.classic import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.generators.communities import (
+    chung_lu_graph,
+    planted_partition_graph,
+    power_law_degrees,
+    relaxed_caveman_graph,
+)
+from repro.generators.latent_space import (
+    LatentSpaceSample,
+    latent_space_graph,
+    removable_distance_threshold,
+    removable_edge_probability,
+    theorem6_conductance_bound,
+)
+from repro.generators.forest_fire import forest_fire_graph
+from repro.generators.preferential import barabasi_albert_graph, watts_strogatz_graph
+
+__all__ = [
+    "barbell_graph",
+    "paper_barbell",
+    "complete_graph",
+    "cycle_graph",
+    "erdos_renyi_graph",
+    "grid_graph",
+    "path_graph",
+    "star_graph",
+    "chung_lu_graph",
+    "planted_partition_graph",
+    "power_law_degrees",
+    "relaxed_caveman_graph",
+    "LatentSpaceSample",
+    "latent_space_graph",
+    "removable_distance_threshold",
+    "removable_edge_probability",
+    "theorem6_conductance_bound",
+    "barabasi_albert_graph",
+    "forest_fire_graph",
+    "watts_strogatz_graph",
+]

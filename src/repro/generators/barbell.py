@@ -1,0 +1,55 @@
+"""The paper's running example: the barbell graph.
+
+Two dense cliques joined by a single "bridge" edge.  The paper's instance
+(Fig. 1) uses two complete graphs K11 joined by one edge: 22 nodes and
+2 × C(11,2) + 1 = 111 edges, with conductance Φ(G) = 1/(C(11,2)+1) = 1/56 ≈
+0.018 — the unique minimum cut separates the two cliques and the single
+bridge is the only cross-cutting edge.
+"""
+
+from __future__ import annotations
+
+from repro.graph.adjacency import Graph
+
+
+def barbell_graph(clique_size: int, bridge_edges: int = 1) -> Graph:
+    """Two K_{clique_size} cliques joined by ``bridge_edges`` disjoint edges.
+
+    Nodes ``0 .. clique_size-1`` form the left clique, ``clique_size ..
+    2*clique_size-1`` the right.  Bridge ``i`` connects node ``i`` (left) to
+    node ``clique_size + i`` (right).
+
+    Args:
+        clique_size: Nodes per clique; at least 2.
+        bridge_edges: Number of disjoint cross-clique edges; at least 1 and
+            at most ``clique_size``.
+
+    Returns:
+        The barbell graph.
+
+    Raises:
+        ValueError: On out-of-range parameters.
+    """
+    if clique_size < 2:
+        raise ValueError("clique_size must be at least 2")
+    if not 1 <= bridge_edges <= clique_size:
+        raise ValueError("bridge_edges must be in [1, clique_size]")
+    g = Graph()
+    for base in (0, clique_size):
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                g.add_edge(base + i, base + j)
+    for i in range(bridge_edges):
+        g.add_edge(i, clique_size + i)
+    return g
+
+
+def paper_barbell() -> Graph:
+    """The exact running-example graph: 22 nodes, 111 edges (two K11 + 1).
+
+    Node 0 and node 11 are the bridge endpoints (the paper's ``u`` and
+    ``v``).
+    """
+    g = barbell_graph(11, 1)
+    assert g.num_nodes == 22 and g.num_edges == 111
+    return g

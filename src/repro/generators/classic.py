@@ -1,0 +1,91 @@
+"""Classic deterministic and random graph models."""
+
+from __future__ import annotations
+
+from repro.graph.adjacency import Graph
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def complete_graph(n: int) -> Graph:
+    """K_n. ``n`` must be non-negative."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    g = Graph()
+    g.add_nodes(range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            g.add_edge(i, j)
+    return g
+
+
+def cycle_graph(n: int) -> Graph:
+    """C_n (n >= 3)."""
+    if n < 3:
+        raise ValueError("cycle needs at least 3 nodes")
+    g = Graph()
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n)
+    return g
+
+
+def path_graph(n: int) -> Graph:
+    """P_n (n >= 1)."""
+    if n < 1:
+        raise ValueError("path needs at least 1 node")
+    g = Graph()
+    g.add_node(0)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def star_graph(leaves: int) -> Graph:
+    """Star with a hub (node 0) and ``leaves`` spokes."""
+    if leaves < 1:
+        raise ValueError("star needs at least 1 leaf")
+    g = Graph()
+    for i in range(1, leaves + 1):
+        g.add_edge(0, i)
+    return g
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """2D lattice with 4-neighborhoods; nodes are ``(r, c)`` tuples."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid needs positive dimensions")
+    g = Graph()
+    g.add_nodes((r, c) for r in range(rows) for c in range(cols))
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                g.add_edge((r, c), (r + 1, c))
+            if c + 1 < cols:
+                g.add_edge((r, c), (r, c + 1))
+    return g
+
+
+def erdos_renyi_graph(n: int, p: float, seed: RngLike = None) -> Graph:
+    """G(n, p) random graph.
+
+    Args:
+        n: Number of nodes.
+        p: Independent edge probability in [0, 1].
+        seed: Randomness.
+
+    Raises:
+        ValueError: On out-of-range parameters.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if not 0 <= p <= 1:
+        raise ValueError("p must be in [0, 1]")
+    rng = ensure_rng(seed)
+    g = Graph()
+    g.add_nodes(range(n))
+    if p == 0:
+        return g
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                g.add_edge(i, j)
+    return g

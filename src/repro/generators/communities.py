@@ -1,0 +1,209 @@
+"""Community-structured random graphs.
+
+Real OSNs have many dense communities with sparse cross-community edges —
+exactly the "many non-cross-cutting, few cross-cutting edges" regime MTO
+exploits (paper §I-C).  The dataset stand-ins are built from the models
+here: heavy-tailed degrees inside communities (Chung–Lu) plus sparse
+inter-community wiring (planted partition).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.graph.adjacency import Graph
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def power_law_degrees(
+    n: int,
+    exponent: float = 2.5,
+    min_degree: int = 2,
+    max_degree: int | None = None,
+    seed: RngLike = None,
+) -> List[int]:
+    """Draw ``n`` degrees from a discrete power law P(k) ∝ k^-exponent.
+
+    Args:
+        n: Number of samples.
+        exponent: Power-law exponent (> 1); OSN degree tails are typically
+            2–3.
+        min_degree: Smallest degree (>= 1).
+        max_degree: Largest degree; defaults to ``max(min_degree, n - 1)``
+            (a simple graph cannot exceed degree n-1).
+        seed: Randomness.
+
+    Returns:
+        Degree list (unsorted).
+
+    Raises:
+        ValueError: On invalid parameters.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if exponent <= 1:
+        raise ValueError("exponent must exceed 1")
+    if min_degree < 1:
+        raise ValueError("min_degree must be at least 1")
+    cap = max_degree if max_degree is not None else max(min_degree, n - 1)
+    if cap < min_degree:
+        raise ValueError("max_degree must be >= min_degree")
+    rng = ensure_rng(seed)
+    # Inverse-CDF sampling on the continuous Pareto, rounded down and capped:
+    # standard practice and accurate for tail exponents in (2, 3).
+    degrees = []
+    for _ in range(n):
+        u = rng.random()
+        k = min_degree * (1.0 - u) ** (-1.0 / (exponent - 1.0))
+        degrees.append(min(int(k), cap))
+    return degrees
+
+
+def chung_lu_graph(expected_degrees: Sequence[float], seed: RngLike = None) -> Graph:
+    """Chung–Lu random graph with given expected degrees.
+
+    Edge ``{i, j}`` appears independently with probability
+    ``min(1, w_i * w_j / sum(w))``.  Uses the O(n + m) skip-sampling
+    construction (Miller & Hagberg 2011) so stand-ins of tens of thousands
+    of edges generate quickly.
+
+    Args:
+        expected_degrees: Weight ``w_i`` per node ``i`` (node ids are
+            ``0..n-1``).
+        seed: Randomness.
+
+    Returns:
+        The sampled graph (may be disconnected; callers usually take the
+        largest connected component).
+
+    Raises:
+        ValueError: If any weight is negative or all weights are zero.
+    """
+    weights = [float(w) for w in expected_degrees]
+    if any(w < 0 for w in weights):
+        raise ValueError("expected degrees must be non-negative")
+    n = len(weights)
+    g = Graph()
+    g.add_nodes(range(n))
+    total = sum(weights)
+    if n == 0:
+        return g
+    if total <= 0:
+        raise ValueError("at least one expected degree must be positive")
+    rng = ensure_rng(seed)
+    # Sort descending by weight; remap to original ids at insert time.
+    order = sorted(range(n), key=lambda i: weights[i], reverse=True)
+    w = [weights[i] for i in order]
+    for i in range(n - 1):
+        if w[i] <= 0:
+            break
+        factor = w[i] / total
+        p = min(1.0, w[i + 1] * factor)
+        j = i + 1
+        while j < n and p > 0:
+            if p < 1.0:
+                # Geometric skip over non-edges.
+                r = rng.random()
+                skip = int(math.log(r) / math.log(1.0 - p)) if r > 0 else 0
+                j += skip
+            if j >= n:
+                break
+            q = min(1.0, w[j] * factor)
+            # Conditional on the geometric skip landing here, the edge
+            # exists with probability q/p (Miller–Hagberg); when p == 1 no
+            # skip happened and this is simply "with probability q".
+            if rng.random() < q / p:
+                g.add_edge(order[i], order[j])
+            p = q
+            j += 1
+    return g
+
+
+def planted_partition_graph(
+    communities: int,
+    community_size: int,
+    p_in: float,
+    p_out: float,
+    seed: RngLike = None,
+) -> Graph:
+    """Planted-partition (stochastic block) model with equal-size blocks.
+
+    Args:
+        communities: Number of blocks (>= 1).
+        community_size: Nodes per block (>= 2).
+        p_in: Within-block edge probability.
+        p_out: Cross-block edge probability (typically ≪ ``p_in``).
+        seed: Randomness.
+
+    Returns:
+        Graph on ``communities * community_size`` nodes; node ``i`` belongs
+        to block ``i // community_size``.
+
+    Raises:
+        ValueError: On invalid parameters.
+    """
+    if communities < 1 or community_size < 2:
+        raise ValueError("need at least 1 community of size >= 2")
+    for name, p in (("p_in", p_in), ("p_out", p_out)):
+        if not 0 <= p <= 1:
+            raise ValueError(f"{name} must be in [0, 1]")
+    rng = ensure_rng(seed)
+    n = communities * community_size
+    g = Graph()
+    g.add_nodes(range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            same = (i // community_size) == (j // community_size)
+            if rng.random() < (p_in if same else p_out):
+                g.add_edge(i, j)
+    return g
+
+
+def relaxed_caveman_graph(
+    cliques: int,
+    clique_size: int,
+    rewire_prob: float,
+    seed: RngLike = None,
+) -> Graph:
+    """Relaxed caveman model: ring of cliques with random rewiring.
+
+    Start from ``cliques`` disjoint K_{clique_size} cliques; each
+    intra-clique edge is rewired to a uniform random node elsewhere with
+    probability ``rewire_prob``, producing sparse cross-community links —
+    a low-conductance topology that is a stress test for random-walk
+    samplers.
+
+    Args:
+        cliques: Number of cliques (>= 2).
+        clique_size: Nodes per clique (>= 2).
+        rewire_prob: Per-edge rewiring probability in [0, 1].
+        seed: Randomness.
+
+    Raises:
+        ValueError: On invalid parameters.
+    """
+    if cliques < 2 or clique_size < 2:
+        raise ValueError("need at least 2 cliques of size >= 2")
+    if not 0 <= rewire_prob <= 1:
+        raise ValueError("rewire_prob must be in [0, 1]")
+    rng = ensure_rng(seed)
+    n = cliques * clique_size
+    g = Graph()
+    g.add_nodes(range(n))
+    for c in range(cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                g.add_edge(base + i, base + j)
+    for c in range(cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                u, v = base + i, base + j
+                if g.has_edge(u, v) and rng.random() < rewire_prob:
+                    target = rng.randrange(n)
+                    if target != u and not g.has_edge(u, target):
+                        g.remove_edge(u, v)
+                        g.add_edge(u, target)
+    return g

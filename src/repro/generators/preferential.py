@@ -1,0 +1,90 @@
+"""Small-world and preferential-attachment models.
+
+Used by ablation benchmarks and tests as alternative OSN-like topologies:
+Watts–Strogatz supplies high clustering with short paths, Barabási–Albert
+supplies heavy-tailed degree distributions.
+"""
+
+from __future__ import annotations
+
+from repro.graph.adjacency import Graph
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def watts_strogatz_graph(n: int, k: int, p: float, seed: RngLike = None) -> Graph:
+    """Watts–Strogatz ring rewiring model.
+
+    Start from a ring where every node connects to its ``k`` nearest
+    neighbors (k/2 each side), then rewire each edge's far endpoint with
+    probability ``p`` (avoiding self-loops and duplicates).
+
+    Args:
+        n: Number of nodes (> k).
+        k: Even base degree, at least 2.
+        p: Rewiring probability in [0, 1].
+        seed: Randomness.
+
+    Raises:
+        ValueError: On invalid parameters.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ValueError("k must be even and >= 2")
+    if n <= k:
+        raise ValueError("n must exceed k")
+    if not 0 <= p <= 1:
+        raise ValueError("p must be in [0, 1]")
+    rng = ensure_rng(seed)
+    g = Graph()
+    g.add_nodes(range(n))
+    for i in range(n):
+        for offset in range(1, k // 2 + 1):
+            g.add_edge(i, (i + offset) % n)
+    if p == 0:
+        return g
+    for i in range(n):
+        for offset in range(1, k // 2 + 1):
+            j = (i + offset) % n
+            if rng.random() < p and g.has_edge(i, j):
+                candidates = [x for x in range(n) if x != i and not g.has_edge(i, x)]
+                if not candidates:
+                    continue
+                new_j = rng.choice(candidates)
+                g.remove_edge(i, j)
+                g.add_edge(i, new_j)
+    return g
+
+
+def barabasi_albert_graph(n: int, m: int, seed: RngLike = None) -> Graph:
+    """Barabási–Albert preferential attachment.
+
+    Start from a star on ``m + 1`` nodes; each subsequent node attaches to
+    ``m`` distinct existing nodes chosen proportionally to degree (by
+    sampling from the repeated-endpoint list, the standard O(m) trick).
+
+    Args:
+        n: Total number of nodes (> m).
+        m: Edges added per new node, at least 1.
+        seed: Randomness.
+
+    Raises:
+        ValueError: On invalid parameters.
+    """
+    if m < 1:
+        raise ValueError("m must be at least 1")
+    if n <= m:
+        raise ValueError("n must exceed m")
+    rng = ensure_rng(seed)
+    g = Graph()
+    # Degree-proportional sampling pool: every edge contributes both ends.
+    pool: list = []
+    for i in range(1, m + 1):
+        g.add_edge(0, i)
+        pool.extend((0, i))
+    for new in range(m + 1, n):
+        targets: set = set()
+        while len(targets) < m:
+            targets.add(rng.choice(pool))
+        for t in targets:
+            g.add_edge(new, t)
+            pool.extend((new, t))
+    return g

@@ -1,0 +1,62 @@
+"""Graph substrate: adjacency storage, directed graphs, traversal, metrics, IO.
+
+This subpackage is a from-scratch implementation of everything the paper
+needs from a graph library: an undirected simple graph with O(1) degree and
+neighborhood access (the object a simulated social network serves queries
+from), a directed graph with the mutual-edge undirected conversion used for
+Epinions/Slashdot, BFS-based traversal utilities, the topology statistics of
+Table I (node/edge counts, 90% effective diameter), and edge-list / JSON
+serialization.
+"""
+
+from repro.graph.adjacency import Graph, normalize_edge
+from repro.graph.digraph import DiGraph, mutual_undirected
+from repro.graph.io import (
+    read_edge_list,
+    read_graph_json,
+    write_edge_list,
+    write_graph_json,
+)
+from repro.graph.metrics import (
+    GraphStats,
+    average_clustering,
+    average_degree,
+    degree_histogram,
+    effective_diameter,
+    graph_stats,
+    local_clustering,
+)
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_order,
+    connected_components,
+    dfs_order,
+    is_connected,
+    largest_connected_component,
+    shortest_path,
+)
+
+__all__ = [
+    "Graph",
+    "normalize_edge",
+    "DiGraph",
+    "mutual_undirected",
+    "read_edge_list",
+    "write_edge_list",
+    "read_graph_json",
+    "write_graph_json",
+    "GraphStats",
+    "average_clustering",
+    "average_degree",
+    "degree_histogram",
+    "effective_diameter",
+    "graph_stats",
+    "local_clustering",
+    "bfs_distances",
+    "bfs_order",
+    "connected_components",
+    "dfs_order",
+    "is_connected",
+    "largest_connected_component",
+    "shortest_path",
+]

@@ -1,0 +1,281 @@
+"""Undirected simple graph stored as adjacency sets.
+
+This is the substrate every other subsystem builds on: the simulated social
+network serves ``q(v)`` queries from it, the walk engines traverse it, and
+the spectral/conductance analyses read it.  Design points:
+
+* **Simple and undirected.**  The paper studies undirected relationships
+  (its footnote 1) and the overlay construction needs simple-graph
+  semantics, so self-loops are rejected and parallel edges collapse.
+* **Adjacency sets.**  Neighborhood membership tests (``v in N(u)``) are the
+  hot operation in the MTO removal criterion (common-neighbor counting);
+  sets give O(min(ku, kv)) intersection.
+* **Hashable node ids.**  Nodes can be ints, strings, or any hashable;
+  generators use dense ints, dataset stand-ins use opaque user ids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Set, Tuple
+
+from repro.errors import NodeNotFoundError, SelfLoopError
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+def normalize_edge(u: Node, v: Node) -> Edge:
+    """Return a canonical (order-independent) key for the edge ``{u, v}``.
+
+    Node ids of mixed types are ordered by ``(type name, repr)`` so the
+    canonical form is deterministic even when ids are not mutually
+    comparable.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        ku = (type(u).__name__, repr(u))
+        kv = (type(v).__name__, repr(v))
+        return (u, v) if ku <= kv else (v, u)
+
+
+class Graph:
+    """Mutable undirected simple graph.
+
+    Example:
+        >>> g = Graph()
+        >>> g.add_edge(1, 2)
+        >>> g.add_edge(2, 3)
+        >>> sorted(g.neighbors(2))
+        [1, 3]
+        >>> g.degree(2)
+        2
+    """
+
+    def __init__(self, edges: Iterable[Edge] | None = None) -> None:
+        """Create a graph, optionally from an iterable of ``(u, v)`` pairs."""
+        self._adj: Dict[Node, Set[Node]] = {}
+        self._num_edges = 0
+        if edges is not None:
+            self.add_edges(edges)
+
+    # ------------------------------------------------------------------
+    # construction / mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Insert an isolated node (no-op if it already exists)."""
+        self._adj.setdefault(node, set())
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        """Insert many nodes."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, u: Node, v: Node) -> bool:
+        """Insert the undirected edge ``{u, v}``, creating endpoints as needed.
+
+        Returns:
+            ``True`` if the edge was new, ``False`` if it already existed.
+
+        Raises:
+            SelfLoopError: If ``u == v``.
+        """
+        if u == v:
+            raise SelfLoopError(u)
+        nu = self._adj.setdefault(u, set())
+        if v in nu:
+            return False
+        nu.add(v)
+        self._adj.setdefault(v, set()).add(u)
+        self._num_edges += 1
+        return True
+
+    def add_edges(self, edges: Iterable[Edge]) -> int:
+        """Insert many edges; returns how many were new."""
+        added = 0
+        for u, v in edges:
+            if self.add_edge(u, v):
+                added += 1
+        return added
+
+    def remove_edge(self, u: Node, v: Node) -> bool:
+        """Delete the edge ``{u, v}`` if present.
+
+        Returns:
+            ``True`` if an edge was removed, ``False`` if it did not exist.
+
+        Raises:
+            NodeNotFoundError: If either endpoint is not a node.
+        """
+        if u not in self._adj:
+            raise NodeNotFoundError(u)
+        if v not in self._adj:
+            raise NodeNotFoundError(v)
+        if v not in self._adj[u]:
+            return False
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+        return True
+
+    def remove_node(self, node: Node) -> None:
+        """Delete a node and all incident edges.
+
+        Raises:
+            NodeNotFoundError: If the node does not exist.
+        """
+        if node not in self._adj:
+            raise NodeNotFoundError(node)
+        for nbr in list(self._adj[node]):
+            self.remove_edge(node, nbr)
+        del self._adj[node]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``|V|``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return self._num_edges
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all node ids."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over each undirected edge exactly once (canonical order)."""
+        seen: Set[Edge] = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                key = normalize_edge(u, v)
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+    def has_node(self, node: Node) -> bool:
+        """Whether ``node`` is in the graph."""
+        return node in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Whether the undirected edge ``{u, v}`` is present."""
+        nbrs = self._adj.get(u)
+        return nbrs is not None and v in nbrs
+
+    def neighbors(self, node: Node) -> FrozenSet[Node]:
+        """The neighborhood ``N(node)`` as an immutable set.
+
+        This is exactly what the paper's ``q(v)`` interface returns for a
+        user, which is why it is frozen: callers must not mutate the graph
+        through a query result.
+
+        Raises:
+            NodeNotFoundError: If the node does not exist.
+        """
+        try:
+            return frozenset(self._adj[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def neighbors_view(self, node: Node) -> Set[Node]:
+        """Internal mutable neighborhood set — for hot loops only.
+
+        Callers must not mutate the returned set; use :meth:`add_edge` /
+        :meth:`remove_edge`.  Exposed because copying neighborhoods on every
+        random-walk step dominates runtime on large graphs.
+
+        Raises:
+            NodeNotFoundError: If the node does not exist.
+        """
+        try:
+            return self._adj[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def degree(self, node: Node) -> int:
+        """``k_node = |N(node)|``.
+
+        Raises:
+            NodeNotFoundError: If the node does not exist.
+        """
+        try:
+            return len(self._adj[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def common_neighbors(self, u: Node, v: Node) -> FrozenSet[Node]:
+        """``N(u) ∩ N(v)`` — the quantity at the heart of Theorem 3.
+
+        Raises:
+            NodeNotFoundError: If either node does not exist.
+        """
+        if u not in self._adj:
+            raise NodeNotFoundError(u)
+        if v not in self._adj:
+            raise NodeNotFoundError(v)
+        a, b = self._adj[u], self._adj[v]
+        if len(b) < len(a):
+            a, b = b, a
+        return frozenset(x for x in a if x in b)
+
+    def total_degree(self) -> int:
+        """Sum of all degrees, i.e. ``2|E|`` — the SRW stationary normalizer."""
+        return 2 * self._num_edges
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        """Deep copy of the topology (node ids are shared, sets are not)."""
+        g = Graph()
+        g._adj = {node: set(nbrs) for node, nbrs in self._adj.items()}
+        g._num_edges = self._num_edges
+        return g
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """Induced subgraph on ``nodes`` (missing ids are ignored)."""
+        keep = {n for n in nodes if n in self._adj}
+        g = Graph()
+        for n in keep:
+            g.add_node(n)
+        for n in keep:
+            for m in self._adj[n]:
+                if m in keep:
+                    g.add_edge(n, m)
+        return g
+
+    def relabeled(self) -> tuple["Graph", Dict[Node, int]]:
+        """Copy with nodes relabeled to ``0..n-1`` in iteration order.
+
+        Returns:
+            ``(graph, mapping)`` where ``mapping[original_id] = new_int_id``.
+            Used by the spectral analysis to index matrices.
+        """
+        mapping = {node: i for i, node in enumerate(self._adj)}
+        g = Graph()
+        for node in self._adj:
+            g.add_node(mapping[node])
+        for u, v in self.edges():
+            g.add_edge(mapping[u], mapping[v])
+        return g, mapping
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Graph(n={self.num_nodes}, m={self.num_edges})"

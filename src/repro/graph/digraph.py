@@ -1,0 +1,169 @@
+"""Directed graph substrate and the paper's mutual-edge conversion.
+
+The SNAP snapshots the paper evaluates on (Epinions, Slashdot) are directed.
+Section V-A.2 converts them to undirected graphs *by keeping only edges that
+appear in both directions*, which guarantees any walk on the undirected
+graph is realizable on the directed original.  :func:`mutual_undirected`
+implements exactly that conversion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Set, Tuple
+
+from repro.errors import NodeNotFoundError, SelfLoopError
+from repro.graph.adjacency import Graph
+
+Node = Hashable
+Arc = Tuple[Node, Node]
+
+
+class DiGraph:
+    """Mutable directed simple graph (no self-loops, no parallel arcs)."""
+
+    def __init__(self, arcs: Iterable[Arc] | None = None) -> None:
+        """Create a digraph, optionally from an iterable of ``(u, v)`` arcs."""
+        self._succ: Dict[Node, Set[Node]] = {}
+        self._pred: Dict[Node, Set[Node]] = {}
+        self._num_arcs = 0
+        if arcs is not None:
+            self.add_arcs(arcs)
+
+    def add_node(self, node: Node) -> None:
+        """Insert an isolated node (no-op if present)."""
+        self._succ.setdefault(node, set())
+        self._pred.setdefault(node, set())
+
+    def add_arc(self, u: Node, v: Node) -> bool:
+        """Insert the arc ``u -> v``.
+
+        Returns:
+            ``True`` if the arc was new.
+
+        Raises:
+            SelfLoopError: If ``u == v``.
+        """
+        if u == v:
+            raise SelfLoopError(u)
+        self.add_node(u)
+        self.add_node(v)
+        if v in self._succ[u]:
+            return False
+        self._succ[u].add(v)
+        self._pred[v].add(u)
+        self._num_arcs += 1
+        return True
+
+    def add_arcs(self, arcs: Iterable[Arc]) -> int:
+        """Insert many arcs; returns how many were new."""
+        added = 0
+        for u, v in arcs:
+            if self.add_arc(u, v):
+                added += 1
+        return added
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._succ)
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of directed arcs."""
+        return self._num_arcs
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over node ids."""
+        return iter(self._succ)
+
+    def arcs(self) -> Iterator[Arc]:
+        """Iterate over all arcs as ``(u, v)``."""
+        for u, vs in self._succ.items():
+            for v in vs:
+                yield (u, v)
+
+    def has_arc(self, u: Node, v: Node) -> bool:
+        """Whether arc ``u -> v`` exists."""
+        s = self._succ.get(u)
+        return s is not None and v in s
+
+    def successors(self, node: Node) -> FrozenSet[Node]:
+        """Out-neighborhood of ``node``.
+
+        Raises:
+            NodeNotFoundError: If the node does not exist.
+        """
+        try:
+            return frozenset(self._succ[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def predecessors(self, node: Node) -> FrozenSet[Node]:
+        """In-neighborhood of ``node``.
+
+        Raises:
+            NodeNotFoundError: If the node does not exist.
+        """
+        try:
+            return frozenset(self._pred[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def out_degree(self, node: Node) -> int:
+        """Number of successors."""
+        try:
+            return len(self._succ[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def in_degree(self, node: Node) -> int:
+        """Number of predecessors."""
+        try:
+            return len(self._pred[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+
+def mutual_undirected(digraph: DiGraph, keep_isolated: bool = False) -> Graph:
+    """Undirected graph of *mutual* arcs, per the paper's §V-A.2 conversion.
+
+    An undirected edge ``{u, v}`` is kept iff both ``u -> v`` and ``v -> u``
+    exist in ``digraph``.  This guarantees a random walk on the result can be
+    replayed on the directed original (the sampler verifies the inverse arc
+    before committing to a hop).
+
+    Args:
+        digraph: Source directed graph.
+        keep_isolated: If ``True``, nodes with no mutual edges are kept as
+            isolated nodes; the paper drops them (walks cannot reach them),
+            which is the default.
+
+    Returns:
+        The mutual-edge undirected graph.
+    """
+    g = Graph()
+    if keep_isolated:
+        for node in digraph.nodes():
+            g.add_node(node)
+    for u, v in digraph.arcs():
+        if u < v if _comparable(u, v) else repr(u) < repr(v):
+            if digraph.has_arc(v, u):
+                g.add_edge(u, v)
+    return g
+
+
+def _comparable(u: Node, v: Node) -> bool:
+    try:
+        u < v  # type: ignore[operator]
+        return True
+    except TypeError:
+        return False

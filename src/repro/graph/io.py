@@ -1,0 +1,123 @@
+"""Graph serialization: SNAP-style edge lists and a JSON document form.
+
+The paper's local datasets come from the SNAP collection, whose native
+format is a whitespace-separated edge list with ``#`` comments.  We read and
+write that format (both directed and undirected), so real SNAP snapshots can
+be dropped in for the synthetic stand-ins when available.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import GraphFormatError
+from repro.graph.adjacency import Graph
+from repro.graph.digraph import DiGraph
+
+PathLike = Union[str, Path]
+
+
+def read_edge_list(
+    path: PathLike,
+    directed: bool = False,
+    int_ids: bool = True,
+) -> Union[Graph, DiGraph]:
+    """Parse a SNAP-style edge list.
+
+    Lines starting with ``#`` are comments; other lines hold two whitespace
+    separated node ids.  Self-loops are skipped (SNAP snapshots contain a
+    few); duplicate edges collapse.
+
+    Args:
+        path: File to read.
+        directed: Parse as a :class:`DiGraph` instead of a :class:`Graph`.
+        int_ids: Convert ids to ``int`` (SNAP convention); otherwise keep
+            them as strings.
+
+    Returns:
+        The parsed graph.
+
+    Raises:
+        GraphFormatError: On malformed lines or non-integer ids when
+            ``int_ids`` is set.
+    """
+    graph: Union[Graph, DiGraph] = DiGraph() if directed else Graph()
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(f"{path}:{lineno}: expected two ids, got {line!r}")
+            raw_u, raw_v = parts[0], parts[1]
+            if int_ids:
+                try:
+                    u: object = int(raw_u)
+                    v: object = int(raw_v)
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: non-integer node id in {line!r}"
+                    ) from exc
+            else:
+                u, v = raw_u, raw_v
+            if u == v:
+                continue  # skip self-loops, matching SNAP cleaning
+            if directed:
+                graph.add_arc(u, v)  # type: ignore[union-attr]
+            else:
+                graph.add_edge(u, v)  # type: ignore[union-attr]
+    return graph
+
+
+def write_edge_list(graph: Union[Graph, DiGraph], path: PathLike) -> None:
+    """Write a graph as a SNAP-style edge list (one pair per line)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        if isinstance(graph, DiGraph):
+            fh.write(f"# Directed graph: {graph.num_nodes} nodes, {graph.num_arcs} arcs\n")
+            for u, v in graph.arcs():
+                fh.write(f"{u}\t{v}\n")
+        else:
+            fh.write(
+                f"# Undirected graph: {graph.num_nodes} nodes, {graph.num_edges} edges\n"
+            )
+            for u, v in graph.edges():
+                fh.write(f"{u}\t{v}\n")
+
+
+def write_graph_json(graph: Graph, path: PathLike) -> None:
+    """Write an undirected graph as ``{"nodes": [...], "edges": [[u,v],...]}``.
+
+    The JSON form round-trips isolated nodes, which edge lists cannot.
+    """
+    payload = {
+        "nodes": list(graph.nodes()),
+        "edges": [[u, v] for u, v in graph.edges()],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+
+
+def read_graph_json(path: PathLike) -> Graph:
+    """Read a graph written by :func:`write_graph_json`.
+
+    Raises:
+        GraphFormatError: If the document is missing keys or malformed.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise GraphFormatError(f"{path}: invalid JSON") from exc
+    if not isinstance(payload, dict) or "nodes" not in payload or "edges" not in payload:
+        raise GraphFormatError(f"{path}: expected object with 'nodes' and 'edges'")
+    graph = Graph()
+    for node in payload["nodes"]:
+        graph.add_node(node)
+    for pair in payload["edges"]:
+        if not isinstance(pair, list) or len(pair) != 2:
+            raise GraphFormatError(f"{path}: malformed edge entry {pair!r}")
+        graph.add_edge(pair[0], pair[1])
+    return graph

@@ -1,0 +1,148 @@
+"""Breadth/depth-first traversal, components, and shortest paths.
+
+These routines operate on the undirected :class:`~repro.graph.adjacency.Graph`
+substrate and back the Table I statistics (effective diameter needs BFS
+distance profiles) as well as dataset sanity checks (walk-based samplers
+require a connected graph).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterator, List, Optional, Set
+
+from repro.errors import NodeNotFoundError
+from repro.graph.adjacency import Graph
+
+Node = Hashable
+
+
+def bfs_distances(graph: Graph, source: Node) -> Dict[Node, int]:
+    """Hop distances from ``source`` to every reachable node.
+
+    Args:
+        graph: Graph to traverse.
+        source: Start node.
+
+    Returns:
+        Mapping ``node -> distance`` including ``source -> 0``; unreachable
+        nodes are absent.
+
+    Raises:
+        NodeNotFoundError: If ``source`` is not in the graph.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    dist: Dict[Node, int] = {source: 0}
+    queue: deque[Node] = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        for v in graph.neighbors_view(u):
+            if v not in dist:
+                dist[v] = du + 1
+                queue.append(v)
+    return dist
+
+
+def bfs_order(graph: Graph, source: Node) -> Iterator[Node]:
+    """Yield nodes in BFS discovery order from ``source``.
+
+    Raises:
+        NodeNotFoundError: If ``source`` is not in the graph.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    seen: Set[Node] = {source}
+    queue: deque[Node] = deque([source])
+    while queue:
+        u = queue.popleft()
+        yield u
+        for v in graph.neighbors_view(u):
+            if v not in seen:
+                seen.add(v)
+                queue.append(v)
+
+
+def dfs_order(graph: Graph, source: Node) -> Iterator[Node]:
+    """Yield nodes in iterative DFS pre-order from ``source``.
+
+    Raises:
+        NodeNotFoundError: If ``source`` is not in the graph.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    seen: Set[Node] = set()
+    stack: List[Node] = [source]
+    while stack:
+        u = stack.pop()
+        if u in seen:
+            continue
+        seen.add(u)
+        yield u
+        # Reverse-sorted-by-insertion push so discovery order is stable for
+        # a given graph construction order.
+        stack.extend(v for v in graph.neighbors_view(u) if v not in seen)
+
+
+def shortest_path(graph: Graph, source: Node, target: Node) -> Optional[List[Node]]:
+    """One shortest path from ``source`` to ``target`` (BFS), or ``None``.
+
+    Raises:
+        NodeNotFoundError: If either endpoint is not in the graph.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    if target not in graph:
+        raise NodeNotFoundError(target)
+    if source == target:
+        return [source]
+    parent: Dict[Node, Node] = {source: source}
+    queue: deque[Node] = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors_view(u):
+            if v not in parent:
+                parent[v] = u
+                if v == target:
+                    path = [v]
+                    while path[-1] != source:
+                        path.append(parent[path[-1]])
+                    path.reverse()
+                    return path
+                queue.append(v)
+    return None
+
+
+def connected_components(graph: Graph) -> List[Set[Node]]:
+    """All connected components, largest first."""
+    seen: Set[Node] = set()
+    components: List[Set[Node]] = []
+    for node in graph.nodes():
+        if node in seen:
+            continue
+        comp = set(bfs_order(graph, node))
+        seen |= comp
+        components.append(comp)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (empty graphs count as connected)."""
+    if graph.num_nodes == 0:
+        return True
+    first = next(iter(graph.nodes()))
+    return len(bfs_distances(graph, first)) == graph.num_nodes
+
+
+def largest_connected_component(graph: Graph) -> Graph:
+    """Induced subgraph on the largest connected component.
+
+    Dataset stand-ins restrict to the LCC because every walk-based sampler
+    in the paper can only see the component containing its seed node.
+    """
+    if graph.num_nodes == 0:
+        return Graph()
+    components = connected_components(graph)
+    return graph.subgraph(components[0])

@@ -1,0 +1,32 @@
+"""Restrictive web-interface simulation.
+
+Models the paper's access model (§II-A): the only way to read the social
+network is the individual-user query ``q(v)``, which returns user ``v``'s
+profile attributes and the list of users connected to ``v``.  Providers
+additionally rate-limit requests (the paper cites Facebook's 600 queries /
+600 s and Twitter's 350 / hour); :mod:`repro.interface.ratelimit` implements
+both fixed-window and token-bucket policies on simulated time, and
+:class:`repro.interface.api.RestrictedSocialAPI` wires the graph, the rate
+limiter, the local cache, and the unique-query cost accounting together.
+"""
+
+from repro.interface.api import QueryResponse, RestrictedSocialAPI
+from repro.interface.cache import NeighborhoodCache
+from repro.interface.ratelimit import (
+    FixedWindowRateLimiter,
+    RateLimiter,
+    SimulatedClock,
+    TokenBucketRateLimiter,
+    UnlimitedRateLimiter,
+)
+
+__all__ = [
+    "QueryResponse",
+    "RestrictedSocialAPI",
+    "NeighborhoodCache",
+    "FixedWindowRateLimiter",
+    "RateLimiter",
+    "SimulatedClock",
+    "TokenBucketRateLimiter",
+    "UnlimitedRateLimiter",
+]

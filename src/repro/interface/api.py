@@ -1,0 +1,234 @@
+"""The restrictive individual-user-query interface ``q(v)``.
+
+This is the only door between a sampler and the social network, exactly as
+in §II-A of the paper::
+
+    q(v): SELECT * FROM D WHERE USER-ID = v
+
+The response carries user ``v``'s profile attributes and the full neighbor
+list.  The interface:
+
+* bills one unit of query cost the *first* time each user is queried
+  (repeats are served from the sampler-side cache for free — §II-B);
+* enforces an optional provider rate limit on simulated time, advancing the
+  clock automatically when throttled (so experiments measure query cost,
+  not wall-clock);
+* enforces an optional hard unique-query budget, letting experiments stop a
+  sampler after a fixed spend;
+* never exposes anything global: no node list, no edge count, no topology.
+
+Samplers receive a :class:`RestrictedSocialAPI` and must work through it;
+nothing in :mod:`repro.walks` or :mod:`repro.core` touches the underlying
+graph directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Hashable, Optional
+
+from repro.datastore.documents import DocumentStore
+from repro.datastore.querylog import QueryLog
+from repro.errors import (
+    PrivateUserError,
+    QueryBudgetExhaustedError,
+    UnknownUserError,
+)
+from repro.graph.adjacency import Graph
+from repro.interface.cache import NeighborhoodCache
+from repro.interface.ratelimit import RateLimiter, SimulatedClock, UnlimitedRateLimiter
+
+Node = Hashable
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryResponse:
+    """What ``q(v)`` returns: the user, their attributes, their neighbors.
+
+    Attributes:
+        user: The queried user id.
+        neighbors: All users connected to ``user`` (the full list, as OSN
+            interfaces return it).
+        attributes: Profile fields (e.g. ``self_description``); empty dict
+            when the network has no attribute payload.
+        from_cache: Whether this response was served locally (not billed).
+    """
+
+    user: Node
+    neighbors: FrozenSet[Node]
+    attributes: Dict
+    from_cache: bool
+
+    @property
+    def degree(self) -> int:
+        """``k_user`` — the size of the returned neighbor list."""
+        return len(self.neighbors)
+
+
+class RestrictedSocialAPI:
+    """Simulated provider interface over an in-memory social graph.
+
+    Args:
+        graph: The hidden social-network topology.  The API holds a
+            reference (not a copy); experiments must not mutate it while
+            sampling.
+        profiles: Optional document store of user attributes served with
+            each query response.
+        rate_limiter: Provider throttle; default unlimited.
+        clock: Simulated clock; a fresh one is created if omitted.
+        seconds_per_query: How much simulated time one billed query takes
+            (used with rate limiting; irrelevant otherwise).
+        query_budget: Optional hard cap on billed queries, after which
+            :class:`QueryBudgetExhaustedError` is raised.
+        inaccessible: Optional set of user ids whose profiles are private:
+            they appear in neighbor lists but ``q(v)`` on them raises
+            :class:`PrivateUserError`.  The refusal itself is billed once
+            (real interfaces charge the request) and cached thereafter —
+            the failure-injection surface for sampler robustness tests.
+
+    Example:
+        >>> g = Graph([(1, 2), (2, 3)])
+        >>> api = RestrictedSocialAPI(g)
+        >>> sorted(api.query(2).neighbors)
+        [1, 3]
+        >>> api.query_cost
+        1
+        >>> _ = api.query(2)  # cache hit, still 1 billed query
+        >>> api.query_cost
+        1
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        profiles: Optional[DocumentStore] = None,
+        rate_limiter: Optional[RateLimiter] = None,
+        clock: Optional[SimulatedClock] = None,
+        seconds_per_query: float = 1.0,
+        query_budget: Optional[int] = None,
+        inaccessible: Optional[frozenset] = None,
+    ) -> None:
+        if seconds_per_query < 0:
+            raise ValueError("seconds_per_query must be non-negative")
+        if query_budget is not None and query_budget <= 0:
+            raise ValueError("query_budget must be positive or None")
+        self._inaccessible = frozenset(inaccessible) if inaccessible else frozenset()
+        self._known_private: set = set()
+        self._graph = graph
+        self._profiles = profiles
+        self._limiter = rate_limiter if rate_limiter is not None else UnlimitedRateLimiter()
+        self._clock = clock if clock is not None else SimulatedClock()
+        self._seconds_per_query = seconds_per_query
+        self._budget = query_budget
+        self._cache = NeighborhoodCache()
+        self._log = QueryLog()
+
+    # ------------------------------------------------------------------
+    # the one public query
+    # ------------------------------------------------------------------
+    def query(self, user: Node) -> QueryResponse:
+        """Issue ``q(user)``.
+
+        Served from the local cache when possible (free); otherwise billed
+        against the rate limit and budget.
+
+        Raises:
+            UnknownUserError: If ``user`` is not in the network.
+            PrivateUserError: If ``user`` refuses queries (billed once,
+                cached thereafter).
+            QueryBudgetExhaustedError: If the configured budget is spent.
+        """
+        if user in self._known_private:
+            raise PrivateUserError(user)  # cached refusal — free
+        cached = self._cache.neighbors(user)
+        if cached is not None:
+            attrs = self._cache.attributes(user) or {}
+            self._log.record(user, timestamp=self._clock.now())
+            return QueryResponse(user=user, neighbors=cached, attributes=attrs, from_cache=True)
+
+        if not self._graph.has_node(user):
+            raise UnknownUserError(user)
+        if self._budget is not None and self._log.unique_queries >= self._budget:
+            raise QueryBudgetExhaustedError(self._budget)
+        if user in self._inaccessible:
+            # The refusal consumes one billed request, then is cached.
+            self._log.record(user, timestamp=self._clock.now())
+            self._known_private.add(user)
+            raise PrivateUserError(user)
+
+        # Billed path: wait out the rate limiter on simulated time.
+        wait = self._limiter.try_acquire(self._clock.now())
+        while wait > 0:
+            self._clock.advance(wait)
+            wait = self._limiter.try_acquire(self._clock.now())
+        self._clock.advance(self._seconds_per_query)
+
+        neighbors = self._graph.neighbors(user)
+        attrs: Dict = {}
+        if self._profiles is not None:
+            doc = self._profiles.get_or_none(user)
+            if doc is not None:
+                attrs = doc
+        self._cache.put(user, neighbors, attrs)
+        self._log.record(user, timestamp=self._clock.now())
+        return QueryResponse(user=user, neighbors=neighbors, attributes=attrs, from_cache=False)
+
+    # ------------------------------------------------------------------
+    # cost accounting and cached knowledge (all local, never billed)
+    # ------------------------------------------------------------------
+    @property
+    def query_cost(self) -> int:
+        """Billed (unique) queries so far — the paper's cost measure."""
+        return self._log.unique_queries
+
+    @property
+    def total_queries(self) -> int:
+        """All logical queries including cache hits."""
+        return self._log.total_queries
+
+    @property
+    def log(self) -> QueryLog:
+        """The underlying query log (read-only use)."""
+        return self._log
+
+    @property
+    def clock(self) -> SimulatedClock:
+        """The simulated clock (shared with the rate limiter)."""
+        return self._clock
+
+    @property
+    def cache(self) -> NeighborhoodCache:
+        """The sampler-side cache; exposes free degree lookups (Thm 5)."""
+        return self._cache
+
+    def cached_degree(self, user: Node) -> Optional[int]:
+        """Degree of ``user`` if previously queried, else ``None``. Free."""
+        return self._cache.degree(user)
+
+    def remaining_budget(self) -> Optional[int]:
+        """Billed queries left under the budget, or ``None`` if unbounded."""
+        if self._budget is None:
+            return None
+        return max(0, self._budget - self._log.unique_queries)
+
+    # ------------------------------------------------------------------
+    # provider-published metadata (the paper allows the total user count,
+    # which providers publish for advertising — footnote 4)
+    # ------------------------------------------------------------------
+    def published_user_count(self) -> int:
+        """Total user count, as providers publish it (footnote 4).
+
+        This is the one piece of global information the paper permits; it
+        enables COUNT/SUM estimation on top of AVG.
+        """
+        return self._graph.num_nodes
+
+    def is_known_private(self, user: Node) -> bool:
+        """Whether a previous query already revealed ``user`` as private."""
+        return user in self._known_private
+
+    def reset_accounting(self) -> None:
+        """Clear the cache, log, and budget spend (fresh experiment run)."""
+        self._cache.clear()
+        self._log = QueryLog()
+        self._known_private = set()

@@ -1,0 +1,69 @@
+"""Sampler-side neighborhood cache backed by the key-value store.
+
+Every billed ``q(v)`` response — the neighbor list plus profile attributes
+— is written here, so repeat queries are served locally for free (the
+paper's query-cost model) and the MTO extension criterion (Theorem 5) can
+look up *previously seen degrees* without spending queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Optional
+
+from repro.datastore.kv import KeyValueStore
+
+Node = Hashable
+
+
+class NeighborhoodCache:
+    """Caches neighbor sets and profile attributes per queried user."""
+
+    def __init__(self, store: Optional[KeyValueStore] = None) -> None:
+        """Wrap ``store`` (a fresh unbounded store by default)."""
+        self._store = store if store is not None else KeyValueStore()
+
+    @staticmethod
+    def _nbr_key(user: Node) -> tuple:
+        return ("nbrs", user)
+
+    @staticmethod
+    def _attr_key(user: Node) -> tuple:
+        return ("attrs", user)
+
+    def put(self, user: Node, neighbors: FrozenSet[Node], attributes: Dict) -> None:
+        """Store one query response."""
+        self._store.set(self._nbr_key(user), frozenset(neighbors))
+        self._store.set(self._attr_key(user), dict(attributes))
+
+    def has(self, user: Node) -> bool:
+        """Whether ``user``'s response is cached."""
+        return self._store.contains(self._nbr_key(user))
+
+    def neighbors(self, user: Node) -> Optional[FrozenSet[Node]]:
+        """Cached neighbor set, or ``None`` if not cached."""
+        value = self._store.get(self._nbr_key(user))
+        return value if isinstance(value, frozenset) else None
+
+    def attributes(self, user: Node) -> Optional[Dict]:
+        """Cached attribute dict (copy), or ``None`` if not cached."""
+        value = self._store.get(self._attr_key(user))
+        return dict(value) if isinstance(value, dict) else None
+
+    def degree(self, user: Node) -> Optional[int]:
+        """Cached degree of ``user`` — the Theorem 5 side channel.
+
+        Returns ``None`` when the user has never been queried; never issues
+        a query itself.
+        """
+        nbrs = self.neighbors(user)
+        return len(nbrs) if nbrs is not None else None
+
+    def known_users(self) -> frozenset:
+        """All user ids with cached responses."""
+        return frozenset(
+            key[1] for key in self._store.keys() if isinstance(key, tuple) and key[0] == "nbrs"
+        )
+
+    def clear(self) -> None:
+        """Drop everything."""
+        self._store.clear()

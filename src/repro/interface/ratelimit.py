@@ -1,0 +1,156 @@
+"""Provider rate-limit policies on simulated time.
+
+Real OSN providers throttle third parties; the paper cites Facebook
+(600 open-graph queries per 600 seconds) and Twitter (350 requests per
+hour).  Samplers in this library run on *simulated* time — a
+:class:`SimulatedClock` that only advances when the interface charges a
+query — so experiments are deterministic and instantaneous while still
+exercising the limit logic.
+
+Two standard policies are provided:
+
+* :class:`FixedWindowRateLimiter` — at most N admissions per aligned window
+  (Facebook/Twitter publish their limits in this form).
+* :class:`TokenBucketRateLimiter` — burst-tolerant refill policy.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import RateLimitExceededError
+
+
+class SimulatedClock:
+    """Monotonic logical clock shared by interface components."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward.
+
+        Raises:
+            ValueError: If ``seconds`` is negative.
+        """
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += seconds
+
+    def __call__(self) -> float:
+        return self._now
+
+
+class RateLimiter(abc.ABC):
+    """Admission-control policy for billed interface queries."""
+
+    @abc.abstractmethod
+    def try_acquire(self, now: float) -> float:
+        """Attempt to admit one request at simulated time ``now``.
+
+        Returns:
+            0.0 if admitted; otherwise the number of seconds until the
+            request *would* be admitted (the caller may sleep-and-retry on
+            simulated time).
+        """
+
+    def acquire_or_raise(self, now: float) -> None:
+        """Admit one request or raise.
+
+        Raises:
+            RateLimitExceededError: With ``retry_after`` set, if throttled.
+        """
+        wait = self.try_acquire(now)
+        if wait > 0:
+            raise RateLimitExceededError(wait)
+
+
+class UnlimitedRateLimiter(RateLimiter):
+    """No-op policy (the default for pure-algorithm experiments)."""
+
+    def try_acquire(self, now: float) -> float:
+        return 0.0
+
+
+class FixedWindowRateLimiter(RateLimiter):
+    """At most ``limit`` admissions per aligned window of ``window`` seconds.
+
+    Facebook's published policy is ``FixedWindowRateLimiter(600, 600.0)``;
+    Twitter's is ``FixedWindowRateLimiter(350, 3600.0)``.
+
+    Args:
+        limit: Admissions allowed per window.
+        window: Window length in seconds.
+
+    Raises:
+        ValueError: For non-positive parameters.
+    """
+
+    def __init__(self, limit: int, window: float) -> None:
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.limit = limit
+        self.window = window
+        self._window_start = 0.0
+        self._count = 0
+
+    def try_acquire(self, now: float) -> float:
+        window_index = int(now // self.window)
+        window_start = window_index * self.window
+        if window_start != self._window_start:
+            self._window_start = window_start
+            self._count = 0
+        if self._count < self.limit:
+            self._count += 1
+            return 0.0
+        return (self._window_start + self.window) - now
+
+    @classmethod
+    def facebook(cls) -> "FixedWindowRateLimiter":
+        """The Facebook policy the paper cites: 600 queries / 600 s."""
+        return cls(600, 600.0)
+
+    @classmethod
+    def twitter(cls) -> "FixedWindowRateLimiter":
+        """The Twitter policy the paper cites: 350 requests / hour."""
+        return cls(350, 3600.0)
+
+
+class TokenBucketRateLimiter(RateLimiter):
+    """Token bucket: ``rate`` tokens/second refill up to ``burst`` capacity.
+
+    Args:
+        rate: Sustained admissions per second.
+        burst: Bucket capacity (maximum burst size); defaults to ``rate``.
+
+    Raises:
+        ValueError: For non-positive parameters.
+    """
+
+    def __init__(self, rate: float, burst: float | None = None) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+        self.burst = float(burst) if burst is not None else float(rate)
+        if self.burst <= 0:
+            raise ValueError("burst must be positive")
+        self._tokens = self.burst
+        self._last = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+            self._last = now
+
+    def try_acquire(self, now: float) -> float:
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return (1.0 - self._tokens) / self.rate

@@ -1,0 +1,24 @@
+"""Shared utilities: seeded randomness, summary statistics, ASCII tables."""
+
+from repro.utils.rng import RngLike, ensure_rng, spawn_rng
+from repro.utils.stats import (
+    OnlineMeanVar,
+    confidence_interval,
+    mean,
+    relative_error,
+    variance,
+)
+from repro.utils.tables import format_series, format_table
+
+__all__ = [
+    "RngLike",
+    "ensure_rng",
+    "spawn_rng",
+    "OnlineMeanVar",
+    "confidence_interval",
+    "mean",
+    "relative_error",
+    "variance",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,117 @@
+"""Small statistics helpers used across estimators and experiment drivers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean of a non-empty sequence.
+
+    Raises:
+        ValueError: If ``values`` is empty.
+    """
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def variance(values: Sequence[float], ddof: int = 1) -> float:
+    """Sample variance with ``ddof`` delta degrees of freedom.
+
+    Args:
+        values: Observations; must contain more than ``ddof`` entries.
+        ddof: 1 for the unbiased sample variance (default), 0 for the
+            population variance.
+
+    Raises:
+        ValueError: If there are not enough observations.
+    """
+    n = len(values)
+    if n <= ddof:
+        raise ValueError(f"need more than {ddof} values, got {n}")
+    m = mean(values)
+    return sum((x - m) ** 2 for x in values) / (n - ddof)
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth| / |truth|``.
+
+    The measure used throughout the paper's Figure 7 and Figure 11
+    experiments.
+
+    Raises:
+        ValueError: If ``truth`` is zero (relative error undefined).
+    """
+    if truth == 0:
+        raise ValueError("relative error undefined for zero ground truth")
+    return abs(estimate - truth) / abs(truth)
+
+
+def confidence_interval(
+    values: Sequence[float], z: float = 1.96
+) -> tuple[float, float]:
+    """Normal-approximation confidence interval for the mean.
+
+    Args:
+        values: At least two observations.
+        z: Critical value (1.96 for 95%).
+
+    Returns:
+        ``(low, high)`` bounds around the sample mean.
+    """
+    m = mean(values)
+    if len(values) < 2:
+        return (m, m)
+    half = z * math.sqrt(variance(values) / len(values))
+    return (m - half, m + half)
+
+
+class OnlineMeanVar:
+    """Welford's online mean/variance accumulator.
+
+    Used by the Geweke diagnostic and the walk-trace bookkeeping where
+    re-scanning the full trace on every update would be quadratic.
+    """
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, x: float) -> None:
+        """Fold one observation into the accumulator."""
+        self._n += 1
+        delta = x - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (x - self._mean)
+
+    def extend(self, xs: Iterable[float]) -> None:
+        """Fold many observations into the accumulator."""
+        for x in xs:
+            self.add(x)
+
+    @property
+    def count(self) -> int:
+        """Number of observations folded so far."""
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        """Current mean (0.0 when empty)."""
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Current population variance (0.0 with fewer than two points)."""
+        if self._n < 2:
+            return 0.0
+        return self._m2 / self._n
+
+    @property
+    def sample_variance(self) -> float:
+        """Current sample (ddof=1) variance (0.0 with fewer than two points)."""
+        if self._n < 2:
+            return 0.0
+        return self._m2 / (self._n - 1)

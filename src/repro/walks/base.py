@@ -1,0 +1,281 @@
+"""Base machinery shared by all walk-based samplers.
+
+A sampler advances node-by-node through the restrictive interface,
+maintains the attribute trace the convergence monitor watches (degree by
+default), and collects weighted samples once converged.  Each collected
+:class:`WalkSample` records the billed query cost at collection time, so
+experiment drivers can compute estimate-vs-cost curves from a single run
+(the paper's Figures 7 and 11).
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Callable, Hashable, List, Optional, Sequence
+
+from repro.convergence.monitors import ConvergenceMonitor
+from repro.errors import DeadEndError, PrivateUserError
+from repro.interface.api import QueryResponse, RestrictedSocialAPI
+from repro.utils.rng import RngLike, ensure_rng
+
+Node = Hashable
+
+
+@dataclasses.dataclass(frozen=True)
+class WalkSample:
+    """One collected sample.
+
+    Attributes:
+        node: Sampled user id.
+        weight: Importance weight ∝ target(π) / walk-stationary(τ) at the
+            node; multiplying by it re-targets estimates to the uniform
+            distribution over users.
+        query_cost: Billed queries spent up to (and including) collecting
+            this sample.
+        step: Walk step index at collection.
+    """
+
+    node: Node
+    weight: float
+    query_cost: int
+    step: int
+
+
+@dataclasses.dataclass
+class SamplingRun:
+    """Everything one sampling run produced.
+
+    Attributes:
+        samples: Collected samples, in collection order.
+        burn_in_steps: Steps spent before the monitor declared convergence.
+        total_steps: All walk steps taken.
+        query_cost: Final billed query count.
+        converged: Whether the monitor fired (``False`` if the step budget
+            ran out first).
+    """
+
+    samples: List[WalkSample]
+    burn_in_steps: int
+    total_steps: int
+    query_cost: int
+    converged: bool
+
+    def nodes(self) -> List[Node]:
+        """Sampled node ids, in order."""
+        return [s.node for s in self.samples]
+
+
+class RandomWalkSampler(abc.ABC):
+    """Abstract walk-based sampler over a restrictive interface.
+
+    Subclasses implement one :meth:`step` (and the stationary-correcting
+    :meth:`weight`); burn-in, convergence monitoring, thinning, and sample
+    collection are shared here.
+
+    Args:
+        api: The restrictive interface to sample through.
+        start: Start node.  The interface exposes no node list, so callers
+            must supply one (the paper starts "from an arbitrary user").
+        seed: Randomness.
+        trace_attribute: Per-node value watched by convergence monitors;
+            defaults to the node's (original-graph) degree, the attribute
+            the paper uses because it exists in every network.
+    """
+
+    def __init__(
+        self,
+        api: RestrictedSocialAPI,
+        start: Node,
+        seed: RngLike = None,
+        trace_attribute: Optional[Callable[[QueryResponse], float]] = None,
+    ) -> None:
+        self._api = api
+        self._rng = ensure_rng(seed)
+        self._trace_fn = trace_attribute if trace_attribute is not None else (
+            lambda resp: float(resp.degree)
+        )
+        self._current = start
+        self._steps = 0
+        self._trace: List[float] = []
+        resp = self._api.query(start)  # materialize the start node
+        self._record_trace(resp)
+
+    # ------------------------------------------------------------------
+    # subclass contract
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def step(self) -> Node:
+        """Advance one step; returns the new current node.
+
+        Implementations must go through ``self._api`` for all topology
+        knowledge and call ``self._advance(node, response)`` to commit the
+        move.
+        """
+
+    @abc.abstractmethod
+    def weight(self, node: Node) -> float:
+        """Importance weight for ``node`` targeting the uniform distribution.
+
+        Must only use knowledge already paid for (the node was just
+        visited).
+        """
+
+    # ------------------------------------------------------------------
+    # shared walk state
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Node:
+        """The node the walk is at."""
+        return self._current
+
+    @property
+    def steps(self) -> int:
+        """Number of committed steps."""
+        return self._steps
+
+    @property
+    def trace(self) -> Sequence[float]:
+        """Attribute trace (one entry per visited node incl. the start)."""
+        return tuple(self._trace)
+
+    @property
+    def api(self) -> RestrictedSocialAPI:
+        """The interface this sampler spends queries through."""
+        return self._api
+
+    @property
+    def query_cost(self) -> int:
+        """Billed queries so far."""
+        return self._api.query_cost
+
+    @property
+    def rng(self):
+        """The sampler's random stream (shared with subclasses)."""
+        return self._rng
+
+    def _record_trace(self, response: QueryResponse) -> None:
+        self._trace.append(self._trace_fn(response))
+
+    def _advance(self, node: Node, response: QueryResponse) -> None:
+        """Commit a move to ``node`` whose query returned ``response``."""
+        self._current = node
+        self._steps += 1
+        self._record_trace(response)
+
+    def _stay(self) -> None:
+        """Commit a self-transition (MH rejection / lazy hold)."""
+        resp = self._api.query(self._current)  # cached — free
+        self._steps += 1
+        self._record_trace(resp)
+
+    # ------------------------------------------------------------------
+    # sampling loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        num_samples: int,
+        monitor: Optional[ConvergenceMonitor] = None,
+        thinning: int = 1,
+        check_every: int = 25,
+        max_steps: int = 1_000_000,
+    ) -> SamplingRun:
+        """Burn in until ``monitor`` fires, then collect weighted samples.
+
+        Args:
+            num_samples: Samples to collect after convergence.
+            monitor: Convergence monitor; ``None`` skips burn-in entirely
+                (samples start immediately — useful for cost-curve
+                experiments where the estimate itself reveals convergence).
+            thinning: Keep every ``thinning``-th post-burn-in node.
+            check_every: Base interval between monitor evaluations; the
+                interval grows geometrically with the trace (a check scans
+                the whole trace, so fixed-interval checking would cost
+                O(steps²) on slow-mixing chains).
+            max_steps: Hard step budget; the run returns unconverged
+                rather than looping forever.
+
+        Returns:
+            The :class:`SamplingRun`.
+
+        Raises:
+            ValueError: On non-positive ``num_samples``/``thinning``.
+            WalkError: If the walk dead-ends.
+        """
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        if thinning <= 0:
+            raise ValueError("thinning must be positive")
+        converged = monitor is None
+        burn_in_steps = 0
+        if monitor is not None:
+            monitor.reset()
+            next_check = self._steps
+            while self._steps < max_steps:
+                if self._steps >= next_check:
+                    if monitor.converged(self._trace):
+                        converged = True
+                        break
+                    # Geometric back-off keeps total check cost O(n log n).
+                    next_check = self._steps + max(check_every, self._steps // 5)
+                self.step()
+            burn_in_steps = self._steps
+
+        samples: List[WalkSample] = []
+        since_last = thinning  # collect the first post-burn-in node
+        while len(samples) < num_samples and self._steps < max_steps + num_samples * thinning:
+            if since_last >= thinning:
+                samples.append(
+                    WalkSample(
+                        node=self._current,
+                        weight=self.weight(self._current),
+                        query_cost=self._api.query_cost,
+                        step=self._steps,
+                    )
+                )
+                since_last = 0
+                if len(samples) >= num_samples:
+                    break
+            self.step()
+            since_last += 1
+        return SamplingRun(
+            samples=samples,
+            burn_in_steps=burn_in_steps,
+            total_steps=self._steps,
+            query_cost=self._api.query_cost,
+            converged=converged,
+        )
+
+    # ------------------------------------------------------------------
+    # helpers for subclasses
+    # ------------------------------------------------------------------
+    def _pick_uniform(self, items: Sequence[Node]) -> Node:
+        if not items:
+            raise DeadEndError(self._current)
+        return items[self._rng.randrange(len(items))]
+
+    def _query(self, node: Node) -> QueryResponse:
+        return self._api.query(node)
+
+    def _draw_accessible(
+        self, neighbors: Sequence[Node]
+    ) -> Optional[tuple]:
+        """Uniformly draw an accessible neighbor and its query response.
+
+        Private users (our failure-injection surface — real crawls hit
+        them constantly) are redrawn around; the first refusal per user is
+        billed by the interface, later ones are cached.
+
+        Returns:
+            ``(node, response)`` or ``None`` when every neighbor is
+            private.
+        """
+        pool = [v for v in neighbors if not self._api.is_known_private(v)]
+        while pool:
+            idx = self._rng.randrange(len(pool))
+            candidate = pool.pop(idx)
+            try:
+                return candidate, self._api.query(candidate)
+            except PrivateUserError:
+                continue
+        return None

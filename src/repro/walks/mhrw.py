@@ -1,0 +1,45 @@
+"""Metropolis–Hastings random walk with a uniform target distribution.
+
+The standard OSN-sampling MHRW (Gjoka et al.): from ``u``, propose a
+uniform neighbor ``v`` and accept with probability ``min(1, k_u / k_v)``;
+otherwise stay.  The stationary distribution is uniform, so samples need no
+re-weighting — but evaluating the acceptance ratio requires querying the
+*proposal*, so rejected proposals still cost queries, which is exactly why
+the paper finds MHRW 1.5–8× slower than SRW in query cost.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.walks.base import RandomWalkSampler
+
+Node = Hashable
+
+
+class MetropolisHastingsWalk(RandomWalkSampler):
+    """Uniform-target MH walk sampler."""
+
+    def step(self) -> Node:
+        """Propose a uniform accessible neighbor; accept ``min(1, k_u/k_v)``.
+
+        A private proposal counts as a rejection (the walk holds), which
+        preserves the uniform stationary distribution on the accessible
+        subgraph.
+        """
+        resp = self._query(self.current)
+        drawn = self._draw_accessible(sorted(resp.neighbors))
+        if drawn is None:
+            self._stay()
+            return self.current
+        proposal, prop_resp = drawn
+        accept = min(1.0, resp.degree / prop_resp.degree)
+        if self._rng.random() < accept:
+            self._advance(proposal, prop_resp)
+        else:
+            self._stay()
+        return self.current
+
+    def weight(self, node: Node) -> float:
+        """1.0 — the MH stationary distribution is already uniform."""
+        return 1.0

@@ -1,0 +1,177 @@
+"""Parallel random walks over one shared interface.
+
+Section VI of the paper observes that MTO "can be applied to each parallel
+random walk straightforwardly, since it is a parameter-free and online
+algorithm".  This module makes the observation concrete:
+
+* all walkers share one :class:`RestrictedSocialAPI`, so one walker's
+  billed query is every walker's cache hit — exactly how a third party
+  would run several chains from a single crawler budget;
+* MTO walkers can additionally share one *overlay*: a rewiring discovered
+  by any chain benefits all of them (pass a common
+  :class:`~repro.core.overlay.OverlayGraph` via ``MTOSampler(overlay=…)``);
+* convergence is judged across chains with the Gelman–Rubin R̂
+  diagnostic, which single-chain monitors cannot do.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Hashable, List, Optional, Sequence
+
+from repro.convergence.gelman_rubin import GelmanRubinDiagnostic
+from repro.errors import WalkError
+from repro.walks.base import RandomWalkSampler, SamplingRun, WalkSample
+
+Node = Hashable
+
+
+@dataclasses.dataclass
+class ParallelRun:
+    """Result of a parallel sampling run.
+
+    Attributes:
+        merged: All chains' samples interleaved in collection order.
+        per_chain: The individual chains' runs.
+        r_hat_at_convergence: The R̂ value when burn-in ended (``None``
+            when no monitor was used).
+        query_cost: Final billed cost of the shared interface.
+    """
+
+    merged: List[WalkSample]
+    per_chain: List[SamplingRun]
+    r_hat_at_convergence: Optional[float]
+    query_cost: int
+
+
+class ParallelWalkers:
+    """Drive several samplers over one shared interface in lock-step.
+
+    Args:
+        samplers: Two or more walkers constructed over the *same*
+            ``RestrictedSocialAPI`` (checked), typically from different
+            start nodes.
+
+    Raises:
+        WalkError: With fewer than two samplers or mismatched interfaces.
+
+    Example:
+        >>> from repro.datasets import load
+        >>> from repro.walks import SimpleRandomWalk
+        >>> net = load("epinions_like", seed=0, scale=0.1)
+        >>> api = net.interface()
+        >>> walkers = ParallelWalkers([
+        ...     SimpleRandomWalk(api, start=net.seed_node(i), seed=i)
+        ...     for i in range(3)
+        ... ])
+        >>> result = walkers.run(num_samples=30)
+        >>> len(result.merged)
+        30
+    """
+
+    def __init__(self, samplers: Sequence[RandomWalkSampler]) -> None:
+        if len(samplers) < 2:
+            raise WalkError("parallel walking needs at least two samplers")
+        api = samplers[0].api
+        if any(s.api is not api for s in samplers):
+            raise WalkError("all samplers must share one interface")
+        self._samplers = list(samplers)
+        self._api = api
+
+    @property
+    def chains(self) -> Sequence[RandomWalkSampler]:
+        """The managed samplers."""
+        return tuple(self._samplers)
+
+    @property
+    def query_cost(self) -> int:
+        """Billed queries of the shared interface."""
+        return self._api.query_cost
+
+    def step_all(self) -> List[Node]:
+        """Advance every chain by one step; returns the new positions."""
+        return [s.step() for s in self._samplers]
+
+    def run(
+        self,
+        num_samples: int,
+        monitor: Optional[GelmanRubinDiagnostic] = None,
+        thinning: int = 1,
+        check_every: int = 25,
+        max_steps: int = 250_000,
+    ) -> ParallelRun:
+        """Burn in until R̂ converges, then collect samples round-robin.
+
+        Args:
+            num_samples: Total samples across all chains.
+            monitor: Multi-chain diagnostic; ``None`` skips burn-in.
+            thinning: Per-chain spacing between collected samples.
+            check_every: Lock-step rounds between R̂ evaluations (grows
+                geometrically like the single-chain driver).
+            max_steps: Per-chain step budget for the burn-in phase.
+
+        Raises:
+            ValueError: On non-positive ``num_samples``/``thinning``.
+        """
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        if thinning <= 0:
+            raise ValueError("thinning must be positive")
+        r_hat: Optional[float] = None
+        if monitor is not None:
+            next_check = 0
+            rounds = 0
+            while rounds < max_steps:
+                if rounds >= next_check:
+                    traces = [s.trace for s in self._samplers]
+                    if monitor.converged(traces):
+                        r_hat = monitor.r_hat(traces)
+                        break
+                    next_check = rounds + max(check_every, rounds // 5)
+                self.step_all()
+                rounds += 1
+            if r_hat is None:
+                r_hat = monitor.r_hat([s.trace for s in self._samplers])
+
+        merged: List[WalkSample] = []
+        per_chain_samples: List[List[WalkSample]] = [[] for _ in self._samplers]
+        since = [thinning] * len(self._samplers)
+        while len(merged) < num_samples:
+            for i, sampler in enumerate(self._samplers):
+                if len(merged) >= num_samples:
+                    break
+                if since[i] >= thinning:
+                    sample = WalkSample(
+                        node=sampler.current,
+                        weight=sampler.weight(sampler.current),
+                        query_cost=self._api.query_cost,
+                        step=sampler.steps,
+                    )
+                    merged.append(sample)
+                    per_chain_samples[i].append(sample)
+                    since[i] = 0
+                else:
+                    sampler.step()
+                    since[i] += 1
+            else:
+                # All chains sampled this round without filling the quota:
+                # advance everyone once so the next round makes progress.
+                for i, sampler in enumerate(self._samplers):
+                    sampler.step()
+                    since[i] += 1
+        per_chain = [
+            SamplingRun(
+                samples=per_chain_samples[i],
+                burn_in_steps=0,
+                total_steps=self._samplers[i].steps,
+                query_cost=self._api.query_cost,
+                converged=monitor is None or (r_hat is not None and r_hat <= monitor.threshold),
+            )
+            for i in range(len(self._samplers))
+        ]
+        return ParallelRun(
+            merged=merged,
+            per_chain=per_chain,
+            r_hat_at_convergence=r_hat,
+            query_cost=self._api.query_cost,
+        )

@@ -1,0 +1,54 @@
+"""Simple random walk — the paper's baseline sampler (Definition 1).
+
+From the current node ``v``, hop to a uniformly random neighbor.  The
+stationary distribution is ``π(v) = k_v / 2|E|``, so uniform-target
+importance weights are ``1 / k_v``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.walks.base import RandomWalkSampler
+
+Node = Hashable
+
+
+class SimpleRandomWalk(RandomWalkSampler):
+    """SRW sampler: one query per step, degree-proportional stationary.
+
+    Example:
+        >>> from repro.graph import Graph
+        >>> from repro.interface import RestrictedSocialAPI
+        >>> api = RestrictedSocialAPI(Graph([(0, 1), (1, 2), (2, 0)]))
+        >>> walk = SimpleRandomWalk(api, start=0, seed=1)
+        >>> walk.step() in (1, 2)
+        True
+    """
+
+    def step(self) -> Node:
+        """Hop to a uniform accessible neighbor of the current node.
+
+        Private neighbors are redrawn around; when the entire
+        neighborhood is private the walk holds in place (a
+        self-transition) rather than dying.
+        """
+        resp = self._query(self.current)
+        drawn = self._draw_accessible(sorted(resp.neighbors))
+        if drawn is None:
+            self._stay()
+            return self.current
+        nxt, nxt_resp = drawn
+        self._advance(nxt, nxt_resp)
+        return nxt
+
+    def weight(self, node: Node) -> float:
+        """``1 / k_node`` — corrects the degree-proportional stationary.
+
+        The degree is read from the local cache (the node was just
+        visited), so the weight is free.
+        """
+        degree = self._api.cached_degree(node)
+        if degree is None:  # pragma: no cover - visited nodes are cached
+            degree = self._query(node).degree
+        return 1.0 / degree

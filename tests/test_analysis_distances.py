@@ -1,0 +1,118 @@
+"""Unit tests for distribution distances and sampling-bias measures."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    empirical_distribution,
+    kl_divergence,
+    ks_distance,
+    sampling_bias_kl,
+    symmetric_kl,
+    total_variation,
+)
+from repro.generators import complete_graph
+from repro.graph import Graph
+
+
+class TestEmpirical:
+    def test_frequencies(self):
+        d = empirical_distribution(["a", "a", "b", "c"])
+        assert d == {"a": 0.5, "b": 0.25, "c": 0.25}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_distribution([])
+
+
+class TestKl:
+    def test_zero_for_identical(self):
+        p = {"a": 0.5, "b": 0.5}
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_value(self):
+        p = {"a": 0.75, "b": 0.25}
+        q = {"a": 0.5, "b": 0.5}
+        expected = 0.75 * math.log(1.5) + 0.25 * math.log(0.5)
+        assert kl_divergence(p, q) == pytest.approx(expected)
+
+    def test_normalizes_inputs(self):
+        p = {"a": 3, "b": 1}
+        q = {"a": 1, "b": 1}
+        assert kl_divergence(p, q) == pytest.approx(
+            0.75 * math.log(1.5) + 0.25 * math.log(0.5)
+        )
+
+    def test_missing_support_smoothed(self):
+        p = {"a": 0.5, "b": 0.5}
+        q = {"a": 1.0}
+        assert kl_divergence(p, q) < math.inf
+
+    def test_unsmoothed_infinite(self):
+        p = {"a": 0.5, "b": 0.5}
+        q = {"a": 1.0}
+        assert kl_divergence(p, q, smoothing=0) == math.inf
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            kl_divergence({}, {"a": 1})
+        with pytest.raises(ValueError):
+            kl_divergence({"a": -1, "b": 2}, {"a": 1})
+        with pytest.raises(ValueError):
+            kl_divergence({"a": 1}, {"a": 1}, smoothing=-1)
+
+    def test_symmetric_kl_is_sum(self):
+        p = {"a": 0.7, "b": 0.3}
+        q = {"a": 0.4, "b": 0.6}
+        assert symmetric_kl(p, q) == pytest.approx(
+            kl_divergence(p, q) + kl_divergence(q, p)
+        )
+        assert symmetric_kl(p, q) == pytest.approx(symmetric_kl(q, p))
+
+
+class TestTotalVariation:
+    def test_range(self):
+        p = {"a": 1.0}
+        q = {"b": 1.0}
+        assert total_variation(p, q) == pytest.approx(1.0)
+        assert total_variation(p, p) == pytest.approx(0.0)
+
+    def test_half_l1(self):
+        p = {"a": 0.6, "b": 0.4}
+        q = {"a": 0.4, "b": 0.6}
+        assert total_variation(p, q) == pytest.approx(0.2)
+
+
+class TestKs:
+    def test_identical_samples(self):
+        assert ks_distance([1, 2, 3], [1, 2, 3]) == pytest.approx(0.0)
+
+    def test_disjoint_samples(self):
+        assert ks_distance([0, 0], [10, 10]) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_distance([], [1])
+
+
+class TestSamplingBias:
+    def test_uniform_samples_on_regular_graph_unbiased(self):
+        g = complete_graph(4)  # regular: stationary is uniform
+        samples = [0, 1, 2, 3] * 100
+        assert sampling_bias_kl(samples, g) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_samples_biased(self):
+        g = complete_graph(4)
+        biased = [0] * 400
+        assert sampling_bias_kl(biased, g) > 1.0
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            sampling_bias_kl([], complete_graph(3))
+
+    def test_edgeless_graph_rejected(self):
+        g = Graph()
+        g.add_node(0)
+        with pytest.raises(ValueError):
+            sampling_bias_kl([0], g)

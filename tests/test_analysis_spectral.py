@@ -1,0 +1,197 @@
+"""Unit tests for spectral mixing-time analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    mixing_time_bound_paper,
+    mixing_time_exact,
+    mixing_time_from_slem,
+    relative_pointwise_distance,
+    slem,
+    spectral_gap,
+    srw_stationary,
+    transition_matrix,
+)
+from repro.analysis.spectral import mixing_lower_bound_factor, mixing_time_coefficient
+from repro.generators import complete_graph, cycle_graph, paper_barbell, path_graph
+from repro.graph import Graph
+
+
+class TestTransitionMatrix:
+    def test_rows_stochastic(self):
+        P, order = transition_matrix(paper_barbell())
+        assert P.shape == (22, 22)
+        np.testing.assert_allclose(P.sum(axis=1), 1.0)
+
+    def test_entries_match_definition(self):
+        g = Graph([(0, 1), (0, 2)])
+        P, order = transition_matrix(g)
+        idx = {v: i for i, v in enumerate(order)}
+        assert P[idx[0], idx[1]] == pytest.approx(0.5)
+        assert P[idx[1], idx[0]] == pytest.approx(1.0)
+        assert P[idx[1], idx[2]] == 0.0
+
+    def test_lazy_halves_and_adds_identity(self):
+        g = cycle_graph(4)
+        P, _ = transition_matrix(g)
+        L, _ = transition_matrix(g, lazy=True)
+        np.testing.assert_allclose(L, 0.5 * (np.eye(4) + P))
+
+    def test_isolated_node_rejected(self):
+        g = Graph([(0, 1)])
+        g.add_node(2)
+        with pytest.raises(ValueError):
+            transition_matrix(g)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            transition_matrix(Graph())
+
+
+class TestStationary:
+    def test_degree_proportional(self):
+        g = Graph([(0, 1), (0, 2)])  # star, hub degree 2
+        pi = srw_stationary(g)
+        assert pi[0] == pytest.approx(0.5)
+        assert pi[1] == pytest.approx(0.25)
+        assert sum(pi.values()) == pytest.approx(1.0)
+
+    def test_edgeless_rejected(self):
+        g = Graph()
+        g.add_node(1)
+        with pytest.raises(ValueError):
+            srw_stationary(g)
+
+    def test_is_left_eigenvector(self):
+        g = paper_barbell()
+        P, order = transition_matrix(g)
+        pi = srw_stationary(g)
+        vec = np.array([pi[v] for v in order])
+        np.testing.assert_allclose(vec @ P, vec, atol=1e-12)
+
+
+class TestSlem:
+    def test_complete_graph_slem(self):
+        # K_n SRW eigenvalues: 1 and -1/(n-1); SLEM = 1/(n-1).
+        g = complete_graph(5)
+        assert slem(g) == pytest.approx(0.25, abs=1e-9)
+
+    def test_cycle_periodicity_vs_lazy(self):
+        g = cycle_graph(4)  # bipartite: non-lazy SLEM is 1
+        assert slem(g) == pytest.approx(1.0, abs=1e-9)
+        assert slem(g, lazy=True) < 1.0
+
+    def test_barbell_slem_near_one(self):
+        assert slem(paper_barbell()) > 0.95  # bottleneck
+
+    def test_gap_complement(self):
+        g = complete_graph(4)
+        assert spectral_gap(g) == pytest.approx(1 - slem(g))
+
+    def test_single_node_rejected(self):
+        g = Graph([(0, 1)])
+        g.remove_node(1)
+        with pytest.raises(ValueError):
+            slem(g)
+
+
+class TestMixingTimeFromSlem:
+    def test_positive_and_finite_on_connected(self):
+        t = mixing_time_from_slem(paper_barbell())
+        assert 0 < t < math.inf
+
+    def test_larger_on_bottlenecked_graph(self):
+        fast = complete_graph(22)
+        slow = paper_barbell()
+        assert mixing_time_from_slem(slow) > mixing_time_from_slem(fast)
+
+    def test_infinite_when_disconnected(self):
+        g = Graph([(0, 1), (2, 3)])
+        assert mixing_time_from_slem(g) == math.inf
+
+
+class TestRelativePointwiseDistance:
+    def test_decreases_with_t(self):
+        g = complete_graph(6)
+        d1 = relative_pointwise_distance(g, 1)
+        d5 = relative_pointwise_distance(g, 5)
+        assert d5 < d1
+
+    def test_zero_steps_is_max_bias(self):
+        g = complete_graph(4)
+        assert relative_pointwise_distance(g, 0) > 1.0
+
+    def test_neighbors_only_not_larger(self):
+        g = paper_barbell()
+        full = relative_pointwise_distance(g, 10)
+        restricted = relative_pointwise_distance(g, 10, neighbors_only=True)
+        assert restricted <= full + 1e-12
+
+    def test_negative_t_rejected(self):
+        with pytest.raises(ValueError):
+            relative_pointwise_distance(complete_graph(3), -1)
+
+
+class TestMixingTimeExact:
+    def test_complete_graph_fast(self):
+        t = mixing_time_exact(complete_graph(8), epsilon=0.25)
+        assert t <= 5
+
+    def test_monotone_in_epsilon(self):
+        g = path_graph(8)
+        loose = mixing_time_exact(g, epsilon=0.5)
+        tight = mixing_time_exact(g, epsilon=0.05)
+        assert tight >= loose
+
+    def test_barbell_slower_than_complete(self):
+        tb = mixing_time_exact(paper_barbell(), epsilon=0.25)
+        tc = mixing_time_exact(complete_graph(22), epsilon=0.25)
+        assert tb > 10 * tc
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            mixing_time_exact(complete_graph(3), epsilon=0.0)
+
+    def test_delta_at_result_below_epsilon(self):
+        g = paper_barbell()
+        t = mixing_time_exact(g, epsilon=0.3)
+        assert relative_pointwise_distance(g, t, lazy=True) <= 0.3
+        if t > 1:
+            assert relative_pointwise_distance(g, t - 1, lazy=True) > 0.3
+
+
+class TestPaperBounds:
+    def test_paper_coefficient_barbell(self):
+        # §II-D: Φ=0.018 gives mixing time 14212.3·log(22.2/ε).
+        assert mixing_time_coefficient(0.018) == pytest.approx(14212.3, rel=1e-3)
+
+    def test_paper_coefficients_example(self):
+        # §II-D: Φ=0.010 → 46050.5, Φ=0.012 → 31979.1.
+        assert mixing_time_coefficient(0.010) == pytest.approx(46050.5, rel=1e-3)
+        assert mixing_time_coefficient(0.012) == pytest.approx(31979.1, rel=1e-3)
+
+    def test_bound_full_expression(self):
+        # Barbell: c = 2·111/10 = 22.2 (the paper's log(22.2/ε)).
+        t = mixing_time_bound_paper(0.018, num_edges=111, min_degree=10, epsilon=1.0)
+        assert t == pytest.approx(14212.3 * math.log10(22.2), rel=1e-3)
+
+    def test_bound_decreases_with_conductance(self):
+        t_low = mixing_time_bound_paper(0.018, 111, 10, epsilon=0.1)
+        t_high = mixing_time_bound_paper(0.053, 111, 10, epsilon=0.1)
+        assert t_high < t_low
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            mixing_time_coefficient(0.0)
+        with pytest.raises(ValueError):
+            mixing_time_coefficient(1.5)
+        with pytest.raises(ValueError):
+            mixing_time_bound_paper(0.5, 10, 1, epsilon=0.0)
+
+    def test_lower_bound_factor(self):
+        assert mixing_lower_bound_factor(0.018) == pytest.approx(0.964)
+        with pytest.raises(ValueError):
+            mixing_lower_bound_factor(-0.1)

@@ -1,0 +1,100 @@
+"""Unit tests for convergence monitors and the Geweke diagnostic."""
+
+import math
+import random
+
+import pytest
+
+from repro.convergence import (
+    CompositeMonitor,
+    FixedLengthMonitor,
+    GewekeDiagnostic,
+    NeverConvergedMonitor,
+)
+
+
+class TestFixedLength:
+    def test_converges_at_length(self):
+        m = FixedLengthMonitor(5)
+        assert not m.converged([1] * 4)
+        assert m.converged([1] * 5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FixedLengthMonitor(0)
+
+
+class TestNever:
+    def test_never(self):
+        m = NeverConvergedMonitor()
+        assert not m.converged([1] * 10_000)
+
+
+class TestComposite:
+    def test_all_must_agree(self):
+        both = CompositeMonitor(FixedLengthMonitor(5), FixedLengthMonitor(10))
+        assert not both.converged([1] * 7)
+        assert both.converged([1] * 10)
+
+    def test_reset_propagates(self):
+        m = CompositeMonitor(FixedLengthMonitor(2))
+        m.reset()  # must not raise
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeMonitor()
+
+
+class TestGeweke:
+    def test_short_trace_not_converged(self):
+        g = GewekeDiagnostic(min_trace=100)
+        assert g.z_score([1.0] * 50) == math.inf
+        assert not g.converged([1.0] * 50)
+
+    def test_stationary_trace_converges(self):
+        # Under stationarity the standard-error Z is asymptotically
+        # N(0, 1): a stationary trace passes a moderate threshold, and the
+        # paper-literal (raw variance) Z is tiny.
+        rng = random.Random(0)
+        trace = [rng.gauss(10, 2) for _ in range(2000)]
+        assert GewekeDiagnostic(standard_error=False).z_score(trace) < 0.1
+        assert GewekeDiagnostic(threshold=3.0).converged(trace)
+
+    def test_drifting_trace_rejected(self):
+        # A strong upward trend keeps window means apart.
+        trace = [i / 10.0 for i in range(2000)]
+        g = GewekeDiagnostic(threshold=0.1)
+        assert not g.converged(trace)
+
+    def test_constant_trace_z_zero(self):
+        g = GewekeDiagnostic(min_trace=10)
+        assert g.z_score([5.0] * 200) == 0.0
+
+    def test_constant_but_shifted_windows_infinite(self):
+        trace = [0.0] * 100 + [1.0] * 100
+        g = GewekeDiagnostic(min_trace=10)
+        assert g.z_score(trace) == math.inf
+
+    def test_threshold_monotonicity(self):
+        # A looser threshold converges at least as early (Figure 9's axis).
+        rng = random.Random(1)
+        trace = [rng.gauss(5, 1) + max(0, 200 - i) / 50 for i in range(1000)]
+        strict = GewekeDiagnostic(threshold=0.05)
+        loose = GewekeDiagnostic(threshold=0.8)
+        if strict.converged(trace):
+            assert loose.converged(trace)
+
+    def test_standard_error_variant_stricter(self):
+        rng = random.Random(2)
+        trace = [rng.gauss(10, 3) for _ in range(500)]
+        paper = GewekeDiagnostic().z_score(trace)
+        textbook = GewekeDiagnostic(standard_error=True).z_score(trace)
+        assert textbook >= paper  # dividing variances by n inflates Z
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GewekeDiagnostic(threshold=0)
+        with pytest.raises(ValueError):
+            GewekeDiagnostic(first=0.6, last=0.6)
+        with pytest.raises(ValueError):
+            GewekeDiagnostic(min_trace=2)

@@ -1,0 +1,132 @@
+"""Unit tests for the MTO-Sampler (Algorithm 1)."""
+
+import pytest
+
+from repro.analysis import min_conductance_exact
+from repro.convergence import FixedLengthMonitor
+from repro.core import MTOSampler
+from repro.generators import barbell_graph, complete_graph, cycle_graph, paper_barbell
+from repro.graph import Graph, is_connected
+from repro.interface import RestrictedSocialAPI
+
+
+def sampler_on(graph: Graph, start=0, seed=0, **kw) -> MTOSampler:
+    return MTOSampler(RestrictedSocialAPI(graph), start=start, seed=seed, **kw)
+
+
+class TestStepMechanics:
+    def test_moves_along_overlay_edges(self):
+        mto = sampler_on(paper_barbell(), seed=1)
+        prev = mto.current
+        for _ in range(40):
+            nxt = mto.step()
+            # every committed hop is an overlay edge at commit time — we
+            # can at least assert both endpoints are materialized and the
+            # walk moved to a real node.
+            assert mto.overlay.is_known(nxt)
+            prev = nxt
+
+    def test_removals_happen_on_clique(self):
+        mto = sampler_on(paper_barbell(), seed=2)
+        for _ in range(200):
+            mto.step()
+        assert mto.overlay.removal_count > 0
+
+    def test_removal_disabled(self):
+        mto = sampler_on(paper_barbell(), seed=2, enable_removal=False)
+        for _ in range(100):
+            mto.step()
+        assert mto.overlay.removal_count == 0
+
+    def test_replacement_disabled(self):
+        mto = sampler_on(paper_barbell(), seed=2, enable_replacement=False)
+        for _ in range(100):
+            mto.step()
+        assert mto.overlay.replacement_count == 0
+
+    def test_no_modifications_reduces_to_srw(self):
+        # With both rules off, the sampler is a (lazy) SRW: it must follow
+        # original edges only.
+        g = paper_barbell()
+        mto = sampler_on(g, seed=3, enable_removal=False, enable_replacement=False)
+        prev = mto.current
+        for _ in range(50):
+            nxt = mto.step()
+            assert g.has_edge(prev, nxt)
+            prev = nxt
+
+    def test_cycle_graph_never_modified(self):
+        # No removable edges, no degree-3 nodes: MTO behaves exactly as SRW.
+        mto = sampler_on(cycle_graph(10), seed=4)
+        for _ in range(100):
+            mto.step()
+        assert mto.overlay.removal_count == 0
+        assert mto.overlay.replacement_count == 0
+
+    def test_invalid_params(self):
+        api = RestrictedSocialAPI(complete_graph(3))
+        with pytest.raises(ValueError):
+            MTOSampler(api, start=0, replacement_probability=1.5)
+        with pytest.raises(ValueError):
+            MTOSampler(api, start=0, max_redraws=0)
+
+
+class TestOverlayConsistency:
+    def test_overlay_stays_connected_on_barbell(self):
+        mto = sampler_on(paper_barbell(), seed=5)
+        for _ in range(500):
+            mto.step()
+        sub = mto.overlay.known_subgraph()
+        if sub.num_nodes == 22:  # fully explored
+            assert is_connected(sub)
+
+    def test_conductance_never_decreases_on_barbell(self):
+        g = paper_barbell()
+        phi0 = min_conductance_exact(g).conductance
+        mto = sampler_on(g, seed=6)
+        for _ in range(600):
+            mto.step()
+        sub = mto.overlay.known_subgraph()
+        if sub.num_nodes == g.num_nodes and is_connected(sub):
+            phi1 = min_conductance_exact(sub).conductance
+            assert phi1 >= phi0 - 1e-12
+
+    def test_weight_uses_overlay_degree(self):
+        mto = sampler_on(paper_barbell(), seed=7)
+        for _ in range(100):
+            mto.step()
+        node = mto.current
+        assert mto.weight(node) == pytest.approx(1.0 / mto.overlay.degree(node))
+
+    def test_weight_unknown_node_raises(self):
+        from repro.errors import WalkError
+
+        mto = sampler_on(paper_barbell(), seed=0)
+        with pytest.raises(WalkError):
+            mto.weight(21)  # far side, not yet visited
+
+
+class TestSamplingRun:
+    def test_run_with_monitor(self):
+        mto = sampler_on(paper_barbell(), seed=8)
+        run = mto.run(num_samples=30, monitor=FixedLengthMonitor(100))
+        assert len(run.samples) == 30
+        assert run.converged
+        assert run.query_cost <= 22  # can't exceed the node count
+
+    def test_samples_record_costs_nondecreasing(self):
+        mto = sampler_on(paper_barbell(), seed=9)
+        run = mto.run(num_samples=50)
+        costs = [s.query_cost for s in run.samples]
+        assert costs == sorted(costs)
+
+    def test_estimation_close_to_truth(self):
+        from repro import AggregateQuery, estimate, ground_truth
+
+        g = paper_barbell()
+        api = RestrictedSocialAPI(g)
+        mto = MTOSampler(api, start=0, seed=10)
+        run = mto.run(num_samples=3000)
+        res = estimate(AggregateQuery.average_degree(), run.samples, api)
+        truth = ground_truth(AggregateQuery.average_degree(), g)
+        assert abs(res.estimate - truth) / truth < 0.15

@@ -1,0 +1,67 @@
+"""Tests for the Corollary 1/2 tightness constructions."""
+
+import pytest
+
+from repro.analysis.conductance import cut_conductance, min_conductance_exact
+from repro.core.counterexamples import corollary1_graph, corollary2_graph
+from repro.core.criteria import removal_criterion
+from repro.graph import is_connected
+
+
+class TestCorollary1:
+    @pytest.mark.parametrize("n,ku,kv", [(0, 2, 2), (1, 4, 4), (2, 6, 5), (3, 6, 6)])
+    def test_construction_matches_local_stats(self, n, ku, kv):
+        assert not removal_criterion(n, ku, kv)  # corollary's hypothesis
+        g, (u, v) = corollary1_graph(n, ku, kv, pendant_weight=4)
+        assert g.has_edge(u, v)
+        assert g.degree(u) == ku
+        assert g.degree(v) == kv
+        assert len(g.common_neighbors(u, v)) == n
+        assert is_connected(g)
+
+    def test_edge_is_cross_cutting_small_case(self):
+        # n=0, ku=kv=2: u and v each have one outer edge; with heavy
+        # pendant inflation, the minimum cut severs e_uv.
+        g, (u, v) = corollary1_graph(0, 2, 2, pendant_weight=3)
+        if g.num_nodes <= 18:
+            best = min_conductance_exact(g, max_nodes=18)
+            crossing_cut = {frozenset(e) for e in best.cut_edges}
+            assert frozenset((u, v)) in crossing_cut or any(
+                cut_conductance(g, side) == pytest.approx(best.conductance)
+                for side in [
+                    {u, "ou0"} | {n for n in g.nodes() if str(n).startswith("pu")}
+                ]
+            )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            corollary1_graph(3, 3, 5)
+
+
+class TestCorollary2:
+    def test_rejects_safe_degree(self):
+        with pytest.raises(ValueError):
+            corollary2_graph(kv=3)
+        with pytest.raises(ValueError):
+            corollary2_graph(kv=4, block=2)
+
+    def test_pivot_degree(self):
+        g, (u, v, w) = corollary2_graph(kv=4, block=4)
+        assert g.degree(v) == 4
+        assert g.has_edge(u, v) and g.has_edge(w, v)
+
+    def test_replacement_lowers_conductance(self):
+        # kv=4, two small dense blocks: replacing e_uv by e_uw must lower
+        # (or at best not raise) the exact conductance — the corollary's
+        # "decrease or no effect", with this construction chosen to give
+        # strict decrease.
+        g, (u, v, w) = corollary2_graph(kv=4, block=4)
+        assert g.num_nodes <= 16
+        before = min_conductance_exact(g, max_nodes=16).conductance
+        h = g.copy()
+        h.remove_edge(u, v)
+        if not h.has_edge(u, w):
+            h.add_edge(u, w)
+        after = min_conductance_exact(h, max_nodes=16).conductance
+        assert after <= before + 1e-12
+        assert after < before  # strict for this construction

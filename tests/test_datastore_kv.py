@@ -1,0 +1,133 @@
+"""Unit tests for the key-value store (Redis stand-in)."""
+
+import pytest
+
+from repro.datastore import KeyValueStore
+from repro.errors import DataStoreError
+
+
+class TestBasicOps:
+    def test_set_get(self):
+        kv = KeyValueStore()
+        kv.set("a", 1)
+        assert kv.get("a") == 1
+
+    def test_get_default(self):
+        kv = KeyValueStore()
+        assert kv.get("missing") is None
+        assert kv.get("missing", 42) == 42
+
+    def test_overwrite(self):
+        kv = KeyValueStore()
+        kv.set("a", 1)
+        kv.set("a", 2)
+        assert kv.get("a") == 2
+        assert len(kv) == 1
+
+    def test_delete(self):
+        kv = KeyValueStore()
+        kv.set("a", 1)
+        assert kv.delete("a") is True
+        assert kv.delete("a") is False
+        assert kv.get("a") is None
+
+    def test_contains(self):
+        kv = KeyValueStore()
+        kv.set("a", 1)
+        assert "a" in kv
+        assert "b" not in kv
+
+    def test_keys_and_len(self):
+        kv = KeyValueStore()
+        kv.set("a", 1)
+        kv.set("b", 2)
+        assert sorted(kv.keys()) == ["a", "b"]
+        assert len(kv) == 2
+
+    def test_clear(self):
+        kv = KeyValueStore()
+        kv.set("a", 1)
+        kv.get("a")
+        kv.clear()
+        assert len(kv) == 0
+        assert kv.hits == 0
+
+    def test_tuple_keys(self):
+        kv = KeyValueStore()
+        kv.set(("nbrs", 7), frozenset({1, 2}))
+        assert kv.get(("nbrs", 7)) == frozenset({1, 2})
+
+
+class TestTtl:
+    def test_expiry_on_logical_clock(self):
+        kv = KeyValueStore()
+        kv.set("a", 1, ttl=10.0)
+        assert kv.get("a") == 1
+        kv.advance(10.0)
+        assert kv.get("a") is None
+
+    def test_unexpired_before_deadline(self):
+        kv = KeyValueStore()
+        kv.set("a", 1, ttl=10.0)
+        kv.advance(9.999)
+        assert kv.get("a") == 1
+
+    def test_reset_ttl_on_overwrite(self):
+        kv = KeyValueStore()
+        kv.set("a", 1, ttl=5.0)
+        kv.advance(4.0)
+        kv.set("a", 2)  # no ttl now
+        kv.advance(100.0)
+        assert kv.get("a") == 2
+
+    def test_invalid_ttl(self):
+        kv = KeyValueStore()
+        with pytest.raises(DataStoreError):
+            kv.set("a", 1, ttl=0)
+
+    def test_negative_advance(self):
+        kv = KeyValueStore()
+        with pytest.raises(DataStoreError):
+            kv.advance(-1)
+
+    def test_injected_clock(self):
+        t = [0.0]
+        kv = KeyValueStore(clock=lambda: t[0])
+        kv.set("a", 1, ttl=5.0)
+        t[0] = 5.0
+        assert "a" not in kv
+
+
+class TestLru:
+    def test_eviction_order(self):
+        kv = KeyValueStore(capacity=2)
+        kv.set("a", 1)
+        kv.set("b", 2)
+        kv.set("c", 3)  # evicts a
+        assert kv.get("a") is None
+        assert kv.get("b") == 2
+        assert kv.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        kv = KeyValueStore(capacity=2)
+        kv.set("a", 1)
+        kv.set("b", 2)
+        kv.get("a")  # a is now most recent
+        kv.set("c", 3)  # evicts b
+        assert kv.get("a") == 1
+        assert kv.get("b") is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(DataStoreError):
+            KeyValueStore(capacity=0)
+
+
+class TestCounters:
+    def test_hits_and_misses(self):
+        kv = KeyValueStore()
+        kv.set("a", 1)
+        kv.get("a")
+        kv.get("a")
+        kv.get("zzz")
+        assert kv.hits == 2
+        assert kv.misses == 1

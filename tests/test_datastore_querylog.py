@@ -1,0 +1,57 @@
+"""Unit tests for the query log's unique-cost accounting."""
+
+from repro.datastore import QueryLog
+
+
+class TestQueryLog:
+    def test_first_query_billed(self):
+        log = QueryLog()
+        rec = log.record("u1")
+        assert rec.billed is True
+        assert log.unique_queries == 1
+
+    def test_repeat_query_not_billed(self):
+        log = QueryLog()
+        log.record("u1")
+        rec = log.record("u1")
+        assert rec.billed is False
+        assert log.unique_queries == 1
+        assert log.total_queries == 2
+
+    def test_was_queried(self):
+        log = QueryLog()
+        log.record("u1")
+        assert log.was_queried("u1")
+        assert not log.was_queried("u2")
+
+    def test_queried_users(self):
+        log = QueryLog()
+        log.record("a")
+        log.record("b")
+        log.record("a")
+        assert log.queried_users() == frozenset({"a", "b"})
+
+    def test_iteration_and_indices(self):
+        log = QueryLog()
+        log.record("a")
+        log.record("b")
+        records = list(log)
+        assert [r.index for r in records] == [0, 1]
+        assert len(log) == 2
+
+    def test_tail(self):
+        log = QueryLog()
+        for u in "abcd":
+            log.record(u)
+        assert [r.user for r in log.tail(2)] == ["c", "d"]
+        assert log.tail(0) == []
+
+    def test_billed_between(self):
+        log = QueryLog()
+        log.record("a", timestamp=1.0)
+        log.record("b", timestamp=5.0)
+        log.record("a", timestamp=6.0)  # cache hit, not billed
+        log.record("c", timestamp=10.0)
+        assert log.billed_between(0.0, 6.0) == 2
+        assert log.billed_between(start=5.0) == 2
+        assert log.billed_between(end=5.0) == 1

@@ -1,0 +1,164 @@
+"""Unit tests for importance-sampling estimation and aggregate queries."""
+
+import pytest
+
+from repro import AggregateQuery, Estimator, estimate, ground_truth
+from repro.core.estimators import estimate_curve
+from repro.datastore import DocumentStore
+from repro.errors import EstimationError
+from repro.generators import complete_graph, star_graph
+from repro.graph import Graph
+from repro.interface import QueryResponse, RestrictedSocialAPI
+from repro.walks.base import WalkSample
+
+
+def response(user, degree=2, **attrs) -> QueryResponse:
+    return QueryResponse(
+        user=user,
+        neighbors=frozenset(range(1000, 1000 + degree)),
+        attributes=attrs,
+        from_cache=True,
+    )
+
+
+class TestAggregateQuery:
+    def test_kinds_validated(self):
+        with pytest.raises(ValueError):
+            AggregateQuery(kind="median", name="x", value_fn=lambda r: 0)
+        with pytest.raises(ValueError):
+            AggregateQuery(kind="avg", name="x")  # no value_fn
+
+    def test_average_degree_value(self):
+        q = AggregateQuery.average_degree()
+        assert q.value(response("u", degree=7)) == 7.0
+        assert q.matches(response("u"))
+
+    def test_average_attribute_excludes_missing(self):
+        q = AggregateQuery.average_attribute("age")
+        assert q.matches(response("u", age=30))
+        assert not q.matches(response("u"))
+
+    def test_self_description_length(self):
+        q = AggregateQuery.average_self_description_length()
+        assert q.value(response("u", self_description="hello")) == 5.0
+
+    def test_count_has_no_value(self):
+        q = AggregateQuery.count_where("adults", lambda r: r.attributes.get("age", 0) >= 18)
+        with pytest.raises(EstimationError):
+            q.value(response("u", age=20))
+
+
+class TestGroundTruth:
+    def test_average_degree_star(self):
+        g = star_graph(4)  # degrees 4,1,1,1,1 → avg 8/5
+        assert ground_truth(AggregateQuery.average_degree(), g) == pytest.approx(1.6)
+
+    def test_avg_attribute_with_profiles(self):
+        g = complete_graph(3)
+        profiles = DocumentStore()
+        for i, age in enumerate([20, 30, 40]):
+            profiles.insert(i, {"age": age})
+        assert ground_truth(AggregateQuery.average_attribute("age"), g, profiles) == 30.0
+
+    def test_count(self):
+        g = complete_graph(4)
+        profiles = DocumentStore()
+        for i in range(4):
+            profiles.insert(i, {"vip": i % 2 == 0})
+        q = AggregateQuery.count_where("vips", lambda r: r.attributes.get("vip"))
+        assert ground_truth(q, g, profiles) == 2.0
+
+    def test_sum(self):
+        g = complete_graph(3)
+        profiles = DocumentStore()
+        for i in range(3):
+            profiles.insert(i, {"posts": 10 * (i + 1)})
+        assert ground_truth(AggregateQuery.sum_attribute("posts"), g, profiles) == 60.0
+
+    def test_no_match_raises(self):
+        g = complete_graph(3)
+        q = AggregateQuery.average_attribute("missing_field")
+        with pytest.raises(EstimationError):
+            ground_truth(q, g)
+
+
+class TestEstimator:
+    def test_weighted_average(self):
+        q = AggregateQuery.average_degree()
+        est = Estimator(q)
+        est.add(response("a", degree=10), weight=0.1)  # w ∝ 1/k: corrects
+        est.add(response("b", degree=2), weight=0.5)
+        # Weighted: (10*0.1 + 2*0.5) / 0.6 = 2/0.6 ≈ 3.333 — the uniform
+        # average of {10, 2} is 6; with degree-proportional sampling these
+        # weights recover the arithmetic structure of the estimator.
+        assert est.estimate == pytest.approx((10 * 0.1 + 2 * 0.5) / 0.6)
+
+    def test_count_needs_total(self):
+        q = AggregateQuery.count_where("all", lambda r: True)
+        with pytest.raises(EstimationError):
+            Estimator(q)
+        est = Estimator(q, total_users=100)
+        est.add(response("a"), weight=1.0)
+        assert est.estimate == 100.0
+
+    def test_sum_scales_fraction(self):
+        q = AggregateQuery.sum_attribute("x")
+        est = Estimator(q, total_users=10)
+        est.add(response("a", x=3.0), weight=1.0)
+        est.add(response("b", x=5.0), weight=1.0)
+        assert est.estimate == pytest.approx(10 * (3 + 5) / 2 / 1)  # N * E[x]
+
+    def test_no_samples_raises(self):
+        est = Estimator(AggregateQuery.average_degree())
+        with pytest.raises(EstimationError):
+            est.estimate
+
+    def test_nonpositive_weight_rejected(self):
+        est = Estimator(AggregateQuery.average_degree())
+        with pytest.raises(EstimationError):
+            est.add(response("a"), weight=0.0)
+
+    def test_no_matching_selection_raises(self):
+        q = AggregateQuery.average_attribute("age")
+        est = Estimator(q)
+        est.add(response("a"), weight=1.0)  # no age attribute
+        with pytest.raises(EstimationError):
+            est.estimate
+
+
+class TestEstimateFromRun:
+    def _setup(self):
+        g = star_graph(4)
+        api = RestrictedSocialAPI(g)
+        for node in [0, 1, 2, 3, 4]:
+            api.query(node)
+        return g, api
+
+    def test_weighted_samples_unbias_degree(self):
+        g, api = self._setup()
+        # Degree-proportional visits: hub (deg 4) seen 4x, leaves 1x each,
+        # with SRW weights 1/k.
+        samples = [WalkSample(0, 1 / 4, 1, i) for i in range(4)]
+        samples += [WalkSample(leaf, 1.0, 2, 10 + leaf) for leaf in [1, 2, 3, 4]]
+        res = estimate(AggregateQuery.average_degree(), samples, api)
+        truth = ground_truth(AggregateQuery.average_degree(), g)
+        assert res.estimate == pytest.approx(truth)
+
+    def test_empty_samples_rejected(self):
+        _, api = self._setup()
+        with pytest.raises(EstimationError):
+            estimate(AggregateQuery.average_degree(), [], api)
+
+    def test_ess_bounds(self):
+        _, api = self._setup()
+        samples = [WalkSample(i, 1.0, 1, i) for i in range(5)]
+        res = estimate(AggregateQuery.average_degree(), samples, api)
+        assert res.effective_sample_size == pytest.approx(5.0)
+
+    def test_curve_monotone_costs(self):
+        _, api = self._setup()
+        samples = [WalkSample(i, 1.0, i + 1, i) for i in range(5)]
+        curve = estimate_curve(AggregateQuery.average_degree(), samples, api)
+        costs = [c for c, _ in curve]
+        assert costs == sorted(costs)
+        assert len(curve) == 5

@@ -1,0 +1,170 @@
+"""Integration tests for the experiment drivers (tiny scales).
+
+These exercise the full pipeline — dataset stand-in, interface, walker,
+estimator, reporting — at smoke-test sizes, asserting structure and the
+invariants that must hold at any scale (not the paper's shapes, which the
+benchmark harness measures at full scale).
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_running_example,
+    run_table1,
+)
+from repro.experiments.runner import (
+    SAMPLER_NAMES,
+    cost_at_error,
+    make_sampler,
+    run_to_coverage,
+)
+from repro.datasets import load
+from repro.errors import ExperimentError
+
+
+class TestRunner:
+    def test_make_sampler_all_names(self):
+        net = load("epinions_like", seed=0, scale=0.1)
+        for name in SAMPLER_NAMES:
+            sampler = make_sampler(name, net, seed=1)
+            sampler.step()
+            assert sampler.query_cost >= 1
+
+    def test_make_sampler_unknown(self):
+        net = load("epinions_like", seed=0, scale=0.1)
+        with pytest.raises(ExperimentError):
+            make_sampler("BFS", net, seed=0)
+
+    def test_cost_at_error_semantics(self):
+        curve = [(10, 5.0), (20, 9.0), (30, 10.5), (40, 9.8)]
+        # truth 10, error 0.1: estimates within [9, 11] from cost 20 on.
+        assert cost_at_error(curve, truth=10.0, error=0.1) == 20
+        # error 0.02: only the last point qualifies.
+        assert cost_at_error(curve, truth=10.0, error=0.02) == 40
+        # never settles
+        assert cost_at_error(curve, truth=100.0, error=0.05) is None
+
+    def test_cost_at_error_zero_truth(self):
+        with pytest.raises(ExperimentError):
+            cost_at_error([(1, 1.0)], truth=0.0, error=0.1)
+
+    def test_run_to_coverage(self):
+        net = load("epinions_like", seed=0, scale=0.1)
+        sampler = make_sampler("SRW", net, seed=2)
+        steps = run_to_coverage(sampler, net.graph.num_nodes, max_steps=500_000)
+        assert sampler.api.query_cost == net.graph.num_nodes
+        assert steps > 0
+
+    def test_run_to_coverage_budget(self):
+        net = load("epinions_like", seed=0, scale=0.1)
+        sampler = make_sampler("SRW", net, seed=2)
+        with pytest.raises(ExperimentError):
+            run_to_coverage(sampler, net.graph.num_nodes, max_steps=3)
+
+
+class TestTable1:
+    def test_rows_and_rendering(self):
+        result = run_table1(seed=0, scale=0.1)
+        assert len(result.rows) == 4
+        text = str(result)
+        assert "epinions_like" in text
+        assert "26588" in text  # paper reference column
+
+
+class TestRunningExample:
+    def test_pipeline_monotone(self):
+        result = run_running_example(seed=0, walk_overlay=False)
+        assert result.phi_g == pytest.approx(1 / 56)
+        assert result.phi_g_star >= result.phi_g
+        assert result.phi_g_star_star >= result.phi_g
+        assert 0 < result.mixing_reduction_removal < 1
+        # The paper's 14212.3 uses Φ rounded to 0.018; the exact Φ = 1/56
+        # gives ≈14441, a 1.6% difference.
+        assert result.coeff_g == pytest.approx(14212.3, rel=0.02)
+        assert "barbell" in str(result)
+
+
+class TestFig7:
+    def test_structure(self):
+        result = run_fig7(
+            datasets=("epinions_like",),
+            samplers=("SRW", "MTO"),
+            runs=2,
+            num_samples=300,
+            scale=0.1,
+            seed=0,
+        )
+        errors, series = result.datasets["epinions_like"]
+        assert set(series) == {"SRW", "MTO"}
+        assert all(len(v) == len(errors) for v in series.values())
+        # Stricter error levels cannot be cheaper on average.
+        for v in series.values():
+            assert v[-1] >= v[0] - 1e-9
+        assert "Figure 7" in str(result)
+
+
+class TestFig8:
+    def test_structure(self):
+        result = run_fig8(
+            datasets=("epinions_like",),
+            num_samples=400,
+            runs=1,
+            scale=0.1,
+            seed=0,
+            max_steps=3000,
+        )
+        assert ("epinions_like", "SRW") in result.kl
+        assert result.query_cost[("epinions_like", "MTO")] > 0
+        assert "KL_SRW" in str(result)
+
+
+class TestFig9:
+    def test_loose_threshold_not_more_expensive(self):
+        result = run_fig9(
+            thresholds=(0.3, 0.8),
+            num_samples=300,
+            runs=2,
+            scale=0.1,
+            seed=0,
+            max_steps=4000,
+        )
+        assert len(result.kl_srw) == 2
+        # Looser Geweke threshold converges no later (burn-in cost).
+        assert result.qc_srw[1] <= result.qc_srw[0] + 1e-9
+        assert "Figure 9" in str(result)
+
+
+class TestFig10:
+    def test_series_structure_and_order(self):
+        result = run_fig10(node_counts=(50,), runs=2, seed=1)
+        assert set(result.series) == {
+            "Original",
+            "Theoretical",
+            "MTO_Both",
+            "MTO_RM",
+            "MTO_RP",
+        }
+        original = result.series["Original"][0]
+        assert math.isfinite(original)
+        # Theorem 6's bound predicts an improvement over the original.
+        assert result.series["Theoretical"][0] <= original
+        assert "Figure 10" in str(result)
+
+
+class TestFig11:
+    def test_structure(self):
+        result = run_fig11(
+            runs=2, num_samples=400, trace_points=5, errors=(0.4, 0.2), scale=0.1, seed=0
+        )
+        assert len(result.trace_costs) == 5
+        assert set(result.trace_estimates) == {"SRW", "MTO"}
+        assert set(result.degree_costs) == {"SRW", "MTO"}
+        assert len(result.degree_costs["SRW"]) == 2
+        assert "Figure 11(a)" in str(result)

@@ -1,0 +1,106 @@
+"""Failure-injection tests: private/deleted users in the interface.
+
+Real crawls constantly hit users who appear in neighbor lists but refuse
+individual queries.  The interface bills the first refusal (real providers
+charge the request), caches it, and every sampler must keep walking on the
+accessible subgraph without dying or corrupting its estimates.
+"""
+
+import pytest
+
+from repro import AggregateQuery, MTOSampler, estimate
+from repro.datasets import load
+from repro.errors import PrivateUserError
+from repro.generators import complete_graph, star_graph
+from repro.graph import Graph
+from repro.interface import RestrictedSocialAPI
+from repro.walks import MetropolisHastingsWalk, RandomJumpWalk, SimpleRandomWalk
+
+
+class TestInterfaceRefusals:
+    def test_private_query_raises_and_bills_once(self):
+        api = RestrictedSocialAPI(complete_graph(4), inaccessible={2})
+        with pytest.raises(PrivateUserError):
+            api.query(2)
+        assert api.query_cost == 1  # the refusal was billed
+        with pytest.raises(PrivateUserError):
+            api.query(2)
+        assert api.query_cost == 1  # ...but only once
+        assert api.is_known_private(2)
+
+    def test_private_user_still_listed_by_neighbors(self):
+        api = RestrictedSocialAPI(complete_graph(4), inaccessible={2})
+        resp = api.query(0)
+        assert 2 in resp.neighbors  # privates appear in friend lists
+
+    def test_reset_clears_refusal_cache(self):
+        api = RestrictedSocialAPI(complete_graph(4), inaccessible={2})
+        with pytest.raises(PrivateUserError):
+            api.query(2)
+        api.reset_accounting()
+        assert not api.is_known_private(2)
+
+
+class TestWalkersSurviveRefusals:
+    def test_srw_redraws_around_private(self):
+        # Star hub 0 with 5 leaves, leaf 1 private: the walk from the hub
+        # must only ever land on accessible leaves.
+        api = RestrictedSocialAPI(star_graph(5), inaccessible={1})
+        walk = SimpleRandomWalk(api, start=0, seed=0)
+        seen = set()
+        for _ in range(60):
+            seen.add(walk.step())
+        assert 1 not in seen
+        assert seen >= {0, 2}
+
+    def test_srw_holds_when_all_neighbors_private(self):
+        g = Graph([(0, 1), (0, 2)])
+        api = RestrictedSocialAPI(g, inaccessible={1, 2})
+        walk = SimpleRandomWalk(api, start=0, seed=0)
+        assert walk.step() == 0  # self-transition, not a crash
+        assert walk.steps == 1
+
+    def test_mhrw_treats_private_as_rejection(self):
+        api = RestrictedSocialAPI(star_graph(4), inaccessible={1, 2, 3, 4})
+        walk = MetropolisHastingsWalk(api, start=0, seed=1)
+        for _ in range(10):
+            assert walk.step() == 0
+
+    def test_rj_jump_to_private_holds(self):
+        g = complete_graph(4)
+        api = RestrictedSocialAPI(g, inaccessible={3})
+        walk = RandomJumpWalk(
+            api, start=0, id_space=[3], jump_probability=1.0, seed=2
+        )
+        for _ in range(5):
+            assert walk.step() == 0  # every jump refused → hold
+
+    def test_mto_prunes_private_edges(self):
+        api = RestrictedSocialAPI(star_graph(6), inaccessible={1, 2})
+        mto = MTOSampler(api, start=0, seed=3)
+        seen = set()
+        for _ in range(80):
+            seen.add(mto.step())
+        assert not seen & {1, 2}
+        # The private neighbors were pruned from the hub's overlay view.
+        assert not mto.overlay.has_edge(0, 1)
+        assert not mto.overlay.has_edge(0, 2)
+
+
+class TestEstimationUnderRefusals:
+    def test_estimates_stay_reasonable(self):
+        net = load("epinions_like", seed=0, scale=0.2)
+        nodes = sorted(net.graph.nodes())
+        private = frozenset(nodes[:: 17])  # ~6% of users private
+        api = RestrictedSocialAPI(net.graph, profiles=net.profiles, inaccessible=private)
+        start = next(n for n in nodes if n not in private)
+        mto = MTOSampler(api, start=start, seed=4)
+        run = mto.run(num_samples=1200)
+        result = estimate(AggregateQuery.average_degree(), run.samples, api)
+        from repro import ground_truth
+
+        truth = ground_truth(AggregateQuery.average_degree(), net.graph)
+        # Estimates now target the accessible subgraph, so allow a wider
+        # band — but the walk must neither crash nor collapse.
+        assert abs(result.estimate - truth) / truth < 0.5
+        assert len(run.samples) == 1200

@@ -1,0 +1,54 @@
+"""Tests for the Forest Fire generator and the experiments CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.generators.forest_fire import forest_fire_graph
+from repro.graph import is_connected
+from repro.graph.metrics import average_clustering, average_degree
+
+
+class TestForestFire:
+    def test_connected_and_sized(self):
+        g = forest_fire_graph(200, forward_prob=0.35, seed=0)
+        assert g.num_nodes == 200
+        assert is_connected(g)
+
+    def test_every_new_node_linked(self):
+        g = forest_fire_graph(50, forward_prob=0.0, seed=1)
+        # p=0 degenerates to a random recursive tree.
+        assert g.num_edges == 49
+
+    def test_higher_p_densifies(self):
+        sparse = forest_fire_graph(150, forward_prob=0.1, seed=2)
+        dense = forest_fire_graph(150, forward_prob=0.45, seed=2)
+        assert average_degree(dense) > average_degree(sparse)
+
+    def test_clustering_nontrivial(self):
+        g = forest_fire_graph(200, forward_prob=0.4, seed=3)
+        assert average_clustering(g) > 0.05
+
+    def test_deterministic(self):
+        assert forest_fire_graph(80, seed=9) == forest_fire_graph(80, seed=9)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            forest_fire_graph(1)
+        with pytest.raises(ValueError):
+            forest_fire_graph(10, forward_prob=1.0)
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "regenerated in" in out
+
+    def test_fig10_small(self, capsys):
+        assert main(["fig10", "--runs", "1"]) == 0
+        assert "Figure 10" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

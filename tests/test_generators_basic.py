@@ -1,0 +1,109 @@
+"""Unit tests for the deterministic and classic random generators."""
+
+import pytest
+
+from repro.generators import (
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    paper_barbell,
+    path_graph,
+    star_graph,
+)
+from repro.graph import is_connected
+
+
+class TestBarbell:
+    def test_paper_instance_shape(self):
+        g = paper_barbell()
+        assert g.num_nodes == 22
+        assert g.num_edges == 111  # 2 * C(11,2) + 1
+
+    def test_bridge_endpoints(self):
+        g = paper_barbell()
+        assert g.has_edge(0, 11)
+        assert g.degree(0) == 11  # 10 clique neighbors + bridge
+        assert g.degree(1) == 10
+
+    def test_general_barbell(self):
+        g = barbell_graph(4, 2)
+        assert g.num_nodes == 8
+        assert g.num_edges == 2 * 6 + 2
+        assert g.has_edge(0, 4) and g.has_edge(1, 5)
+
+    def test_connected(self):
+        assert is_connected(barbell_graph(5))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            barbell_graph(1)
+        with pytest.raises(ValueError):
+            barbell_graph(4, 0)
+        with pytest.raises(ValueError):
+            barbell_graph(4, 5)
+
+
+class TestDeterministic:
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert all(g.degree(v) == 5 for v in g.nodes())
+
+    def test_complete_invalid(self):
+        with pytest.raises(ValueError):
+            complete_graph(-1)
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert all(g.degree(v) == 2 for v in g.nodes())
+
+    def test_cycle_invalid(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_path(self):
+        g = path_graph(4)
+        assert g.num_edges == 3
+        assert path_graph(1).num_nodes == 1
+
+    def test_star(self):
+        g = star_graph(5)
+        assert g.degree(0) == 5
+        assert g.num_edges == 5
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # vertical + horizontal
+        assert g.degree((0, 0)) == 2
+        assert g.degree((1, 1)) == 4
+
+
+class TestErdosRenyi:
+    def test_p_zero_empty(self):
+        g = erdos_renyi_graph(20, 0.0, seed=0)
+        assert g.num_nodes == 20
+        assert g.num_edges == 0
+
+    def test_p_one_complete(self):
+        g = erdos_renyi_graph(10, 1.0, seed=0)
+        assert g.num_edges == 45
+
+    def test_deterministic_with_seed(self):
+        a = erdos_renyi_graph(30, 0.2, seed=7)
+        b = erdos_renyi_graph(30, 0.2, seed=7)
+        assert a == b
+
+    def test_edge_count_near_expectation(self):
+        g = erdos_renyi_graph(100, 0.1, seed=1)
+        expected = 0.1 * 100 * 99 / 2
+        assert abs(g.num_edges - expected) < 0.3 * expected
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(-1, 0.5)
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(5, 1.5)

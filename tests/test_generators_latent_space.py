@@ -1,0 +1,118 @@
+"""Unit tests for the latent space model and Theorem 6 helpers."""
+
+import math
+
+import pytest
+
+from repro.generators import (
+    latent_space_graph,
+    removable_distance_threshold,
+    removable_edge_probability,
+    theorem6_conductance_bound,
+)
+from repro.generators.latent_space import expected_removable_edges
+
+
+class TestSampling:
+    def test_hard_threshold_edges_respect_radius(self):
+        sample = latent_space_graph(60, area=(4.0, 5.0), r=0.7, seed=0)
+        for u, v in sample.graph.edges():
+            pu, pv = sample.positions[u], sample.positions[v]
+            d = math.dist(pu, pv)
+            assert d < 0.7
+
+    def test_non_edges_beyond_radius(self):
+        sample = latent_space_graph(60, area=(4.0, 5.0), r=0.7, seed=1)
+        g = sample.graph
+        for u in range(0, 30):
+            for v in range(u + 1, 30):
+                d = math.dist(sample.positions[u], sample.positions[v])
+                if d < 0.7:
+                    assert g.has_edge(u, v)
+                else:
+                    assert not g.has_edge(u, v)
+
+    def test_positions_in_area(self):
+        sample = latent_space_graph(40, area=(2.0, 3.0), r=0.5, seed=2)
+        for x, y in sample.positions:
+            assert 0 <= x <= 2.0
+            assert 0 <= y <= 3.0
+
+    def test_finite_alpha_probabilistic(self):
+        # With alpha=0 every pair connects with probability 1/2.
+        sample = latent_space_graph(40, r=0.7, alpha=0.0, seed=3)
+        pairs = 40 * 39 / 2
+        assert abs(sample.graph.num_edges - pairs / 2) < 0.2 * pairs
+
+    def test_deterministic(self):
+        a = latent_space_graph(30, seed=5)
+        b = latent_space_graph(30, seed=5)
+        assert a.graph == b.graph
+        assert a.positions == b.positions
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            latent_space_graph(-1)
+        with pytest.raises(ValueError):
+            latent_space_graph(10, area=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            latent_space_graph(10, r=0.0)
+
+
+class TestTheorem6:
+    def test_threshold_value(self):
+        assert removable_distance_threshold(0.7) == pytest.approx(
+            math.sqrt(0.75) * 0.7
+        )
+
+    def test_threshold_invalid(self):
+        with pytest.raises(ValueError):
+            removable_distance_threshold(0.0)
+        with pytest.raises(ValueError):
+            removable_distance_threshold(0.7, dim=3)
+
+    def test_probability_in_unit_interval(self):
+        p = removable_edge_probability(0.7, area=(4.0, 5.0))
+        assert 0 < p < 1
+
+    def test_probability_monotone_in_radius(self):
+        p_small = removable_edge_probability(0.3)
+        p_large = removable_edge_probability(1.0)
+        assert p_small < p_large
+
+    def test_probability_matches_monte_carlo(self):
+        import random
+
+        rng = random.Random(0)
+        r, (a, b) = 0.7, (4.0, 5.0)
+        d0 = removable_distance_threshold(r)
+        hits = 0
+        trials = 200_000
+        for _ in range(trials):
+            x1, y1 = rng.uniform(0, a), rng.uniform(0, b)
+            x2, y2 = rng.uniform(0, a), rng.uniform(0, b)
+            if math.dist((x1, y1), (x2, y2)) <= d0:
+                hits += 1
+        mc = hits / trials
+        assert removable_edge_probability(r, (a, b)) == pytest.approx(mc, abs=0.003)
+
+    def test_conductance_bound_amplifies(self):
+        phi = 0.02
+        bound = theorem6_conductance_bound(phi, r=0.7, area=(4.0, 5.0))
+        assert bound > phi  # the paper reports ≈1.052x for these params
+
+    def test_paper_amplification_factor(self):
+        # Section IV-B: with r=0.7, a=4, b=5, D=2 the paper reports
+        # E[Φ(G*)] >= 1.052 Φ(G).  Our integral should land close to that.
+        factor = theorem6_conductance_bound(1.0, r=0.7, area=(4.0, 5.0))
+        assert factor == pytest.approx(1.052, abs=0.02)
+
+    def test_bound_invalid(self):
+        with pytest.raises(ValueError):
+            theorem6_conductance_bound(-0.1, r=0.7)
+
+    def test_expected_removable_edges(self):
+        e = expected_removable_edges(1000, r=0.7)
+        assert 0 < e < 1000
+        with pytest.raises(ValueError):
+            expected_removable_edges(-1, r=0.7)

@@ -1,0 +1,154 @@
+"""Unit tests for preferential/small-world/community generators."""
+
+import pytest
+
+from repro.generators import (
+    barabasi_albert_graph,
+    chung_lu_graph,
+    planted_partition_graph,
+    power_law_degrees,
+    relaxed_caveman_graph,
+    watts_strogatz_graph,
+)
+from repro.graph import Graph, is_connected
+from repro.utils import mean
+
+
+class TestWattsStrogatz:
+    def test_ring_structure_at_p_zero(self):
+        g = watts_strogatz_graph(20, 4, 0.0, seed=0)
+        assert all(g.degree(v) == 4 for v in g.nodes())
+        assert g.num_edges == 40
+
+    def test_edge_count_preserved_by_rewiring(self):
+        g = watts_strogatz_graph(30, 4, 0.5, seed=1)
+        assert g.num_edges == 60
+
+    def test_deterministic(self):
+        assert watts_strogatz_graph(25, 4, 0.3, seed=9) == watts_strogatz_graph(
+            25, 4, 0.3, seed=9
+        )
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, 3, 0.1)  # odd k
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(4, 4, 0.1)  # n <= k
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, 4, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        n, m = 100, 3
+        g = barabasi_albert_graph(n, m, seed=0)
+        assert g.num_nodes == n
+        assert g.num_edges == m + (n - m - 1) * m
+
+    def test_min_degree(self):
+        g = barabasi_albert_graph(80, 2, seed=3)
+        assert min(g.degree(v) for v in g.nodes()) >= 2
+
+    def test_heavy_tail(self):
+        g = barabasi_albert_graph(300, 2, seed=5)
+        max_deg = max(g.degree(v) for v in g.nodes())
+        avg = 2 * g.num_edges / g.num_nodes
+        assert max_deg > 4 * avg  # hubs exist
+
+    def test_connected(self):
+        assert is_connected(barabasi_albert_graph(50, 2, seed=1))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(5, 0)
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(3, 3)
+
+
+class TestPowerLawDegrees:
+    def test_bounds(self):
+        degs = power_law_degrees(500, exponent=2.5, min_degree=2, max_degree=50, seed=0)
+        assert len(degs) == 500
+        assert all(2 <= d <= 50 for d in degs)
+
+    def test_heavier_tail_with_smaller_exponent(self):
+        heavy = power_law_degrees(2000, exponent=2.0, min_degree=2, seed=1)
+        light = power_law_degrees(2000, exponent=3.5, min_degree=2, seed=1)
+        assert mean([float(d) for d in heavy]) > mean([float(d) for d in light])
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            power_law_degrees(10, exponent=1.0)
+        with pytest.raises(ValueError):
+            power_law_degrees(10, min_degree=0)
+        with pytest.raises(ValueError):
+            power_law_degrees(10, min_degree=5, max_degree=4)
+        with pytest.raises(ValueError):
+            power_law_degrees(-1)
+
+
+class TestChungLu:
+    def test_expected_degrees_roughly_realized(self):
+        target = [10.0] * 200
+        g = chung_lu_graph(target, seed=2)
+        realized = mean([float(g.degree(v)) for v in g.nodes()])
+        assert abs(realized - 10.0) < 2.5
+
+    def test_zero_weights_isolated(self):
+        g = chung_lu_graph([5.0, 5.0, 0.0], seed=0)
+        assert g.degree(2) == 0
+
+    def test_empty(self):
+        assert chung_lu_graph([]).num_nodes == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chung_lu_graph([-1.0])
+        with pytest.raises(ValueError):
+            chung_lu_graph([0.0, 0.0])
+
+    def test_deterministic(self):
+        w = [3.0] * 50
+        assert chung_lu_graph(w, seed=4) == chung_lu_graph(w, seed=4)
+
+
+class TestPlantedPartition:
+    def test_block_density_contrast(self):
+        g = planted_partition_graph(4, 25, p_in=0.4, p_out=0.01, seed=0)
+        intra = inter = 0
+        for u, v in g.edges():
+            if u // 25 == v // 25:
+                intra += 1
+            else:
+                inter += 1
+        assert intra > 10 * inter
+
+    def test_node_count(self):
+        g = planted_partition_graph(3, 10, 0.5, 0.05, seed=1)
+        assert g.num_nodes == 30
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            planted_partition_graph(0, 10, 0.5, 0.1)
+        with pytest.raises(ValueError):
+            planted_partition_graph(2, 10, 1.5, 0.1)
+
+
+class TestRelaxedCaveman:
+    def test_shape(self):
+        g = relaxed_caveman_graph(5, 8, 0.1, seed=0)
+        assert g.num_nodes == 40
+        # Rewiring preserves or slightly reduces the edge count (rewires
+        # that would self-loop or duplicate are skipped).
+        assert g.num_edges <= 5 * 28
+
+    def test_zero_rewire_is_disjoint_cliques(self):
+        g = relaxed_caveman_graph(3, 5, 0.0, seed=0)
+        assert g.num_edges == 3 * 10
+        assert not is_connected(g)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            relaxed_caveman_graph(1, 5, 0.1)
+        with pytest.raises(ValueError):
+            relaxed_caveman_graph(3, 5, -0.1)

@@ -1,0 +1,183 @@
+"""Unit tests for the undirected adjacency-set graph."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError, SelfLoopError
+from repro.graph import Graph, normalize_edge
+
+
+def triangle() -> Graph:
+    return Graph([(1, 2), (2, 3), (1, 3)])
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert list(g.nodes()) == []
+        assert list(g.edges()) == []
+
+    def test_from_edge_iterable(self):
+        g = triangle()
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+
+    def test_add_node_idempotent(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_node("a")
+        assert g.num_nodes == 1
+        assert g.degree("a") == 0
+
+    def test_add_nodes_bulk(self):
+        g = Graph()
+        g.add_nodes(range(5))
+        assert g.num_nodes == 5
+
+    def test_add_edge_creates_endpoints(self):
+        g = Graph()
+        assert g.add_edge(1, 2) is True
+        assert g.has_node(1) and g.has_node(2)
+
+    def test_add_edge_duplicate_returns_false(self):
+        g = Graph()
+        assert g.add_edge(1, 2) is True
+        assert g.add_edge(2, 1) is False
+        assert g.num_edges == 1
+
+    def test_add_edges_counts_new_only(self):
+        g = Graph()
+        assert g.add_edges([(1, 2), (2, 1), (2, 3)]) == 2
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(SelfLoopError):
+            g.add_edge(1, 1)
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        g = triangle()
+        assert g.remove_edge(1, 2) is True
+        assert not g.has_edge(1, 2)
+        assert not g.has_edge(2, 1)
+        assert g.num_edges == 2
+
+    def test_remove_missing_edge_returns_false(self):
+        g = Graph([(1, 2)])
+        g.add_node(3)
+        assert g.remove_edge(1, 3) is False
+        assert g.num_edges == 1
+
+    def test_remove_edge_unknown_node_raises(self):
+        g = Graph([(1, 2)])
+        with pytest.raises(NodeNotFoundError):
+            g.remove_edge(1, 99)
+
+    def test_remove_node_drops_incident_edges(self):
+        g = triangle()
+        g.remove_node(2)
+        assert g.num_nodes == 2
+        assert g.num_edges == 1
+        assert g.has_edge(1, 3)
+
+    def test_remove_missing_node_raises(self):
+        g = Graph()
+        with pytest.raises(NodeNotFoundError):
+            g.remove_node("ghost")
+
+
+class TestQueries:
+    def test_contains_len_iter(self):
+        g = triangle()
+        assert 1 in g
+        assert 4 not in g
+        assert len(g) == 3
+        assert sorted(g) == [1, 2, 3]
+
+    def test_neighbors_frozen(self):
+        g = triangle()
+        nbrs = g.neighbors(1)
+        assert nbrs == frozenset({2, 3})
+        with pytest.raises(AttributeError):
+            nbrs.add(4)  # type: ignore[attr-defined]
+
+    def test_neighbors_missing_node(self):
+        with pytest.raises(NodeNotFoundError):
+            Graph().neighbors(0)
+
+    def test_degree(self):
+        g = Graph([(1, 2), (1, 3), (1, 4)])
+        assert g.degree(1) == 3
+        assert g.degree(2) == 1
+
+    def test_degree_missing_node(self):
+        with pytest.raises(NodeNotFoundError):
+            Graph().degree(0)
+
+    def test_edges_yielded_once(self):
+        g = triangle()
+        edges = list(g.edges())
+        assert len(edges) == 3
+        assert len(set(edges)) == 3
+        for u, v in edges:
+            assert normalize_edge(u, v) == (u, v)
+
+    def test_common_neighbors(self):
+        g = Graph([(1, 2), (1, 3), (2, 3), (1, 4), (2, 4), (2, 5)])
+        assert g.common_neighbors(1, 2) == frozenset({3, 4})
+
+    def test_common_neighbors_missing_node(self):
+        g = triangle()
+        with pytest.raises(NodeNotFoundError):
+            g.common_neighbors(1, 42)
+
+    def test_total_degree_is_twice_edges(self):
+        g = triangle()
+        assert g.total_degree() == 2 * g.num_edges
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = triangle()
+        h = g.copy()
+        h.remove_edge(1, 2)
+        assert g.has_edge(1, 2)
+        assert not h.has_edge(1, 2)
+
+    def test_copy_equal(self):
+        g = triangle()
+        assert g.copy() == g
+
+    def test_subgraph_induced(self):
+        g = Graph([(1, 2), (2, 3), (3, 4), (4, 1)])
+        sub = g.subgraph([1, 2, 3])
+        assert sub.num_nodes == 3
+        assert sub.has_edge(1, 2)
+        assert sub.has_edge(2, 3)
+        assert not sub.has_edge(3, 4)
+
+    def test_subgraph_ignores_missing_ids(self):
+        g = triangle()
+        sub = g.subgraph([1, 2, 99])
+        assert sub.num_nodes == 2
+
+    def test_relabeled_preserves_structure(self):
+        g = Graph([("a", "b"), ("b", "c")])
+        h, mapping = g.relabeled()
+        assert sorted(mapping.values()) == [0, 1, 2]
+        assert h.num_edges == 2
+        assert h.has_edge(mapping["a"], mapping["b"])
+        assert h.has_edge(mapping["b"], mapping["c"])
+
+
+class TestNormalizeEdge:
+    def test_orders_comparable_ids(self):
+        assert normalize_edge(2, 1) == (1, 2)
+        assert normalize_edge(1, 2) == (1, 2)
+
+    def test_mixed_types_deterministic(self):
+        a = normalize_edge("x", 1)
+        b = normalize_edge(1, "x")
+        assert a == b

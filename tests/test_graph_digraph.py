@@ -1,0 +1,81 @@
+"""Unit tests for the directed graph and the mutual-edge conversion."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError, SelfLoopError
+from repro.graph import DiGraph, mutual_undirected
+
+
+class TestDiGraph:
+    def test_add_arc_and_query(self):
+        d = DiGraph()
+        assert d.add_arc(1, 2) is True
+        assert d.has_arc(1, 2)
+        assert not d.has_arc(2, 1)
+        assert d.num_arcs == 1
+
+    def test_duplicate_arc(self):
+        d = DiGraph([(1, 2)])
+        assert d.add_arc(1, 2) is False
+        assert d.num_arcs == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(SelfLoopError):
+            DiGraph().add_arc(3, 3)
+
+    def test_successors_predecessors(self):
+        d = DiGraph([(1, 2), (3, 2)])
+        assert d.successors(1) == frozenset({2})
+        assert d.predecessors(2) == frozenset({1, 3})
+        assert d.out_degree(1) == 1
+        assert d.in_degree(2) == 2
+
+    def test_missing_node_raises(self):
+        d = DiGraph()
+        with pytest.raises(NodeNotFoundError):
+            d.successors(9)
+        with pytest.raises(NodeNotFoundError):
+            d.predecessors(9)
+        with pytest.raises(NodeNotFoundError):
+            d.out_degree(9)
+        with pytest.raises(NodeNotFoundError):
+            d.in_degree(9)
+
+    def test_container_protocol(self):
+        d = DiGraph([(1, 2)])
+        assert 1 in d
+        assert len(d) == 2
+        assert sorted(d) == [1, 2]
+        assert sorted(d.arcs()) == [(1, 2)]
+
+
+class TestMutualUndirected:
+    def test_keeps_only_reciprocated_arcs(self):
+        d = DiGraph([(1, 2), (2, 1), (2, 3)])
+        g = mutual_undirected(d)
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(2, 3)
+        assert g.num_edges == 1
+
+    def test_drops_isolated_by_default(self):
+        d = DiGraph([(1, 2), (2, 1), (2, 3)])
+        g = mutual_undirected(d)
+        assert not g.has_node(3)
+
+    def test_keep_isolated_flag(self):
+        d = DiGraph([(1, 2), (2, 1), (2, 3)])
+        g = mutual_undirected(d, keep_isolated=True)
+        assert g.has_node(3)
+        assert g.degree(3) == 0
+
+    def test_empty_digraph(self):
+        g = mutual_undirected(DiGraph())
+        assert g.num_nodes == 0
+
+    def test_walkability_guarantee(self):
+        # Every edge of the converted graph exists in both directions in the
+        # original, so a walk step is always replayable (paper §V-A.2).
+        d = DiGraph([(1, 2), (2, 1), (2, 3), (3, 2), (3, 1)])
+        g = mutual_undirected(d)
+        for u, v in g.edges():
+            assert d.has_arc(u, v) and d.has_arc(v, u)

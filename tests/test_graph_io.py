@@ -1,0 +1,92 @@
+"""Unit tests for edge-list and JSON graph serialization."""
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    DiGraph,
+    Graph,
+    read_edge_list,
+    read_graph_json,
+    write_edge_list,
+    write_graph_json,
+)
+
+
+class TestEdgeList:
+    def test_roundtrip_undirected(self, tmp_path):
+        g = Graph([(1, 2), (2, 3), (3, 1)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        h = read_edge_list(path)
+        assert isinstance(h, Graph)
+        assert h == g
+
+    def test_roundtrip_directed(self, tmp_path):
+        d = DiGraph([(1, 2), (2, 1), (3, 1)])
+        path = tmp_path / "d.txt"
+        write_edge_list(d, path)
+        e = read_edge_list(path, directed=True)
+        assert isinstance(e, DiGraph)
+        assert sorted(e.arcs()) == sorted(d.arcs())
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n1 2\n2 3\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_self_loops_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("1 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 1
+
+    def test_duplicate_edges_collapse(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("1 2\n2 1\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 1
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("1\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_non_integer_ids(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+        g = read_edge_list(path, int_ids=False)
+        assert g.has_edge("a", "b")
+
+
+class TestJson:
+    def test_roundtrip_with_isolated_nodes(self, tmp_path):
+        g = Graph([(1, 2)])
+        g.add_node(99)
+        path = tmp_path / "g.json"
+        write_graph_json(g, path)
+        h = read_graph_json(path)
+        assert h == g
+        assert h.has_node(99)
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(GraphFormatError):
+            read_graph_json(path)
+
+    def test_missing_keys(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"nodes": []}')
+        with pytest.raises(GraphFormatError):
+            read_graph_json(path)
+
+    def test_malformed_edge(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"nodes": [1,2], "edges": [[1]]}')
+        with pytest.raises(GraphFormatError):
+            read_graph_json(path)

@@ -1,0 +1,108 @@
+"""Unit tests for graph metrics (Table I statistics)."""
+
+import pytest
+
+import networkx as nx
+
+from repro.graph import (
+    Graph,
+    average_clustering,
+    average_degree,
+    degree_histogram,
+    effective_diameter,
+    graph_stats,
+    local_clustering,
+)
+
+
+def complete_graph(n: int) -> Graph:
+    return Graph((i, j) for i in range(n) for j in range(i + 1, n))
+
+
+class TestDegreeStats:
+    def test_average_degree_complete(self):
+        g = complete_graph(5)
+        assert average_degree(g) == 4.0
+
+    def test_average_degree_empty_raises(self):
+        with pytest.raises(ValueError):
+            average_degree(Graph())
+
+    def test_degree_histogram(self):
+        g = Graph([(0, 1), (0, 2), (0, 3)])  # star
+        assert degree_histogram(g) == {3: 1, 1: 3}
+
+
+class TestClustering:
+    def test_triangle_clustering_is_one(self):
+        g = complete_graph(3)
+        assert local_clustering(g, 0) == 1.0
+        assert average_clustering(g) == 1.0
+
+    def test_star_clustering_is_zero(self):
+        g = Graph([(0, 1), (0, 2), (0, 3)])
+        assert average_clustering(g) == 0.0
+
+    def test_low_degree_nodes_zero(self):
+        g = Graph([(0, 1)])
+        assert local_clustering(g, 0) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            average_clustering(Graph())
+
+    def test_matches_networkx(self):
+        nxg = nx.gnm_random_graph(25, 70, seed=11)
+        g = Graph(nxg.edges())
+        for n in nxg.nodes():
+            g.add_node(n)
+        assert average_clustering(g) == pytest.approx(nx.average_clustering(nxg))
+
+
+class TestEffectiveDiameter:
+    def test_complete_graph_diameter_under_one(self):
+        # All pairs at distance 1: 90% of pairs are within distance < 1
+        # interpolated (SNAP interpolates into the bucket).
+        d = effective_diameter(complete_graph(6))
+        assert 0.0 <= d <= 1.0
+
+    def test_path_graph_interpolation_monotone(self):
+        g = Graph((i, i + 1) for i in range(9))
+        d50 = effective_diameter(g, fraction=0.5)
+        d90 = effective_diameter(g, fraction=0.9)
+        assert d50 < d90
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            effective_diameter(complete_graph(3), fraction=0.0)
+
+    def test_too_small_graph(self):
+        with pytest.raises(ValueError):
+            effective_diameter(Graph())
+
+    def test_no_pairs(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_node(2)
+        with pytest.raises(ValueError):
+            effective_diameter(g)
+
+    def test_sampled_close_to_exact(self):
+        nxg = nx.connected_watts_strogatz_graph(80, 6, 0.2, seed=5)
+        g = Graph(nxg.edges())
+        exact = effective_diameter(g)
+        sampled = effective_diameter(g, sample_size=40, seed=1)
+        assert abs(exact - sampled) < 1.5
+
+
+class TestGraphStats:
+    def test_stats_row(self):
+        g = complete_graph(5)
+        stats = graph_stats(g, name="K5", diameter_sample=None)
+        assert stats.name == "K5"
+        assert stats.num_nodes == 5
+        assert stats.num_edges == 10
+        assert stats.average_degree == 4.0
+        row = stats.as_row()
+        assert row[0] == "K5"
+        assert len(row) == 6

@@ -1,0 +1,122 @@
+"""Unit tests for BFS/DFS traversal, components, and shortest paths."""
+
+import pytest
+
+import networkx as nx
+
+from repro.errors import NodeNotFoundError
+from repro.graph import (
+    Graph,
+    bfs_distances,
+    bfs_order,
+    connected_components,
+    dfs_order,
+    is_connected,
+    largest_connected_component,
+    shortest_path,
+)
+
+
+def path_graph(n: int) -> Graph:
+    return Graph((i, i + 1) for i in range(n - 1))
+
+
+class TestBfs:
+    def test_distances_on_path(self):
+        g = path_graph(5)
+        assert bfs_distances(g, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_distances_exclude_unreachable(self):
+        g = Graph([(0, 1)])
+        g.add_edge(2, 3)
+        d = bfs_distances(g, 0)
+        assert 2 not in d and 3 not in d
+
+    def test_missing_source(self):
+        with pytest.raises(NodeNotFoundError):
+            bfs_distances(Graph(), 0)
+
+    def test_bfs_order_starts_at_source(self):
+        g = path_graph(4)
+        order = list(bfs_order(g, 2))
+        assert order[0] == 2
+        assert set(order) == {0, 1, 2, 3}
+
+    def test_bfs_order_missing_source(self):
+        with pytest.raises(NodeNotFoundError):
+            list(bfs_order(Graph(), 7))
+
+
+class TestDfs:
+    def test_visits_component(self):
+        g = path_graph(4)
+        assert set(dfs_order(g, 0)) == {0, 1, 2, 3}
+
+    def test_missing_source(self):
+        with pytest.raises(NodeNotFoundError):
+            list(dfs_order(Graph(), 7))
+
+
+class TestShortestPath:
+    def test_trivial(self):
+        g = path_graph(3)
+        assert shortest_path(g, 1, 1) == [1]
+
+    def test_path_endpoints_and_length(self):
+        g = path_graph(6)
+        p = shortest_path(g, 0, 5)
+        assert p is not None
+        assert p[0] == 0 and p[-1] == 5
+        assert len(p) == 6
+
+    def test_none_when_disconnected(self):
+        g = Graph([(0, 1), (2, 3)])
+        assert shortest_path(g, 0, 3) is None
+
+    def test_matches_networkx_on_random_graph(self):
+        nxg = nx.gnm_random_graph(30, 60, seed=7)
+        g = Graph(nxg.edges())
+        for n in nxg.nodes():
+            g.add_node(n)
+        for s, t in [(0, 10), (3, 25), (5, 29)]:
+            ours = shortest_path(g, s, t)
+            if nx.has_path(nxg, s, t):
+                assert ours is not None
+                assert len(ours) - 1 == nx.shortest_path_length(nxg, s, t)
+            else:
+                assert ours is None
+
+    def test_missing_endpoint(self):
+        g = path_graph(2)
+        with pytest.raises(NodeNotFoundError):
+            shortest_path(g, 0, 99)
+
+
+class TestComponents:
+    def test_components_sorted_by_size(self):
+        g = Graph([(0, 1), (1, 2), (10, 11)])
+        comps = connected_components(g)
+        assert [len(c) for c in comps] == [3, 2]
+
+    def test_is_connected(self):
+        assert is_connected(path_graph(4))
+        assert is_connected(Graph())  # empty counts as connected
+        assert not is_connected(Graph([(0, 1), (2, 3)]))
+
+    def test_lcc_extraction(self):
+        g = Graph([(0, 1), (1, 2), (10, 11)])
+        lcc = largest_connected_component(g)
+        assert set(lcc.nodes()) == {0, 1, 2}
+        assert lcc.num_edges == 2
+
+    def test_lcc_of_empty(self):
+        assert largest_connected_component(Graph()).num_nodes == 0
+
+    def test_components_match_networkx(self):
+        nxg = nx.gnm_random_graph(40, 30, seed=3)
+        g = Graph(nxg.edges())
+        for n in nxg.nodes():
+            g.add_node(n)
+        ours = sorted(sorted(c) for c in connected_components(g))
+        theirs = sorted(sorted(c) for c in nx.connected_components(nxg))
+        assert ours == theirs

@@ -1,0 +1,100 @@
+"""End-to-end integration tests: the full third-party analyst pipeline.
+
+Each test plays the role the paper's introduction describes — a third
+party with nothing but the restrictive interface — and exercises the whole
+stack at once: dataset stand-in → rate-limited interface → walker →
+convergence → importance-sampled aggregate → comparison against the
+ground truth only the simulation can see.
+"""
+
+import pytest
+
+from repro import (
+    AggregateQuery,
+    MTOSampler,
+    SimpleRandomWalk,
+    estimate,
+    ground_truth,
+)
+from repro.convergence import FixedLengthMonitor
+from repro.datasets import DATASET_NAMES, load
+from repro.errors import QueryBudgetExhaustedError
+from repro.experiments.runner import make_sampler
+from repro.interface import FixedWindowRateLimiter
+
+
+class TestEverySamplerOnEveryDataset:
+    @pytest.mark.parametrize("dataset", DATASET_NAMES)
+    @pytest.mark.parametrize("sampler_name", ["SRW", "MTO", "MHRW", "RJ", "NBRW"])
+    def test_degree_estimate_in_band(self, dataset, sampler_name):
+        net = load(dataset, seed=1, scale=0.15)
+        truth = ground_truth(AggregateQuery.average_degree(), net.graph)
+        sampler = make_sampler(sampler_name, net, seed=3)
+        run = sampler.run(num_samples=1200)
+        result = estimate(AggregateQuery.average_degree(), run.samples, sampler.api)
+        # Wide band: tiny stand-ins + finite samples; catches gross bias
+        # and any crash in the pipeline.
+        assert abs(result.estimate - truth) / truth < 0.5
+        assert result.query_cost <= net.graph.num_nodes
+
+
+class TestCountAndSumEstimation:
+    def test_count_via_published_total(self):
+        net = load("google_plus_like", seed=2, scale=0.2)
+        query = AggregateQuery.count_where(
+            "adults", lambda r: r.attributes.get("age", 0) >= 30
+        )
+        truth = ground_truth(query, net.graph, net.profiles)
+        api = net.interface()
+        sampler = MTOSampler(api, start=net.seed_node(1), seed=5)
+        run = sampler.run(num_samples=2500)
+        result = estimate(query, run.samples, api)
+        assert truth > 0
+        assert abs(result.estimate - truth) / truth < 0.35
+
+    def test_sum_attribute(self):
+        net = load("google_plus_like", seed=2, scale=0.2)
+        query = AggregateQuery.sum_attribute("posts")
+        truth = ground_truth(query, net.graph, net.profiles)
+        api = net.interface()
+        sampler = SimpleRandomWalk(api, start=net.seed_node(2), seed=6)
+        run = sampler.run(num_samples=2500)
+        result = estimate(query, run.samples, api)
+        assert abs(result.estimate - truth) / truth < 0.4
+
+
+class TestOperationalConstraintsCombined:
+    def test_rate_limit_budget_and_privates_together(self):
+        net = load("epinions_like", seed=3, scale=0.15)
+        nodes = sorted(net.graph.nodes())
+        private = frozenset(nodes[::23])
+        from repro.interface import RestrictedSocialAPI
+
+        api = RestrictedSocialAPI(
+            net.graph,
+            profiles=net.profiles,
+            rate_limiter=FixedWindowRateLimiter(100, 60.0),
+            query_budget=120,
+            inaccessible=private,
+        )
+        start = next(n for n in nodes if n not in private)
+        sampler = MTOSampler(api, start=start, seed=7)
+        with pytest.raises(QueryBudgetExhaustedError):
+            while True:
+                sampler.step()
+        # Budget fully (and exactly) consumed; the clock advanced one
+        # second per successful billed query (refusals bill but take no
+        # simulated time in this model), so it sits at cost − refusals.
+        assert api.query_cost == 120
+        assert 0 < api.clock.now() <= 120.0
+
+    def test_burned_in_estimate_with_monitor(self):
+        net = load("slashdot_a_like", seed=4, scale=0.15)
+        truth = ground_truth(AggregateQuery.average_degree(), net.graph)
+        api = net.interface()
+        sampler = SimpleRandomWalk(api, start=net.seed_node(3), seed=8)
+        run = sampler.run(num_samples=800, monitor=FixedLengthMonitor(300))
+        assert run.converged
+        assert run.burn_in_steps >= 300
+        result = estimate(AggregateQuery.average_degree(), run.samples, api)
+        assert abs(result.estimate - truth) / truth < 0.5

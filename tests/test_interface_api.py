@@ -1,0 +1,136 @@
+"""Unit tests for the restrictive q(v) interface."""
+
+import pytest
+
+from repro.datastore import DocumentStore
+from repro.errors import QueryBudgetExhaustedError, UnknownUserError
+from repro.graph import Graph
+from repro.interface import (
+    FixedWindowRateLimiter,
+    NeighborhoodCache,
+    RestrictedSocialAPI,
+)
+
+
+def small_net() -> Graph:
+    return Graph([(1, 2), (2, 3), (3, 1), (3, 4)])
+
+
+class TestQuery:
+    def test_returns_full_neighborhood(self):
+        api = RestrictedSocialAPI(small_net())
+        resp = api.query(3)
+        assert resp.neighbors == frozenset({1, 2, 4})
+        assert resp.degree == 3
+        assert resp.from_cache is False
+
+    def test_unknown_user(self):
+        api = RestrictedSocialAPI(small_net())
+        with pytest.raises(UnknownUserError):
+            api.query(99)
+
+    def test_attributes_served_from_profiles(self):
+        profiles = DocumentStore()
+        profiles.insert(1, {"self_description": "hello world"})
+        api = RestrictedSocialAPI(small_net(), profiles=profiles)
+        assert api.query(1).attributes["self_description"] == "hello world"
+        assert api.query(2).attributes == {}
+
+    def test_published_user_count(self):
+        api = RestrictedSocialAPI(small_net())
+        assert api.published_user_count() == 4
+
+
+class TestCostAccounting:
+    def test_unique_cost_only(self):
+        api = RestrictedSocialAPI(small_net())
+        api.query(1)
+        api.query(2)
+        repeat = api.query(1)
+        assert repeat.from_cache is True
+        assert api.query_cost == 2
+        assert api.total_queries == 3
+
+    def test_cached_degree_free(self):
+        api = RestrictedSocialAPI(small_net())
+        assert api.cached_degree(3) is None
+        api.query(3)
+        cost = api.query_cost
+        assert api.cached_degree(3) == 3
+        assert api.query_cost == cost  # no extra spend
+
+    def test_reset_accounting(self):
+        api = RestrictedSocialAPI(small_net())
+        api.query(1)
+        api.reset_accounting()
+        assert api.query_cost == 0
+        assert api.cached_degree(1) is None
+
+    def test_budget_enforced(self):
+        api = RestrictedSocialAPI(small_net(), query_budget=2)
+        api.query(1)
+        api.query(2)
+        assert api.remaining_budget() == 0
+        api.query(1)  # cache hit is still allowed
+        with pytest.raises(QueryBudgetExhaustedError):
+            api.query(3)
+
+    def test_remaining_budget_none_when_unbounded(self):
+        api = RestrictedSocialAPI(small_net())
+        assert api.remaining_budget() is None
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            RestrictedSocialAPI(small_net(), query_budget=0)
+
+
+class TestRateLimiting:
+    def test_clock_advances_per_billed_query(self):
+        api = RestrictedSocialAPI(small_net(), seconds_per_query=2.0)
+        api.query(1)
+        api.query(2)
+        assert api.clock.now() == pytest.approx(4.0)
+        api.query(1)  # cache hit: no time cost
+        assert api.clock.now() == pytest.approx(4.0)
+
+    def test_throttled_query_waits_on_simulated_time(self):
+        limiter = FixedWindowRateLimiter(2, 100.0)
+        api = RestrictedSocialAPI(small_net(), rate_limiter=limiter, seconds_per_query=1.0)
+        api.query(1)
+        api.query(2)
+        api.query(3)  # third billed query must wait for the next window
+        assert api.clock.now() >= 100.0
+        assert api.query_cost == 3
+
+    def test_invalid_seconds_per_query(self):
+        with pytest.raises(ValueError):
+            RestrictedSocialAPI(small_net(), seconds_per_query=-1)
+
+
+class TestNeighborhoodCache:
+    def test_put_and_lookup(self):
+        cache = NeighborhoodCache()
+        cache.put("u", frozenset({1, 2}), {"x": 1})
+        assert cache.has("u")
+        assert cache.neighbors("u") == frozenset({1, 2})
+        assert cache.attributes("u") == {"x": 1}
+        assert cache.degree("u") == 2
+
+    def test_missing_user(self):
+        cache = NeighborhoodCache()
+        assert not cache.has("u")
+        assert cache.neighbors("u") is None
+        assert cache.attributes("u") is None
+        assert cache.degree("u") is None
+
+    def test_known_users(self):
+        cache = NeighborhoodCache()
+        cache.put("a", frozenset(), {})
+        cache.put("b", frozenset({1}), {})
+        assert cache.known_users() == frozenset({"a", "b"})
+
+    def test_clear(self):
+        cache = NeighborhoodCache()
+        cache.put("a", frozenset(), {})
+        cache.clear()
+        assert not cache.has("a")

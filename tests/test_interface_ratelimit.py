@@ -1,0 +1,105 @@
+"""Unit tests for rate limiters and the simulated clock."""
+
+import pytest
+
+from repro.errors import RateLimitExceededError
+from repro.interface import (
+    FixedWindowRateLimiter,
+    SimulatedClock,
+    TokenBucketRateLimiter,
+    UnlimitedRateLimiter,
+)
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now() == 0.0
+
+    def test_advance(self):
+        c = SimulatedClock(start=5.0)
+        c.advance(2.5)
+        assert c.now() == 7.5
+        assert c() == 7.5
+
+    def test_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1)
+
+
+class TestUnlimited:
+    def test_always_admits(self):
+        rl = UnlimitedRateLimiter()
+        assert all(rl.try_acquire(t) == 0.0 for t in range(100))
+
+
+class TestFixedWindow:
+    def test_admits_up_to_limit(self):
+        rl = FixedWindowRateLimiter(3, 10.0)
+        assert rl.try_acquire(0.0) == 0.0
+        assert rl.try_acquire(1.0) == 0.0
+        assert rl.try_acquire(2.0) == 0.0
+
+    def test_throttles_after_limit(self):
+        rl = FixedWindowRateLimiter(2, 10.0)
+        rl.try_acquire(0.0)
+        rl.try_acquire(1.0)
+        wait = rl.try_acquire(4.0)
+        assert wait == pytest.approx(6.0)  # until t=10
+
+    def test_window_resets(self):
+        rl = FixedWindowRateLimiter(1, 10.0)
+        assert rl.try_acquire(0.0) == 0.0
+        assert rl.try_acquire(5.0) > 0
+        assert rl.try_acquire(10.0) == 0.0
+
+    def test_acquire_or_raise(self):
+        rl = FixedWindowRateLimiter(1, 10.0)
+        rl.acquire_or_raise(0.0)
+        with pytest.raises(RateLimitExceededError) as err:
+            rl.acquire_or_raise(0.0)
+        assert err.value.retry_after == pytest.approx(10.0)
+
+    def test_presets(self):
+        fb = FixedWindowRateLimiter.facebook()
+        assert (fb.limit, fb.window) == (600, 600.0)
+        tw = FixedWindowRateLimiter.twitter()
+        assert (tw.limit, tw.window) == (350, 3600.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            FixedWindowRateLimiter(0, 10.0)
+        with pytest.raises(ValueError):
+            FixedWindowRateLimiter(1, 0.0)
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        rl = TokenBucketRateLimiter(rate=1.0, burst=2)
+        assert rl.try_acquire(0.0) == 0.0
+        assert rl.try_acquire(0.0) == 0.0
+        wait = rl.try_acquire(0.0)
+        assert wait == pytest.approx(1.0)
+
+    def test_refill(self):
+        rl = TokenBucketRateLimiter(rate=2.0, burst=1)
+        assert rl.try_acquire(0.0) == 0.0
+        assert rl.try_acquire(0.5) == 0.0  # refilled one token in 0.5s
+        assert rl.try_acquire(0.5) > 0.0
+
+    def test_burst_cap(self):
+        rl = TokenBucketRateLimiter(rate=1.0, burst=2)
+        rl.try_acquire(0.0)
+        # After a very long idle period the bucket holds at most `burst`.
+        assert rl.try_acquire(1000.0) == 0.0
+        assert rl.try_acquire(1000.0) == 0.0
+        assert rl.try_acquire(1000.0) > 0.0
+
+    def test_default_burst_is_rate(self):
+        rl = TokenBucketRateLimiter(rate=3.0)
+        assert rl.burst == 3.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TokenBucketRateLimiter(rate=0)
+        with pytest.raises(ValueError):
+            TokenBucketRateLimiter(rate=1.0, burst=0)

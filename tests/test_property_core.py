@@ -1,0 +1,182 @@
+"""Property-based tests for the paper's core claims.
+
+These check the theorems' *semantic* content on random graphs where the
+ground truth (minimum-conductance cuts, cross-cutting edges) is computable
+exactly:
+
+* Theorem 3 / Theorem 5 soundness: an edge the criterion certifies is
+  never a cross-cutting edge (Definition 4);
+* removal monotonicity: deleting a certified edge never lowers the
+  paper's conductance on connected graphs;
+* Theorem 5 dominates Theorem 3 (extra knowledge never certifies less);
+* estimator consistency: importance weights reproduce exact averages
+  when every node is sampled proportionally to any positive weights.
+"""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.conductance import (
+    cross_cutting_edges,
+    cut_conductance,
+    min_conductance_exact,
+)
+from repro.core.criteria import extension_criterion, is_removable, removal_criterion
+from repro.graph import Graph, is_connected
+
+
+@st.composite
+def connected_graphs(draw, min_nodes=4, max_nodes=9):
+    """Small connected random graphs with exact analysis tractable."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    g = Graph()
+    g.add_nodes(range(n))
+    # Random spanning tree first (guarantees connectivity)...
+    for v in range(1, n):
+        parent = draw(st.integers(0, v - 1))
+        g.add_edge(parent, v)
+    # ...then extra random edges.
+    extra = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda p: p[0] != p[1]
+            ),
+            max_size=2 * n,
+        )
+    )
+    g.add_edges(extra)
+    return g
+
+
+@st.composite
+def community_graphs(draw, min_block=4, max_block=6):
+    """Two dense blocks + few bridges — Theorem 3's stated regime.
+
+    The theorem's proof assumes "the number of edges in S or S̄ is much
+    greater than the number of cross-cutting edges"; on arbitrary tiny
+    graphs (a triangle, say) the criterion can certify a cross-cutting
+    edge, so soundness is only claimed — and only tested — in this
+    regime.
+    """
+    a = draw(st.integers(min_block, max_block))
+    b = draw(st.integers(min_block, max_block))
+    g = Graph()
+    g.add_nodes(range(a + b))
+    for block_start, block_len in ((0, a), (a, b)):
+        members = range(block_start, block_start + block_len)
+        for i in members:
+            for j in members:
+                if i < j and draw(st.integers(0, 3)) > 0:  # ~75% density
+                    g.add_edge(i, j)
+        # Force block connectivity (chain) so the whole graph stays
+        # connected through the bridge.
+        for i in range(block_start, block_start + block_len - 1):
+            g.add_edge(i, i + 1)
+    bridges = draw(st.integers(1, 2))
+    for k in range(bridges):
+        g.add_edge(k % a, a + (k % b))
+    return g
+
+
+class TestCriterionSoundness:
+    @settings(max_examples=40, deadline=None)
+    @given(community_graphs())
+    def test_certified_edges_are_not_cross_cutting(self, g):
+        # Only meaningful in the theorem's regime: each side of the
+        # minimizing cut must carry clearly more edges than the cut.
+        best = min_conductance_exact(g, max_nodes=12)
+        assume(best.conductance <= 1 / 3)
+        crossing = cross_cutting_edges(g, max_nodes=12)
+        for u, v in g.edges():
+            if is_removable(g, u, v):
+                assert (u, v) not in crossing, (
+                    f"Theorem 3 certified cross-cutting edge {(u, v)} in "
+                    f"{sorted(g.edges())}"
+                )
+
+    @settings(max_examples=25, deadline=None)
+    @given(community_graphs())
+    def test_removal_never_lowers_conductance(self, g):
+        best = min_conductance_exact(g, max_nodes=12)
+        assume(best.conductance <= 1 / 3)
+        removable = [
+            (u, v)
+            for u, v in g.edges()
+            if g.degree(u) > 1 and g.degree(v) > 1 and is_removable(g, u, v)
+        ]
+        assume(removable)
+        phi_before = best.conductance
+        for u, v in removable:
+            h = g.copy()
+            h.remove_edge(u, v)
+            if not is_connected(h):
+                continue
+            phi_after = min_conductance_exact(h, max_nodes=12).conductance
+            assert phi_after >= phi_before - 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(0, 12),
+        st.integers(1, 15),
+        st.integers(1, 15),
+        st.dictionaries(st.integers(0, 11), st.integers(2, 3), max_size=6),
+    )
+    def test_extension_dominates_theorem3(self, common, ku, kv, cache):
+        cache = {w: k for w, k in cache.items() if w < common}
+        assume(len(cache) <= common)
+        if removal_criterion(common, ku, kv):
+            assert extension_criterion(common, ku, kv, cache)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 20), st.integers(1, 30), st.integers(1, 30))
+    def test_criterion_symmetric_in_degrees(self, common, ku, kv):
+        assume(common <= min(ku, kv))
+        assert removal_criterion(common, ku, kv) == removal_criterion(common, kv, ku)
+
+
+class TestConductanceProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(connected_graphs())
+    def test_minimum_is_a_lower_bound(self, g):
+        best = min_conductance_exact(g)
+        # Spot-check a handful of cuts against the reported minimum.
+        nodes = sorted(g.nodes())
+        for k in range(1, min(4, len(nodes))):
+            side = set(nodes[:k])
+            assert cut_conductance(g, side) >= best.conductance - 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(connected_graphs())
+    def test_reported_side_attains_reported_value(self, g):
+        best = min_conductance_exact(g)
+        assert cut_conductance(g, best.side) == best.conductance
+
+    @settings(max_examples=30, deadline=None)
+    @given(connected_graphs())
+    def test_conductance_in_unit_interval(self, g):
+        phi = min_conductance_exact(g).conductance
+        assert 0 < phi <= 1.0 or math.isinf(phi)
+
+
+class TestEstimatorProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.1, 100, allow_nan=False),  # value
+                st.floats(0.01, 10, allow_nan=False),  # sampling prob ∝
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_weighted_average_recovers_truth_on_full_census(self, rows):
+        # If every item i is "sampled" once with weight 1/p_i after being
+        # drawn with probability ∝ p_i... a census visit with weights
+        # 1/p_i × multiplicity p_i cancels exactly.
+        truth = sum(v for v, _ in rows) / len(rows)
+        num = sum(v * p * (1.0 / p) for v, p in rows)
+        den = sum(p * (1.0 / p) for v, p in rows)
+        assert abs(num / den - truth) < 1e-9

@@ -1,0 +1,83 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph, connected_components, normalize_edge
+from repro.graph.metrics import degree_histogram
+
+
+def edge_lists(max_nodes: int = 12, max_edges: int = 40):
+    nodes = st.integers(min_value=0, max_value=max_nodes - 1)
+    pair = st.tuples(nodes, nodes).filter(lambda p: p[0] != p[1])
+    return st.lists(pair, max_size=max_edges)
+
+
+class TestGraphInvariants:
+    @given(edge_lists())
+    def test_handshake_lemma(self, edges):
+        g = Graph(edges)
+        assert sum(g.degree(v) for v in g.nodes()) == 2 * g.num_edges
+
+    @given(edge_lists())
+    def test_edges_iterated_once_and_canonical(self, edges):
+        g = Graph(edges)
+        seen = list(g.edges())
+        assert len(seen) == len(set(seen)) == g.num_edges
+        for u, v in seen:
+            assert normalize_edge(u, v) == (u, v)
+            assert g.has_edge(u, v) and g.has_edge(v, u)
+
+    @given(edge_lists())
+    def test_copy_independence(self, edges):
+        g = Graph(edges)
+        h = g.copy()
+        for u, v in list(h.edges()):
+            h.remove_edge(u, v)
+        assert h.num_edges == 0
+        assert g.num_edges == len({normalize_edge(u, v) for u, v in edges})
+
+    @given(edge_lists())
+    def test_remove_all_edges_leaves_nodes(self, edges):
+        g = Graph(edges)
+        n = g.num_nodes
+        for u, v in list(g.edges()):
+            assert g.remove_edge(u, v)
+        assert g.num_nodes == n
+        assert all(g.degree(v) == 0 for v in g.nodes())
+
+    @given(edge_lists())
+    def test_components_partition_nodes(self, edges):
+        g = Graph(edges)
+        comps = connected_components(g)
+        union = set()
+        total = 0
+        for c in comps:
+            assert not (union & c)  # disjoint
+            union |= c
+            total += len(c)
+        assert union == set(g.nodes())
+        assert total == g.num_nodes
+
+    @given(edge_lists())
+    def test_degree_histogram_counts_nodes(self, edges):
+        g = Graph(edges)
+        hist = degree_histogram(g)
+        assert sum(hist.values()) == g.num_nodes
+
+    @given(edge_lists(), st.integers(min_value=0, max_value=11))
+    def test_subgraph_edges_subset(self, edges, cutoff):
+        g = Graph(edges)
+        keep = [v for v in g.nodes() if isinstance(v, int) and v <= cutoff]
+        sub = g.subgraph(keep)
+        for u, v in sub.edges():
+            assert g.has_edge(u, v)
+        assert set(sub.nodes()) <= set(g.nodes())
+
+    @given(edge_lists())
+    def test_relabel_preserves_degree_sequence(self, edges):
+        g = Graph(edges)
+        h, mapping = g.relabeled()
+        assert sorted(g.degree(v) for v in g.nodes()) == sorted(
+            h.degree(v) for v in h.nodes()
+        )

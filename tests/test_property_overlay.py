@@ -1,0 +1,111 @@
+"""Property tests for overlay consistency and public API sanity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core.overlay import OverlayGraph
+from repro.errors import EdgeNotFoundError, ExperimentError
+from repro.generators import complete_graph
+from repro.interface import RestrictedSocialAPI
+
+
+@st.composite
+def modification_scripts(draw):
+    """Sequences of (op, u, v) overlay actions on K6."""
+    ops = st.tuples(
+        st.sampled_from(["materialize", "remove", "add"]),
+        st.integers(0, 5),
+        st.integers(0, 5),
+    )
+    return draw(st.lists(ops, max_size=25))
+
+
+class TestOverlaySymmetryProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(modification_scripts())
+    def test_materialized_views_always_symmetric(self, script):
+        api = RestrictedSocialAPI(complete_graph(6))
+        overlay = OverlayGraph(api)
+        for op, u, v in script:
+            if op == "materialize":
+                overlay.ensure_known(u)
+            elif u != v:
+                try:
+                    if op == "remove":
+                        overlay.remove_edge(u, v)
+                    else:
+                        overlay.add_edge(u, v)
+                except EdgeNotFoundError:
+                    pass
+        known = list(overlay.known_nodes())
+        for a in known:
+            for b in known:
+                if a == b:
+                    continue
+                assert overlay.has_edge(a, b) == overlay.has_edge(b, a)
+
+    @settings(max_examples=40, deadline=None)
+    @given(modification_scripts())
+    def test_lazy_materialization_agrees_with_eager(self, script):
+        # Applying the same script with eager vs lazy materialization of a
+        # probe node must produce the same final neighborhood for it.
+        def run(eager: bool):
+            api = RestrictedSocialAPI(complete_graph(6))
+            overlay = OverlayGraph(api)
+            if eager:
+                overlay.ensure_known(0)
+            for op, u, v in script:
+                if op == "materialize":
+                    overlay.ensure_known(u)
+                elif u != v:
+                    try:
+                        if op == "remove":
+                            overlay.remove_edge(u, v)
+                        else:
+                            overlay.add_edge(u, v)
+                    except EdgeNotFoundError:
+                        return None  # eager/lazy may differ in error timing
+                    except Exception:
+                        raise
+            overlay.ensure_known(0)
+            return overlay.neighbors(0)
+
+        eager = run(True)
+        lazy = run(False)
+        if eager is not None and lazy is not None:
+            assert eager == lazy
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackage_exports_resolve(self):
+        import repro.analysis as analysis
+        import repro.convergence as convergence
+        import repro.datasets as datasets
+        import repro.generators as generators
+        import repro.graph as graph
+        import repro.interface as interface
+        import repro.walks as walks
+
+        for module in (analysis, convergence, datasets, generators, graph, interface, walks):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_runner_rejects_bad_runs(self):
+        from repro.aggregates.queries import AggregateQuery
+        from repro.datasets import load
+        from repro.experiments.runner import mean_cost_at_error_curve
+
+        net = load("epinions_like", seed=0, scale=0.1)
+        with pytest.raises(ExperimentError):
+            mean_cost_at_error_curve(
+                net, AggregateQuery.average_degree(), 5.0, "SRW", [0.1], runs=0
+            )

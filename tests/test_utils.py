@@ -1,0 +1,114 @@
+"""Unit tests for shared utilities (rng, stats, tables)."""
+
+import math
+import random
+
+import pytest
+
+from repro.utils import (
+    OnlineMeanVar,
+    confidence_interval,
+    ensure_rng,
+    format_series,
+    format_table,
+    mean,
+    relative_error,
+    spawn_rng,
+    variance,
+)
+from repro.utils.rng import choice_from_set
+
+
+class TestRng:
+    def test_ensure_rng_from_none(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_ensure_rng_from_int_deterministic(self):
+        assert ensure_rng(7).random() == ensure_rng(7).random()
+
+    def test_ensure_rng_passthrough(self):
+        rng = random.Random(1)
+        assert ensure_rng(rng) is rng
+
+    def test_spawn_rng_streams_differ(self):
+        parent = random.Random(0)
+        a = spawn_rng(parent, 0)
+        parent2 = random.Random(0)
+        b = spawn_rng(parent2, 1)
+        assert a.random() != b.random()
+
+    def test_spawn_rng_reproducible(self):
+        a = spawn_rng(random.Random(5), 3)
+        b = spawn_rng(random.Random(5), 3)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_choice_from_set_uniform(self):
+        rng = random.Random(0)
+        items = {"a", "b", "c"}
+        counts = {k: 0 for k in items}
+        for _ in range(3000):
+            counts[choice_from_set(rng, items)] += 1
+        for k in items:
+            assert abs(counts[k] / 3000 - 1 / 3) < 0.05
+
+    def test_choice_from_empty_set(self):
+        with pytest.raises(IndexError):
+            choice_from_set(random.Random(0), set())
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_variance(self):
+        assert variance([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0], ddof=0) == 4.0
+        with pytest.raises(ValueError):
+            variance([1.0])
+
+    def test_relative_error(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+    def test_confidence_interval_contains_mean(self):
+        lo, hi = confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert lo < 2.5 < hi
+
+    def test_confidence_interval_single_point(self):
+        assert confidence_interval([5.0]) == (5.0, 5.0)
+
+    def test_online_meanvar_matches_batch(self):
+        rng = random.Random(2)
+        xs = [rng.gauss(3, 2) for _ in range(500)]
+        acc = OnlineMeanVar()
+        acc.extend(xs)
+        assert acc.count == 500
+        assert acc.mean == pytest.approx(mean(xs))
+        assert acc.sample_variance == pytest.approx(variance(xs), rel=1e-9)
+
+    def test_online_meanvar_degenerate(self):
+        acc = OnlineMeanVar()
+        assert acc.mean == 0.0
+        assert acc.variance == 0.0
+        acc.add(1.0)
+        assert acc.variance == 0.0
+
+
+class TestTables:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [[1, 2.34567], [10, 3.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.346" in text  # 4 significant digits
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) == 1  # all rows same width
+
+    def test_format_series_shape(self):
+        text = format_series({"s1": [1.0, 2.0]}, "x", [10, 20])
+        assert "s1" in text and "10" in text and "20" in text
+
+    def test_format_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series({"s1": [1.0]}, "x", [10, 20])

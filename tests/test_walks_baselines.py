@@ -1,0 +1,157 @@
+"""Unit tests for SRW, MHRW, and Random Jump samplers."""
+
+from collections import Counter
+
+import pytest
+
+from repro.convergence import FixedLengthMonitor
+from repro.errors import WalkError
+from repro.generators import complete_graph, paper_barbell, star_graph
+from repro.graph import Graph
+from repro.interface import RestrictedSocialAPI
+from repro.walks import MetropolisHastingsWalk, RandomJumpWalk, SimpleRandomWalk
+
+
+def api_for(graph: Graph) -> RestrictedSocialAPI:
+    return RestrictedSocialAPI(graph)
+
+
+class TestSimpleRandomWalk:
+    def test_steps_follow_edges(self):
+        g = paper_barbell()
+        api = api_for(g)
+        walk = SimpleRandomWalk(api, start=0, seed=1)
+        prev = walk.current
+        for _ in range(30):
+            nxt = walk.step()
+            assert g.has_edge(prev, nxt)
+            prev = nxt
+
+    def test_one_query_per_new_node(self):
+        g = complete_graph(6)
+        api = api_for(g)
+        walk = SimpleRandomWalk(api, start=0, seed=2)
+        for _ in range(100):
+            walk.step()
+        # All 6 nodes visited; cost is exactly the unique nodes seen.
+        assert api.query_cost == 6
+
+    def test_weight_is_inverse_degree(self):
+        g = star_graph(4)
+        api = api_for(g)
+        walk = SimpleRandomWalk(api, start=0, seed=0)
+        walk.step()
+        assert walk.weight(0) == pytest.approx(1 / 4)
+
+    def test_stationary_degree_proportional(self):
+        # On the star, SRW alternates hub/leaf: hub mass 1/2, leaves 1/8.
+        g = star_graph(4)
+        api = api_for(g)
+        walk = SimpleRandomWalk(api, start=0, seed=3)
+        visits = Counter()
+        for _ in range(4000):
+            visits[walk.step()] += 1
+        hub_freq = visits[0] / 4000
+        assert abs(hub_freq - 0.5) < 0.05
+
+    def test_trace_grows_per_step(self):
+        api = api_for(complete_graph(4))
+        walk = SimpleRandomWalk(api, start=0, seed=1)
+        assert len(walk.trace) == 1  # the start node
+        walk.step()
+        assert len(walk.trace) == 2
+
+    def test_run_collects_requested_samples(self):
+        api = api_for(paper_barbell())
+        walk = SimpleRandomWalk(api, start=0, seed=5)
+        run = walk.run(num_samples=25, monitor=FixedLengthMonitor(50))
+        assert len(run.samples) == 25
+        assert run.burn_in_steps >= 50
+        assert run.converged
+
+    def test_run_thinning_spaces_samples(self):
+        api = api_for(paper_barbell())
+        walk = SimpleRandomWalk(api, start=0, seed=5)
+        run = walk.run(num_samples=5, thinning=10)
+        steps = [s.step for s in run.samples]
+        assert all(b - a >= 10 for a, b in zip(steps, steps[1:]))
+
+    def test_run_invalid_params(self):
+        api = api_for(complete_graph(3))
+        walk = SimpleRandomWalk(api, start=0, seed=0)
+        with pytest.raises(ValueError):
+            walk.run(num_samples=0)
+        with pytest.raises(ValueError):
+            walk.run(num_samples=1, thinning=0)
+
+    def test_unconverged_when_budget_exhausted(self):
+        from repro.convergence import NeverConvergedMonitor
+
+        api = api_for(complete_graph(4))
+        walk = SimpleRandomWalk(api, start=0, seed=0)
+        run = walk.run(num_samples=3, monitor=NeverConvergedMonitor(), max_steps=40)
+        assert not run.converged
+
+
+class TestMetropolisHastings:
+    def test_uniform_stationary_on_star(self):
+        # MHRW equalizes hub and leaves: hub frequency ≈ 1/5, not 1/2.
+        g = star_graph(4)
+        api = api_for(g)
+        walk = MetropolisHastingsWalk(api, start=0, seed=4)
+        visits = Counter()
+        for _ in range(6000):
+            visits[walk.step()] += 1
+        hub_freq = visits[0] / 6000
+        assert abs(hub_freq - 0.2) < 0.05
+
+    def test_weight_is_one(self):
+        api = api_for(complete_graph(4))
+        walk = MetropolisHastingsWalk(api, start=0, seed=0)
+        walk.step()
+        assert walk.weight(walk.current) == 1.0
+
+    def test_rejection_costs_queries(self):
+        # From a leaf of the star, proposals always accept toward the hub;
+        # from the hub, proposals mostly reject but still query leaves.
+        g = star_graph(6)
+        api = api_for(g)
+        walk = MetropolisHastingsWalk(api, start=0, seed=1)
+        for _ in range(50):
+            walk.step()
+        assert api.query_cost >= 4  # several leaves were queried
+
+
+class TestRandomJump:
+    def test_requires_id_space(self):
+        api = api_for(complete_graph(3))
+        with pytest.raises(WalkError):
+            RandomJumpWalk(api, start=0, id_space=[])
+
+    def test_invalid_probability(self):
+        api = api_for(complete_graph(3))
+        with pytest.raises(ValueError):
+            RandomJumpWalk(api, start=0, id_space=[0, 1, 2], jump_probability=1.5)
+
+    def test_jump_reaches_disconnected_parts(self):
+        g = Graph([(0, 1), (2, 3)])  # two components
+        api = api_for(g)
+        walk = RandomJumpWalk(
+            api, start=0, id_space=[0, 1, 2, 3], jump_probability=0.5, seed=0
+        )
+        seen = set()
+        for _ in range(100):
+            seen.add(walk.step())
+        assert {2, 3} & seen  # jumps escaped the start component
+
+    def test_pure_jump_uniform(self):
+        g = complete_graph(5)
+        api = api_for(g)
+        walk = RandomJumpWalk(
+            api, start=0, id_space=list(range(5)), jump_probability=1.0, seed=2
+        )
+        visits = Counter()
+        for _ in range(5000):
+            visits[walk.step()] += 1
+        for node in range(5):
+            assert abs(visits[node] / 5000 - 0.2) < 0.04

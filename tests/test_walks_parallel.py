@@ -1,0 +1,137 @@
+"""Tests for parallel walks and the Gelman–Rubin diagnostic."""
+
+import math
+import random
+
+import pytest
+
+from repro.convergence import GelmanRubinDiagnostic
+from repro.core import MTOSampler
+from repro.core.overlay import OverlayGraph
+from repro.datasets import load
+from repro.errors import WalkError
+from repro.generators import complete_graph, paper_barbell
+from repro.interface import RestrictedSocialAPI
+from repro.walks import ParallelWalkers, SimpleRandomWalk
+
+
+class TestGelmanRubin:
+    def test_needs_two_chains(self):
+        with pytest.raises(ValueError):
+            GelmanRubinDiagnostic().r_hat([[1.0] * 100])
+
+    def test_short_chains_not_converged(self):
+        d = GelmanRubinDiagnostic(min_chain_length=50)
+        assert d.r_hat([[1.0] * 10, [1.0] * 10]) == math.inf
+
+    def test_identical_stationary_chains_converge(self):
+        rng = random.Random(0)
+        chains = [[rng.gauss(5, 1) for _ in range(500)] for _ in range(3)]
+        d = GelmanRubinDiagnostic(threshold=1.1)
+        assert d.r_hat(chains) < 1.1
+        assert d.converged(chains)
+
+    def test_disagreeing_chains_rejected(self):
+        rng = random.Random(1)
+        a = [rng.gauss(0, 1) for _ in range(500)]
+        b = [rng.gauss(10, 1) for _ in range(500)]
+        d = GelmanRubinDiagnostic()
+        assert d.r_hat([a, b]) > 2.0
+        assert not d.converged([a, b])
+
+    def test_constant_equal_chains(self):
+        d = GelmanRubinDiagnostic(min_chain_length=10)
+        assert d.r_hat([[3.0] * 100, [3.0] * 100]) == 1.0
+
+    def test_constant_unequal_chains(self):
+        d = GelmanRubinDiagnostic(min_chain_length=10)
+        assert d.r_hat([[3.0] * 100, [4.0] * 100]) == math.inf
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GelmanRubinDiagnostic(threshold=0.9)
+        with pytest.raises(ValueError):
+            GelmanRubinDiagnostic(min_chain_length=2)
+
+
+class TestParallelWalkers:
+    def _walkers(self, k=3):
+        g = paper_barbell()
+        api = RestrictedSocialAPI(g)
+        samplers = [
+            SimpleRandomWalk(api, start=(0 if i % 2 == 0 else 11), seed=i)
+            for i in range(k)
+        ]
+        return api, ParallelWalkers(samplers)
+
+    def test_requires_two_samplers(self):
+        api = RestrictedSocialAPI(complete_graph(4))
+        with pytest.raises(WalkError):
+            ParallelWalkers([SimpleRandomWalk(api, start=0, seed=0)])
+
+    def test_requires_shared_interface(self):
+        g = complete_graph(4)
+        a = SimpleRandomWalk(RestrictedSocialAPI(g), start=0, seed=0)
+        b = SimpleRandomWalk(RestrictedSocialAPI(g), start=1, seed=1)
+        with pytest.raises(WalkError):
+            ParallelWalkers([a, b])
+
+    def test_shared_cache_saves_queries(self):
+        api, walkers = self._walkers(k=4)
+        for _ in range(50):
+            walkers.step_all()
+        # 4 chains × 50 steps but the graph only has 22 nodes: the shared
+        # cache caps the bill at the node count.
+        assert api.query_cost <= 22
+
+    def test_run_collects_quota(self):
+        _, walkers = self._walkers()
+        result = walkers.run(num_samples=30)
+        assert len(result.merged) == 30
+        assert sum(len(r.samples) for r in result.per_chain) == 30
+
+    def test_run_with_monitor_reports_r_hat(self):
+        _, walkers = self._walkers()
+        result = walkers.run(
+            num_samples=10, monitor=GelmanRubinDiagnostic(threshold=1.5)
+        )
+        assert result.r_hat_at_convergence is not None
+
+    def test_invalid_run_params(self):
+        _, walkers = self._walkers()
+        with pytest.raises(ValueError):
+            walkers.run(num_samples=0)
+        with pytest.raises(ValueError):
+            walkers.run(num_samples=1, thinning=0)
+
+
+class TestSharedOverlayMTO:
+    def test_chains_share_rewirings(self):
+        net = load("epinions_like", seed=0, scale=0.15)
+        api = net.interface()
+        overlay = OverlayGraph(api)
+        chains = [
+            MTOSampler(api, start=net.seed_node(i), seed=i, overlay=overlay)
+            for i in range(3)
+        ]
+        walkers = ParallelWalkers(chains)
+        for _ in range(150):
+            walkers.step_all()
+        # All chains observe the same overlay object and its rewirings.
+        assert all(c.overlay is overlay for c in chains)
+        assert overlay.removal_count > 0
+
+    def test_shared_overlay_estimation(self):
+        from repro import AggregateQuery, estimate, ground_truth
+
+        net = load("epinions_like", seed=0, scale=0.15)
+        api = net.interface()
+        overlay = OverlayGraph(api)
+        chains = [
+            MTOSampler(api, start=net.seed_node(i), seed=i, overlay=overlay)
+            for i in range(3)
+        ]
+        result = ParallelWalkers(chains).run(num_samples=900)
+        est = estimate(AggregateQuery.average_degree(), result.merged, api)
+        truth = ground_truth(AggregateQuery.average_degree(), net.graph)
+        assert abs(est.estimate - truth) / truth < 0.3
