@@ -7,14 +7,12 @@ for the average degree.  Demonstrates the two facts the paper leans on:
 crawlers are biased, and walk choice changes cost.
 """
 
-import pytest
 
 from repro.aggregates.queries import AggregateQuery, ground_truth
 from repro.core.estimators import estimate
 from repro.datasets import load
-from repro.errors import DeadEndError, QueryBudgetExhaustedError
+from repro.errors import DeadEndError
 from repro.experiments.runner import make_sampler
-from repro.interface import RestrictedSocialAPI
 from repro.utils.tables import format_table
 from repro.walks import BFSCrawler
 

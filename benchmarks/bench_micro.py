@@ -3,7 +3,18 @@
 These are classic pytest-benchmark timing runs (many iterations) for the
 operations that dominate experiment wall-clock: walk steps, the removal
 criterion, overlay materialization, conductance search, and SLEM.
+
+``test_walk_engine_profile`` additionally emits a machine-readable
+``BENCH_walk_engine.json`` (path overridable via the
+``BENCH_WALK_ENGINE_OUT`` environment variable) with steps-per-second and
+queries-per-sample for the walk engines — the perf trajectory CI tracks
+across PRs.
 """
+
+import json
+import os
+import sys
+import time
 
 import pytest
 
@@ -13,8 +24,8 @@ from repro.core.criteria import removal_criterion
 from repro.core.mto import MTOSampler
 from repro.datasets import load
 from repro.generators import barbell_graph, paper_barbell
-from repro.interface import RestrictedSocialAPI
 from repro.walks import SimpleRandomWalk
+from repro.walks.parallel import ParallelWalkers
 
 
 @pytest.fixture(scope="module")
@@ -50,3 +61,113 @@ def test_sweep_conductance_standin(benchmark, network):
 def test_slem_barbell(benchmark):
     g = paper_barbell()
     benchmark(slem, g)
+
+
+# ----------------------------------------------------------------------
+# walk-engine throughput profile (machine-readable trajectory artifact)
+# ----------------------------------------------------------------------
+
+# Pre-refactor anchor (PR 1 dev container): the O(k log k) sorted-draw
+# engine.  Kept in the artifact so the trajectory has an origin even when
+# CI hardware differs.
+_PRE_REFACTOR_STEPS_PER_SECOND = {"mto": 61837, "srw": 93390}
+
+_WARMUP_STEPS = 200
+_TIMED_STEPS = 8000
+_COST_SAMPLES = 500
+_PARALLEL_CHAINS = 4
+_PARALLEL_ROUNDS = 150
+
+
+def _steps_per_second(sampler, steps=_TIMED_STEPS):
+    for _ in range(_WARMUP_STEPS):
+        sampler.step()
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        sampler.step()
+    return steps / (time.perf_counter() - t0)
+
+
+def _engine_profile(network, make_sampler):
+    throughput = _steps_per_second(make_sampler(network.interface()))
+    cost_sampler = make_sampler(network.interface())
+    run = cost_sampler.run(num_samples=_COST_SAMPLES)
+    return {
+        "steps_per_second": round(throughput),
+        "us_per_step": round(1e6 / throughput, 2),
+        "queries_per_sample": round(run.query_cost / len(run.samples), 4),
+        "query_cost": run.query_cost,
+    }
+
+
+def _parallel_profile(network, prefetch):
+    api = network.interface()
+    shared = None
+    chains = []
+    for i in range(_PARALLEL_CHAINS):
+        mto = MTOSampler(api, start=network.seed_node(i), seed=i, overlay=shared)
+        shared = mto.overlay
+        chains.append(mto)
+    walkers = ParallelWalkers(chains, prefetch=prefetch)
+    for _ in range(20):
+        walkers.step_all()
+    t0 = time.perf_counter()
+    for _ in range(_PARALLEL_ROUNDS):
+        walkers.step_all()
+    elapsed = time.perf_counter() - t0
+    return {
+        "chain_steps_per_second": round(_PARALLEL_ROUNDS * _PARALLEL_CHAINS / elapsed),
+        "query_cost": api.query_cost,
+    }
+
+
+def test_walk_engine_profile(network, figure_report):
+    """Emit ``BENCH_walk_engine.json``: the walk engines' perf trajectory."""
+    report = {
+        "benchmark": "walk_engine",
+        "dataset": {"name": "epinions_like", "seed": 0, "scale": 0.3},
+        "python": ".".join(str(p) for p in sys.version_info[:3]),
+        "timed_steps": _TIMED_STEPS,
+        "engines": {
+            "mto": _engine_profile(
+                network, lambda api: MTOSampler(api, start=network.seed_node(0), seed=1)
+            ),
+            "srw": _engine_profile(
+                network, lambda api: SimpleRandomWalk(api, start=network.seed_node(0), seed=1)
+            ),
+        },
+        "parallel_mto": {
+            "chains": _PARALLEL_CHAINS,
+            "prefetch_off": _parallel_profile(network, prefetch=False),
+            "prefetch_on": _parallel_profile(network, prefetch=True),
+        },
+        "reference": {
+            "pre_refactor_steps_per_second": _PRE_REFACTOR_STEPS_PER_SECOND,
+            "note": "sorted-draw engine measured on the PR 1 dev container",
+        },
+    }
+    for engine in report["engines"].values():
+        assert engine["steps_per_second"] > 0
+        assert engine["queries_per_sample"] > 0
+
+    out_path = os.environ.get("BENCH_WALK_ENGINE_OUT", "BENCH_walk_engine.json")
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    lines = [f"walk engine profile  ->  {out_path}"]
+    for name, engine in report["engines"].items():
+        lines.append(
+            "  {:>4}: {:>8} steps/s   {:.4f} queries/sample".format(
+                name, engine["steps_per_second"], engine["queries_per_sample"]
+            )
+        )
+    par = report["parallel_mto"]
+    lines.append(
+        "  parallel x{}: {} chain-steps/s (prefetch off), {} (on)".format(
+            par["chains"],
+            par["prefetch_off"]["chain_steps_per_second"],
+            par["prefetch_on"]["chain_steps_per_second"],
+        )
+    )
+    figure_report("\n".join(lines))

@@ -16,6 +16,13 @@ import pytest
 _REPORTS: List[str] = []
 
 
+def pytest_sessionstart(session):
+    # The module global survives repeated in-process runs (pytest.main in a
+    # loop, pytest-xdist workers re-importing); reset per session so report
+    # tables are not duplicated across runs.
+    _REPORTS.clear()
+
+
 @pytest.fixture
 def figure_report():
     """Callable that registers a rendered experiment report for printing."""

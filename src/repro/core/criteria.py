@@ -14,13 +14,19 @@ overlay without lowering conductance.  Corollary 1 shows the bound is
 tight.
 
 **Theorem 5 (extension).**  With cached degrees, let
-``N* = {w ∈ N(u) ∩ N(v) : k_w known and 2 ≤ k_w ≤ 3}``.  If
+``N* ⊆ {w ∈ N(u) ∩ N(v) : k_w known and 2 ≤ k_w ≤ 3}``.  If
 
     ceil((|N(u) ∩ N(v)| − |N*|) / 2) + 1 + ½ Σ_{w∈N*} (4 − k_w)
         >  max(k_u, k_v) / 2
 
-then ``e_uv`` is not cross-cutting.  With ``N* = ∅`` this reduces to
-Theorem 3.
+then ``e_uv`` is not cross-cutting.  Any subset of the qualifying cached
+common neighbors is a valid ``N*`` (each choice is its own sound
+certificate), so the implementation evaluates the inequality at the most
+favorable subset; with ``N* = ∅`` it reduces to Theorem 3, which is why
+extra cached knowledge can never certify *less* than Theorem 3 — taking
+the full qualifying set blindly would lose that dominance for odd common
+counts, where dropping a degree-3 member costs a full ceil increment but
+only refunds ½.
 
 **Theorem 4 (replacement).**  If ``k_v = 3`` and ``u, w ∈ N(v)``, then
 replacing ``e_uv`` by ``e_uw`` never decreases conductance (and may
@@ -65,8 +71,14 @@ def extension_criterion(
 ) -> bool:
     """Theorem 5's inequality, using cached common-neighbor degrees.
 
-    Only cached degrees in {2, 3} contribute (the paper's ``N*``); larger
-    cached degrees are ignored, exactly as the theorem prescribes.
+    Only cached degrees in {2, 3} qualify (the paper's ``N*``); larger
+    cached degrees are ignored, exactly as the theorem prescribes.  The
+    inequality is evaluated at the most favorable *subset* of the
+    qualifying neighbors: every subset is a valid ``N*``, and the full set
+    is not always the strongest choice (for an odd common count, moving a
+    degree-3 neighbor into ``N*`` trades a whole ceil increment for a ½
+    bonus).  The empty subset recovers Theorem 3, so this criterion
+    dominates it by construction.
 
     Args:
         common_neighbors: ``|N(u) ∩ N(v)|``.
@@ -77,7 +89,7 @@ def extension_criterion(
             local cache; never queried for this test).
 
     Returns:
-        ``True`` iff the extended inequality holds.
+        ``True`` iff the extended inequality holds for some valid ``N*``.
 
     Raises:
         ValueError: On invalid counts, or if more qualifying degrees are
@@ -87,12 +99,20 @@ def extension_criterion(
         raise ValueError("common neighbor count cannot be negative")
     if ku < 1 or kv < 1:
         raise ValueError("endpoint degrees must be at least 1")
-    n_star = {w: k for w, k in known_common_degrees.items() if 2 <= k <= 3}
-    if len(n_star) > common_neighbors:
+    qualifying = sorted(k for k in known_common_degrees.values() if 2 <= k <= 3)
+    if len(qualifying) > common_neighbors:
         raise ValueError("N* cannot exceed the common neighborhood")
-    bonus = 0.5 * sum(4 - k for k in n_star.values())
-    lhs = math.ceil((common_neighbors - len(n_star)) / 2) + 1 + bonus
-    return lhs > max(ku, kv) / 2
+    # For a fixed |N*| = m the ceil term is constant, so the best m-subset
+    # takes the m largest bonuses — i.e. the m smallest degrees.  Scanning
+    # m over the sorted prefix therefore visits every optimal subset.
+    best = math.ceil(common_neighbors / 2) + 1.0  # m = 0: Theorem 3
+    bonus = 0.0
+    for m, k in enumerate(qualifying, start=1):
+        bonus += 0.5 * (4 - k)
+        lhs = math.ceil((common_neighbors - m) / 2) + 1 + bonus
+        if lhs > best:
+            best = lhs
+    return best > max(ku, kv) / 2
 
 
 class NeighborhoodView:
@@ -134,13 +154,23 @@ def is_removable(
     Raises:
         ValueError: If ``(u, v)`` is not an edge of ``view``.
     """
-    nu = view.neighbors(u)
-    nv = view.neighbors(v)
+    # Prefer copy-free views when the substrate offers them (Graph and
+    # OverlayGraph both do) — this check runs once per candidate step.
+    view_fn = getattr(view, "neighbors_view", None)
+    if view_fn is not None:
+        nu = view_fn(u)
+        nv = view_fn(v)
+    else:
+        nu = view.neighbors(u)
+        nv = view.neighbors(v)
     if v not in nu:
         raise ValueError(f"({u!r}, {v!r}) is not an edge")
-    common = nu & nv if isinstance(nu, (set, frozenset)) else set(nu) & set(nv)
-    ku = view.degree(u)
-    kv = view.degree(v)
+    try:
+        common = nu & nv
+    except TypeError:
+        common = set(nu) & set(nv)
+    ku = len(nu)
+    kv = len(nv)
     if cached_degrees:
         known = {w: cached_degrees[w] for w in common if w in cached_degrees}
         return extension_criterion(len(common), ku, kv, known)

@@ -19,13 +19,19 @@ The walk is exactly a (lazy) simple random walk on the final overlay G*,
 whose stationary distribution is ``τ*(u) = k*_u / 2|E*|`` (eq. 10), so
 uniform-target importance weights are ``1 / k*_u`` with the overlay degree
 read from the sampler's own bookkeeping — no extra queries.
+
+The hot path is draw-dominated, so every step works on the overlay's
+indexed neighborhoods: a uniform draw is one O(1) tuple index (no sorting,
+no neighborhood copies), and the removal criterion intersects copy-free
+set views.  Determinism under a fixed seed comes from the overlay's stable
+insertion ordering, not from re-sorting per step.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Hashable
 
-from repro.core.criteria import is_removable, replacement_allowed
+from repro.core.criteria import extension_criterion, removal_criterion, replacement_allowed
 from repro.core.overlay import OverlayGraph
 from repro.errors import DeadEndError, PrivateUserError, WalkError
 from repro.interface.api import RestrictedSocialAPI
@@ -62,6 +68,16 @@ class MTOSampler(RandomWalkSampler):
         overlay: Existing overlay to share (parallel walks, §VI: rewirings
             discovered by one chain benefit every chain).  Must wrap the
             same ``api``; a private overlay is created when omitted.
+        prefetch_replacement: Materialize *all* replacement candidates of
+            an eligible degree-3 node through one batched interface call
+            (``ensure_known_many``) before choosing, instead of querying
+            the single chosen candidate.  A private candidate then no
+            longer cancels the replacement (the choice falls on the
+            accessible ones), and budget exhaustion degrades to skipping
+            the replacement — but the walk may bill a candidate it does
+            not pick, so query accounting differs from the paper's
+            single-fetch semantics.  Off by default to keep
+            cost-per-sample identical for identical seeds.
 
     Example:
         >>> from repro.generators import paper_barbell
@@ -85,6 +101,7 @@ class MTOSampler(RandomWalkSampler):
         lazy: bool = False,
         max_redraws: int = 10_000,
         overlay: OverlayGraph | None = None,
+        prefetch_replacement: bool = False,
     ) -> None:
         if not 0 <= replacement_probability <= 1:
             raise ValueError("replacement_probability must be in [0, 1]")
@@ -99,6 +116,7 @@ class MTOSampler(RandomWalkSampler):
         self._replacement_probability = replacement_probability
         self._lazy = lazy
         self._max_redraws = max_redraws
+        self._prefetch_replacement = prefetch_replacement
 
     @property
     def overlay(self) -> OverlayGraph:
@@ -106,7 +124,7 @@ class MTOSampler(RandomWalkSampler):
         return self._overlay
 
     # ------------------------------------------------------------------
-    def _cached_degrees_for(self, common: frozenset) -> Dict[Node, int]:
+    def _cached_degrees_for(self, common) -> Dict[Node, int]:
         """Overlay degrees of common neighbors already materialized.
 
         This is the Theorem 5 side channel: "when the random walk reaches
@@ -114,19 +132,48 @@ class MTOSampler(RandomWalkSampler):
         information without issuing extra web requests" (§III-D).
         """
         out: Dict[Node, int] = {}
+        known_degree = self._overlay.known_degree
         for w in common:
-            k = self._overlay.known_degree(w)
+            k = known_degree(w)
             if k is not None:
                 out[w] = k
         return out
 
     def _removable(self, u: Node, v: Node) -> bool:
-        nu = self._overlay.neighbors(u)
-        nv = self._overlay.neighbors(v)
-        cached = None
+        # Copy-free intersection of the already-materialized endpoint
+        # neighborhoods; the edge (u, v) exists by construction here, so
+        # the criteria are applied directly.
+        nu = self._overlay.neighbors_view(u)
+        nv = self._overlay.neighbors_view(v)
+        common = nu & nv
+        ku = len(nu)
+        kv = len(nv)
         if self._use_degree_cache:
-            cached = self._cached_degrees_for(nu & nv)
-        return is_removable(self._overlay, u, v, cached_degrees=cached)
+            cached = self._cached_degrees_for(common)
+            if cached:
+                return extension_criterion(len(common), ku, kv, cached)
+        return removal_criterion(len(common), ku, kv)
+
+    def _choose_replacement(self, u: Node, v: Node) -> Node | None:
+        """Pick and materialize a Theorem 4 target ``w``, or ``None``."""
+        overlay = self._overlay
+        others = [w for w in overlay.neighbors_seq(v) if w != u and not overlay.has_edge(u, w)]
+        if not others:
+            return None
+        if self._prefetch_replacement:
+            # One batched fetch for every candidate; private/unaffordable
+            # members drop out instead of cancelling the replacement.
+            overlay.ensure_known_many(others)
+            others = [w for w in others if overlay.is_known(w)]
+            if not others:
+                return None
+            return others[self._rng.randrange(len(others))]
+        w = others[self._rng.randrange(len(others))]
+        try:
+            self._overlay.ensure_known(w)
+        except PrivateUserError:
+            return None
+        return w
 
     def step(self) -> Node:
         """One Algorithm 1 step: draw, maybe remove/replace, maybe move.
@@ -138,20 +185,21 @@ class MTOSampler(RandomWalkSampler):
                 overlay).
         """
         u = self.current
-        self._overlay.ensure_known(u)
+        overlay = self._overlay
+        rng = self._rng
+        overlay.ensure_known(u)
         for _ in range(self._max_redraws):
-            nbrs = sorted(self._overlay.neighbors(u), key=repr)
-            if not nbrs:
+            v = overlay.random_neighbor(u, rng)
+            if v is None:
                 raise DeadEndError(u)
-            v = nbrs[self._rng.randrange(len(nbrs))]
             try:
-                self._overlay.ensure_known(v)  # the step's (potential) query
+                overlay.ensure_known(v)  # the step's (potential) query
             except PrivateUserError:
                 # Private neighbor: never traversable, so drop the overlay
                 # edge (the walk lives on the accessible subgraph) and
                 # redraw.  One billed refusal, cached afterwards.
-                if self._overlay.degree(u) > 1:
-                    self._overlay.remove_edge(u, v)
+                if overlay.degree(u) > 1:
+                    overlay.remove_edge(u, v)
                     continue
                 self._stay()
                 return self.current
@@ -159,38 +207,32 @@ class MTOSampler(RandomWalkSampler):
             # --- removal branch (Theorem 3 / Theorem 5) ---------------
             if (
                 self._enable_removal
-                and self._overlay.degree(u) > 1
-                and self._overlay.degree(v) > 1
+                and overlay.degree(u) > 1
+                and overlay.degree(v) > 1
                 and self._removable(u, v)
             ):
-                self._overlay.remove_edge(u, v)
+                overlay.remove_edge(u, v)
                 continue  # redraw from the shrunken neighborhood
 
             # --- replacement branch (Theorem 4) -----------------------
             if (
                 self._enable_replacement
-                and replacement_allowed(self._overlay.degree(v))
-                and self._rng.random() < self._replacement_probability
+                and replacement_allowed(overlay.degree(v))
+                and rng.random() < self._replacement_probability
             ):
-                others = [
-                    w
-                    for w in sorted(self._overlay.neighbors(v), key=repr)
-                    if w != u and not self._overlay.has_edge(u, w)
-                ]
-                if others:
-                    w = others[self._rng.randrange(len(others))]
-                    try:
-                        self._overlay.ensure_known(w)
-                    except PrivateUserError:
-                        w = None
-                    if w is not None:
-                        self._overlay.replace_edge(u, v, w)
-                        v = w  # the walk's candidate follows the moved edge
+                w = self._choose_replacement(u, v)
+                if w is not None:
+                    overlay.replace_edge(u, v, w)
+                    v = w  # the walk's candidate follows the moved edge
 
             # --- lazy transition ---------------------------------------
-            if not self._lazy or self._rng.random() < 0.5:
-                resp = self._api.query(v)  # cached by now — free
-                self._advance(v, resp)
+            if not self._lazy or rng.random() < 0.5:
+                if self._uses_default_trace:
+                    # v was just materialized: its original degree is free
+                    # overlay knowledge, no response rebuild needed.
+                    self._advance_fast(v, overlay.original_degree(v))
+                else:
+                    self._advance(v, self._api.query(v))  # cached — free
                 return v
             # lazy hold: redraw a neighbor without committing a move
         raise WalkError(f"step at {u!r} exceeded {self._max_redraws} redraws")

@@ -9,6 +9,13 @@ modifications.  All bookkeeping is symmetric: removing ``(u, v)`` at ``u``
 is visible from ``v`` whenever ``v`` is materialized, so the overlay is a
 well-defined undirected graph at every instant.
 
+Materialized neighborhoods are *indexed*: an insertion-ordered mapping for
+O(1) membership plus a lazily cached neighbor tuple, so the walk's uniform
+draw is O(1) and deterministic under a fixed seed without any sorting.
+The ordering follows the interface's stable ``neighbor_seq`` (removal
+filters preserve it; replacements append), which is itself deterministic
+for deterministically built networks.
+
 :func:`build_overlay_fixpoint` is the offline analogue used by the running
 example (Fig. 1): apply Theorem 3 removals to a fully known graph until no
 edge qualifies, optionally followed by Theorem 4 replacement passes —
@@ -17,12 +24,13 @@ producing the G* / G** whose conductances §II-D and §III report.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterator, Optional, Set, Tuple
+import random
+from typing import AbstractSet, Dict, FrozenSet, Hashable, Iterable, Iterator, Optional, Set, Tuple
 
 from repro.core.criteria import is_removable, replacement_allowed
 from repro.errors import EdgeNotFoundError, SelfLoopError, WalkError
 from repro.graph.adjacency import Graph
-from repro.interface.api import RestrictedSocialAPI
+from repro.interface.api import BatchQueryResult, QueryResponse, RestrictedSocialAPI
 from repro.utils.rng import RngLike, ensure_rng
 
 Node = Hashable
@@ -44,25 +52,59 @@ class OverlayGraph:
 
     def __init__(self, api: RestrictedSocialAPI) -> None:
         self._api = api
-        self._known: Dict[Node, Set[Node]] = {}
+        # node -> insertion-ordered neighbor index (dict keys as ordered set)
+        self._known: Dict[Node, Dict[Node, None]] = {}
+        # node -> cached neighbor tuple, dropped on mutation
+        self._seq: Dict[Node, Tuple[Node, ...]] = {}
         self._removed: Dict[Node, Set[Node]] = {}
-        self._added: Dict[Node, Set[Node]] = {}
+        # insertion-ordered so lazy application preserves determinism
+        self._added: Dict[Node, Dict[Node, None]] = {}
+        # original-graph degrees captured at materialization (free trace /
+        # Theorem 5 knowledge without rebuilding cached responses)
+        self._orig_degree: Dict[Node, int] = {}
         self._removal_count = 0
         self._replacement_count = 0
 
     # ------------------------------------------------------------------
     # materialization
     # ------------------------------------------------------------------
+    def _materialize(self, node: Node, resp: QueryResponse) -> None:
+        removed = self._removed.get(node, ())
+        nbrs = {v: None for v in resp.neighbor_seq if v != node and v not in removed}
+        for v in self._added.get(node, ()):
+            if v != node:
+                nbrs[v] = None
+        self._known[node] = nbrs
+        self._orig_degree[node] = resp.degree
+
     def ensure_known(self, node: Node) -> None:
         """Materialize ``node``'s overlay neighborhood (queries if needed)."""
         if node in self._known:
             return
-        resp = self._api.query(node)
-        nbrs = set(resp.neighbors)
-        nbrs -= self._removed.get(node, set())
-        nbrs |= self._added.get(node, set())
-        nbrs.discard(node)
-        self._known[node] = nbrs
+        self._materialize(node, self._api.query(node))
+
+    def ensure_known_many(self, nodes: Iterable[Node]) -> BatchQueryResult:
+        """Materialize several nodes through one batched interface call.
+
+        Billing is identical to calling :meth:`ensure_known` per node, but
+        the fetches share one rate-limiter pass and failures degrade
+        gracefully: private or unknown members are reported in the result
+        instead of raising, and budget exhaustion materializes the prefix
+        that was still affordable.
+
+        Args:
+            nodes: Node ids to materialize; already-known ids are skipped.
+
+        Returns:
+            The underlying :class:`~repro.interface.api.BatchQueryResult`,
+            so callers can see which members failed.
+        """
+        missing = [n for n in dict.fromkeys(nodes) if n not in self._known]
+        result = self._api.query_many(missing)
+        for node, resp in result.responses.items():
+            if node not in self._known:
+                self._materialize(node, resp)
+        return result
 
     def is_known(self, node: Node) -> bool:
         """Whether ``node`` has been materialized."""
@@ -76,7 +118,7 @@ class OverlayGraph:
     # overlay queries (require materialization)
     # ------------------------------------------------------------------
     def neighbors(self, node: Node) -> FrozenSet[Node]:
-        """Overlay neighborhood of a materialized node.
+        """Overlay neighborhood of a materialized node (an immutable copy).
 
         Raises:
             WalkError: If the node has not been materialized.
@@ -85,6 +127,48 @@ class OverlayGraph:
             return frozenset(self._known[node])
         except KeyError:
             raise WalkError(f"node {node!r} not materialized in overlay") from None
+
+    def neighbors_view(self, node: Node) -> AbstractSet[Node]:
+        """Set-like view of a materialized neighborhood — no copy.
+
+        For hot loops (the removal criterion's intersections).  Callers
+        must not mutate the overlay while holding the view.
+
+        Raises:
+            WalkError: If the node has not been materialized.
+        """
+        try:
+            return self._known[node].keys()
+        except KeyError:
+            raise WalkError(f"node {node!r} not materialized in overlay") from None
+
+    def neighbors_seq(self, node: Node) -> Tuple[Node, ...]:
+        """Stable neighbor tuple of a materialized node (cached, O(1)).
+
+        Raises:
+            WalkError: If the node has not been materialized.
+        """
+        seq = self._seq.get(node)
+        if seq is None:
+            try:
+                seq = tuple(self._known[node])
+            except KeyError:
+                raise WalkError(f"node {node!r} not materialized in overlay") from None
+            self._seq[node] = seq
+        return seq
+
+    def random_neighbor(self, node: Node, rng: random.Random) -> Optional[Node]:
+        """Uniform O(1) draw from a materialized neighborhood.
+
+        Returns ``None`` when the overlay leaves ``node`` isolated.
+
+        Raises:
+            WalkError: If the node has not been materialized.
+        """
+        seq = self.neighbors_seq(node)
+        if not seq:
+            return None
+        return seq[rng.randrange(len(seq))]
 
     def degree(self, node: Node) -> int:
         """Overlay degree ``k*_node`` of a materialized node.
@@ -102,6 +186,15 @@ class OverlayGraph:
         nbrs = self._known.get(node)
         return len(nbrs) if nbrs is not None else None
 
+    def original_degree(self, node: Node) -> Optional[int]:
+        """Original-graph degree captured at materialization, else ``None``.
+
+        This is knowledge the walk already paid for with the ``q(node)``
+        query; serving it from overlay bookkeeping keeps the hot path off
+        the response cache entirely.
+        """
+        return self._orig_degree.get(node)
+
     def has_edge(self, u: Node, v: Node) -> bool:
         """Edge test from ``u``'s side (``u`` must be materialized).
 
@@ -118,12 +211,12 @@ class OverlayGraph:
     def _note_removed(self, u: Node, v: Node) -> None:
         self._removed.setdefault(u, set()).add(v)
         self._removed.setdefault(v, set()).add(u)
-        self._added.get(u, set()).discard(v)
-        self._added.get(v, set()).discard(u)
+        self._added.get(u, {}).pop(v, None)
+        self._added.get(v, {}).pop(u, None)
 
     def _note_added(self, u: Node, v: Node) -> None:
-        self._added.setdefault(u, set()).add(v)
-        self._added.setdefault(v, set()).add(u)
+        self._added.setdefault(u, {})[v] = None
+        self._added.setdefault(v, {})[u] = None
         self._removed.get(u, set()).discard(v)
         self._removed.get(v, set()).discard(u)
 
@@ -141,7 +234,8 @@ class OverlayGraph:
         self._note_removed(u, v)
         for a, b in ((u, v), (v, u)):
             if a in self._known:
-                self._known[a].discard(b)
+                self._known[a].pop(b, None)
+                self._seq.pop(a, None)
         self._removal_count += 1
 
     def add_edge(self, u: Node, v: Node) -> None:
@@ -155,7 +249,8 @@ class OverlayGraph:
         self._note_added(u, v)
         for a, b in ((u, v), (v, u)):
             if a in self._known:
-                self._known[a].add(b)
+                self._known[a][b] = None
+                self._seq.pop(a, None)
 
     def replace_edge(self, u: Node, v: Node, w: Node) -> None:
         """Theorem 4's operation: replace ``e_uv`` by ``e_uw``.
@@ -217,8 +312,9 @@ def build_overlay_fixpoint(
     The criterion is evaluated against the *current* overlay state — the
     progressive semantics Algorithm 1 has on-the-fly (see DESIGN.md §3.1;
     a single simultaneous pass would disconnect dense graphs).  Edges are
-    visited in random order each pass; passes repeat until a pass makes no
-    change.
+    visited in random order each pass (seeded shuffles over the graph's
+    stable insertion order — no sorting); passes repeat until a pass makes
+    no change.
 
     Args:
         graph: Original topology (not modified).
@@ -259,12 +355,12 @@ def build_overlay_fixpoint(
             raise WalkError("removal fixpoint did not converge")
 
     if use_replacement:
-        nodes = sorted(overlay.nodes(), key=repr)
+        nodes = list(overlay.nodes())
         rng.shuffle(nodes)
         for v in nodes:
             if overlay.degree(v) < 1 or not replacement_allowed(overlay.degree(v)):
                 continue
-            nbrs = sorted(overlay.neighbors(v), key=repr)
+            nbrs = overlay.neighbors_seq(v)
             u = nbrs[rng.randrange(len(nbrs))]
             others = [w for w in nbrs if w != u and not overlay.has_edge(u, w)]
             if not others:

@@ -1,4 +1,4 @@
-"""Undirected simple graph stored as adjacency sets.
+"""Undirected simple graph stored as indexed adjacency maps.
 
 This is the substrate every other subsystem builds on: the simulated social
 network serves ``q(v)`` queries from it, the walk engines traverse it, and
@@ -7,16 +7,30 @@ the spectral/conductance analyses read it.  Design points:
 * **Simple and undirected.**  The paper studies undirected relationships
   (its footnote 1) and the overlay construction needs simple-graph
   semantics, so self-loops are rejected and parallel edges collapse.
-* **Adjacency sets.**  Neighborhood membership tests (``v in N(u)``) are the
-  hot operation in the MTO removal criterion (common-neighbor counting);
-  sets give O(min(ku, kv)) intersection.
+* **Indexed neighborhoods.**  Each node keeps its neighbors in an
+  insertion-ordered mapping, which gives O(1) membership tests (the hot
+  operation in the MTO removal criterion) *and* a stable deterministic
+  ordering.  A per-node neighbor tuple is materialized lazily and cached
+  until the neighborhood mutates, so a uniform neighbor draw is O(1) with
+  no sorting and no per-step copies — the walk engines' hot path.
 * **Hashable node ids.**  Nodes can be ints, strings, or any hashable;
   generators use dense ints, dataset stand-ins use opaque user ids.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Set, Tuple
+import random
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.errors import NodeNotFoundError, SelfLoopError
 
@@ -40,12 +54,14 @@ def normalize_edge(u: Node, v: Node) -> Edge:
 
 
 class Graph:
-    """Mutable undirected simple graph.
+    """Mutable undirected simple graph with indexed neighborhoods.
 
     Example:
         >>> g = Graph()
         >>> g.add_edge(1, 2)
+        True
         >>> g.add_edge(2, 3)
+        True
         >>> sorted(g.neighbors(2))
         [1, 3]
         >>> g.degree(2)
@@ -54,7 +70,12 @@ class Graph:
 
     def __init__(self, edges: Iterable[Edge] | None = None) -> None:
         """Create a graph, optionally from an iterable of ``(u, v)`` pairs."""
-        self._adj: Dict[Node, Set[Node]] = {}
+        # Per-node insertion-ordered neighbor index (dict keys double as an
+        # ordered set: O(1) membership, deterministic iteration).
+        self._adj: Dict[Node, Dict[Node, None]] = {}
+        # Lazily built neighbor tuples; invalidated on mutation so a draw
+        # after a burst of mutations pays one O(k) rebuild, then O(1).
+        self._seq: Dict[Node, Tuple[Node, ...]] = {}
         self._num_edges = 0
         if edges is not None:
             self.add_edges(edges)
@@ -64,7 +85,7 @@ class Graph:
     # ------------------------------------------------------------------
     def add_node(self, node: Node) -> None:
         """Insert an isolated node (no-op if it already exists)."""
-        self._adj.setdefault(node, set())
+        self._adj.setdefault(node, {})
 
     def add_nodes(self, nodes: Iterable[Node]) -> None:
         """Insert many nodes."""
@@ -82,11 +103,13 @@ class Graph:
         """
         if u == v:
             raise SelfLoopError(u)
-        nu = self._adj.setdefault(u, set())
+        nu = self._adj.setdefault(u, {})
         if v in nu:
             return False
-        nu.add(v)
-        self._adj.setdefault(v, set()).add(u)
+        nu[v] = None
+        self._adj.setdefault(v, {})[u] = None
+        self._seq.pop(u, None)
+        self._seq.pop(v, None)
         self._num_edges += 1
         return True
 
@@ -113,8 +136,10 @@ class Graph:
             raise NodeNotFoundError(v)
         if v not in self._adj[u]:
             return False
-        self._adj[u].discard(v)
-        self._adj[v].discard(u)
+        del self._adj[u][v]
+        del self._adj[v][u]
+        self._seq.pop(u, None)
+        self._seq.pop(v, None)
         self._num_edges -= 1
         return True
 
@@ -129,6 +154,7 @@ class Graph:
         for nbr in list(self._adj[node]):
             self.remove_edge(node, nbr)
         del self._adj[node]
+        self._seq.pop(node, None)
 
     # ------------------------------------------------------------------
     # queries
@@ -190,20 +216,56 @@ class Graph:
         except KeyError:
             raise NodeNotFoundError(node) from None
 
-    def neighbors_view(self, node: Node) -> Set[Node]:
-        """Internal mutable neighborhood set — for hot loops only.
+    def neighbors_view(self, node: Node) -> AbstractSet[Node]:
+        """Internal set-like neighborhood view — for hot loops only.
 
-        Callers must not mutate the returned set; use :meth:`add_edge` /
-        :meth:`remove_edge`.  Exposed because copying neighborhoods on every
-        random-walk step dominates runtime on large graphs.
+        Callers must not mutate the graph while holding the view; use
+        :meth:`add_edge` / :meth:`remove_edge`.  Exposed because copying
+        neighborhoods on every random-walk step dominates runtime on large
+        graphs.
 
         Raises:
             NodeNotFoundError: If the node does not exist.
         """
         try:
-            return self._adj[node]
+            return self._adj[node].keys()
         except KeyError:
             raise NodeNotFoundError(node) from None
+
+    def neighbors_seq(self, node: Node) -> Tuple[Node, ...]:
+        """The neighborhood as a stable insertion-ordered tuple.
+
+        The tuple is cached per node and rebuilt lazily after mutations, so
+        repeated calls between mutations are O(1).  Ordering follows edge
+        insertion order, which is deterministic for deterministically built
+        graphs — the property the seeded walk engines rely on for
+        reproducible uniform draws without sorting.
+
+        Raises:
+            NodeNotFoundError: If the node does not exist.
+        """
+        seq = self._seq.get(node)
+        if seq is None:
+            try:
+                seq = tuple(self._adj[node])
+            except KeyError:
+                raise NodeNotFoundError(node) from None
+            self._seq[node] = seq
+        return seq
+
+    def random_neighbor(self, node: Node, rng: random.Random) -> Optional[Node]:
+        """Uniformly draw one neighbor of ``node`` in O(1).
+
+        Returns ``None`` for isolated nodes.  Deterministic for a fixed
+        ``rng`` state because draws index the stable neighbor tuple.
+
+        Raises:
+            NodeNotFoundError: If the node does not exist.
+        """
+        seq = self.neighbors_seq(node)
+        if not seq:
+            return None
+        return seq[rng.randrange(len(seq))]
 
     def degree(self, node: Node) -> int:
         """``k_node = |N(node)|``.
@@ -239,9 +301,9 @@ class Graph:
     # derived graphs
     # ------------------------------------------------------------------
     def copy(self) -> "Graph":
-        """Deep copy of the topology (node ids are shared, sets are not)."""
+        """Deep copy of the topology (node ids are shared, indexes are not)."""
         g = Graph()
-        g._adj = {node: set(nbrs) for node, nbrs in self._adj.items()}
+        g._adj = {node: dict(nbrs) for node, nbrs in self._adj.items()}
         g._num_edges = self._num_edges
         return g
 

@@ -10,7 +10,7 @@ both fixed-window and token-bucket policies on simulated time, and
 limiter, the local cache, and the unique-query cost accounting together.
 """
 
-from repro.interface.api import QueryResponse, RestrictedSocialAPI
+from repro.interface.api import BatchQueryResult, QueryResponse, RestrictedSocialAPI
 from repro.interface.cache import NeighborhoodCache
 from repro.interface.ratelimit import (
     FixedWindowRateLimiter,
@@ -21,6 +21,7 @@ from repro.interface.ratelimit import (
 )
 
 __all__ = [
+    "BatchQueryResult",
     "QueryResponse",
     "RestrictedSocialAPI",
     "NeighborhoodCache",

@@ -20,12 +20,22 @@ list.  The interface:
 Samplers receive a :class:`RestrictedSocialAPI` and must work through it;
 nothing in :mod:`repro.walks` or :mod:`repro.core` touches the underlying
 graph directly.
+
+:meth:`RestrictedSocialAPI.query_many` is the batched entry point: it keeps
+the per-user billing semantics of ``q(v)`` bit-for-bit (cache hits free,
+refusals billed once, one limiter token per billed fetch — so simulated
+time is identical to a loop of singles) and degrades gracefully where a
+loop would abort: private members are reported rather than raised, unknown
+ids are reported, and budget exhaustion returns the partial prefix.
+Follow-up work on the paper ("Walk, Not Wait"; history-reuse sampling)
+shows batched neighborhood fetches are where multi-chain crawlers win;
+this is the substrate for that.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, FrozenSet, Hashable, Optional
+from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
 
 from repro.datastore.documents import DocumentStore
 from repro.datastore.querylog import QueryLog
@@ -52,17 +62,46 @@ class QueryResponse:
         attributes: Profile fields (e.g. ``self_description``); empty dict
             when the network has no attribute payload.
         from_cache: Whether this response was served locally (not billed).
+        neighbor_seq: The same neighbors in a stable order, for O(1)
+            uniform draws without sorting.  Derived from ``neighbors`` when
+            not supplied (hand-built responses in tests).
     """
 
     user: Node
     neighbors: FrozenSet[Node]
     attributes: Dict
     from_cache: bool
+    neighbor_seq: Tuple[Node, ...] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.neighbor_seq is None:
+            object.__setattr__(self, "neighbor_seq", tuple(self.neighbors))
 
     @property
     def degree(self) -> int:
         """``k_user`` — the size of the returned neighbor list."""
         return len(self.neighbors)
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchQueryResult:
+    """Outcome of one :meth:`RestrictedSocialAPI.query_many` call.
+
+    Attributes:
+        responses: Successful responses keyed by user, in request order.
+        private: Users that refused the query (each billed once on first
+            contact, exactly as the single-query path bills refusals).
+        unknown: Requested ids that do not exist in the network (free — the
+            provider rejects them before any billable work).
+        budget_exhausted: ``True`` when the unique-query budget ran out
+            mid-batch; ``responses`` then holds the partial prefix and all
+            accounting remains consistent with the work actually done.
+    """
+
+    responses: Dict[Node, QueryResponse]
+    private: Tuple[Node, ...]
+    unknown: Tuple[Node, ...]
+    budget_exhausted: bool
 
 
 class RestrictedSocialAPI:
@@ -124,7 +163,7 @@ class RestrictedSocialAPI:
         self._log = QueryLog()
 
     # ------------------------------------------------------------------
-    # the one public query
+    # the public queries
     # ------------------------------------------------------------------
     def query(self, user: Node) -> QueryResponse:
         """Issue ``q(user)``.
@@ -140,11 +179,9 @@ class RestrictedSocialAPI:
         """
         if user in self._known_private:
             raise PrivateUserError(user)  # cached refusal — free
-        cached = self._cache.neighbors(user)
+        cached = self._serve_cached(user)
         if cached is not None:
-            attrs = self._cache.attributes(user) or {}
-            self._log.record(user, timestamp=self._clock.now())
-            return QueryResponse(user=user, neighbors=cached, attributes=attrs, from_cache=True)
+            return cached
 
         if not self._graph.has_node(user):
             raise UnknownUserError(user)
@@ -155,23 +192,111 @@ class RestrictedSocialAPI:
             self._log.record(user, timestamp=self._clock.now())
             self._known_private.add(user)
             raise PrivateUserError(user)
+        return self._billed_fetch(user)
 
-        # Billed path: wait out the rate limiter on simulated time.
+    def query_many(self, users: Iterable[Node]) -> BatchQueryResult:
+        """Issue ``q(u)`` for a batch of users.
+
+        Per-user billing semantics are identical to :meth:`query` — cached
+        users are free, each uncached user (including refusals) is billed
+        exactly once and acquires one rate-limiter token, duplicates
+        collapse to one bill, and total simulated time matches a loop of
+        single queries.  What the batch changes is failure behaviour:
+
+        * private members are *reported* in the result instead of raising,
+          so one refusal cannot abort the batch;
+        * ids unknown to the provider are reported, not raised;
+        * when the unique-query budget runs out mid-batch, the partial
+          results gathered so far are returned with ``budget_exhausted``
+          set and the accounting (cost, cache, clock) reflects exactly the
+          users actually fetched.
+
+        Args:
+            users: User ids to fetch; duplicates are collapsed (first
+                occurrence wins the request-order slot).
+
+        Returns:
+            A :class:`BatchQueryResult`; never raises for per-user
+            failures.
+        """
+        responses: Dict[Node, QueryResponse] = {}
+        private = []
+        unknown = []
+        billable = []
+        for user in dict.fromkeys(users):
+            if user in self._known_private:
+                private.append(user)
+                continue
+            cached = self._serve_cached(user)
+            if cached is not None:
+                responses[user] = cached
+                continue
+            if not self._graph.has_node(user):
+                unknown.append(user)
+                continue
+            billable.append(user)
+
+        exhausted = False
+        for user in billable:
+            if self._budget is not None and self._log.unique_queries >= self._budget:
+                exhausted = True
+                break
+            if user in self._inaccessible:
+                self._log.record(user, timestamp=self._clock.now())
+                self._known_private.add(user)
+                private.append(user)
+                continue
+            responses[user] = self._billed_fetch(user)
+        return BatchQueryResult(
+            responses=responses,
+            private=tuple(private),
+            unknown=tuple(unknown),
+            budget_exhausted=exhausted,
+        )
+
+    # ------------------------------------------------------------------
+    # shared query machinery
+    # ------------------------------------------------------------------
+    def _serve_cached(self, user: Node) -> Optional[QueryResponse]:
+        """Build a free response from the cache, or ``None`` on a miss."""
+        cached = self._cache.neighbors(user)
+        if cached is None:
+            return None
+        seq = self._cache.neighbor_seq(user)
+        attrs = self._cache.attributes(user) or {}
+        self._log.record(user, timestamp=self._clock.now())
+        return QueryResponse(
+            user=user,
+            neighbors=cached,
+            attributes=attrs,
+            from_cache=True,
+            neighbor_seq=seq,
+        )
+
+    def _billed_fetch(self, user: Node) -> QueryResponse:
+        """Bill one fetch: wait out the rate limiter, read, cache, log."""
         wait = self._limiter.try_acquire(self._clock.now())
         while wait > 0:
             self._clock.advance(wait)
             wait = self._limiter.try_acquire(self._clock.now())
         self._clock.advance(self._seconds_per_query)
 
-        neighbors = self._graph.neighbors(user)
+        seq = self._graph.neighbors_seq(user)
+        neighbors = frozenset(seq)
         attrs: Dict = {}
         if self._profiles is not None:
             doc = self._profiles.get_or_none(user)
             if doc is not None:
                 attrs = doc
-        self._cache.put(user, neighbors, attrs)
+        self._cache.put(user, neighbors, attrs, seq=seq)
         self._log.record(user, timestamp=self._clock.now())
-        return QueryResponse(user=user, neighbors=neighbors, attributes=attrs, from_cache=False)
+        return QueryResponse(
+            user=user,
+            neighbors=neighbors,
+            attributes=attrs,
+            from_cache=False,
+            neighbor_seq=seq,
+        )
 
     # ------------------------------------------------------------------
     # cost accounting and cached knowledge (all local, never billed)
@@ -200,6 +325,15 @@ class RestrictedSocialAPI:
     def cache(self) -> NeighborhoodCache:
         """The sampler-side cache; exposes free degree lookups (Thm 5)."""
         return self._cache
+
+    @property
+    def may_have_private(self) -> bool:
+        """Whether any user of this network can refuse queries.
+
+        ``False`` lets walk engines skip accessibility filtering entirely —
+        the common case for pure-algorithm experiments.
+        """
+        return bool(self._inaccessible)
 
     def cached_degree(self, user: Node) -> Optional[int]:
         """Degree of ``user`` if previously queried, else ``None``. Free."""

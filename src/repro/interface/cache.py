@@ -8,7 +8,7 @@ look up *previously seen degrees* without spending queries.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Optional
+from typing import Dict, FrozenSet, Hashable, Optional, Sequence, Tuple
 
 from repro.datastore.kv import KeyValueStore
 
@@ -27,12 +27,31 @@ class NeighborhoodCache:
         return ("nbrs", user)
 
     @staticmethod
+    def _seq_key(user: Node) -> tuple:
+        return ("seq", user)
+
+    @staticmethod
     def _attr_key(user: Node) -> tuple:
         return ("attrs", user)
 
-    def put(self, user: Node, neighbors: FrozenSet[Node], attributes: Dict) -> None:
-        """Store one query response."""
+    def put(
+        self,
+        user: Node,
+        neighbors: FrozenSet[Node],
+        attributes: Dict,
+        seq: Optional[Sequence[Node]] = None,
+    ) -> None:
+        """Store one query response.
+
+        Args:
+            user: The queried user id.
+            neighbors: The neighbor set.
+            seq: Stable ordering of ``neighbors`` for O(1) uniform draws;
+                derived from the set when omitted (legacy callers).
+            attributes: Profile attributes.
+        """
         self._store.set(self._nbr_key(user), frozenset(neighbors))
+        self._store.set(self._seq_key(user), tuple(seq) if seq is not None else tuple(neighbors))
         self._store.set(self._attr_key(user), dict(attributes))
 
     def has(self, user: Node) -> bool:
@@ -43,6 +62,11 @@ class NeighborhoodCache:
         """Cached neighbor set, or ``None`` if not cached."""
         value = self._store.get(self._nbr_key(user))
         return value if isinstance(value, frozenset) else None
+
+    def neighbor_seq(self, user: Node) -> Optional[Tuple[Node, ...]]:
+        """Cached stable neighbor ordering, or ``None`` if not cached."""
+        value = self._store.get(self._seq_key(user))
+        return value if isinstance(value, tuple) else None
 
     def attributes(self, user: Node) -> Optional[Dict]:
         """Cached attribute dict (copy), or ``None`` if not cached."""

@@ -92,13 +92,15 @@ class RandomWalkSampler(abc.ABC):
     ) -> None:
         self._api = api
         self._rng = ensure_rng(seed)
-        self._trace_fn = trace_attribute if trace_attribute is not None else (
-            lambda resp: float(resp.degree)
+        self._uses_default_trace = trace_attribute is None
+        self._trace_fn = (
+            trace_attribute if trace_attribute is not None else (lambda resp: float(resp.degree))
         )
         self._current = start
         self._steps = 0
         self._trace: List[float] = []
         resp = self._api.query(start)  # materialize the start node
+        self._current_resp: Optional[QueryResponse] = resp
         self._record_trace(resp)
 
     # ------------------------------------------------------------------
@@ -160,12 +162,25 @@ class RandomWalkSampler(abc.ABC):
     def _advance(self, node: Node, response: QueryResponse) -> None:
         """Commit a move to ``node`` whose query returned ``response``."""
         self._current = node
+        self._current_resp = response
         self._steps += 1
         self._record_trace(response)
 
+    def _advance_fast(self, node: Node, degree: int) -> None:
+        """Commit a move using already-paid-for degree knowledge.
+
+        Skips rebuilding a cached :class:`QueryResponse` when only the
+        default degree trace is recorded — the walk engines' hot path.
+        Callers must only use it when ``self._uses_default_trace`` holds.
+        """
+        self._current = node
+        self._current_resp = None
+        self._steps += 1
+        self._trace.append(float(degree))
+
     def _stay(self) -> None:
         """Commit a self-transition (MH rejection / lazy hold)."""
-        resp = self._api.query(self._current)  # cached — free
+        resp = self._query_current()  # memoized or cached — free
         self._steps += 1
         self._record_trace(resp)
 
@@ -257,19 +272,41 @@ class RandomWalkSampler(abc.ABC):
     def _query(self, node: Node) -> QueryResponse:
         return self._api.query(node)
 
+    def _query_current(self) -> QueryResponse:
+        """The current node's response, memoized across the step boundary.
+
+        Every step starts by re-reading the node the walk already stands
+        on; the memo turns that from a (free but not costless) cache hit
+        into a field read.  The memo is validated against ``current`` so
+        any committed move refreshes it.
+        """
+        resp = self._current_resp
+        if resp is None or resp.user != self._current:
+            resp = self._api.query(self._current)
+            self._current_resp = resp
+        return resp
+
     def _draw_accessible(
         self, neighbors: Sequence[Node]
     ) -> Optional[tuple]:
         """Uniformly draw an accessible neighbor and its query response.
 
-        Private users (our failure-injection surface — real crawls hit
-        them constantly) are redrawn around; the first refusal per user is
-        billed by the interface, later ones are cached.
+        On networks without private users (``api.may_have_private`` is
+        false) this is a single O(1) index into the stable neighbor
+        sequence — the walk engines' hot path.  Otherwise private users
+        (our failure-injection surface — real crawls hit them constantly)
+        are redrawn around; the first refusal per user is billed by the
+        interface, later ones are cached.
 
         Returns:
             ``(node, response)`` or ``None`` when every neighbor is
             private.
         """
+        if not neighbors:
+            return None
+        if not self._api.may_have_private:
+            candidate = neighbors[self._rng.randrange(len(neighbors))]
+            return candidate, self._api.query(candidate)
         pool = [v for v in neighbors if not self._api.is_known_private(v)]
         while pool:
             idx = self._rng.randrange(len(pool))

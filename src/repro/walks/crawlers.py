@@ -34,7 +34,7 @@ class _CrawlerBase(RandomWalkSampler):
 
     def _push_neighbors(self, node: Node) -> None:
         resp = self._api.query(node)
-        fresh = [v for v in sorted(resp.neighbors) if v not in self._visited]
+        fresh = [v for v in resp.neighbor_seq if v not in self._visited]
         self._rng.shuffle(fresh)
         for v in fresh:
             self._frontier.append(v)
@@ -115,7 +115,7 @@ class SnowballCrawler(_CrawlerBase):
 
     def _push_neighbors(self, node: Node) -> None:
         resp = self._api.query(node)
-        fresh = [v for v in sorted(resp.neighbors) if v not in self._visited]
+        fresh = [v for v in resp.neighbor_seq if v not in self._visited]
         self._rng.shuffle(fresh)
         for v in fresh[: self._k]:
             self._frontier.append(v)

@@ -27,8 +27,8 @@ class MetropolisHastingsWalk(RandomWalkSampler):
         preserves the uniform stationary distribution on the accessible
         subgraph.
         """
-        resp = self._query(self.current)
-        drawn = self._draw_accessible(sorted(resp.neighbors))
+        resp = self._query_current()
+        drawn = self._draw_accessible(resp.neighbor_seq)
         if drawn is None:
             self._stay()
             return self.current

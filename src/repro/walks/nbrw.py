@@ -13,7 +13,7 @@ instead, and the two compose.
 
 from __future__ import annotations
 
-from typing import Hashable, Optional
+from typing import Hashable, Optional, Sequence
 
 from repro.walks.base import RandomWalkSampler
 
@@ -30,15 +30,15 @@ class NonBacktrackingWalk(RandomWalkSampler):
 
     def step(self) -> Node:
         """Hop to a uniform accessible neighbor other than the predecessor."""
-        resp = self._query(self.current)
-        neighbors = sorted(resp.neighbors)
+        resp = self._query_current()
+        neighbors: Sequence[Node] = resp.neighbor_seq
         if self._previous is not None and len(neighbors) > 1:
             neighbors = [v for v in neighbors if v != self._previous]
         drawn = self._draw_accessible(neighbors)
         if drawn is None:
             # Everything (except possibly the predecessor) is private:
             # allow the backtrack rather than dying.
-            fallback = self._draw_accessible(sorted(resp.neighbors))
+            fallback = self._draw_accessible(resp.neighbor_seq)
             if fallback is None:
                 self._stay()
                 return self.current

@@ -11,7 +11,14 @@ algorithm".  This module makes the observation concrete:
   by any chain benefits all of them (pass a common
   :class:`~repro.core.overlay.OverlayGraph` via ``MTOSampler(overlay=…)``);
 * convergence is judged across chains with the Gelman–Rubin R̂
-  diagnostic, which single-chain monitors cannot do.
+  diagnostic, which single-chain monitors cannot do;
+* with ``prefetch=True`` every lock-step round batch-fetches all chains'
+  candidate neighborhoods through ``query_many`` ahead of the draws, so
+  each chain's subsequent step is a cache hit — the "Walk, Not Wait"
+  direction of fetching what the chains are about to need.  Billing
+  semantics per user are unchanged; the batch spends budget *earlier*
+  (and possibly on candidates never drawn), trading query cost for
+  cache-warm chains.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from typing import Hashable, List, Optional, Sequence
 
 from repro.convergence.gelman_rubin import GelmanRubinDiagnostic
 from repro.errors import WalkError
+from repro.interface.api import BatchQueryResult
 from repro.walks.base import RandomWalkSampler, SamplingRun, WalkSample
 
 Node = Hashable
@@ -51,6 +59,12 @@ class ParallelWalkers:
         samplers: Two or more walkers constructed over the *same*
             ``RestrictedSocialAPI`` (checked), typically from different
             start nodes.
+        prefetch: Batch-fetch every chain's candidate neighborhood through
+            ``query_many`` before each lock-step round, so all chains'
+            next queries hit the shared cache.  The batch may bill
+            neighbors no chain ends up drawing, so query accounting
+            differs from the paper's fetch-on-visit semantics; off by
+            default.
 
     Raises:
         WalkError: With fewer than two samplers or mismatched interfaces.
@@ -69,7 +83,7 @@ class ParallelWalkers:
         30
     """
 
-    def __init__(self, samplers: Sequence[RandomWalkSampler]) -> None:
+    def __init__(self, samplers: Sequence[RandomWalkSampler], prefetch: bool = False) -> None:
         if len(samplers) < 2:
             raise WalkError("parallel walking needs at least two samplers")
         api = samplers[0].api
@@ -77,6 +91,10 @@ class ParallelWalkers:
             raise WalkError("all samplers must share one interface")
         self._samplers = list(samplers)
         self._api = api
+        self._prefetch = prefetch
+        # Users already swept into a batch; the network is static, so a
+        # once-prefetched user never needs to enter a batch again.
+        self._prefetched: set = set()
 
     @property
     def chains(self) -> Sequence[RandomWalkSampler]:
@@ -90,7 +108,42 @@ class ParallelWalkers:
 
     def step_all(self) -> List[Node]:
         """Advance every chain by one step; returns the new positions."""
+        if self._prefetch:
+            self.prefetch_candidates()
         return [s.step() for s in self._samplers]
+
+    def prefetch_candidates(self) -> BatchQueryResult:
+        """Batch-materialize the union of all chains' candidate draws.
+
+        Each chain's next step draws from its current node's neighborhood;
+        fetching that union through one ``query_many`` call means the
+        subsequent per-chain queries are all cache hits.  Chains that walk
+        a rewired overlay (MTO) contribute their *overlay* neighborhood —
+        edges the sampler already removed can never be drawn, so billing
+        them would inflate query cost for nothing.  Private members and
+        budget exhaustion degrade gracefully (reported in the result, not
+        raised) — a chain that then trips on them handles it exactly as in
+        the unbatched path.
+        """
+        candidates: dict = {}
+        seen = self._prefetched
+        cache = self._api.cache
+        for s in self._samplers:
+            overlay = getattr(s, "overlay", None)
+            if overlay is not None and overlay.is_known(s.current):
+                seq = overlay.neighbors_seq(s.current)
+            else:
+                # The current node was queried when the chain arrived on
+                # it, so its ordering is in the local cache — read it
+                # without going through the response machinery.
+                seq = cache.neighbor_seq(s.current)
+                if seq is None:  # pragma: no cover - defensive
+                    seq = self._api.query(s.current).neighbor_seq
+            for v in seq:
+                if v not in seen:
+                    candidates[v] = None
+        seen.update(candidates)
+        return self._api.query_many(candidates)
 
     def run(
         self,

@@ -51,7 +51,7 @@ class RandomJumpWalk(MetropolisHastingsWalk):
         if not 0 <= jump_probability <= 1:
             raise ValueError("jump_probability must be in [0, 1]")
         super().__init__(api, start, seed=seed)
-        self._id_space = list(id_space)
+        self._id_space = tuple(id_space)  # immutable: O(1) indexed jumps
         self._jump_probability = jump_probability
 
     def step(self) -> Node:

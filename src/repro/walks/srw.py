@@ -33,8 +33,8 @@ class SimpleRandomWalk(RandomWalkSampler):
         neighborhood is private the walk holds in place (a
         self-transition) rather than dying.
         """
-        resp = self._query(self.current)
-        drawn = self._draw_accessible(sorted(resp.neighbors))
+        resp = self._query_current()
+        drawn = self._draw_accessible(resp.neighbor_seq)
         if drawn is None:
             self._stay()
             return self.current

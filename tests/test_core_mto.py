@@ -5,7 +5,7 @@ import pytest
 from repro.analysis import min_conductance_exact
 from repro.convergence import FixedLengthMonitor
 from repro.core import MTOSampler
-from repro.generators import barbell_graph, complete_graph, cycle_graph, paper_barbell
+from repro.generators import complete_graph, cycle_graph, paper_barbell
 from repro.graph import Graph, is_connected
 from repro.interface import RestrictedSocialAPI
 
@@ -17,14 +17,12 @@ def sampler_on(graph: Graph, start=0, seed=0, **kw) -> MTOSampler:
 class TestStepMechanics:
     def test_moves_along_overlay_edges(self):
         mto = sampler_on(paper_barbell(), seed=1)
-        prev = mto.current
         for _ in range(40):
             nxt = mto.step()
             # every committed hop is an overlay edge at commit time — we
             # can at least assert both endpoints are materialized and the
             # walk moved to a real node.
             assert mto.overlay.is_known(nxt)
-            prev = nxt
 
     def test_removals_happen_on_clique(self):
         mto = sampler_on(paper_barbell(), seed=2)

@@ -7,7 +7,6 @@ from repro.core.estimators import estimate_curve
 from repro.datastore import DocumentStore
 from repro.errors import EstimationError
 from repro.generators import complete_graph, star_graph
-from repro.graph import Graph
 from repro.interface import QueryResponse, RestrictedSocialAPI
 from repro.walks.base import WalkSample
 

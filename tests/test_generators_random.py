@@ -10,7 +10,7 @@ from repro.generators import (
     relaxed_caveman_graph,
     watts_strogatz_graph,
 )
-from repro.graph import Graph, is_connected
+from repro.graph import is_connected
 from repro.utils import mean
 
 

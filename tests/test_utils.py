@@ -1,6 +1,5 @@
 """Unit tests for shared utilities (rng, stats, tables)."""
 
-import math
 import random
 
 import pytest
@@ -102,7 +101,7 @@ class TestTables:
         lines = text.splitlines()
         assert lines[0] == "T"
         assert "2.346" in text  # 4 significant digits
-        widths = {len(l) for l in lines[1:]}
+        widths = {len(line) for line in lines[1:]}
         assert len(widths) == 1  # all rows same width
 
     def test_format_series_shape(self):

@@ -1,6 +1,5 @@
 """Tests for the related-work samplers: NBRW and the crawlers."""
 
-from collections import Counter
 
 import pytest
 
