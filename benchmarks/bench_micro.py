@@ -23,7 +23,9 @@ from repro.analysis.spectral import slem
 from repro.core.criteria import removal_criterion
 from repro.core.mto import MTOSampler
 from repro.datasets import load
+from repro.datastore.snapshot import JsonLinesBackend, KeyValueBackend
 from repro.generators import barbell_graph, paper_barbell
+from repro.interface.session import SamplingSession
 from repro.walks import SimpleRandomWalk
 from repro.walks.parallel import ParallelWalkers
 
@@ -170,4 +172,89 @@ def test_walk_engine_profile(network, figure_report):
             par["prefetch_on"]["chain_steps_per_second"],
         )
     )
+    figure_report("\n".join(lines))
+
+
+# ----------------------------------------------------------------------
+# snapshot/restore throughput profile (machine-readable artifact)
+# ----------------------------------------------------------------------
+
+_SNAPSHOT_WALK_STEPS = 4000
+_SNAPSHOT_ITERS = 25
+
+
+def _timed_ops_per_second(fn, iters=_SNAPSHOT_ITERS):
+    fn()  # warm-up (first call may touch cold paths)
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        fn()
+    return iters / (time.perf_counter() - t0)
+
+
+def test_snapshot_profile(network, figure_report, tmp_path):
+    """Emit ``BENCH_snapshot.json``: snapshot/restore throughput profile.
+
+    Measures, on a walked-in MTO state (overlay + cache + log + RNG):
+    capture into a payload, save through the JSON-lines and key-value
+    backends, read+restore into a fresh interface/sampler, and the
+    snapshot's on-disk footprint.
+    """
+    api = network.interface()
+    mto = MTOSampler(api, start=network.seed_node(0), seed=1)
+    for _ in range(_SNAPSHOT_WALK_STEPS):
+        mto.step()
+
+    jsonl_path = tmp_path / "bench.snapshot.jsonl"
+    jsonl = JsonLinesBackend(jsonl_path)
+    kv = KeyValueBackend()
+    session = SamplingSession(api, mto, jsonl)
+
+    capture_ops = _timed_ops_per_second(session.capture)
+    save_jsonl_ops = _timed_ops_per_second(lambda: jsonl.write(session.capture()))
+    save_kv_ops = _timed_ops_per_second(lambda: kv.write(session.capture()))
+
+    restore_api = network.interface()
+    restore_mto = MTOSampler(restore_api, start=network.seed_node(0), seed=1)
+    restore_session = SamplingSession(restore_api, restore_mto, jsonl)
+    restore_jsonl_ops = _timed_ops_per_second(restore_session.resume)
+    restore_kv_session = SamplingSession(restore_api, restore_mto, kv)
+    restore_kv_ops = _timed_ops_per_second(restore_kv_session.resume)
+    assert restore_mto.steps == mto.steps
+
+    snapshot_bytes = os.path.getsize(jsonl_path)
+    report = {
+        "benchmark": "snapshot",
+        "dataset": {"name": "epinions_like", "seed": 0, "scale": 0.3},
+        "python": ".".join(str(p) for p in sys.version_info[:3]),
+        "walk_steps": _SNAPSHOT_WALK_STEPS,
+        "state": {
+            "known_nodes": sum(1 for _ in mto.overlay.known_nodes()),
+            "query_cost": api.query_cost,
+            "total_queries": api.total_queries,
+            "snapshot_bytes": snapshot_bytes,
+        },
+        "ops_per_second": {
+            "capture": round(capture_ops, 2),
+            "save_jsonl": round(save_jsonl_ops, 2),
+            "save_kv": round(save_kv_ops, 2),
+            "restore_jsonl": round(restore_jsonl_ops, 2),
+            "restore_kv": round(restore_kv_ops, 2),
+        },
+    }
+    for ops in report["ops_per_second"].values():
+        assert ops > 0
+
+    out_path = os.environ.get("BENCH_SNAPSHOT_OUT", "BENCH_snapshot.json")
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    lines = [f"snapshot profile  ->  {out_path}"]
+    lines.append(
+        "  state: {} known nodes, {} unique queries, {:.1f} KiB on disk".format(
+            report["state"]["known_nodes"], api.query_cost, snapshot_bytes / 1024
+        )
+    )
+    for op, rate in report["ops_per_second"].items():
+        lines.append(f"  {op:>14}: {rate:>8.1f} ops/s")
     figure_report("\n".join(lines))

@@ -30,8 +30,10 @@ from repro.convergence.geweke import GewekeDiagnostic
 from repro.core.estimators import EstimationResult, Estimator, estimate
 from repro.core.mto import MTOSampler
 from repro.core.overlay import OverlayGraph, build_overlay_fixpoint
+from repro.datastore.snapshot import JsonLinesBackend, KeyValueBackend, SnapshotBackend
 from repro.graph.adjacency import Graph
 from repro.interface.api import RestrictedSocialAPI
+from repro.interface.session import SamplingSession
 from repro.walks.mhrw import MetropolisHastingsWalk
 from repro.walks.rj import RandomJumpWalk
 from repro.walks.srw import SimpleRandomWalk
@@ -50,6 +52,10 @@ __all__ = [
     "build_overlay_fixpoint",
     "Graph",
     "RestrictedSocialAPI",
+    "SamplingSession",
+    "SnapshotBackend",
+    "JsonLinesBackend",
+    "KeyValueBackend",
     "MetropolisHastingsWalk",
     "RandomJumpWalk",
     "SimpleRandomWalk",

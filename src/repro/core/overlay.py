@@ -284,6 +284,46 @@ class OverlayGraph:
         """Number of replacements performed."""
         return self._replacement_count
 
+    def state_dict(self) -> dict:
+        """Serializable overlay state: G* minus anything re-derivable.
+
+        Captures the insertion-ordered materialized neighborhoods (the
+        ordering *is* the draw determinism — ``neighbors_seq`` and every
+        seeded ``random_neighbor`` stream depend on it), the lazy
+        removal/addition deltas for not-yet-materialized nodes, the
+        original-graph degrees already paid for (§II-B: knowledge from
+        billed queries that must never be re-billed), and the
+        removal/replacement counters.  The ``neighbors_seq`` tuple cache
+        is derived state and deliberately excluded.
+        """
+        return {
+            "known": {node: list(nbrs) for node, nbrs in self._known.items()},
+            "removed": {node: set(peers) for node, peers in self._removed.items() if peers},
+            "added": {node: list(peers) for node, peers in self._added.items() if peers},
+            "orig_degree": dict(self._orig_degree),
+            "removal_count": self._removal_count,
+            "replacement_count": self._replacement_count,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Replace this overlay's bookkeeping with a captured state.
+
+        The interface binding is untouched — restore into an overlay
+        wrapping a fresh :class:`RestrictedSocialAPI` over the same
+        network and the walk continues without re-querying any
+        materialized node.
+
+        Args:
+            state: Output of :meth:`state_dict`.
+        """
+        self._known = {node: dict.fromkeys(nbrs) for node, nbrs in state["known"].items()}
+        self._removed = {node: set(peers) for node, peers in state["removed"].items()}
+        self._added = {node: dict.fromkeys(peers) for node, peers in state["added"].items()}
+        self._orig_degree = dict(state["orig_degree"])
+        self._removal_count = int(state["removal_count"])
+        self._replacement_count = int(state["replacement_count"])
+        self._seq = {}
+
     def known_subgraph(self) -> Graph:
         """The overlay restricted to materialized nodes, as a plain graph.
 

@@ -11,10 +11,30 @@ equivalent roles in pure Python:
   id-keyed JSON-like documents with field queries, used for user profiles.
 * :class:`~repro.datastore.querylog.QueryLog` — append-only log of interface
   queries with unique-query accounting (the paper's query-cost measure).
+* :mod:`~repro.datastore.snapshot` — persistent snapshots of sampling
+  state (overlay, cache, log, walker RNG) through pluggable backends, so
+  the query budget already spent (§II-B) survives process exit.
 """
 
 from repro.datastore.documents import DocumentStore
 from repro.datastore.kv import KeyValueStore
 from repro.datastore.querylog import QueryLog, QueryRecord
+from repro.datastore.snapshot import (
+    JsonLinesBackend,
+    KeyValueBackend,
+    SnapshotBackend,
+    decode_value,
+    encode_value,
+)
 
-__all__ = ["DocumentStore", "KeyValueStore", "QueryLog", "QueryRecord"]
+__all__ = [
+    "DocumentStore",
+    "KeyValueStore",
+    "QueryLog",
+    "QueryRecord",
+    "SnapshotBackend",
+    "JsonLinesBackend",
+    "KeyValueBackend",
+    "encode_value",
+    "decode_value",
+]

@@ -87,7 +87,14 @@ class KeyValueStore:
             self._expires.pop(key, None)
         else:
             self._expires[key] = self._clock() + ttl
-        if self._capacity is not None:
+        if self._capacity is not None and len(self._data) > self._capacity:
+            # Dead keys make room before any live key is sacrificed: an
+            # expired entry still occupying a slot must not push a live
+            # LRU entry out (and its purge is not billed as an eviction).
+            # Only TTL'd keys can be dead, so scan _expires, not _data —
+            # the common no-TTL workload keeps O(1) inserts.
+            for stale in [k for k in self._expires if self._expired(k)]:
+                self._purge(stale)
             while len(self._data) > self._capacity:
                 evicted, _ = self._data.popitem(last=False)
                 self._expires.pop(evicted, None)
@@ -137,6 +144,67 @@ class KeyValueStore:
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
+
+    # ------------------------------------------------------------------
+    # snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable state: live entries (LRU order) + counters.
+
+        TTLs are captured as *remaining* seconds relative to this store's
+        clock, so a restore into a store whose clock reads differently
+        (e.g. a fresh process starting at t=0) re-anchors every deadline
+        correctly instead of comparing absolute times across clocks.
+        Entries already expired at capture time are omitted — a snapshot
+        can never carry a dead key forward.
+        """
+        now = self._clock()
+        entries = []
+        for key in self._data:  # OrderedDict: LRU order, oldest first
+            deadline = self._expires.get(key)
+            if deadline is not None and now >= deadline:
+                continue  # expired: not part of the live state
+            remaining = None if deadline is None else deadline - now
+            entries.append((key, self._data[key], remaining))
+        return {
+            "entries": entries,
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Replace this store's contents with a captured state.
+
+        Remaining TTLs are re-anchored to this store's *current* clock
+        reading; entries whose remaining TTL is non-positive are dropped,
+        so an expired key is never resurrected by a snapshot load (the
+        capture already omits them, but a state held for a long time and
+        restored late must not revive keys either).  The capacity bound of
+        *this* store applies: if the state holds more live entries than
+        fit, the least-recently-used prefix is discarded (counted as
+        evictions, exactly as live inserts would be).
+
+        Args:
+            state: Output of :meth:`state_dict`.
+        """
+        self._data.clear()
+        self._expires.clear()
+        now = self._clock()
+        for key, value, remaining in state["entries"]:
+            if remaining is not None and remaining <= 0:
+                continue
+            self._data[key] = value
+            if remaining is not None:
+                self._expires[key] = now + remaining
+        self._hits = int(state.get("hits", 0))
+        self._misses = int(state.get("misses", 0))
+        self._evictions = int(state.get("evictions", 0))
+        if self._capacity is not None:
+            while len(self._data) > self._capacity:
+                evicted, _ = self._data.popitem(last=False)
+                self._expires.pop(evicted, None)
+                self._evictions += 1
 
     # ------------------------------------------------------------------
     @property

@@ -80,6 +80,32 @@ class QueryLog:
             return []
         return self._records[-n:]
 
+    # ------------------------------------------------------------------
+    # snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable state: the full record list.
+
+        Billed flags are part of the history (§II-B unique-query
+        accounting): a restored log must keep charging repeat queries to
+        the cache, so the set of already-billed users travels with the
+        records themselves (it is recomputed from the billed flags on
+        load, not stored separately).
+        """
+        return {"records": [(rec.user, rec.billed, rec.timestamp) for rec in self._records]}
+
+    def load_state(self, state: dict) -> None:
+        """Replace this log's contents with a captured state.
+
+        Args:
+            state: Output of :meth:`state_dict`.
+        """
+        self._records = [
+            QueryRecord(index=i, user=user, billed=bool(billed), timestamp=float(ts))
+            for i, (user, billed, ts) in enumerate(state["records"])
+        ]
+        self._unique = {rec.user for rec in self._records if rec.billed}
+
     def billed_between(
         self, start: Optional[float] = None, end: Optional[float] = None
     ) -> int:

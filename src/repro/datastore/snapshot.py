@@ -1,0 +1,298 @@
+"""Persistent snapshots of sampling state: codec + pluggable backends.
+
+The paper's central artifact — the rewired overlay G* (§I-C) — is built
+from *expensive* interface queries, and §II-B's cost model makes every
+unique query the scarce resource: "we consider the number of unique
+queries one has to issue for the sampling process, as any duplicate query
+can be answered from local cache without consuming the query limit."  A
+snapshot extends that local cache across process boundaries: everything a
+crawl has already paid for (overlay rewirings, cached neighborhoods, the
+query log, walker RNG state) is serialized so a later process resumes
+bit-for-bit — same draws, same billing — instead of re-paying the budget.
+
+Three layers live here:
+
+* **Codec** — :func:`encode_value` / :func:`decode_value` map the sampler's
+  state (arbitrary hashable user ids: ints, strings, tuples; frozensets;
+  insertion-ordered dicts; exact floats) onto JSON-safe structures and
+  back, type-faithfully.  A tagged representation avoids JSON's ambiguity
+  (``1`` vs ``True`` vs ``1.0``; tuple vs list; no non-string dict keys).
+* **Backends** — :class:`SnapshotBackend` is the pluggable persistence
+  API; :class:`JsonLinesBackend` writes one atomic JSON-lines file (one
+  header line + one line per state section), :class:`KeyValueBackend`
+  stores sections in a :class:`~repro.datastore.kv.KeyValueStore` (the
+  Redis stand-in), where several *named* snapshots can coexist under
+  distinct namespaces.  The store must be a dedicated one, not the store
+  backing a live :class:`~repro.interface.cache.NeighborhoodCache` — a
+  snapshot of a cache whose store also held snapshots would recursively
+  embed them.
+* **Payload shape** — a snapshot is a flat ``{section name: state dict}``
+  mapping.  Sections are produced by the ``state_dict()`` methods of the
+  stateful classes (overlay, cache, query log, walkers) and restored by
+  their ``load_state()`` counterparts; this module never reaches into
+  their internals.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+from typing import Dict, Optional
+
+from repro.datastore.kv import KeyValueStore
+from repro.errors import SnapshotError
+
+#: Format marker written into every snapshot header.
+SNAPSHOT_FORMAT = "repro-snapshot"
+
+#: Version of the on-disk layout; bumped on incompatible changes.
+SNAPSHOT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# codec
+# ----------------------------------------------------------------------
+def _canonical(encoded: object) -> str:
+    """Deterministic sort key for encoded set members."""
+    return json.dumps(encoded, sort_keys=True, separators=(",", ":"))
+
+
+def encode_value(value: object) -> object:
+    """Encode ``value`` into a JSON-safe tagged structure.
+
+    Supported types: ``None``, ``bool``, ``int``, ``float`` (exact, via
+    hex — infinities and NaN included), ``str``, ``bytes``, ``tuple``,
+    ``list``, ``set``/``frozenset`` (canonically ordered so identical sets
+    serialize to identical bytes regardless of insertion/hash order), and
+    ``dict`` with arbitrary hashable keys (insertion order preserved).
+
+    Raises:
+        SnapshotError: For unsupported types.
+    """
+    if value is None:
+        return ["z"]
+    if isinstance(value, bool):
+        return ["b", value]
+    if isinstance(value, int):
+        return ["i", value]
+    if isinstance(value, float):
+        return ["f", value.hex()]
+    if isinstance(value, str):
+        return ["s", value]
+    if isinstance(value, bytes):
+        return ["y", value.hex()]
+    if isinstance(value, tuple):
+        return ["t", [encode_value(v) for v in value]]
+    if isinstance(value, list):
+        return ["l", [encode_value(v) for v in value]]
+    if isinstance(value, (set, frozenset)):
+        members = sorted((encode_value(v) for v in value), key=_canonical)
+        return ["S" if isinstance(value, set) else "F", members]
+    if isinstance(value, dict):
+        return ["d", [[encode_value(k), encode_value(v)] for k, v in value.items()]]
+    raise SnapshotError(f"cannot snapshot value of type {type(value).__name__}: {value!r}")
+
+
+def decode_value(encoded: object) -> object:
+    """Invert :func:`encode_value`.
+
+    Raises:
+        SnapshotError: On malformed input.
+    """
+    if not isinstance(encoded, list) or not encoded:
+        raise SnapshotError(f"malformed snapshot value: {encoded!r}")
+    tag = encoded[0]
+    if tag == "z":
+        return None
+    if tag == "b":
+        return bool(encoded[1])
+    if tag == "i":
+        return int(encoded[1])
+    if tag == "f":
+        return float.fromhex(encoded[1])
+    if tag == "s":
+        return str(encoded[1])
+    if tag == "y":
+        return bytes.fromhex(encoded[1])
+    if tag == "t":
+        return tuple(decode_value(v) for v in encoded[1])
+    if tag == "l":
+        return [decode_value(v) for v in encoded[1]]
+    if tag == "S":
+        return {decode_value(v) for v in encoded[1]}
+    if tag == "F":
+        return frozenset(decode_value(v) for v in encoded[1])
+    if tag == "d":
+        return {decode_value(k): decode_value(v) for k, v in encoded[1]}
+    raise SnapshotError(f"unknown snapshot tag {tag!r}")
+
+
+# ----------------------------------------------------------------------
+# backends
+# ----------------------------------------------------------------------
+class SnapshotBackend(abc.ABC):
+    """Pluggable persistence for snapshot payloads.
+
+    A payload is ``{section name: state dict}``; backends store the
+    codec-encoded form, so a written snapshot is isolated from later
+    mutation of the live objects it was captured from.
+    """
+
+    @abc.abstractmethod
+    def write(self, sections: Dict[str, object]) -> None:
+        """Persist a payload, replacing any previous snapshot."""
+
+    @abc.abstractmethod
+    def read(self) -> Optional[Dict[str, object]]:
+        """Load the stored payload, or ``None`` when no snapshot exists.
+
+        Raises:
+            SnapshotError: If a snapshot exists but cannot be decoded.
+        """
+
+    def exists(self) -> bool:
+        """Whether a snapshot is currently stored."""
+        return self.read() is not None
+
+
+class JsonLinesBackend(SnapshotBackend):
+    """One snapshot as an atomic JSON-lines file.
+
+    Line 1 is a header (format marker, version, section names); each
+    further line is one section: ``{"section": name, "data": <encoded>}``.
+    Writes go to a sibling temp file and are published with
+    :func:`os.replace`, so a crash mid-checkpoint never corrupts the
+    previous snapshot.
+
+    Args:
+        path: Snapshot file location.
+    """
+
+    def __init__(self, path: "str | os.PathLike") -> None:
+        self._path = os.fspath(path)
+
+    @property
+    def path(self) -> str:
+        """The snapshot file path."""
+        return self._path
+
+    def write(self, sections: Dict[str, object]) -> None:
+        header = {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "sections": list(sections),
+        }
+        tmp = self._path + ".tmp"
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(header, sort_keys=True) + "\n")
+            for name, state in sections.items():
+                line = {"section": name, "data": encode_value(state)}
+                fh.write(json.dumps(line, sort_keys=True) + "\n")
+        os.replace(tmp, self._path)
+
+    def read(self) -> Optional[Dict[str, object]]:
+        if not os.path.exists(self._path):
+            return None
+        try:
+            with open(self._path) as fh:
+                lines = [line for line in fh.read().splitlines() if line.strip()]
+        except OSError as exc:  # pragma: no cover - filesystem failure
+            raise SnapshotError(f"cannot read snapshot {self._path}: {exc}") from exc
+        if not lines:
+            raise SnapshotError(f"snapshot {self._path} is empty")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise SnapshotError(f"snapshot {self._path} has a corrupt header") from exc
+        if not isinstance(header, dict) or header.get("format") != SNAPSHOT_FORMAT:
+            raise SnapshotError(f"snapshot {self._path} is not a {SNAPSHOT_FORMAT} file")
+        if header.get("version") != SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"snapshot {self._path} has version {header.get('version')!r}; "
+                f"this build reads version {SNAPSHOT_VERSION}"
+            )
+        sections: Dict[str, object] = {}
+        for raw in lines[1:]:
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise SnapshotError(f"snapshot {self._path} has a corrupt section line") from exc
+            if not isinstance(record, dict) or "section" not in record or "data" not in record:
+                raise SnapshotError(f"snapshot {self._path} has a malformed section line")
+            sections[record["section"]] = decode_value(record["data"])
+        missing = [name for name in header.get("sections", []) if name not in sections]
+        if missing:
+            raise SnapshotError(f"snapshot {self._path} is truncated; missing sections {missing}")
+        return sections
+
+    def exists(self) -> bool:
+        return os.path.exists(self._path)
+
+
+class KeyValueBackend(SnapshotBackend):
+    """Snapshots stored inside a :class:`~repro.datastore.kv.KeyValueStore`.
+
+    Sections live under ``("snapshot", namespace, ...)`` keys, so several
+    named snapshots can share one dedicated store (do not reuse the store
+    backing a live cache — snapshotting that cache would then embed prior
+    snapshots).  Payloads are codec-encoded on write and decoded on read —
+    a stored snapshot never aliases live sampler state.
+
+    Args:
+        store: Backing store; a fresh unbounded one by default.  Note that
+            a *capacity-bounded* store may evict snapshot sections under
+            LRU pressure, exactly as Redis would.
+        namespace: Name distinguishing this snapshot from others in the
+            same store.
+    """
+
+    def __init__(self, store: Optional[KeyValueStore] = None, namespace: str = "default") -> None:
+        self._store = store if store is not None else KeyValueStore()
+        self._namespace = namespace
+
+    @property
+    def store(self) -> KeyValueStore:
+        """The backing key-value store."""
+        return self._store
+
+    def _header_key(self) -> tuple:
+        return ("snapshot", self._namespace, "header")
+
+    def _section_key(self, name: str) -> tuple:
+        return ("snapshot", self._namespace, "section", name)
+
+    def write(self, sections: Dict[str, object]) -> None:
+        # Encode everything *before* touching the store: a codec failure
+        # on a later section must not leave a mixed old/new snapshot.
+        encoded = {name: encode_value(state) for name, state in sections.items()}
+        previous = self._store.get(self._header_key())
+        header = {"version": SNAPSHOT_VERSION, "sections": tuple(sections)}
+        for name, payload in encoded.items():
+            self._store.set(self._section_key(name), payload)
+        self._store.set(self._header_key(), header)
+        # Drop sections a previous snapshot wrote that this one did not.
+        if isinstance(previous, dict):
+            for name in previous.get("sections", ()):
+                if name not in sections:
+                    self._store.delete(self._section_key(name))
+
+    def read(self) -> Optional[Dict[str, object]]:
+        header = self._store.get(self._header_key())
+        if header is None:
+            return None
+        if not isinstance(header, dict) or header.get("version") != SNAPSHOT_VERSION:
+            raise SnapshotError(f"snapshot namespace {self._namespace!r} has a corrupt header")
+        sections: Dict[str, object] = {}
+        for name in header.get("sections", ()):
+            encoded = self._store.get(self._section_key(name))
+            if encoded is None:
+                raise SnapshotError(
+                    f"snapshot namespace {self._namespace!r} lost section {name!r} "
+                    "(evicted or expired from the backing store)"
+                )
+            sections[name] = decode_value(encoded)
+        return sections
+
+    def exists(self) -> bool:
+        return self._store.contains(self._header_key())

@@ -99,6 +99,15 @@ class DataStoreError(ReproError):
     """Base class for key-value / document store errors."""
 
 
+class SnapshotError(DataStoreError):
+    """A sampling-state snapshot could not be written, read, or applied.
+
+    Raised for corrupt/truncated snapshot payloads, unsupported value
+    types, version mismatches, and attempts to restore a snapshot into an
+    object of the wrong shape (e.g. a different sampler type).
+    """
+
+
 class DocumentNotFoundError(DataStoreError, KeyError):
     """Lookup of a missing document id in a :class:`DocumentStore`."""
 

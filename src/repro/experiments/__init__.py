@@ -23,9 +23,11 @@ from repro.experiments.fig10 import Fig10Result, run_fig10
 from repro.experiments.fig11 import Fig11Result, run_fig11
 from repro.experiments.runner import (
     SAMPLER_NAMES,
+    WarmStartResult,
     cost_at_error,
     make_sampler,
     mean_cost_at_error_curve,
+    run_warm_start,
 )
 from repro.experiments.running_example import RunningExampleResult, run_running_example
 from repro.experiments.table1 import Table1Result, run_table1
@@ -42,9 +44,11 @@ __all__ = [
     "Fig11Result",
     "run_fig11",
     "SAMPLER_NAMES",
+    "WarmStartResult",
     "cost_at_error",
     "make_sampler",
     "mean_cost_at_error_curve",
+    "run_warm_start",
     "RunningExampleResult",
     "run_running_example",
     "Table1Result",

@@ -9,6 +9,7 @@ Usage::
     python -m repro.experiments fig9
     python -m repro.experiments fig10
     python -m repro.experiments fig11
+    python -m repro.experiments warmstart --scale 0.3
     python -m repro.experiments all   --scale 0.5
 
 Each command prints the same rows/series the paper's artifact reports.
@@ -28,6 +29,7 @@ from repro.experiments import (
     run_fig11,
     run_running_example,
     run_table1,
+    run_warm_start,
 )
 
 
@@ -46,6 +48,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "fig9",
             "fig10",
             "fig11",
+            "warmstart",
             "all",
         ],
         help="which artifact to regenerate",
@@ -61,6 +64,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--samples", type=int, default=None, help="samples per walk (driver default)"
     )
     return parser
+
+
+def _load_network(seed: int, scale: float):
+    from repro.datasets import load
+
+    return load("epinions_like", seed=seed, scale=scale)
 
 
 def _kw(args: argparse.Namespace, **extra) -> dict:
@@ -83,6 +92,9 @@ def main(argv: list[str] | None = None) -> int:
         "fig9": lambda: run_fig9(**_kw(args, scale=args.scale)),
         "fig10": lambda: run_fig10(**{k: v for k, v in _kw(args).items() if k != "num_samples"}),
         "fig11": lambda: run_fig11(**_kw(args, scale=args.scale)),
+        "warmstart": lambda: run_warm_start(
+            _load_network(seed=args.seed, scale=args.scale), seed=args.seed
+        ),
     }
     names = list(jobs) if args.experiment == "all" else [args.experiment]
     for name in names:

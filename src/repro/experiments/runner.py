@@ -11,13 +11,16 @@ walk make the whole curve recoverable retrospectively).
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List, Optional, Sequence, Tuple
 
 from repro.aggregates.queries import AggregateQuery
 from repro.core.estimators import estimate_curve
 from repro.core.mto import MTOSampler
 from repro.datasets.standins import SocialNetwork
+from repro.datastore.snapshot import KeyValueBackend, SnapshotBackend
 from repro.errors import ExperimentError
+from repro.interface.session import SamplingSession
 from repro.utils.rng import ensure_rng, spawn_rng
 from repro.walks.base import RandomWalkSampler
 from repro.walks.mhrw import MetropolisHastingsWalk
@@ -152,6 +155,135 @@ def mean_cost_at_error_curve(
                 cost = censor_cost if censor_cost is not None else final_cost
             per_error_costs[i].append(float(cost))
     return [sum(costs) / len(costs) for costs in per_error_costs]
+
+
+@dataclasses.dataclass
+class WarmStartResult:
+    """Query-cost accounting of a checkpointed-and-resumed walk vs cold start.
+
+    Attributes:
+        sampler_name: Walk engine used.
+        dataset: Network label.
+        checkpoint_step: Step at which the first process checkpointed.
+        continuation_steps: Steps walked by the resumed process.
+        cost_at_checkpoint: Billed queries when the snapshot was taken.
+        uninterrupted_cost: Billed queries of one uninterrupted walk over
+            ``checkpoint_step + continuation_steps`` steps.
+        resumed_continuation_cost: Billed queries the *resumed* process
+            spent on its continuation (its final cost minus the restored
+            spend).
+        cold_restart_cost: What a process that lost its state would pay to
+            reach the same walk position: the full uninterrupted cost.
+        identical_sequence: Whether the resumed walk reproduced the
+            uninterrupted walk's node sequence exactly.
+        identical_cost: Whether final unique-query counts matched exactly.
+    """
+
+    sampler_name: str
+    dataset: str
+    checkpoint_step: int
+    continuation_steps: int
+    cost_at_checkpoint: int
+    uninterrupted_cost: int
+    resumed_continuation_cost: int
+    cold_restart_cost: int
+    identical_sequence: bool
+    identical_cost: bool
+
+    @property
+    def savings(self) -> int:
+        """Billed queries a warm start avoids vs restarting cold."""
+        return self.cold_restart_cost - self.resumed_continuation_cost
+
+    def __str__(self) -> str:
+        lines = [
+            f"warm start — {self.sampler_name} on {self.dataset} "
+            f"(checkpoint @ step {self.checkpoint_step}, +{self.continuation_steps} steps)",
+            f"  uninterrupted walk cost        : {self.uninterrupted_cost:>6} unique queries",
+            f"  cost already paid at checkpoint: {self.cost_at_checkpoint:>6}",
+            f"  resumed continuation cost      : {self.resumed_continuation_cost:>6}",
+            f"  cold-restart cost              : {self.cold_restart_cost:>6}",
+            f"  queries saved by resuming      : {self.savings:>6}",
+            f"  bit-for-bit sequence match     : {self.identical_sequence}",
+            f"  bit-for-bit billing match      : {self.identical_cost}",
+        ]
+        return "\n".join(lines)
+
+
+def run_warm_start(
+    network: SocialNetwork,
+    sampler_name: str = "MTO",
+    checkpoint_step: int = 300,
+    continuation_steps: int = 300,
+    seed: int = 0,
+    backend: Optional[SnapshotBackend] = None,
+    **sampler_kwargs,
+) -> WarmStartResult:
+    """The warm-start scenario: checkpoint, resume fresh, compare to cold.
+
+    Three walks are driven over fresh interfaces of the same network:
+
+    1. **Uninterrupted** — ``checkpoint_step + continuation_steps`` steps
+       in one process; the reference node sequence and §II-B query cost.
+    2. **Interrupted** — the same walk (same seed) stopped at
+       ``checkpoint_step`` and snapshotted through ``backend``.
+    3. **Resumed** — freshly constructed interface + sampler, state loaded
+       from the snapshot, walked ``continuation_steps`` further, as a new
+       process would after a crash or a deliberate shutdown.
+
+    The resumed walk must replay the uninterrupted one bit-for-bit; the
+    result quantifies what the snapshot is worth: a cold restart re-pays
+    the whole budget, a warm start only pays for nodes the walk had not
+    seen before the checkpoint.
+
+    Args:
+        network: Dataset to sample.
+        sampler_name: One of :data:`SAMPLER_NAMES`.
+        checkpoint_step: Steps before the snapshot.
+        continuation_steps: Steps after the resume.
+        seed: Master seed (start node + walk draws).
+        backend: Snapshot persistence; an in-memory
+            :class:`~repro.datastore.snapshot.KeyValueBackend` by default.
+        **sampler_kwargs: Extra :func:`make_sampler` options.
+
+    Raises:
+        ExperimentError: For non-positive step counts.
+    """
+    if checkpoint_step <= 0 or continuation_steps <= 0:
+        raise ExperimentError("checkpoint_step and continuation_steps must be positive")
+    if backend is None:
+        backend = KeyValueBackend()
+
+    # 1. the uninterrupted reference
+    reference = make_sampler(sampler_name, network, seed, **sampler_kwargs)
+    reference_nodes = [reference.step() for _ in range(checkpoint_step + continuation_steps)]
+    uninterrupted_cost = reference.api.query_cost
+
+    # 2. the interrupted walk, checkpointed at checkpoint_step
+    first = make_sampler(sampler_name, network, seed, **sampler_kwargs)
+    first_nodes = [first.step() for _ in range(checkpoint_step)]
+    session = SamplingSession(first.api, first, backend)
+    session.save()
+    cost_at_checkpoint = first.api.query_cost
+
+    # 3. the resumed walk: fresh interface + sampler, state loaded on top
+    resumed = make_sampler(sampler_name, network, seed, **sampler_kwargs)
+    resumed_session = SamplingSession(resumed.api, resumed, backend)
+    resumed_session.resume()
+    resumed_nodes = [resumed.step() for _ in range(continuation_steps)]
+
+    return WarmStartResult(
+        sampler_name=sampler_name,
+        dataset=network.name,
+        checkpoint_step=checkpoint_step,
+        continuation_steps=continuation_steps,
+        cost_at_checkpoint=cost_at_checkpoint,
+        uninterrupted_cost=uninterrupted_cost,
+        resumed_continuation_cost=resumed.api.query_cost - cost_at_checkpoint,
+        cold_restart_cost=uninterrupted_cost,
+        identical_sequence=first_nodes + resumed_nodes == reference_nodes,
+        identical_cost=resumed.api.query_cost == uninterrupted_cost,
+    )
 
 
 def run_to_coverage(

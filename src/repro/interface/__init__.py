@@ -12,6 +12,7 @@ limiter, the local cache, and the unique-query cost accounting together.
 
 from repro.interface.api import BatchQueryResult, QueryResponse, RestrictedSocialAPI
 from repro.interface.cache import NeighborhoodCache
+from repro.interface.session import SamplingSession
 from repro.interface.ratelimit import (
     FixedWindowRateLimiter,
     RateLimiter,
@@ -25,6 +26,7 @@ __all__ = [
     "QueryResponse",
     "RestrictedSocialAPI",
     "NeighborhoodCache",
+    "SamplingSession",
     "FixedWindowRateLimiter",
     "RateLimiter",
     "SimulatedClock",

@@ -42,6 +42,7 @@ from repro.datastore.querylog import QueryLog
 from repro.errors import (
     PrivateUserError,
     QueryBudgetExhaustedError,
+    SnapshotError,
     UnknownUserError,
 )
 from repro.graph.adjacency import Graph
@@ -366,3 +367,49 @@ class RestrictedSocialAPI:
         self._cache.clear()
         self._log = QueryLog()
         self._known_private = set()
+
+    # ------------------------------------------------------------------
+    # snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable sampler-side interface state.
+
+        Captures everything the crawl has *paid for* — the response cache,
+        the query log (whose billed flags are §II-B's unique-query
+        accounting), the set of users known to be private, the simulated
+        clock, and the rate-limiter position.  The network itself, the
+        profile store, and the budget/limit *configuration* are provider
+        side: a restoring process reconstructs those and loads this state
+        on top, after which billing continues exactly where it left off
+        (cached users stay free, the budget remembers its spend, the rate
+        limiter its window).
+        """
+        return {
+            "clock_now": self._clock.now(),
+            "known_private": set(self._known_private),
+            "cache": self._cache.state_dict(),
+            "log": self._log.state_dict(),
+            "limiter": self._limiter.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Replace cache/log/clock/limiter state with a captured one.
+
+        Args:
+            state: Output of :meth:`state_dict`.
+
+        Raises:
+            SnapshotError: If the captured clock reads earlier than this
+                interface's clock (simulated time cannot run backwards).
+        """
+        delta = float(state["clock_now"]) - self._clock.now()
+        if delta < 0:
+            raise SnapshotError(
+                "snapshot clock reads earlier than this interface's clock; "
+                "restore into a freshly constructed interface"
+            )
+        self._clock.advance(delta)
+        self._known_private = set(state["known_private"])
+        self._cache.load_state(state["cache"])
+        self._log.load_state(state["log"])
+        self._limiter.load_state(state["limiter"])

@@ -91,3 +91,18 @@ class NeighborhoodCache:
     def clear(self) -> None:
         """Drop everything."""
         self._store.clear()
+
+    # ------------------------------------------------------------------
+    # snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable state (delegates to the backing store)."""
+        return {"store": self._store.state_dict()}
+
+    def load_state(self, state: dict) -> None:
+        """Replace cached responses with a captured state.
+
+        Args:
+            state: Output of :meth:`state_dict`.
+        """
+        self._store.load_state(state["store"])

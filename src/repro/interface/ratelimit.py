@@ -68,6 +68,16 @@ class RateLimiter(abc.ABC):
         if wait > 0:
             raise RateLimitExceededError(wait)
 
+    # ------------------------------------------------------------------
+    # snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable limiter state; stateless policies return ``{}``."""
+        return {}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a captured state (no-op for stateless policies)."""
+
 
 class UnlimitedRateLimiter(RateLimiter):
     """No-op policy (the default for pure-algorithm experiments)."""
@@ -110,6 +120,15 @@ class FixedWindowRateLimiter(RateLimiter):
             self._count += 1
             return 0.0
         return (self._window_start + self.window) - now
+
+    def state_dict(self) -> dict:
+        """Current window anchor and admission count."""
+        return {"window_start": self._window_start, "count": self._count}
+
+    def load_state(self, state: dict) -> None:
+        """Restore the window anchor/count captured by :meth:`state_dict`."""
+        self._window_start = float(state["window_start"])
+        self._count = int(state["count"])
 
     @classmethod
     def facebook(cls) -> "FixedWindowRateLimiter":
@@ -154,3 +173,12 @@ class TokenBucketRateLimiter(RateLimiter):
             self._tokens -= 1.0
             return 0.0
         return (1.0 - self._tokens) / self.rate
+
+    def state_dict(self) -> dict:
+        """Current token level and last-refill time."""
+        return {"tokens": self._tokens, "last": self._last}
+
+    def load_state(self, state: dict) -> None:
+        """Restore the token level/refill time captured by :meth:`state_dict`."""
+        self._tokens = float(state["tokens"])
+        self._last = float(state["last"])

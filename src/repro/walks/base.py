@@ -99,6 +99,8 @@ class RandomWalkSampler(abc.ABC):
         self._current = start
         self._steps = 0
         self._trace: List[float] = []
+        self._checkpoint_fn: Optional[Callable[["RandomWalkSampler"], None]] = None
+        self._checkpoint_every = 0
         resp = self._api.query(start)  # materialize the start node
         self._current_resp: Optional[QueryResponse] = resp
         self._record_trace(resp)
@@ -165,6 +167,7 @@ class RandomWalkSampler(abc.ABC):
         self._current_resp = response
         self._steps += 1
         self._record_trace(response)
+        self._after_commit()
 
     def _advance_fast(self, node: Node, degree: int) -> None:
         """Commit a move using already-paid-for degree knowledge.
@@ -177,12 +180,87 @@ class RandomWalkSampler(abc.ABC):
         self._current_resp = None
         self._steps += 1
         self._trace.append(float(degree))
+        self._after_commit()
 
     def _stay(self) -> None:
         """Commit a self-transition (MH rejection / lazy hold)."""
         resp = self._query_current()  # memoized or cached — free
         self._steps += 1
         self._record_trace(resp)
+        self._after_commit()
+
+    # ------------------------------------------------------------------
+    # checkpoint hook
+    # ------------------------------------------------------------------
+    def set_checkpoint(self, fn: Callable[["RandomWalkSampler"], None], every: int) -> None:
+        """Invoke ``fn(self)`` after every ``every``-th committed step.
+
+        The hook fires at *commit points* — after a move, fast move, or
+        self-transition lands — which in every walk engine is the last
+        RNG-consuming action of a step.  Capturing state there (e.g.
+        ``SamplingSession.save``) therefore snapshots a resumable
+        boundary: the next step replays identically from the stored RNG
+        state.  Firing is driver-agnostic: ``run``, ``run_to_coverage``,
+        parallel lock-stepping, and hand-rolled ``step()`` loops all hit
+        it.
+
+        Args:
+            fn: Callback receiving this sampler.
+            every: Positive step period.
+
+        Raises:
+            ValueError: If ``every`` is not positive.
+        """
+        if every < 1:
+            raise ValueError("checkpoint period must be positive")
+        self._checkpoint_fn = fn
+        self._checkpoint_every = every
+
+    def clear_checkpoint(self) -> None:
+        """Remove any installed checkpoint hook."""
+        self._checkpoint_fn = None
+        self._checkpoint_every = 0
+
+    def _after_commit(self) -> None:
+        if self._checkpoint_fn is not None and self._steps % self._checkpoint_every == 0:
+            self._checkpoint_fn(self)
+
+    # ------------------------------------------------------------------
+    # snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable mutable walk state.
+
+        Position, step count, attribute trace, and the full Mersenne
+        Twister state — everything needed for a fresh process to continue
+        with the *same draws* (and, with the interface state restored
+        alongside, the same §II-B billing).  Constructor configuration
+        (trace function, engine options) is not captured: the restoring
+        process rebuilds the sampler with the same arguments and loads
+        this state on top.  Subclasses with extra per-step state override
+        and extend this dict.
+        """
+        return {
+            "current": self._current,
+            "steps": self._steps,
+            "trace": tuple(self._trace),
+            "rng": self._rng.getstate(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore position/steps/trace/RNG captured by :meth:`state_dict`.
+
+        The response memo is invalidated; the next ``step()`` re-reads the
+        current node from the (restored) cache, which is free.
+
+        Args:
+            state: Output of :meth:`state_dict`.
+        """
+        self._current = state["current"]
+        self._steps = int(state["steps"])
+        self._trace = [float(x) for x in state["trace"]]
+        self._rng.setstate(state["rng"])
+        self._current_resp = None
 
     # ------------------------------------------------------------------
     # sampling loop

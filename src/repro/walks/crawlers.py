@@ -73,6 +73,19 @@ class _CrawlerBase(RandomWalkSampler):
         """Nodes crawled so far."""
         return frozenset(self._visited)
 
+    def state_dict(self) -> dict:
+        """Base walk state plus the visited set and frontier order."""
+        state = super().state_dict()
+        state["visited"] = set(self._visited)
+        state["frontier"] = tuple(self._frontier)
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore base walk state plus the visited set and frontier."""
+        super().load_state(state)
+        self._visited = set(state["visited"])
+        self._frontier = deque(state["frontier"])
+
 
 class BFSCrawler(_CrawlerBase):
     """Breadth-first crawler (FIFO frontier) — over-samples hubs."""

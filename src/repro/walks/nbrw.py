@@ -54,3 +54,14 @@ class NonBacktrackingWalk(RandomWalkSampler):
         if degree is None:  # pragma: no cover - visited nodes are cached
             degree = self._query(node).degree
         return 1.0 / degree
+
+    def state_dict(self) -> dict:
+        """Base walk state plus the non-backtracking predecessor."""
+        state = super().state_dict()
+        state["previous"] = self._previous
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore base walk state plus the predecessor."""
+        super().load_state(state)
+        self._previous = state["previous"]

@@ -27,7 +27,7 @@ import dataclasses
 from typing import Hashable, List, Optional, Sequence
 
 from repro.convergence.gelman_rubin import GelmanRubinDiagnostic
-from repro.errors import WalkError
+from repro.errors import SnapshotError, WalkError
 from repro.interface.api import BatchQueryResult
 from repro.walks.base import RandomWalkSampler, SamplingRun, WalkSample
 
@@ -95,6 +95,9 @@ class ParallelWalkers:
         # Users already swept into a batch; the network is static, so a
         # once-prefetched user never needs to enter a batch again.
         self._prefetched: set = set()
+        self._rounds = 0
+        self._checkpoint_fn = None
+        self._checkpoint_every = 0
 
     @property
     def chains(self) -> Sequence[RandomWalkSampler]:
@@ -110,7 +113,72 @@ class ParallelWalkers:
         """Advance every chain by one step; returns the new positions."""
         if self._prefetch:
             self.prefetch_candidates()
-        return [s.step() for s in self._samplers]
+        positions = [s.step() for s in self._samplers]
+        self._rounds += 1
+        if self._checkpoint_fn is not None and self._rounds % self._checkpoint_every == 0:
+            self._checkpoint_fn(self)
+        return positions
+
+    # ------------------------------------------------------------------
+    # checkpoint hook + snapshot support
+    # ------------------------------------------------------------------
+    def set_checkpoint(self, fn, every: int) -> None:
+        """Invoke ``fn(self)`` after every ``every``-th lock-step round.
+
+        Fires on :meth:`step_all` boundaries — all chains are between
+        steps, so the captured group state is a clean resumable cut.  Use
+        this (not per-chain hooks) for parallel checkpointing: one save
+        covers every chain plus the shared prefetch bookkeeping.
+
+        Args:
+            fn: Callback receiving this :class:`ParallelWalkers`.
+            every: Positive round period.
+
+        Raises:
+            ValueError: If ``every`` is not positive.
+        """
+        if every < 1:
+            raise ValueError("checkpoint period must be positive")
+        self._checkpoint_fn = fn
+        self._checkpoint_every = every
+
+    def clear_checkpoint(self) -> None:
+        """Remove any installed checkpoint hook."""
+        self._checkpoint_fn = None
+        self._checkpoint_every = 0
+
+    def state_dict(self) -> dict:
+        """Serializable group state: every chain plus prefetch bookkeeping.
+
+        The shared interface and any shared overlay are *not* captured
+        here — :class:`~repro.interface.session.SamplingSession` snapshots
+        those once for the whole group, keeping one authoritative copy of
+        the §II-B billing state.
+        """
+        return {
+            "chains": [s.state_dict() for s in self._samplers],
+            "prefetched": set(self._prefetched),
+            "rounds": self._rounds,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore all chains' states captured by :meth:`state_dict`.
+
+        Args:
+            state: Output of :meth:`state_dict`.
+
+        Raises:
+            SnapshotError: If the chain count differs from this group's.
+        """
+        chains = state["chains"]
+        if len(chains) != len(self._samplers):
+            raise SnapshotError(
+                f"snapshot holds {len(chains)} chains; this group has {len(self._samplers)}"
+            )
+        for sampler, chain_state in zip(self._samplers, chains):
+            sampler.load_state(chain_state)
+        self._prefetched = set(state["prefetched"])
+        self._rounds = int(state["rounds"])
 
     def prefetch_candidates(self) -> BatchQueryResult:
         """Batch-materialize the union of all chains' candidate draws.

@@ -131,3 +131,106 @@ class TestCounters:
         kv.get("zzz")
         assert kv.hits == 2
         assert kv.misses == 1
+
+
+class TestTtlLruInteraction:
+    def test_expired_keys_purged_before_live_evictions(self):
+        # An expired entry still occupying a slot must not push a live
+        # LRU entry out when capacity is hit.
+        kv = KeyValueStore(capacity=2)
+        kv.set("live", 1)
+        kv.set("dead", 2, ttl=5.0)
+        kv.advance(10.0)  # "dead" expired but not yet purged
+        kv.set("new", 3)
+        assert kv.get("live") == 1  # the live LRU key survived
+        assert kv.get("dead") is None
+        assert kv.get("new") == 3
+        assert kv.evictions == 0  # purging a dead key is not an eviction
+
+    def test_live_lru_still_evicted_when_all_live(self):
+        kv = KeyValueStore(capacity=2)
+        kv.set("a", 1)
+        kv.set("b", 2)
+        kv.set("c", 3)
+        assert kv.get("a") is None
+        assert kv.evictions == 1
+
+
+class TestStatePersistence:
+    def test_round_trip_preserves_entries_and_counters(self):
+        kv = KeyValueStore()
+        kv.set(("nbrs", 7), frozenset({1, 2}))
+        kv.set("plain", [1, 2, 3])
+        kv.get("plain")
+        kv.get("missing")
+        restored = KeyValueStore()
+        restored.load_state(kv.state_dict())
+        assert restored.hits == kv.hits
+        assert restored.misses == kv.misses
+        assert restored.get(("nbrs", 7)) == frozenset({1, 2})
+        assert restored.get("plain") == [1, 2, 3]
+
+    def test_expired_key_not_captured(self):
+        kv = KeyValueStore()
+        kv.set("dead", 1, ttl=5.0)
+        kv.set("alive", 2)
+        kv.advance(10.0)  # expired, never read → never purged
+        state = kv.state_dict()
+        assert [key for key, _, _ in state["entries"]] == ["alive"]
+
+    def test_expired_key_not_resurrected_by_late_restore(self):
+        # A snapshot captured while the key was live must still expire it
+        # when the restoring store's clock has advanced past its TTL.
+        kv = KeyValueStore()
+        kv.set("a", 1, ttl=5.0)
+        state = kv.state_dict()  # remaining TTL = 5.0
+        state["entries"] = [(k, v, -1.0) for k, v, _ in state["entries"]]
+        restored = KeyValueStore()
+        restored.load_state(state)
+        assert restored.get("a") is None
+        assert len(restored) == 0
+
+    def test_remaining_ttl_reanchored_to_restoring_clock(self):
+        kv = KeyValueStore()
+        kv.advance(100.0)  # capture-side clock far ahead
+        kv.set("a", 1, ttl=8.0)
+        kv.advance(3.0)  # 5.0 seconds of TTL left
+        restored = KeyValueStore()  # fresh clock at 0.0
+        restored.load_state(kv.state_dict())
+        restored.advance(4.999)
+        assert restored.get("a") == 1
+        restored.advance(0.001)
+        assert restored.get("a") is None
+
+    def test_restore_preserves_lru_order(self):
+        kv = KeyValueStore()
+        for key in ("a", "b", "c"):
+            kv.set(key, key)
+        kv.get("a")  # a becomes most recent: order b, c, a
+        restored = KeyValueStore(capacity=3)
+        restored.load_state(kv.state_dict())
+        restored.set("d", "d")  # evicts b, the restored LRU key
+        assert restored.get("b") is None
+        assert restored.get("c") == "c"
+        assert restored.get("a") == "a"
+
+    def test_restore_respects_capacity_bound(self):
+        kv = KeyValueStore()
+        for i in range(5):
+            kv.set(i, i)
+        restored = KeyValueStore(capacity=2)
+        restored.load_state(kv.state_dict())
+        assert len(restored) == 2
+        assert restored.get(3) == 3
+        assert restored.get(4) == 4
+
+    def test_restore_replaces_existing_contents(self):
+        kv = KeyValueStore()
+        kv.set("new", 1)
+        restored = KeyValueStore()
+        restored.set("stale", 99, ttl=1.0)
+        restored.load_state(kv.state_dict())
+        assert restored.get("stale") is None
+        assert restored.get("new") == 1
+        restored.advance(100.0)  # stale's old TTL must not linger
+        assert restored.get("new") == 1

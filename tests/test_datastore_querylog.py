@@ -1,6 +1,7 @@
 """Unit tests for the query log's unique-cost accounting."""
 
 from repro.datastore import QueryLog
+from repro.datastore.snapshot import decode_value, encode_value
 
 
 class TestQueryLog:
@@ -55,3 +56,61 @@ class TestQueryLog:
         assert log.billed_between(0.0, 6.0) == 2
         assert log.billed_between(start=5.0) == 2
         assert log.billed_between(end=5.0) == 1
+
+
+def _round_trip(log: QueryLog) -> QueryLog:
+    """state_dict → codec → load_state, as every snapshot backend does."""
+    restored = QueryLog()
+    restored.load_state(decode_value(encode_value(log.state_dict())))
+    return restored
+
+
+class TestQueryLogSerialization:
+    def test_empty_log_round_trips(self):
+        restored = _round_trip(QueryLog())
+        assert restored.total_queries == 0
+        assert restored.unique_queries == 0
+        assert list(restored) == []
+        # a restored empty log starts billing from scratch
+        assert restored.record("u").billed is True
+
+    def test_non_string_hashable_user_ids(self):
+        log = QueryLog()
+        exotic = [0, -7, ("tuple", 3), (0, (1, 2)), None, True, 2.5, b"bytes"]
+        for i, user in enumerate(exotic):
+            log.record(user, timestamp=float(i))
+        restored = _round_trip(log)
+        assert [(r.user, r.billed) for r in restored] == [(r.user, r.billed) for r in log]
+        for user in exotic:
+            assert restored.was_queried(user)
+        # 0/False and 1/True collapse by hash equality, exactly as live
+        assert restored.unique_queries == log.unique_queries
+
+    def test_interleaved_billed_and_cached_records(self):
+        log = QueryLog()
+        for user in ["a", "b", "a", "c", "b", "a"]:
+            log.record(user, timestamp=0.5)
+        restored = _round_trip(log)
+        assert [r.billed for r in restored] == [True, True, False, True, False, False]
+        assert restored.unique_queries == 3
+        assert restored.total_queries == 6
+        # continuation keeps charging repeats to the cache...
+        assert restored.record("c").billed is False
+        # ...and bills genuinely new users
+        assert restored.record("d").billed is True
+
+    def test_indices_and_timestamps_preserved(self):
+        log = QueryLog()
+        log.record("a", timestamp=1.25)
+        log.record("b", timestamp=3.5)
+        restored = _round_trip(log)
+        assert [(r.index, r.timestamp) for r in restored] == [(0, 1.25), (1, 3.5)]
+        assert restored.record("c").index == 2
+
+    def test_billed_between_works_after_restore(self):
+        log = QueryLog()
+        log.record("a", timestamp=1.0)
+        log.record("b", timestamp=5.0)
+        log.record("a", timestamp=6.0)
+        restored = _round_trip(log)
+        assert restored.billed_between(0.0, 6.0) == log.billed_between(0.0, 6.0)

@@ -1,0 +1,181 @@
+"""Unit tests for the snapshot codec and backends."""
+
+import json
+
+import pytest
+
+from repro.datastore import KeyValueStore
+from repro.datastore.snapshot import (
+    JsonLinesBackend,
+    KeyValueBackend,
+    decode_value,
+    encode_value,
+)
+from repro.errors import SnapshotError
+
+
+class TestCodecRoundTrip:
+    ZOO = [
+        None,
+        True,
+        False,
+        0,
+        -17,
+        2**70,  # beyond 64-bit: JSON ints are arbitrary precision in Python
+        0.0,
+        -2.5,
+        1e-300,
+        float("inf"),
+        float("-inf"),
+        "",
+        "héllo\nworld",
+        b"\x00\xffbytes",
+        (),
+        (1, "two", (3.0, None)),
+        [],
+        [1, [2, [3]]],
+        set(),
+        {1, "a", (2, 3)},
+        frozenset({frozenset({1}), frozenset()}),
+        {},
+        {"k": 1},
+        {(1, 2): {"nested": frozenset({9})}, None: "null-key"},
+    ]
+
+    @pytest.mark.parametrize("value", ZOO, ids=[repr(v)[:40] for v in ZOO])
+    def test_round_trip_value_and_type(self, value):
+        decoded = decode_value(encode_value(value))
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+    def test_nan_round_trips(self):
+        decoded = decode_value(encode_value(float("nan")))
+        assert isinstance(decoded, float) and decoded != decoded
+
+    def test_bool_and_int_stay_distinct(self):
+        assert decode_value(encode_value(True)) is True
+        assert decode_value(encode_value(1)) == 1
+        assert type(decode_value(encode_value(1))) is int
+
+    def test_float_exactness(self):
+        for x in (0.1, 1 / 3, 1e17 + 1.0):
+            assert decode_value(encode_value(x)) == x
+
+    def test_dict_insertion_order_preserved(self):
+        d = {("b",): 1, ("a",): 2, ("c",): 3}
+        assert list(decode_value(encode_value(d))) == list(d)
+
+    def test_set_encoding_is_canonical(self):
+        a = encode_value({1, 2, 3})
+        b = encode_value({3, 1, 2})
+        assert json.dumps(a) == json.dumps(b)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(SnapshotError):
+            encode_value(object())
+
+    def test_malformed_decode_raises(self):
+        for bad in (["?", 1], [], "raw", {"t": 1}):
+            with pytest.raises(SnapshotError):
+                decode_value(bad)
+
+
+SECTIONS = {
+    "meta": {"sampler_type": "MTOSampler", "steps": 12},
+    "state": {
+        "known": {1: [2, 3], (2, "x"): [1]},
+        "removed": {1: {9}},
+        "trace": (1.0, 2.5),
+    },
+}
+
+
+class TestJsonLinesBackend:
+    def test_round_trip(self, tmp_path):
+        backend = JsonLinesBackend(tmp_path / "snap.jsonl")
+        assert backend.read() is None
+        assert not backend.exists()
+        backend.write(SECTIONS)
+        assert backend.exists()
+        assert backend.read() == SECTIONS
+
+    def test_overwrite_replaces_previous(self, tmp_path):
+        backend = JsonLinesBackend(tmp_path / "snap.jsonl")
+        backend.write(SECTIONS)
+        backend.write({"meta": {"steps": 99}})
+        assert backend.read() == {"meta": {"steps": 99}}
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        backend = JsonLinesBackend(tmp_path / "snap.jsonl")
+        backend.write(SECTIONS)
+        assert [p.name for p in tmp_path.iterdir()] == ["snap.jsonl"]
+
+    def test_corrupt_header_raises(self, tmp_path):
+        path = tmp_path / "snap.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(SnapshotError):
+            JsonLinesBackend(path).read()
+
+    def test_wrong_format_raises(self, tmp_path):
+        path = tmp_path / "snap.jsonl"
+        path.write_text(json.dumps({"format": "something-else", "version": 1}) + "\n")
+        with pytest.raises(SnapshotError):
+            JsonLinesBackend(path).read()
+
+    def test_future_version_raises(self, tmp_path):
+        path = tmp_path / "snap.jsonl"
+        path.write_text(
+            json.dumps({"format": "repro-snapshot", "version": 999, "sections": []}) + "\n"
+        )
+        with pytest.raises(SnapshotError):
+            JsonLinesBackend(path).read()
+
+    def test_truncated_sections_raise(self, tmp_path):
+        path = tmp_path / "snap.jsonl"
+        backend = JsonLinesBackend(path)
+        backend.write(SECTIONS)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop the last section
+        with pytest.raises(SnapshotError):
+            backend.read()
+
+
+class TestKeyValueBackend:
+    def test_round_trip(self):
+        backend = KeyValueBackend()
+        assert backend.read() is None
+        assert not backend.exists()
+        backend.write(SECTIONS)
+        assert backend.exists()
+        assert backend.read() == SECTIONS
+
+    def test_snapshot_isolated_from_source_mutation(self):
+        backend = KeyValueBackend()
+        state = {"state": {"known": {1: [2, 3]}}}
+        backend.write(state)
+        state["state"]["known"][1].append(99)  # mutate the live object
+        assert backend.read() == {"state": {"known": {1: [2, 3]}}}
+
+    def test_namespaces_are_independent(self):
+        store = KeyValueStore()
+        a = KeyValueBackend(store, namespace="a")
+        b = KeyValueBackend(store, namespace="b")
+        a.write({"meta": {"who": "a"}})
+        b.write({"meta": {"who": "b"}})
+        assert a.read() == {"meta": {"who": "a"}}
+        assert b.read() == {"meta": {"who": "b"}}
+
+    def test_overwrite_drops_stale_sections(self):
+        backend = KeyValueBackend()
+        backend.write(SECTIONS)
+        backend.write({"meta": {"steps": 1}})
+        assert backend.read() == {"meta": {"steps": 1}}
+        # the stale "state" section is gone from the store, not orphaned
+        assert backend.store.get(("snapshot", "default", "section", "state")) is None
+
+    def test_evicted_section_raises(self):
+        backend = KeyValueBackend()
+        backend.write(SECTIONS)
+        backend.store.delete(("snapshot", "default", "section", "state"))
+        with pytest.raises(SnapshotError):
+            backend.read()

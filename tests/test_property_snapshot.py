@@ -1,0 +1,191 @@
+"""Property-based tests for snapshot round-trip invariants.
+
+The overlay's determinism contract is its insertion ordering: every seeded
+``random_neighbor`` stream is a function of ``neighbors_seq``, so a
+snapshot→restore cycle must reproduce that ordering *exactly* — not just
+the neighbor sets — together with the removal/replacement accounting and
+the original-degree side channel (Theorem 5's free knowledge).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.overlay import OverlayGraph
+from repro.datastore import KeyValueStore, QueryLog
+from repro.datastore.snapshot import JsonLinesBackend, KeyValueBackend, decode_value, encode_value
+from repro.errors import EdgeNotFoundError, SelfLoopError
+from repro.generators import complete_graph
+from repro.interface import RestrictedSocialAPI
+
+
+@st.composite
+def overlay_scripts(draw):
+    """Random interleavings of materialize/remove/add/replace on K7."""
+    ops = st.one_of(
+        st.tuples(st.just("materialize"), st.integers(0, 6), st.just(0), st.just(0)),
+        st.tuples(st.just("remove"), st.integers(0, 6), st.integers(0, 6), st.just(0)),
+        st.tuples(st.just("add"), st.integers(0, 6), st.integers(0, 6), st.just(0)),
+        st.tuples(
+            st.just("replace"), st.integers(0, 6), st.integers(0, 6), st.integers(0, 6)
+        ),
+    )
+    return draw(st.lists(ops, max_size=30))
+
+
+def _apply_script(overlay, script):
+    for op, u, v, w in script:
+        try:
+            if op == "materialize":
+                overlay.ensure_known(u)
+            elif op == "remove":
+                overlay.remove_edge(u, v)
+            elif op == "add":
+                overlay.add_edge(u, v)
+            else:
+                overlay.replace_edge(u, v, w)
+        except (EdgeNotFoundError, SelfLoopError):
+            pass
+
+
+def _round_trip(state):
+    """Push a state dict through the full codec, as any backend does."""
+    return decode_value(encode_value(state))
+
+
+class TestOverlaySnapshotProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(overlay_scripts())
+    def test_round_trip_preserves_neighbors_seq_and_counts(self, script):
+        api = RestrictedSocialAPI(complete_graph(7))
+        overlay = OverlayGraph(api)
+        _apply_script(overlay, script)
+
+        restored = OverlayGraph(RestrictedSocialAPI(complete_graph(7)))
+        restored.load_state(_round_trip(overlay.state_dict()))
+
+        assert list(restored.known_nodes()) == list(overlay.known_nodes())
+        for node in overlay.known_nodes():
+            assert restored.neighbors_seq(node) == overlay.neighbors_seq(node)
+            assert restored.original_degree(node) == overlay.original_degree(node)
+        assert restored.removal_count == overlay.removal_count
+        assert restored.replacement_count == overlay.replacement_count
+
+    @settings(max_examples=60, deadline=None)
+    @given(overlay_scripts(), st.integers(0, 2**32 - 1))
+    def test_round_trip_preserves_seeded_draw_sequences(self, script, seed):
+        api = RestrictedSocialAPI(complete_graph(7))
+        overlay = OverlayGraph(api)
+        _apply_script(overlay, script)
+
+        restored = OverlayGraph(RestrictedSocialAPI(complete_graph(7)))
+        restored.load_state(_round_trip(overlay.state_dict()))
+
+        for node in overlay.known_nodes():
+            a, b = random.Random(seed), random.Random(seed)
+            draws_orig = [overlay.random_neighbor(node, a) for _ in range(20)]
+            draws_rest = [restored.random_neighbor(node, b) for _ in range(20)]
+            assert draws_orig == draws_rest
+
+    @settings(max_examples=40, deadline=None)
+    @given(overlay_scripts())
+    def test_lazy_deltas_apply_identically_after_restore(self, script):
+        # Modifications recorded against *unmaterialized* nodes must fire
+        # the same way when those nodes are first seen after a restore.
+        api = RestrictedSocialAPI(complete_graph(7))
+        overlay = OverlayGraph(api)
+        _apply_script(overlay, script)
+
+        restored = OverlayGraph(RestrictedSocialAPI(complete_graph(7)))
+        restored.load_state(_round_trip(overlay.state_dict()))
+        for node in range(7):
+            overlay.ensure_known(node)
+            restored.ensure_known(node)
+        for node in range(7):
+            assert restored.neighbors_seq(node) == overlay.neighbors_seq(node)
+
+
+@st.composite
+def kv_scripts(draw):
+    """Random set/get/delete/advance sequences with small key space."""
+    keys = st.one_of(st.integers(0, 5), st.tuples(st.just("k"), st.integers(0, 3)))
+    ops = st.one_of(
+        st.tuples(st.just("set"), keys, st.integers(), st.none() | st.floats(0.5, 20.0)),
+        st.tuples(st.just("get"), keys, st.just(0), st.just(None)),
+        st.tuples(st.just("delete"), keys, st.just(0), st.just(None)),
+        st.tuples(st.just("advance"), st.just(0), st.just(0), st.floats(0.0, 5.0)),
+    )
+    return draw(st.lists(ops, max_size=25))
+
+
+class TestKeyValueSnapshotProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(kv_scripts())
+    def test_round_trip_preserves_live_entries_and_lru_order(self, script):
+        kv = KeyValueStore()
+        for op, key, value, arg in script:
+            if op == "set":
+                kv.set(key, value, ttl=arg)
+            elif op == "get":
+                kv.get(key)
+            elif op == "delete":
+                kv.delete(key)
+            else:
+                kv.advance(arg)
+
+        restored = KeyValueStore()
+        restored.load_state(_round_trip(kv.state_dict()))
+        live = [k for k in kv.keys() if kv.contains(k)]
+        assert sorted(map(repr, restored.keys())) == sorted(map(repr, live))
+        for k in live:
+            assert restored.get(k) == kv.get(k)
+
+
+@st.composite
+def log_users(draw):
+    """User-id zoo: ints, strings, tuples, None — all hashable."""
+    ids = st.one_of(
+        st.integers(-3, 3),
+        st.sampled_from(["alice", "bob", ""]),
+        st.tuples(st.integers(0, 2), st.sampled_from(["x", "y"])),
+        st.none(),
+    )
+    return draw(st.lists(ids, max_size=40))
+
+
+class TestQueryLogSnapshotProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(log_users())
+    def test_round_trip_preserves_records_and_unique_accounting(self, users):
+        log = QueryLog()
+        for i, user in enumerate(users):
+            log.record(user, timestamp=float(i))
+
+        restored = QueryLog()
+        restored.load_state(_round_trip(log.state_dict()))
+        assert restored.total_queries == log.total_queries
+        assert restored.unique_queries == log.unique_queries
+        assert [(r.index, r.user, r.billed, r.timestamp) for r in restored] == [
+            (r.index, r.user, r.billed, r.timestamp) for r in log
+        ]
+        # billing must *continue* correctly: every known user is a cache hit
+        for user in users:
+            assert restored.was_queried(user)
+            assert not restored.record(user).billed
+
+
+class TestBackendsAgree:
+    @settings(max_examples=25, deadline=None)
+    @given(overlay_scripts())
+    def test_jsonl_and_kv_backends_restore_identically(self, tmp_path_factory, script):
+        api = RestrictedSocialAPI(complete_graph(7))
+        overlay = OverlayGraph(api)
+        _apply_script(overlay, script)
+        sections = {"overlay": overlay.state_dict()}
+
+        jsonl = JsonLinesBackend(tmp_path_factory.mktemp("snap") / "s.jsonl")
+        kv = KeyValueBackend()
+        jsonl.write(sections)
+        kv.write(sections)
+        assert jsonl.read() == kv.read()
