@@ -1,0 +1,195 @@
+"""Benchmark-regression gate: fresh ``BENCH_*.json`` vs committed baselines.
+
+CI regenerates the machine-readable benchmark profiles on every run; this
+script compares them against the baselines committed under
+``benchmarks/baselines/`` and exits non-zero on regression, so a PR that
+slows a hot path or erodes the scheduler's latency win fails its build.
+
+Two kinds of metrics, two kinds of tolerance:
+
+* **wall-time metrics** (steps/s) vary with CI hardware — the gate only
+  fails when a fresh value drops below ``1 - throughput_tolerance``
+  (default 50%) of baseline, a band wide enough for runner jitter but
+  narrow enough to catch an accidental O(k log k) hot path;
+* **simulated metrics** (queries/sample, scheduler wall-clock per sample,
+  speedup) are seeded and hardware-independent — they are gated inside a
+  tight ``simulated_tolerance`` band (default 2%), and the scheduler
+  speedup additionally has the ISSUE 3 hard floor of 2x.
+
+Usage::
+
+    python benchmarks/regression_gate.py --baseline-dir benchmarks/baselines
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+#: Hard floor on the heavy-tailed scheduler speedup (ISSUE 3 acceptance).
+MIN_SCHEDULER_SPEEDUP = 2.0
+
+
+def _load(path: Path) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def check_walk_engine(
+    fresh: dict,
+    baseline: dict,
+    throughput_tolerance: float = 0.5,
+    simulated_tolerance: float = 0.02,
+) -> List[str]:
+    """Failures for the walk-engine profile (empty list = gate passes)."""
+    failures = []
+    for name, base_engine in baseline.get("engines", {}).items():
+        fresh_engine = fresh.get("engines", {}).get(name)
+        if fresh_engine is None:
+            failures.append(f"walk_engine: engine {name!r} missing from fresh profile")
+            continue
+        floor = base_engine["steps_per_second"] * (1.0 - throughput_tolerance)
+        if fresh_engine["steps_per_second"] < floor:
+            failures.append(
+                "walk_engine: {} throughput regressed: {} steps/s < {:.0f} "
+                "({}% band around baseline {})".format(
+                    name,
+                    fresh_engine["steps_per_second"],
+                    floor,
+                    int(throughput_tolerance * 100),
+                    base_engine["steps_per_second"],
+                )
+            )
+        base_qps = base_engine["queries_per_sample"]
+        drift = abs(fresh_engine["queries_per_sample"] - base_qps)
+        if drift > simulated_tolerance * base_qps:
+            failures.append(
+                "walk_engine: {} queries/sample drifted: {} vs baseline {} "
+                "(simulated metric, tolerance {:.0%})".format(
+                    name,
+                    fresh_engine["queries_per_sample"],
+                    base_qps,
+                    simulated_tolerance,
+                )
+            )
+    return failures
+
+
+def check_scheduler(
+    fresh: dict,
+    baseline: dict,
+    simulated_tolerance: float = 0.02,
+    min_speedup: float = MIN_SCHEDULER_SPEEDUP,
+) -> List[str]:
+    """Failures for the scheduler profile (empty list = gate passes)."""
+    failures = []
+    if not fresh.get("zero_latency_bit_for_bit", False):
+        failures.append("scheduler: zero-latency bit-for-bit equivalence no longer holds")
+    heavy = fresh.get("distributions", {}).get("heavy_tailed")
+    if heavy is None:
+        return failures + ["scheduler: heavy_tailed distribution missing from fresh profile"]
+    if heavy["speedup"] < min_speedup:
+        failures.append(
+            f"scheduler: heavy-tailed speedup {heavy['speedup']:.2f}x "
+            f"below the {min_speedup:.1f}x floor"
+        )
+    for name, base_row in baseline.get("distributions", {}).items():
+        fresh_row = fresh.get("distributions", {}).get(name)
+        if fresh_row is None:
+            failures.append(f"scheduler: distribution {name!r} missing from fresh profile")
+            continue
+        for metric in ("event_wall_per_sample", "speedup", "query_cost"):
+            base_value = base_row[metric]
+            allowed = simulated_tolerance * abs(base_value)
+            # wall-clock and cost regress upward; speedup regresses downward
+            worse = (
+                base_value - fresh_row[metric]
+                if metric == "speedup"
+                else fresh_row[metric] - base_value
+            )
+            if worse > allowed:
+                failures.append(
+                    "scheduler: {} {} regressed: {} vs baseline {} "
+                    "(simulated metric, tolerance {:.0%})".format(
+                        name, metric, fresh_row[metric], base_value, simulated_tolerance
+                    )
+                )
+    return failures
+
+
+def run_gate(
+    fresh_dir: Path,
+    baseline_dir: Path,
+    throughput_tolerance: float = 0.5,
+    simulated_tolerance: float = 0.02,
+) -> List[str]:
+    """Compare every gated profile; returns the list of failures."""
+    failures = []
+    pairs = [
+        ("BENCH_walk_engine.json", check_walk_engine, {"throughput_tolerance": throughput_tolerance}),
+        ("BENCH_scheduler.json", check_scheduler, {}),
+    ]
+    for filename, check, extra in pairs:
+        baseline_path = baseline_dir / filename
+        fresh_path = fresh_dir / filename
+        if not baseline_path.exists():
+            failures.append(f"gate: committed baseline {baseline_path} is missing")
+            continue
+        if not fresh_path.exists():
+            failures.append(f"gate: fresh profile {fresh_path} was not generated")
+            continue
+        failures.extend(
+            check(
+                _load(fresh_path),
+                _load(baseline_path),
+                simulated_tolerance=simulated_tolerance,
+                **extra,
+            )
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh-dir", type=Path, default=Path("."), help="directory with fresh BENCH_*.json"
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=Path("benchmarks/baselines"),
+        help="directory with committed baselines",
+    )
+    parser.add_argument(
+        "--throughput-tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional drop for wall-time metrics (CI hardware varies)",
+    )
+    parser.add_argument(
+        "--simulated-tolerance",
+        type=float,
+        default=0.02,
+        help="allowed fractional drift for seeded simulated metrics",
+    )
+    args = parser.parse_args(argv)
+    failures = run_gate(
+        args.fresh_dir,
+        args.baseline_dir,
+        throughput_tolerance=args.throughput_tolerance,
+        simulated_tolerance=args.simulated_tolerance,
+    )
+    if failures:
+        print("benchmark regression gate: FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("benchmark regression gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

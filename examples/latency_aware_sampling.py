@@ -1,0 +1,84 @@
+"""Scenario: sampling a slow, flaky provider without waiting on it.
+
+Real OSN backends answer ``q(v)`` with heavy-tailed latency and the
+occasional timeout.  This example builds a provider stack
+(graph -> latency model -> flaky retries), then collects the same samples
+two ways over identical chains:
+
+* lock-step rounds (``ParallelWalkers``): every round waits for the
+  slowest response in the group;
+* event-driven (``EventDrivenWalkers``): each chain re-dispatches the
+  moment its own response lands.
+
+Both runs bill the identical §II-B query cost — the schedulers differ
+only in simulated wall-clock.
+
+Run:
+    python examples/latency_aware_sampling.py
+"""
+
+from repro import AggregateQuery, estimate, ground_truth
+from repro.datasets import load
+from repro.interface import (
+    FlakyProvider,
+    InMemoryGraphProvider,
+    LatencyModelProvider,
+    RestrictedSocialAPI,
+)
+from repro.walks import EventDrivenWalkers, ParallelWalkers, SimpleRandomWalk
+
+CHAINS = 8
+SAMPLES = 800
+
+
+def build_api(net):
+    """Graph -> per-user heavy-tailed latency -> seeded flaky retries."""
+    provider = FlakyProvider(
+        LatencyModelProvider(
+            InMemoryGraphProvider(net.graph, profiles=net.profiles),
+            distribution="heavy_tailed",
+            scale=0.5,
+            seed=7,
+        ),
+        failure_rate=0.05,
+        timeout_latency=2.0,
+        seed=7,
+    )
+    return RestrictedSocialAPI(provider), provider
+
+
+def main() -> None:
+    net = load("epinions_like", seed=0, scale=0.5)
+    query = AggregateQuery.average_degree()
+    truth = ground_truth(query, net.graph)
+    print(f"network: {net.name} ({net.graph.num_nodes} users), "
+          f"true average degree {truth:.2f}\n")
+
+    results = {}
+    for name, scheduler_cls in (("lock-step", ParallelWalkers), ("event-driven", EventDrivenWalkers)):
+        api, provider = build_api(net)
+        chains = [
+            SimpleRandomWalk(api, start=net.seed_node(i), seed=i) for i in range(CHAINS)
+        ]
+        run = scheduler_cls(chains).run(num_samples=SAMPLES)
+        est = estimate(query, run.merged, api)
+        stats = provider.retry_stats
+        results[name] = run
+        print(
+            f"{name:>13}: {run.query_cost} unique queries, "
+            f"{run.sim_elapsed:8.1f}s simulated wall-clock "
+            f"({run.sim_elapsed / SAMPLES:.3f} s/sample), "
+            f"estimate {est.estimate:.2f} "
+            f"[{stats.timeouts} timeouts over {stats.attempts} attempts]"
+        )
+
+    lock, event = results["lock-step"], results["event-driven"]
+    assert lock.query_cost == event.query_cost
+    print(
+        f"\nsame bill, {lock.sim_elapsed / event.sim_elapsed:.1f}x less waiting: "
+        "the event-driven scheduler never parks a fast chain behind a slow response."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -33,9 +33,17 @@ from repro.core.overlay import OverlayGraph, build_overlay_fixpoint
 from repro.datastore.snapshot import JsonLinesBackend, KeyValueBackend, SnapshotBackend
 from repro.graph.adjacency import Graph
 from repro.interface.api import RestrictedSocialAPI
+from repro.interface.providers import (
+    FlakyProvider,
+    InMemoryGraphProvider,
+    LatencyModelProvider,
+    SocialProvider,
+)
 from repro.interface.session import SamplingSession
 from repro.walks.mhrw import MetropolisHastingsWalk
+from repro.walks.parallel import ParallelWalkers
 from repro.walks.rj import RandomJumpWalk
+from repro.walks.scheduler import EventDrivenWalkers
 from repro.walks.srw import SimpleRandomWalk
 
 __version__ = "1.0.0"
@@ -52,6 +60,12 @@ __all__ = [
     "build_overlay_fixpoint",
     "Graph",
     "RestrictedSocialAPI",
+    "SocialProvider",
+    "InMemoryGraphProvider",
+    "LatencyModelProvider",
+    "FlakyProvider",
+    "ParallelWalkers",
+    "EventDrivenWalkers",
     "SamplingSession",
     "SnapshotBackend",
     "JsonLinesBackend",

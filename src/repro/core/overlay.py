@@ -37,6 +37,29 @@ Node = Hashable
 Edge = Tuple[Node, Node]
 
 
+def shared_overlay_of(samplers) -> Optional["OverlayGraph"]:
+    """The one overlay every sampler in a group shares, or ``None``.
+
+    Parallel MTO chains may walk a common :class:`OverlayGraph` so any
+    chain's rewiring benefits all of them (§VI); group drivers and
+    :class:`~repro.interface.session.SamplingSession` need to know whether
+    that is the case to snapshot the overlay exactly once.  Returns the
+    shared instance when every sampler exposes the *same* overlay object,
+    and ``None`` when no sampler has one or the overlays differ (per-chain
+    private overlays cannot be captured by one group snapshot).
+
+    Args:
+        samplers: Any iterable of walk samplers (overlay-less ones count
+            as "no overlay" and are compatible only with an all-``None``
+            group).
+    """
+    overlays = [getattr(s, "overlay", None) for s in samplers]
+    shared = next((o for o in overlays if o is not None), None)
+    if shared is None:
+        return None
+    return shared if all(o is shared for o in overlays) else None
+
+
 class OverlayGraph:
     """Sampler-side virtual topology over a restrictive interface.
 

@@ -24,6 +24,11 @@ from repro.generators.communities import chung_lu_graph, power_law_degrees
 from repro.graph.adjacency import Graph
 from repro.graph.traversal import largest_connected_component
 from repro.interface.api import RestrictedSocialAPI
+from repro.interface.providers import (
+    InMemoryGraphProvider,
+    LatencyModelProvider,
+    SocialProvider,
+)
 from repro.interface.ratelimit import RateLimiter
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -55,11 +60,43 @@ class SocialNetwork:
         self,
         rate_limiter: Optional[RateLimiter] = None,
         query_budget: Optional[int] = None,
+        latency_distribution: Optional[str] = None,
+        latency_scale: float = 1.0,
+        latency_seed: int = 0,
+        provider: Optional[SocialProvider] = None,
     ) -> RestrictedSocialAPI:
-        """A fresh restrictive ``q(v)`` interface over this network."""
+        """A fresh restrictive ``q(v)`` interface over this network.
+
+        Args:
+            rate_limiter: Provider throttle; default unlimited.
+            query_budget: Optional hard unique-query cap.
+            latency_distribution: When given (one of
+                :data:`~repro.interface.providers.LATENCY_DISTRIBUTIONS`),
+                serve responses through a seeded
+                :class:`~repro.interface.providers.LatencyModelProvider`
+                instead of the zero-latency default.
+            latency_scale: Latency scale in simulated seconds.
+            latency_seed: Seed for the per-user latency draws.
+            provider: Fully custom provider stack over this network
+                (e.g. a :class:`~repro.interface.providers.FlakyProvider`
+                chain); mutually exclusive with ``latency_distribution``.
+        """
+        if provider is None:
+            provider = InMemoryGraphProvider(self.graph, profiles=self.profiles)
+            if latency_distribution is not None:
+                provider = LatencyModelProvider(
+                    provider,
+                    distribution=latency_distribution,
+                    scale=latency_scale,
+                    seed=latency_seed,
+                )
+        elif latency_distribution is not None or latency_scale != 1.0 or latency_seed != 0:
+            raise ValueError(
+                "pass either a custom provider or latency_* options, not both "
+                "(a custom provider carries its own latency configuration)"
+            )
         return RestrictedSocialAPI(
-            self.graph,
-            profiles=self.profiles,
+            provider,
             rate_limiter=rate_limiter,
             query_budget=query_budget,
         )

@@ -38,7 +38,7 @@ from __future__ import annotations
 import abc
 import json
 import os
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.datastore.kv import KeyValueStore
 from repro.errors import SnapshotError
@@ -56,6 +56,49 @@ SNAPSHOT_VERSION = 1
 def _canonical(encoded: object) -> str:
     """Deterministic sort key for encoded set members."""
     return json.dumps(encoded, sort_keys=True, separators=(",", ":"))
+
+
+#: Registered extension codecs: exact type -> (tag, to-primitives function).
+_EXTENSION_ENCODERS: Dict[type, Tuple[str, Callable[[object], object]]] = {}
+#: Registered extension codecs: tag -> from-primitives function.
+_EXTENSION_DECODERS: Dict[str, Callable[[object], object]] = {}
+
+
+def register_codec(
+    tag: str,
+    cls: type,
+    encode: Callable[[object], object],
+    decode: Callable[[object], object],
+) -> None:
+    """Register an extension codec for an application type.
+
+    The base codec only knows primitives and containers; subsystems that
+    snapshot richer objects (e.g. collected :class:`WalkSample` records in
+    an event-driven scheduler's in-flight state) register a codec pair
+    here.  ``encode`` must reduce an instance to values the base codec
+    already supports; ``decode`` inverts it.  Registration is idempotent
+    for an identical (tag, cls) pair, so repeated module imports are safe.
+
+    Args:
+        tag: Snapshot tag; must start with ``"x:"`` to stay clear of the
+            base codec's single-character tags.
+        cls: Exact type to encode (subclasses are not matched — a snapshot
+            must never silently widen a type).
+        encode: Instance -> base-codec-supported value.
+        decode: Inverse of ``encode``.
+
+    Raises:
+        SnapshotError: On malformed tags or conflicting registrations.
+    """
+    if not tag.startswith("x:"):
+        raise SnapshotError(f"extension codec tag {tag!r} must start with 'x:'")
+    existing = _EXTENSION_ENCODERS.get(cls)
+    if existing is not None and existing[0] != tag:
+        raise SnapshotError(f"type {cls.__name__} already registered under {existing[0]!r}")
+    if tag in _EXTENSION_DECODERS and (existing is None or existing[0] != tag):
+        raise SnapshotError(f"extension codec tag {tag!r} already registered")
+    _EXTENSION_ENCODERS[cls] = (tag, encode)
+    _EXTENSION_DECODERS[tag] = decode
 
 
 def encode_value(value: object) -> object:
@@ -91,6 +134,10 @@ def encode_value(value: object) -> object:
         return ["S" if isinstance(value, set) else "F", members]
     if isinstance(value, dict):
         return ["d", [[encode_value(k), encode_value(v)] for k, v in value.items()]]
+    extension = _EXTENSION_ENCODERS.get(type(value))
+    if extension is not None:
+        tag, to_primitives = extension
+        return [tag, encode_value(to_primitives(value))]
     raise SnapshotError(f"cannot snapshot value of type {type(value).__name__}: {value!r}")
 
 
@@ -125,6 +172,9 @@ def decode_value(encoded: object) -> object:
         return frozenset(decode_value(v) for v in encoded[1])
     if tag == "d":
         return {decode_value(k): decode_value(v) for k, v in encoded[1]}
+    decoder = _EXTENSION_DECODERS.get(tag) if isinstance(tag, str) else None
+    if decoder is not None:
+        return decoder(decode_value(encoded[1]))
     raise SnapshotError(f"unknown snapshot tag {tag!r}")
 
 

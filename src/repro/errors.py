@@ -95,6 +95,31 @@ class QueryBudgetExhaustedError(InterfaceError):
         self.budget = budget
 
 
+class ProviderError(InterfaceError):
+    """Base class for failures inside a :class:`SocialProvider` backend."""
+
+
+class ProviderTimeoutError(ProviderError):
+    """Every fetch attempt against a flaky provider timed out.
+
+    An abandoned fetch never completes, so the interface bills neither
+    query cost nor simulated time for it; the time the retries *would*
+    have consumed is reported here for callers that catch and keep
+    crawling on their own accounting.
+
+    Attributes:
+        user: The user whose fetch was abandoned.
+        attempts: How many attempts were made before giving up.
+        wasted_latency: Simulated seconds the timed-out attempts consumed.
+    """
+
+    def __init__(self, user: object, attempts: int, wasted_latency: float = 0.0) -> None:
+        super().__init__(f"fetch of user {user!r} timed out after {attempts} attempts")
+        self.user = user
+        self.attempts = attempts
+        self.wasted_latency = wasted_latency
+
+
 class DataStoreError(ReproError):
     """Base class for key-value / document store errors."""
 

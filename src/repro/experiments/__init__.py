@@ -21,6 +21,11 @@ from repro.experiments.fig8 import Fig8Result, run_fig8
 from repro.experiments.fig9 import Fig9Result, run_fig9
 from repro.experiments.fig10 import Fig10Result, run_fig10
 from repro.experiments.fig11 import Fig11Result, run_fig11
+from repro.experiments.latency_sweep import (
+    LatencySweepResult,
+    LatencySweepRow,
+    run_latency_sweep,
+)
 from repro.experiments.runner import (
     SAMPLER_NAMES,
     WarmStartResult,
@@ -43,6 +48,9 @@ __all__ = [
     "run_fig10",
     "Fig11Result",
     "run_fig11",
+    "LatencySweepResult",
+    "LatencySweepRow",
+    "run_latency_sweep",
     "SAMPLER_NAMES",
     "WarmStartResult",
     "cost_at_error",

@@ -10,6 +10,7 @@ Usage::
     python -m repro.experiments fig10
     python -m repro.experiments fig11
     python -m repro.experiments warmstart --scale 0.3
+    python -m repro.experiments latency --scale 0.3
     python -m repro.experiments all   --scale 0.5
 
 Each command prints the same rows/series the paper's artifact reports.
@@ -27,6 +28,7 @@ from repro.experiments import (
     run_fig9,
     run_fig10,
     run_fig11,
+    run_latency_sweep,
     run_running_example,
     run_table1,
     run_warm_start,
@@ -49,6 +51,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "fig10",
             "fig11",
             "warmstart",
+            "latency",
             "all",
         ],
         help="which artifact to regenerate",
@@ -94,6 +97,11 @@ def main(argv: list[str] | None = None) -> int:
         "fig11": lambda: run_fig11(**_kw(args, scale=args.scale)),
         "warmstart": lambda: run_warm_start(
             _load_network(seed=args.seed, scale=args.scale), seed=args.seed
+        ),
+        "latency": lambda: run_latency_sweep(
+            _load_network(seed=args.seed, scale=args.scale),
+            seed=args.seed,
+            **({"num_samples": args.samples} if args.samples is not None else {}),
         ),
     }
     names = list(jobs) if args.experiment == "all" else [args.experiment]

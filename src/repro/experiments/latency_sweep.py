@@ -1,0 +1,174 @@
+"""Latency sweep: lock-step vs event-driven scheduling across distributions.
+
+The paper's evaluation runs on a zero-latency simulator, where lock-step
+parallel chains are free.  Real providers answer in time drawn from very
+skewed distributions, and the follow-up work ("Walk, Not Wait") shows the
+win from not blocking on slow responses.  This driver quantifies that on
+our stand-ins: for each latency distribution it runs the *same* chains
+(same seeds, same per-chain sample quotas) under
+:class:`~repro.walks.parallel.ParallelWalkers` (every round waits for the
+slowest response) and :class:`~repro.walks.scheduler.EventDrivenWalkers`
+(each chain re-dispatches the moment its response lands), and reports
+simulated wall-clock per collected sample at identical §II-B query cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+from repro.datasets.standins import SocialNetwork
+from repro.errors import ExperimentError
+from repro.interface.providers import LATENCY_DISTRIBUTIONS
+from repro.walks.parallel import ParallelWalkers
+from repro.walks.scheduler import EventDrivenWalkers
+from repro.walks.srw import SimpleRandomWalk
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencySweepRow:
+    """One distribution's lock-step vs event-driven comparison.
+
+    Attributes:
+        distribution: Latency distribution name.
+        query_cost: Billed unique queries (identical across schedulers —
+            asserted, it is what makes the wall-clock numbers comparable).
+        lockstep_wall: Lock-step simulated wall-clock (sum of per-round
+            maximum latencies).
+        event_wall: Event-driven simulated wall-clock (makespan).
+        lockstep_wall_per_sample: Lock-step wall-clock per collected sample.
+        event_wall_per_sample: Event-driven wall-clock per collected sample.
+        speedup: ``lockstep_wall / event_wall`` (1.0 when both are 0).
+    """
+
+    distribution: str
+    query_cost: int
+    lockstep_wall: float
+    event_wall: float
+    lockstep_wall_per_sample: float
+    event_wall_per_sample: float
+    speedup: float
+
+
+@dataclasses.dataclass
+class LatencySweepResult:
+    """Everything one latency sweep produced.
+
+    Attributes:
+        dataset: Network label.
+        chains: Parallel chains per run.
+        num_samples: Samples collected per run (rounded to a multiple of
+            ``chains`` so per-chain quotas — and therefore query costs —
+            match exactly between schedulers).
+        latency_scale: Latency scale passed to the provider.
+        rows: One :class:`LatencySweepRow` per distribution.
+    """
+
+    dataset: str
+    chains: int
+    num_samples: int
+    latency_scale: float
+    rows: List[LatencySweepRow]
+
+    def __str__(self) -> str:
+        lines = [
+            f"latency sweep — {self.chains} chains x {self.num_samples} samples "
+            f"on {self.dataset} (scale {self.latency_scale:g}s)",
+            "  {:>13} {:>8} {:>14} {:>14} {:>9}".format(
+                "distribution", "queries", "lock s/sample", "event s/sample", "speedup"
+            ),
+        ]
+        for row in self.rows:
+            lines.append(
+                "  {:>13} {:>8} {:>14.4f} {:>14.4f} {:>8.2f}x".format(
+                    row.distribution,
+                    row.query_cost,
+                    row.lockstep_wall_per_sample,
+                    row.event_wall_per_sample,
+                    row.speedup,
+                )
+            )
+        return "\n".join(lines)
+
+
+def run_latency_sweep(
+    network: SocialNetwork,
+    chains: int = 8,
+    num_samples: int = 400,
+    distributions: Sequence[str] = LATENCY_DISTRIBUTIONS,
+    latency_scale: float = 1.0,
+    seed: int = 0,
+    thinning: int = 1,
+) -> LatencySweepResult:
+    """Compare lock-step and event-driven scheduling per latency model.
+
+    Both schedulers drive freshly constructed chains with identical seeds
+    and identical per-chain sample quotas over identical providers, so the
+    walks — and the billed §II-B query cost — agree exactly; only the
+    simulated wall-clock differs.
+
+    Args:
+        network: Dataset to sample.
+        chains: Parallel chains (≥ 2).
+        num_samples: Total samples per run; rounded down to a multiple of
+            ``chains``.
+        distributions: Latency distribution names to sweep.
+        latency_scale: Scale passed to the latency provider.
+        seed: Master seed (latency draws and walk streams derive from it).
+        thinning: Per-chain spacing between collected samples.
+
+    Raises:
+        ExperimentError: On fewer than two chains or an empty quota.
+    """
+    if chains < 2:
+        raise ExperimentError("the schedulers need at least two chains")
+    num_samples = (num_samples // chains) * chains
+    if num_samples <= 0:
+        raise ExperimentError("num_samples must be at least the chain count")
+
+    def build(distribution: str):
+        api = network.interface(
+            latency_distribution=distribution,
+            latency_scale=latency_scale,
+            latency_seed=seed,
+        )
+        walkers = [
+            SimpleRandomWalk(api, start=network.seed_node(i), seed=seed * 100_003 + i)
+            for i in range(chains)
+        ]
+        return api, walkers
+
+    rows: List[LatencySweepRow] = []
+    for distribution in distributions:
+        _, lock_chains = build(distribution)
+        lock_run = ParallelWalkers(lock_chains).run(num_samples=num_samples, thinning=thinning)
+        _, event_chains = build(distribution)
+        event_run = EventDrivenWalkers(event_chains).run(
+            num_samples=num_samples, thinning=thinning
+        )
+        if event_run.query_cost != lock_run.query_cost:
+            raise ExperimentError(
+                f"schedulers disagree on query cost under {distribution!r}: "
+                f"{lock_run.query_cost} vs {event_run.query_cost}"
+            )
+        speedup = (
+            lock_run.sim_elapsed / event_run.sim_elapsed if event_run.sim_elapsed > 0 else 1.0
+        )
+        rows.append(
+            LatencySweepRow(
+                distribution=distribution,
+                query_cost=lock_run.query_cost,
+                lockstep_wall=lock_run.sim_elapsed,
+                event_wall=event_run.sim_elapsed,
+                lockstep_wall_per_sample=lock_run.sim_elapsed / num_samples,
+                event_wall_per_sample=event_run.sim_elapsed / num_samples,
+                speedup=speedup,
+            )
+        )
+    return LatencySweepResult(
+        dataset=network.name,
+        chains=chains,
+        num_samples=num_samples,
+        latency_scale=latency_scale,
+        rows=rows,
+    )

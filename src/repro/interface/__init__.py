@@ -12,6 +12,14 @@ limiter, the local cache, and the unique-query cost accounting together.
 
 from repro.interface.api import BatchQueryResult, QueryResponse, RestrictedSocialAPI
 from repro.interface.cache import NeighborhoodCache
+from repro.interface.providers import (
+    FlakyProvider,
+    InMemoryGraphProvider,
+    LatencyModelProvider,
+    ProviderFetch,
+    RetryStats,
+    SocialProvider,
+)
 from repro.interface.session import SamplingSession
 from repro.interface.ratelimit import (
     FixedWindowRateLimiter,
@@ -26,6 +34,12 @@ __all__ = [
     "QueryResponse",
     "RestrictedSocialAPI",
     "NeighborhoodCache",
+    "SocialProvider",
+    "ProviderFetch",
+    "InMemoryGraphProvider",
+    "LatencyModelProvider",
+    "FlakyProvider",
+    "RetryStats",
     "SamplingSession",
     "FixedWindowRateLimiter",
     "RateLimiter",

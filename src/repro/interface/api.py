@@ -21,6 +21,15 @@ Samplers receive a :class:`RestrictedSocialAPI` and must work through it;
 nothing in :mod:`repro.walks` or :mod:`repro.core` touches the underlying
 graph directly.
 
+The data source itself is pluggable: the API sits on any
+:class:`~repro.interface.providers.SocialProvider` (in-memory graph,
+seeded latency models, flaky backends with retries) and keeps the §II-B
+billing semantics identical across all of them — a provider decides *what*
+a fetch returns and *how long* it takes; the interface decides what it
+*costs*.  Provider response latency is added to the simulated clock on
+each billed fetch and tallied in :attr:`RestrictedSocialAPI.latency_spent`
+for latency-aware schedulers.
+
 :meth:`RestrictedSocialAPI.query_many` is the batched entry point: it keeps
 the per-user billing semantics of ``q(v)`` bit-for-bit (cache hits free,
 refusals billed once, one limiter token per billed fetch — so simulated
@@ -47,6 +56,7 @@ from repro.errors import (
 )
 from repro.graph.adjacency import Graph
 from repro.interface.cache import NeighborhoodCache
+from repro.interface.providers import InMemoryGraphProvider, SocialProvider
 from repro.interface.ratelimit import RateLimiter, SimulatedClock, UnlimitedRateLimiter
 
 Node = Hashable
@@ -64,15 +74,20 @@ class QueryResponse:
             when the network has no attribute payload.
         from_cache: Whether this response was served locally (not billed).
         neighbor_seq: The same neighbors in a stable order, for O(1)
-            uniform draws without sorting.  Derived from ``neighbors`` when
-            not supplied (hand-built responses in tests).
+            uniform draws without sorting.  Optional at construction only:
+            derived from ``neighbors`` in ``__post_init__`` when not
+            supplied (hand-built responses in tests), so readers always
+            see a tuple.
+        latency: Simulated seconds the provider took to serve this
+            response (0.0 for cache hits and zero-latency providers).
     """
 
     user: Node
     neighbors: FrozenSet[Node]
     attributes: Dict
     from_cache: bool
-    neighbor_seq: Tuple[Node, ...] = None  # type: ignore[assignment]
+    neighbor_seq: Optional[Tuple[Node, ...]] = None
+    latency: float = 0.0
 
     def __post_init__(self) -> None:
         if self.neighbor_seq is None:
@@ -106,25 +121,39 @@ class BatchQueryResult:
 
 
 class RestrictedSocialAPI:
-    """Simulated provider interface over an in-memory social graph.
+    """The §II-B billing interface over a pluggable social provider.
 
     Args:
-        graph: The hidden social-network topology.  The API holds a
-            reference (not a copy); experiments must not mutate it while
+        graph: The data source — either a :class:`SocialProvider`
+            implementation, or a bare :class:`Graph` which is wrapped in a
+            zero-latency :class:`InMemoryGraphProvider` (the historical
+            behavior, bit-for-bit).  The API holds a reference (not a
+            copy); experiments must not mutate the topology while
             sampling.
         profiles: Optional document store of user attributes served with
-            each query response.
+            each query response.  Only valid with a bare graph — a
+            provider owns its own attribute payloads.
         rate_limiter: Provider throttle; default unlimited.
         clock: Simulated clock; a fresh one is created if omitted.
         seconds_per_query: How much simulated time one billed query takes
-            (used with rate limiting; irrelevant otherwise).
+            on top of the provider's response latency.
         query_budget: Optional hard cap on billed queries, after which
             :class:`QueryBudgetExhaustedError` is raised.
         inaccessible: Optional set of user ids whose profiles are private:
             they appear in neighbor lists but ``q(v)`` on them raises
             :class:`PrivateUserError`.  The refusal itself is billed once
-            (real interfaces charge the request) and cached thereafter —
-            the failure-injection surface for sampler robustness tests.
+            (real interfaces charge the request) and cached thereafter.
+            Only valid with a bare graph — providers model their own
+            refusals (see :class:`InMemoryGraphProvider`).
+        cache: Sampler-side response cache; a fresh unbounded
+            :class:`NeighborhoodCache` by default.  Injectable so
+            bounded-memory crawls can run over an LRU-capped store —
+            evicted users are re-fetched (and re-billed in *time*, never
+            in unique-query cost, which the log owns).
+
+    Raises:
+        ValueError: On invalid numeric parameters, or when ``profiles`` /
+            ``inaccessible`` are combined with a provider instance.
 
     Example:
         >>> g = Graph([(1, 2), (2, 3)])
@@ -140,28 +169,38 @@ class RestrictedSocialAPI:
 
     def __init__(
         self,
-        graph: Graph,
+        graph: "Graph | SocialProvider",
         profiles: Optional[DocumentStore] = None,
         rate_limiter: Optional[RateLimiter] = None,
         clock: Optional[SimulatedClock] = None,
         seconds_per_query: float = 1.0,
         query_budget: Optional[int] = None,
         inaccessible: Optional[frozenset] = None,
+        cache: Optional[NeighborhoodCache] = None,
     ) -> None:
         if seconds_per_query < 0:
             raise ValueError("seconds_per_query must be non-negative")
         if query_budget is not None and query_budget <= 0:
             raise ValueError("query_budget must be positive or None")
-        self._inaccessible = frozenset(inaccessible) if inaccessible else frozenset()
+        if isinstance(graph, SocialProvider):
+            if profiles is not None or inaccessible:
+                raise ValueError(
+                    "profiles/inaccessible belong to the provider; "
+                    "configure them on the provider instance instead"
+                )
+            self._provider: SocialProvider = graph
+        else:
+            self._provider = InMemoryGraphProvider(
+                graph, profiles=profiles, inaccessible=inaccessible
+            )
         self._known_private: set = set()
-        self._graph = graph
-        self._profiles = profiles
         self._limiter = rate_limiter if rate_limiter is not None else UnlimitedRateLimiter()
         self._clock = clock if clock is not None else SimulatedClock()
         self._seconds_per_query = seconds_per_query
         self._budget = query_budget
-        self._cache = NeighborhoodCache()
+        self._cache = cache if cache is not None else NeighborhoodCache()
         self._log = QueryLog()
+        self._latency_spent = 0.0
 
     # ------------------------------------------------------------------
     # the public queries
@@ -184,16 +223,17 @@ class RestrictedSocialAPI:
         if cached is not None:
             return cached
 
-        if not self._graph.has_node(user):
+        if not self._provider.has_user(user):
             raise UnknownUserError(user)
         if self._budget is not None and self._log.unique_queries >= self._budget:
             raise QueryBudgetExhaustedError(self._budget)
-        if user in self._inaccessible:
+        try:
+            return self._billed_fetch(user)
+        except PrivateUserError:
             # The refusal consumes one billed request, then is cached.
             self._log.record(user, timestamp=self._clock.now())
             self._known_private.add(user)
-            raise PrivateUserError(user)
-        return self._billed_fetch(user)
+            raise
 
     def query_many(self, users: Iterable[Node]) -> BatchQueryResult:
         """Issue ``q(u)`` for a batch of users.
@@ -232,7 +272,7 @@ class RestrictedSocialAPI:
             if cached is not None:
                 responses[user] = cached
                 continue
-            if not self._graph.has_node(user):
+            if not self._provider.has_user(user):
                 unknown.append(user)
                 continue
             billable.append(user)
@@ -242,12 +282,12 @@ class RestrictedSocialAPI:
             if self._budget is not None and self._log.unique_queries >= self._budget:
                 exhausted = True
                 break
-            if user in self._inaccessible:
+            try:
+                responses[user] = self._billed_fetch(user)
+            except PrivateUserError:
                 self._log.record(user, timestamp=self._clock.now())
                 self._known_private.add(user)
                 private.append(user)
-                continue
-            responses[user] = self._billed_fetch(user)
         return BatchQueryResult(
             responses=responses,
             private=tuple(private),
@@ -275,20 +315,25 @@ class RestrictedSocialAPI:
         )
 
     def _billed_fetch(self, user: Node) -> QueryResponse:
-        """Bill one fetch: wait out the rate limiter, read, cache, log."""
+        """Bill one fetch: read the provider, wait out the limiter, cache, log.
+
+        The provider is consulted *before* any clock/limiter work so a
+        refusal (which real providers return instantly and which this
+        interface bills without consuming a limiter token) never advances
+        simulated time — exactly the pre-provider semantics.
+        """
+        fetched = self._provider.fetch(user)  # may raise PrivateUserError
+
         wait = self._limiter.try_acquire(self._clock.now())
         while wait > 0:
             self._clock.advance(wait)
             wait = self._limiter.try_acquire(self._clock.now())
-        self._clock.advance(self._seconds_per_query)
+        self._clock.advance(self._seconds_per_query + fetched.latency)
+        self._latency_spent += fetched.latency
 
-        seq = self._graph.neighbors_seq(user)
+        seq = fetched.neighbor_seq
         neighbors = frozenset(seq)
-        attrs: Dict = {}
-        if self._profiles is not None:
-            doc = self._profiles.get_or_none(user)
-            if doc is not None:
-                attrs = doc
+        attrs = fetched.attributes
         self._cache.put(user, neighbors, attrs, seq=seq)
         self._log.record(user, timestamp=self._clock.now())
         return QueryResponse(
@@ -297,6 +342,7 @@ class RestrictedSocialAPI:
             attributes=attrs,
             from_cache=False,
             neighbor_seq=seq,
+            latency=fetched.latency,
         )
 
     # ------------------------------------------------------------------
@@ -328,13 +374,30 @@ class RestrictedSocialAPI:
         return self._cache
 
     @property
+    def provider(self) -> SocialProvider:
+        """The raw data source this interface bills queries against."""
+        return self._provider
+
+    @property
+    def latency_spent(self) -> float:
+        """Total provider response latency billed so far (simulated s).
+
+        This is the *serial* sum over billed fetches; multi-chain
+        schedulers (:mod:`repro.walks.scheduler`) diff it around a chain's
+        step to attribute each response's latency to the chain that
+        triggered it, then redistribute those durations onto concurrent
+        timelines.
+        """
+        return self._latency_spent
+
+    @property
     def may_have_private(self) -> bool:
         """Whether any user of this network can refuse queries.
 
         ``False`` lets walk engines skip accessibility filtering entirely —
         the common case for pure-algorithm experiments.
         """
-        return bool(self._inaccessible)
+        return self._provider.may_refuse
 
     def cached_degree(self, user: Node) -> Optional[int]:
         """Degree of ``user`` if previously queried, else ``None``. Free."""
@@ -356,7 +419,7 @@ class RestrictedSocialAPI:
         This is the one piece of global information the paper permits; it
         enables COUNT/SUM estimation on top of AVG.
         """
-        return self._graph.num_nodes
+        return self._provider.user_count()
 
     def is_known_private(self, user: Node) -> bool:
         """Whether a previous query already revealed ``user`` as private."""
@@ -390,6 +453,8 @@ class RestrictedSocialAPI:
             "cache": self._cache.state_dict(),
             "log": self._log.state_dict(),
             "limiter": self._limiter.state_dict(),
+            "latency_spent": self._latency_spent,
+            "provider": self._provider.state_dict(),
         }
 
     def load_state(self, state: dict) -> None:
@@ -413,3 +478,7 @@ class RestrictedSocialAPI:
         self._cache.load_state(state["cache"])
         self._log.load_state(state["log"])
         self._limiter.load_state(state["limiter"])
+        # Keys below joined the payload with the provider refactor; absent
+        # in snapshots written before it (both default to "nothing spent").
+        self._latency_spent = float(state.get("latency_spent", 0.0))
+        self._provider.load_state(state.get("provider", {}))

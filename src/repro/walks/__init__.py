@@ -20,6 +20,7 @@ from repro.walks.mhrw import MetropolisHastingsWalk
 from repro.walks.nbrw import NonBacktrackingWalk
 from repro.walks.parallel import ParallelRun, ParallelWalkers
 from repro.walks.rj import RandomJumpWalk
+from repro.walks.scheduler import EventDrivenRun, EventDrivenWalkers
 from repro.walks.srw import SimpleRandomWalk
 
 __all__ = [
@@ -33,6 +34,8 @@ __all__ = [
     "NonBacktrackingWalk",
     "ParallelRun",
     "ParallelWalkers",
+    "EventDrivenRun",
+    "EventDrivenWalkers",
     "RandomJumpWalk",
     "SimpleRandomWalk",
 ]

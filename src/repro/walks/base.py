@@ -15,6 +15,7 @@ import dataclasses
 from typing import Callable, Hashable, List, Optional, Sequence
 
 from repro.convergence.monitors import ConvergenceMonitor
+from repro.datastore.snapshot import register_codec
 from repro.errors import DeadEndError, PrivateUserError
 from repro.interface.api import QueryResponse, RestrictedSocialAPI
 from repro.utils.rng import RngLike, ensure_rng
@@ -40,6 +41,16 @@ class WalkSample:
     weight: float
     query_cost: int
     step: int
+
+
+# Snapshot codec so collected samples can live inside checkpointed state
+# (the event-driven scheduler persists its partially filled merged list).
+register_codec(
+    "x:walk-sample",
+    WalkSample,
+    lambda s: (s.node, s.weight, s.query_cost, s.step),
+    lambda fields: WalkSample(*fields),
+)
 
 
 @dataclasses.dataclass

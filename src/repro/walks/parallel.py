@@ -27,6 +27,7 @@ import dataclasses
 from typing import Hashable, List, Optional, Sequence
 
 from repro.convergence.gelman_rubin import GelmanRubinDiagnostic
+from repro.core.overlay import shared_overlay_of
 from repro.errors import SnapshotError, WalkError
 from repro.interface.api import BatchQueryResult
 from repro.walks.base import RandomWalkSampler, SamplingRun, WalkSample
@@ -44,12 +45,17 @@ class ParallelRun:
         r_hat_at_convergence: The R̂ value when burn-in ended (``None``
             when no monitor was used).
         query_cost: Final billed cost of the shared interface.
+        sim_elapsed: Simulated wall-clock the lock-stepped group spent
+            waiting on provider responses: per round, the chains' fetches
+            overlap, so the round costs the *maximum* of its chains'
+            response latencies (0.0 on zero-latency providers).
     """
 
     merged: List[WalkSample]
     per_chain: List[SamplingRun]
     r_hat_at_convergence: Optional[float]
     query_cost: int
+    sim_elapsed: float = 0.0
 
 
 class ParallelWalkers:
@@ -96,6 +102,8 @@ class ParallelWalkers:
         # once-prefetched user never needs to enter a batch again.
         self._prefetched: set = set()
         self._rounds = 0
+        self._sim_elapsed = 0.0
+        self._overlay = shared_overlay_of(samplers)
         self._checkpoint_fn = None
         self._checkpoint_every = 0
 
@@ -109,11 +117,47 @@ class ParallelWalkers:
         """Billed queries of the shared interface."""
         return self._api.query_cost
 
+    @property
+    def overlay(self):
+        """The overlay all chains share, or ``None``.
+
+        Auto-detected at construction (see
+        :func:`~repro.core.overlay.shared_overlay_of`), so a
+        :class:`~repro.interface.session.SamplingSession` over a
+        shared-overlay MTO group snapshots the overlay without the caller
+        passing it explicitly.
+        """
+        return self._overlay
+
+    @property
+    def simulated_elapsed(self) -> float:
+        """Simulated seconds of provider latency under lock-step waiting.
+
+        Chains in one round fetch concurrently, so each round contributes
+        the *maximum* of its chains' response latencies; a single slow or
+        throttled response stalls the whole round — the behavior the
+        event-driven scheduler exists to fix.
+        """
+        return self._sim_elapsed
+
+    def _timed_step(self, sampler: RandomWalkSampler) -> float:
+        """Step one chain; returns the provider latency its step incurred."""
+        before = self._api.latency_spent
+        sampler.step()
+        return self._api.latency_spent - before
+
     def step_all(self) -> List[Node]:
         """Advance every chain by one step; returns the new positions."""
         if self._prefetch:
+            before = self._api.latency_spent
             self.prefetch_candidates()
-        positions = [s.step() for s in self._samplers]
+            # A batch is one request burst; its fetches are serialized by
+            # the provider model, so the batch contributes its full
+            # latency to the round.
+            self._sim_elapsed += self._api.latency_spent - before
+        latencies = [self._timed_step(s) for s in self._samplers]
+        self._sim_elapsed += max(latencies)
+        positions = [s.current for s in self._samplers]
         self._rounds += 1
         if self._checkpoint_fn is not None and self._rounds % self._checkpoint_every == 0:
             self._checkpoint_fn(self)
@@ -159,6 +203,7 @@ class ParallelWalkers:
             "chains": [s.state_dict() for s in self._samplers],
             "prefetched": set(self._prefetched),
             "rounds": self._rounds,
+            "sim_elapsed": self._sim_elapsed,
         }
 
     def load_state(self, state: dict) -> None:
@@ -179,6 +224,8 @@ class ParallelWalkers:
             sampler.load_state(chain_state)
         self._prefetched = set(state["prefetched"])
         self._rounds = int(state["rounds"])
+        # Absent from snapshots written before latency-aware providers.
+        self._sim_elapsed = float(state.get("sim_elapsed", 0.0))
 
     def prefetch_candidates(self) -> BatchQueryResult:
         """Batch-materialize the union of all chains' candidate draws.
@@ -204,8 +251,11 @@ class ParallelWalkers:
                 # The current node was queried when the chain arrived on
                 # it, so its ordering is in the local cache — read it
                 # without going through the response machinery.
+                # A capacity-bounded cache may have evicted the entry
+                # since the chain arrived; re-reading the current node is
+                # free in unique-query cost (the log still knows it).
                 seq = cache.neighbor_seq(s.current)
-                if seq is None:  # pragma: no cover - defensive
+                if seq is None:
                     seq = self._api.query(s.current).neighbor_seq
             for v in seq:
                 if v not in seen:
@@ -258,6 +308,8 @@ class ParallelWalkers:
         per_chain_samples: List[List[WalkSample]] = [[] for _ in self._samplers]
         since = [thinning] * len(self._samplers)
         while len(merged) < num_samples:
+            round_latencies: List[float] = []
+            stepped_any = False
             for i, sampler in enumerate(self._samplers):
                 if len(merged) >= num_samples:
                     break
@@ -272,14 +324,21 @@ class ParallelWalkers:
                     per_chain_samples[i].append(sample)
                     since[i] = 0
                 else:
-                    sampler.step()
+                    round_latencies.append(self._timed_step(sampler))
                     since[i] += 1
-            else:
-                # All chains sampled this round without filling the quota:
-                # advance everyone once so the next round makes progress.
+                    stepped_any = True
+            if not stepped_any and len(merged) < num_samples:
+                # Every chain sampled this round without filling the
+                # quota: advance everyone once so the next round makes
+                # progress.  (Guarded on the quota too: the old bare
+                # for…else fired on every non-breaking round, stretching
+                # per-chain sample spacing to thinning+1 and billing one
+                # extra all-chain step after the final sample.)
                 for i, sampler in enumerate(self._samplers):
-                    sampler.step()
+                    round_latencies.append(self._timed_step(sampler))
                     since[i] += 1
+            if round_latencies:
+                self._sim_elapsed += max(round_latencies)
         per_chain = [
             SamplingRun(
                 samples=per_chain_samples[i],
@@ -295,4 +354,5 @@ class ParallelWalkers:
             per_chain=per_chain,
             r_hat_at_convergence=r_hat,
             query_cost=self._api.query_cost,
+            sim_elapsed=self._sim_elapsed,
         )

@@ -1,0 +1,462 @@
+"""Event-driven, latency-aware scheduling of many parallel chains.
+
+:class:`~repro.walks.parallel.ParallelWalkers` advances chains in
+lock-step rounds: every chain takes one step, then every chain takes the
+next.  On a zero-latency in-memory provider that is free, but under real
+response latencies one slow or throttled query stalls *every* chain for
+the whole round — the group pays the per-round **maximum** latency.  The
+follow-up paper "Walk, Not Wait: Faster Sampling Over Online Social
+Networks" observes that a crawler should instead keep queries from many
+chains in flight and react to whichever response lands first.
+
+:class:`EventDrivenWalkers` is that scheduler on simulated time.  Each
+chain is an event source: when its previous response lands (an event at
+simulated time ``t``), its next step is dispatched immediately and its
+following event is scheduled at ``t`` plus the provider latency that step
+incurred.  Chains interleave by *completion time* instead of round index,
+so the group's makespan approaches the fastest chains' aggregate rate
+rather than the slowest chain's.
+
+Equivalence guarantee: on a zero-latency provider every event carries the
+same timestamp and the queue degenerates to FIFO round-robin — the exact
+order lock-step uses — so the scheduler reproduces a
+``ParallelWalkers.run`` bit-for-bit (same merged sample sequence, same
+§II-B billing, same R̂).  The determinism suite asserts this.
+
+Two clocks, deliberately distinct:
+
+* the interface's :class:`~repro.interface.ratelimit.SimulatedClock` stays
+  the *serial crawler clock* (rate limiting and billing semantics are
+  unchanged over any provider);
+* the scheduler's event time redistributes the per-response latencies
+  (diffed from :attr:`~repro.interface.api.RestrictedSocialAPI.latency_spent`
+  around each step) onto concurrent per-chain timelines;
+  :attr:`EventDrivenWalkers.simulated_elapsed` is the resulting makespan.
+
+The full in-flight state — event queue, per-chain ready times, phase, and
+the partially filled merged sample list — serializes through
+``state_dict``/``load_state``, so a
+:class:`~repro.interface.session.SamplingSession` can checkpoint a run
+mid-flight and a fresh process resumes it bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.convergence.gelman_rubin import GelmanRubinDiagnostic
+from repro.core.overlay import shared_overlay_of
+from repro.errors import SnapshotError, WalkError
+from repro.walks.base import RandomWalkSampler, SamplingRun, WalkSample
+
+Node = Hashable
+
+#: Scheduler lifecycle phases (persisted in snapshots).
+PHASE_FRESH = "fresh"
+PHASE_BURNIN = "burnin"
+PHASE_COLLECT = "collect"
+PHASE_DONE = "done"
+
+
+@dataclasses.dataclass
+class EventDrivenRun:
+    """Result of an event-driven sampling run.
+
+    Attributes:
+        merged: All chains' samples interleaved in completion order (at
+            zero latency: identical to the lock-step round-robin order).
+        per_chain: The individual chains' runs.
+        r_hat_at_convergence: The R̂ value when burn-in ended (``None``
+            when no monitor was used).
+        query_cost: Final billed cost of the shared interface.
+        sim_elapsed: Simulated wall-clock makespan: the event time at
+            which the final sample was collected.
+        events_processed: Dispatched chain actions (steps + collections).
+    """
+
+    merged: List[WalkSample]
+    per_chain: List[SamplingRun]
+    r_hat_at_convergence: Optional[float]
+    query_cost: int
+    sim_elapsed: float
+    events_processed: int
+
+
+class EventDrivenWalkers:
+    """Drive several samplers over one interface by response-completion time.
+
+    Args:
+        samplers: Two or more walkers constructed over the *same*
+            ``RestrictedSocialAPI`` (checked), typically from different
+            start nodes.  Shared-overlay MTO chains are supported: the
+            common overlay is auto-detected and exposed via
+            :attr:`overlay` so one session snapshot covers the group.
+        max_lead: During burn-in, the most rounds any chain may run ahead
+            of the slowest one.  Burn-in needs loosely comparable trace
+            lengths for R̂ (a chain arbitrarily far ahead wastes budget if
+            convergence fires early); collection has no such bound —
+            interleaving by completion is the point.
+
+    Raises:
+        WalkError: With fewer than two samplers, mismatched interfaces,
+            or a non-positive ``max_lead``.
+
+    Example:
+        >>> from repro.datasets import load
+        >>> from repro.walks import SimpleRandomWalk
+        >>> net = load("epinions_like", seed=0, scale=0.1)
+        >>> api = net.interface(latency_distribution="heavy_tailed")
+        >>> walkers = EventDrivenWalkers([
+        ...     SimpleRandomWalk(api, start=net.seed_node(i), seed=i)
+        ...     for i in range(3)
+        ... ])
+        >>> result = walkers.run(num_samples=30)
+        >>> len(result.merged)
+        30
+    """
+
+    def __init__(self, samplers: Sequence[RandomWalkSampler], max_lead: int = 64) -> None:
+        if len(samplers) < 2:
+            raise WalkError("event-driven walking needs at least two samplers")
+        api = samplers[0].api
+        if any(s.api is not api for s in samplers):
+            raise WalkError("all samplers must share one interface")
+        if max_lead < 1:
+            raise WalkError("max_lead must be positive")
+        self._samplers = list(samplers)
+        self._api = api
+        self._max_lead = int(max_lead)
+        self._overlay = shared_overlay_of(samplers)
+
+        k = len(self._samplers)
+        self._phase = PHASE_FRESH
+        # (ready_time, seq, chain): seq is a global dispatch counter so
+        # equal-time events pop FIFO — at zero latency that *is* the
+        # lock-step round-robin order.
+        self._heap: List[Tuple[float, int, int]] = []
+        self._seq = 0
+        self._ready = [0.0] * k
+        self._sim_time = 0.0
+        self._since = [0] * k
+        self._burn_rounds = [0] * k
+        self._parked: Set[int] = set()
+        self._next_check = 0
+        self._r_hat: Optional[float] = None
+        self._converged = False
+        self._merged: List[WalkSample] = []
+        self._merged_chain: List[int] = []
+        self._events = 0
+        self._checkpoint_fn = None
+        self._checkpoint_every = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def chains(self) -> Sequence[RandomWalkSampler]:
+        """The managed samplers."""
+        return tuple(self._samplers)
+
+    @property
+    def query_cost(self) -> int:
+        """Billed queries of the shared interface."""
+        return self._api.query_cost
+
+    @property
+    def overlay(self):
+        """The overlay all chains share, or ``None`` (auto-detected)."""
+        return self._overlay
+
+    @property
+    def simulated_elapsed(self) -> float:
+        """Event-time makespan so far (concurrent, not serial, latency)."""
+        return self._sim_time
+
+    @property
+    def events_processed(self) -> int:
+        """Dispatched chain actions so far."""
+        return self._events
+
+    @property
+    def phase(self) -> str:
+        """Current lifecycle phase (``fresh``/``burnin``/``collect``/``done``)."""
+        return self._phase
+
+    # ------------------------------------------------------------------
+    # event-queue plumbing
+    # ------------------------------------------------------------------
+    def _push(self, chain: int, when: float) -> None:
+        heapq.heappush(self._heap, (when, self._seq, chain))
+        self._seq += 1
+
+    def _timed_step(self, chain: int) -> float:
+        """Step one chain; returns the provider latency its step incurred."""
+        before = self._api.latency_spent
+        self._samplers[chain].step()
+        return self._api.latency_spent - before
+
+    def _event_committed(self) -> None:
+        """One action landed; the state is a clean resumable cut."""
+        self._events += 1
+        if self._checkpoint_fn is not None and self._events % self._checkpoint_every == 0:
+            self._checkpoint_fn(self)
+
+    # ------------------------------------------------------------------
+    # checkpoint hook
+    # ------------------------------------------------------------------
+    def set_checkpoint(self, fn, every: int) -> None:
+        """Invoke ``fn(self)`` after every ``every``-th processed event.
+
+        Events are the scheduler's commit points: the dispatched action
+        has landed and the queue already holds the chain's next event, so
+        the captured state (including the in-flight queue) resumes
+        bit-for-bit.
+
+        Args:
+            fn: Callback receiving this :class:`EventDrivenWalkers`.
+            every: Positive event period.
+
+        Raises:
+            ValueError: If ``every`` is not positive.
+        """
+        if every < 1:
+            raise ValueError("checkpoint period must be positive")
+        self._checkpoint_fn = fn
+        self._checkpoint_every = every
+
+    def clear_checkpoint(self) -> None:
+        """Remove any installed checkpoint hook."""
+        self._checkpoint_fn = None
+        self._checkpoint_every = 0
+
+    # ------------------------------------------------------------------
+    # snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable scheduler state, in-flight event queue included.
+
+        Captures every chain's walk state plus the event-loop bookkeeping:
+        queue entries and the dispatch counter (the FIFO tie-break *is*
+        the determinism), per-chain ready times and thinning counters,
+        phase, burn-in progress, R̂, and the partially filled merged
+        sample list (via the registered ``WalkSample`` codec).  The shared
+        interface and overlay are snapshotted once by
+        :class:`~repro.interface.session.SamplingSession`, not here.
+        """
+        return {
+            "chains": [s.state_dict() for s in self._samplers],
+            "phase": self._phase,
+            "heap": [tuple(entry) for entry in self._heap],
+            "next_seq": self._seq,
+            "ready": tuple(self._ready),
+            "sim_time": self._sim_time,
+            "since": tuple(self._since),
+            "burn_rounds": tuple(self._burn_rounds),
+            "parked": tuple(sorted(self._parked)),
+            "next_check": self._next_check,
+            "r_hat": self._r_hat,
+            "converged": self._converged,
+            "merged": tuple(self._merged),
+            "merged_chain": tuple(self._merged_chain),
+            "events": self._events,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a captured scheduler state.
+
+        Args:
+            state: Output of :meth:`state_dict`.
+
+        Raises:
+            SnapshotError: If the chain count differs from this group's.
+        """
+        chains = state["chains"]
+        if len(chains) != len(self._samplers):
+            raise SnapshotError(
+                f"snapshot holds {len(chains)} chains; this group has {len(self._samplers)}"
+            )
+        for sampler, chain_state in zip(self._samplers, chains):
+            sampler.load_state(chain_state)
+        self._phase = str(state["phase"])
+        self._heap = [tuple(entry) for entry in state["heap"]]
+        heapq.heapify(self._heap)
+        self._seq = int(state["next_seq"])
+        self._ready = [float(t) for t in state["ready"]]
+        self._sim_time = float(state["sim_time"])
+        self._since = [int(c) for c in state["since"]]
+        self._burn_rounds = [int(r) for r in state["burn_rounds"]]
+        self._parked = set(state["parked"])
+        self._next_check = int(state["next_check"])
+        self._r_hat = None if state["r_hat"] is None else float(state["r_hat"])
+        self._converged = bool(state["converged"])
+        self._merged = list(state["merged"])
+        self._merged_chain = [int(i) for i in state["merged_chain"]]
+        self._events = int(state["events"])
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        num_samples: int,
+        monitor: Optional[GelmanRubinDiagnostic] = None,
+        thinning: int = 1,
+        check_every: int = 25,
+        max_steps: int = 250_000,
+    ) -> EventDrivenRun:
+        """Burn in until R̂ converges, then collect by completion time.
+
+        Semantics match :meth:`ParallelWalkers.run
+        <repro.walks.parallel.ParallelWalkers.run>` (and reproduce it
+        bit-for-bit on zero-latency providers); the difference is purely
+        *when* each chain acts: as soon as its previous response lands,
+        never at a round barrier.
+
+        Re-entrant after a checkpoint restore: a scheduler whose state was
+        loaded mid-flight continues from the restored phase when ``run``
+        is called again with the same arguments.
+
+        Args:
+            num_samples: Total samples across all chains.
+            monitor: Multi-chain diagnostic; ``None`` skips burn-in.
+            thinning: Per-chain spacing between collected samples.
+            check_every: Burn-in rounds between R̂ evaluations (grows
+                geometrically, like the lock-step driver).
+            max_steps: Per-chain step budget for the burn-in phase.
+
+        Raises:
+            ValueError: On non-positive ``num_samples``/``thinning``.
+        """
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        if thinning <= 0:
+            raise ValueError("thinning must be positive")
+        if self._phase == PHASE_FRESH:
+            if monitor is not None:
+                self._phase = PHASE_BURNIN
+                for i in range(len(self._samplers)):
+                    self._push(i, self._ready[i])
+            else:
+                self._begin_collect(thinning)
+        if self._phase == PHASE_BURNIN:
+            if monitor is None:
+                raise WalkError(
+                    "this scheduler is mid-burn-in (e.g. restored from a checkpoint); "
+                    "run() needs the same monitor the original run used"
+                )
+            self._run_burnin(monitor, check_every, max_steps)
+            self._begin_collect(thinning)
+        if self._phase == PHASE_COLLECT:
+            self._run_collect(num_samples, thinning)
+            self._phase = PHASE_DONE
+        return self._result(monitor)
+
+    def _run_burnin(
+        self, monitor: GelmanRubinDiagnostic, check_every: int, max_steps: int
+    ) -> None:
+        while True:
+            rounds = min(self._burn_rounds)
+            if rounds >= max_steps:
+                self._r_hat = monitor.r_hat([s.trace for s in self._samplers])
+                self._converged = False
+                return
+            if rounds >= self._next_check:
+                traces = [s.trace for s in self._samplers]
+                if monitor.converged(traces):
+                    self._r_hat = monitor.r_hat(traces)
+                    self._converged = True
+                    return
+                self._next_check = rounds + max(check_every, rounds // 5)
+            when, _seq, chain = heapq.heappop(self._heap)
+            self._sim_time = max(self._sim_time, when)
+            latency = self._timed_step(chain)
+            self._burn_rounds[chain] += 1
+            self._ready[chain] = when + latency
+            floor = min(self._burn_rounds)
+            if self._burn_rounds[chain] - floor >= self._max_lead:
+                self._parked.add(chain)
+            else:
+                self._push(chain, self._ready[chain])
+            if floor > rounds and self._parked:
+                # The slowest chain advanced: release parked chains whose
+                # lead dropped back under the bound (index order keeps the
+                # queue deterministic).
+                for idx in sorted(self._parked):
+                    if self._burn_rounds[idx] - floor < self._max_lead:
+                        self._parked.discard(idx)
+                        self._push(idx, self._ready[idx])
+            self._event_committed()
+
+    def _begin_collect(self, thinning: int) -> None:
+        """Switch to collection: discard burn-in events, re-seed the queue."""
+        self._phase = PHASE_COLLECT
+        self._heap = []
+        self._parked = set()
+        self._since = [thinning] * len(self._samplers)
+        for i in range(len(self._samplers)):
+            self._push(i, self._ready[i])
+
+    def _run_collect(self, num_samples: int, thinning: int) -> None:
+        # Per-chain quota: no chain contributes more than its fair share.
+        # At zero latency the quota binds exactly when the global one does
+        # (round-robin fills all chains evenly), so lock-step equivalence
+        # is untouched; under heterogeneous latency it stops fast chains
+        # from crowding out slow ones — every chain does the same work as
+        # in a lock-step run, which is what makes query cost comparable
+        # at equal sample counts.
+        quota = -(-num_samples // len(self._samplers))  # ceil division
+        collected = [0] * len(self._samplers)
+        for chain in self._merged_chain:
+            collected[chain] += 1
+        while len(self._merged) < num_samples:
+            when, _seq, chain = heapq.heappop(self._heap)
+            self._sim_time = max(self._sim_time, when)
+            sampler = self._samplers[chain]
+            if self._since[chain] >= thinning:
+                sample = WalkSample(
+                    node=sampler.current,
+                    weight=sampler.weight(sampler.current),
+                    query_cost=self._api.query_cost,
+                    step=sampler.steps,
+                )
+                self._merged.append(sample)
+                self._merged_chain.append(chain)
+                collected[chain] += 1
+                self._since[chain] = 0
+                self._ready[chain] = when  # collection reads local state: free
+                if collected[chain] >= quota:
+                    # Fair share delivered: the chain leaves the queue.
+                    self._event_committed()
+                    continue
+            else:
+                latency = self._timed_step(chain)
+                self._since[chain] += 1
+                self._ready[chain] = when + latency
+            self._push(chain, self._ready[chain])
+            self._event_committed()
+
+    def _result(self, monitor: Optional[GelmanRubinDiagnostic]) -> EventDrivenRun:
+        per_chain_samples: List[List[WalkSample]] = [[] for _ in self._samplers]
+        for sample, chain in zip(self._merged, self._merged_chain):
+            per_chain_samples[chain].append(sample)
+        per_chain = [
+            SamplingRun(
+                samples=per_chain_samples[i],
+                burn_in_steps=0,
+                total_steps=self._samplers[i].steps,
+                query_cost=self._api.query_cost,
+                converged=monitor is None
+                or (self._r_hat is not None and self._r_hat <= monitor.threshold),
+            )
+            for i in range(len(self._samplers))
+        ]
+        return EventDrivenRun(
+            merged=list(self._merged),
+            per_chain=per_chain,
+            r_hat_at_convergence=self._r_hat,
+            query_cost=self._api.query_cost,
+            sim_elapsed=self._sim_time,
+            events_processed=self._events,
+        )

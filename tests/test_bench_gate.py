@@ -1,0 +1,126 @@
+"""Unit tests for the benchmark-regression gate (CI tooling)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_GATE_PATH = Path(__file__).resolve().parents[1] / "benchmarks" / "regression_gate.py"
+_spec = importlib.util.spec_from_file_location("regression_gate", _GATE_PATH)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def _walk_engine_profile(mto_sps=100_000, mto_qps=0.54):
+    return {
+        "engines": {
+            "mto": {"steps_per_second": mto_sps, "queries_per_sample": mto_qps},
+            "srw": {"steps_per_second": 90_000, "queries_per_sample": 0.54},
+        }
+    }
+
+
+def _scheduler_profile(speedup=3.0, wall=0.3, cost=227, bit_for_bit=True):
+    return {
+        "zero_latency_bit_for_bit": bit_for_bit,
+        "distributions": {
+            "heavy_tailed": {
+                "speedup": speedup,
+                "event_wall_per_sample": wall,
+                "lockstep_wall_per_sample": wall * speedup,
+                "query_cost": cost,
+            }
+        },
+    }
+
+
+class TestWalkEngineGate:
+    def test_identical_profiles_pass(self):
+        base = _walk_engine_profile()
+        assert gate.check_walk_engine(base, base) == []
+
+    def test_hardware_jitter_tolerated(self):
+        fresh = _walk_engine_profile(mto_sps=60_000)  # 40% slower: within band
+        assert gate.check_walk_engine(fresh, _walk_engine_profile()) == []
+
+    def test_big_throughput_drop_fails(self):
+        fresh = _walk_engine_profile(mto_sps=40_000)  # 60% slower
+        failures = gate.check_walk_engine(fresh, _walk_engine_profile())
+        assert any("throughput regressed" in f for f in failures)
+
+    def test_simulated_queries_per_sample_is_tight(self):
+        fresh = _walk_engine_profile(mto_qps=0.60)  # ~11% drift
+        failures = gate.check_walk_engine(fresh, _walk_engine_profile())
+        assert any("queries/sample drifted" in f for f in failures)
+
+    def test_missing_engine_fails(self):
+        fresh = {"engines": {"srw": _walk_engine_profile()["engines"]["srw"]}}
+        failures = gate.check_walk_engine(fresh, _walk_engine_profile())
+        assert any("missing" in f for f in failures)
+
+
+class TestSchedulerGate:
+    def test_identical_profiles_pass(self):
+        base = _scheduler_profile()
+        assert gate.check_scheduler(base, base) == []
+
+    def test_speedup_floor_enforced(self):
+        fresh = _scheduler_profile(speedup=1.6, wall=0.3)
+        failures = gate.check_scheduler(fresh, _scheduler_profile(speedup=1.6, wall=0.3))
+        assert any("below the 2.0x floor" in f for f in failures)
+
+    def test_lost_determinism_fails(self):
+        fresh = _scheduler_profile(bit_for_bit=False)
+        failures = gate.check_scheduler(fresh, _scheduler_profile())
+        assert any("bit-for-bit" in f for f in failures)
+
+    def test_wall_clock_regression_fails(self):
+        fresh = _scheduler_profile(wall=0.4)
+        failures = gate.check_scheduler(fresh, _scheduler_profile(wall=0.3))
+        assert any("event_wall_per_sample regressed" in f for f in failures)
+
+    def test_faster_wall_clock_passes(self):
+        fresh = _scheduler_profile(wall=0.2, speedup=4.0)
+        assert gate.check_scheduler(fresh, _scheduler_profile(wall=0.3, speedup=3.0)) == []
+
+    def test_query_cost_increase_fails(self):
+        fresh = _scheduler_profile(cost=260)
+        failures = gate.check_scheduler(fresh, _scheduler_profile(cost=227))
+        assert any("query_cost regressed" in f for f in failures)
+
+
+class TestRunGate:
+    def _write(self, directory, name, payload):
+        with open(directory / name, "w") as fh:
+            json.dump(payload, fh)
+
+    def test_end_to_end_pass_and_fail(self, tmp_path):
+        baseline_dir = tmp_path / "baselines"
+        fresh_dir = tmp_path / "fresh"
+        baseline_dir.mkdir()
+        fresh_dir.mkdir()
+        self._write(baseline_dir, "BENCH_walk_engine.json", _walk_engine_profile())
+        self._write(baseline_dir, "BENCH_scheduler.json", _scheduler_profile())
+        self._write(fresh_dir, "BENCH_walk_engine.json", _walk_engine_profile())
+        self._write(fresh_dir, "BENCH_scheduler.json", _scheduler_profile())
+        assert gate.run_gate(fresh_dir, baseline_dir) == []
+        assert gate.main(["--fresh-dir", str(fresh_dir), "--baseline-dir", str(baseline_dir)]) == 0
+
+        self._write(fresh_dir, "BENCH_scheduler.json", _scheduler_profile(speedup=1.0))
+        assert gate.run_gate(fresh_dir, baseline_dir) != []
+        assert gate.main(["--fresh-dir", str(fresh_dir), "--baseline-dir", str(baseline_dir)]) == 1
+
+    def test_missing_files_reported(self, tmp_path):
+        baseline_dir = tmp_path / "baselines"
+        fresh_dir = tmp_path / "fresh"
+        baseline_dir.mkdir()
+        fresh_dir.mkdir()
+        failures = gate.run_gate(fresh_dir, baseline_dir)
+        assert any("baseline" in f for f in failures)
+
+    def test_committed_baselines_gate_the_committed_shape(self):
+        # The repo's own baselines must stay loadable and self-consistent:
+        # a baseline compared against itself always passes.
+        baseline_dir = _GATE_PATH.parent / "baselines"
+        assert gate.run_gate(baseline_dir, baseline_dir) == []

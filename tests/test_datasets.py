@@ -99,3 +99,24 @@ class TestSnapLoader:
         assert net.name == "tiny"
         assert set(net.graph.nodes()) == {1, 2, 3}
         assert net.graph.num_edges == 2
+
+
+class TestInterfaceProviderOptions:
+    def test_latency_options_conflict_with_custom_provider(self):
+        import pytest
+
+        from repro.datasets import load
+        from repro.interface import InMemoryGraphProvider
+
+        net = load("epinions_like", seed=0, scale=0.1)
+        provider = InMemoryGraphProvider(net.graph)
+        # A custom provider carries its own configuration: any latency_*
+        # option alongside it is a silent-misconfiguration hazard.
+        with pytest.raises(ValueError):
+            net.interface(provider=provider, latency_distribution="constant")
+        with pytest.raises(ValueError):
+            net.interface(provider=provider, latency_seed=5)
+        with pytest.raises(ValueError):
+            net.interface(provider=provider, latency_scale=2.0)
+        api = net.interface(provider=provider)
+        assert api.provider is provider

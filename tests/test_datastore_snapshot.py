@@ -179,3 +179,53 @@ class TestKeyValueBackend:
         backend.store.delete(("snapshot", "default", "section", "state"))
         with pytest.raises(SnapshotError):
             backend.read()
+
+
+class TestExtensionCodecs:
+    def test_walk_sample_roundtrip(self):
+        from repro.datastore.snapshot import decode_value, encode_value
+        from repro.walks.base import WalkSample
+
+        sample = WalkSample(node=("u", 7), weight=0.125, query_cost=42, step=9)
+        encoded = encode_value((sample, sample))
+        decoded = decode_value(encoded)
+        assert decoded == (sample, sample)
+        assert isinstance(decoded[0], WalkSample)
+
+    def test_registration_validation(self):
+        import pytest
+
+        from repro.datastore.snapshot import register_codec
+        from repro.errors import SnapshotError
+        from repro.walks.base import WalkSample
+
+        class Unregistered:
+            pass
+
+        with pytest.raises(SnapshotError):
+            register_codec("no-prefix", Unregistered, lambda v: v, lambda v: v)
+        # A different tag for an already-registered type conflicts...
+        with pytest.raises(SnapshotError):
+            register_codec("x:other", WalkSample, lambda v: v, lambda v: v)
+        # ...as does an already-claimed tag for a different type.
+        with pytest.raises(SnapshotError):
+            register_codec("x:walk-sample", Unregistered, lambda v: v, lambda v: v)
+        # Re-registering the identical pair (repeated imports) is fine.
+        register_codec(
+            "x:walk-sample",
+            WalkSample,
+            lambda s: (s.node, s.weight, s.query_cost, s.step),
+            lambda fields: WalkSample(*fields),
+        )
+
+    def test_unregistered_type_still_rejected(self):
+        import pytest
+
+        from repro.datastore.snapshot import encode_value
+        from repro.errors import SnapshotError
+
+        class Opaque:
+            pass
+
+        with pytest.raises(SnapshotError):
+            encode_value(Opaque())

@@ -168,3 +168,47 @@ class TestFig11:
         assert set(result.degree_costs) == {"SRW", "MTO"}
         assert len(result.degree_costs["SRW"]) == 2
         assert "Figure 11(a)" in str(result)
+
+
+class TestLatencySweep:
+    def test_structure_and_invariants(self):
+        from repro.datasets import load
+        from repro.experiments import run_latency_sweep
+
+        net = load("epinions_like", seed=0, scale=0.1)
+        result = run_latency_sweep(net, chains=4, num_samples=82, seed=2)
+        # rounded down to a per-chain-even quota
+        assert result.num_samples == 80
+        assert [r.distribution for r in result.rows] == [
+            "constant",
+            "uniform",
+            "heavy_tailed",
+        ]
+        for row in result.rows:
+            # identical §II-B cost is what makes the comparison meaningful
+            assert row.query_cost > 0
+            assert row.event_wall <= row.lockstep_wall
+            assert row.speedup >= 1.0
+        assert "latency sweep" in str(result)
+        assert "speedup" in str(result)
+
+    def test_rejects_bad_parameters(self):
+        import pytest
+
+        from repro.datasets import load
+        from repro.errors import ExperimentError
+        from repro.experiments import run_latency_sweep
+
+        net = load("epinions_like", seed=0, scale=0.1)
+        with pytest.raises(ExperimentError):
+            run_latency_sweep(net, chains=1)
+        with pytest.raises(ExperimentError):
+            run_latency_sweep(net, chains=4, num_samples=3)
+
+    def test_cli_subcommand(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["latency", "--scale", "0.1", "--samples", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "latency sweep" in out
+        assert "heavy_tailed" in out

@@ -103,3 +103,86 @@ class TestTokenBucket:
             TokenBucketRateLimiter(rate=0)
         with pytest.raises(ValueError):
             TokenBucketRateLimiter(rate=1.0, burst=0)
+
+
+class TestLimiterLatencyComposition:
+    """Satellite (ISSUE 3): throttle/burst edges under latency providers.
+
+    Limiter tokens are consumed per billed fetch and latency is added
+    *after* admission, so window anchors and token refills see the clock
+    including every previous response's latency; simulated time must stay
+    monotone through any mix of waits and slow responses.
+    """
+
+    def _api(self, limiter, scale=3.0):
+        from repro.generators import complete_graph
+        from repro.interface import LatencyModelProvider, RestrictedSocialAPI
+
+        provider = LatencyModelProvider(
+            complete_graph(12), distribution="constant", scale=scale
+        )
+        return RestrictedSocialAPI(provider, rate_limiter=limiter, seconds_per_query=1.0)
+
+    def test_fixed_window_composes_with_latency(self):
+        # 2 admissions per 10s window; each billed query takes 1s service
+        # + 3s latency = 4s.
+        api = self._api(FixedWindowRateLimiter(2, 10.0))
+        api.query(0)
+        assert api.clock.now() == 4.0
+        api.query(1)
+        assert api.clock.now() == 8.0
+        # Third query: the window [0, 10) is full at t=8 — wait until 10,
+        # then serve (1s + 3s).
+        api.query(2)
+        assert api.clock.now() == 14.0
+        assert api.latency_spent == 9.0
+        # Cache hits consume neither tokens nor time.
+        api.query(0)
+        assert api.clock.now() == 14.0
+        assert api.query_cost == 3
+
+    def test_token_bucket_composes_with_latency(self):
+        # 1 token / 2s, burst 1; service 1s + constant 3s latency.
+        api = self._api(TokenBucketRateLimiter(rate=0.5, burst=1))
+        api.query(0)  # admitted at t=0, lands at 4
+        assert api.clock.now() == 4.0
+        # At t=4 the bucket has refilled 2 tokens' worth capped at 1:
+        # admitted immediately, lands at 8.
+        api.query(1)
+        assert api.clock.now() == 8.0
+
+    def test_throttled_slow_crawl_clock_is_monotone(self):
+        from repro.datasets import load
+        from repro.walks import SimpleRandomWalk
+
+        net = load("epinions_like", seed=0, scale=0.1)
+        api = net.interface(
+            rate_limiter=FixedWindowRateLimiter(5, 30.0),
+            latency_distribution="heavy_tailed",
+            latency_seed=9,
+        )
+        walk = SimpleRandomWalk(api, start=net.seed_node(3), seed=4)
+        timestamps = [api.clock.now()]
+        for _ in range(60):
+            walk.step()
+            timestamps.append(api.clock.now())
+        assert all(b >= a for a, b in zip(timestamps, timestamps[1:]))
+        # Total time decomposes into limiter waits + service + latency:
+        # it is at least the billed count's service + latency share.
+        assert api.clock.now() >= api.query_cost * 1.0 + api.latency_spent
+        # Admissions are capped at 5 per 30s window; log timestamps are
+        # *completion* times (admission + service + latency), so the
+        # valid audit is the global bound over elapsed windows.
+        elapsed_windows = int(api.clock.now() // 30.0) + 1
+        assert api.query_cost <= 5 * elapsed_windows
+
+    def test_latency_counts_inside_the_window_anchor(self):
+        # Slow responses push later queries into later windows: with 4s
+        # per query and a 2-per-8s window, the third query starts at t=8
+        # (a fresh window) and needs no throttle wait at all.
+        api = self._api(FixedWindowRateLimiter(2, 8.0))
+        api.query(0)
+        api.query(1)
+        assert api.clock.now() == 8.0
+        api.query(2)
+        assert api.clock.now() == 12.0  # no wait: new window began at 8

@@ -386,6 +386,94 @@ class TestParallelResume:
             SamplingSession(api2, group3, backend).resume()
 
 
+_SCHED_CHILD_SCRIPT = """
+import json, sys
+from repro.datasets import load
+from repro.datastore.snapshot import JsonLinesBackend
+from repro.interface import SamplingSession
+from repro.walks import EventDrivenWalkers, SimpleRandomWalk
+
+snapshot_path, num_samples = sys.argv[1], int(sys.argv[2])
+net = load("epinions_like", seed=0, scale=0.2)      # same provider environment
+api = net.interface(latency_distribution="heavy_tailed", latency_seed=7)
+chains = [SimpleRandomWalk(api, start=net.seed_node(i), seed=i) for i in range(4)]
+scheduler = EventDrivenWalkers(chains)
+session = SamplingSession(api, scheduler, JsonLinesBackend(snapshot_path))
+assert session.resume()
+assert scheduler.phase == "collect"          # restored mid-flight
+
+result = scheduler.run(num_samples=num_samples)
+print(json.dumps({
+    "nodes": [s.node for s in result.merged],
+    "weights_hex": [s.weight.hex() for s in result.merged],
+    "sample_costs": [s.query_cost for s in result.merged],
+    "query_cost": result.query_cost,
+    "sim_elapsed_hex": result.sim_elapsed.hex(),
+    "events": result.events_processed,
+}))
+"""
+
+
+class TestSchedulerResumeInFreshProcess:
+    """ISSUE 3 acceptance: a scheduler checkpointed mid-flight resumes
+    bit-for-bit in a fresh process, in-flight event queue included."""
+
+    NUM_SAMPLES = 80
+    CHECKPOINT_EVERY = 90  # events: fires mid-collection, well before done
+
+    def _build(self, network):
+        from repro.walks import EventDrivenWalkers
+
+        api = network.interface(latency_distribution="heavy_tailed", latency_seed=7)
+        chains = [
+            SimpleRandomWalk(api, start=network.seed_node(i), seed=i) for i in range(4)
+        ]
+        return api, EventDrivenWalkers(chains)
+
+    def test_subprocess_resume_is_bit_for_bit(self, network, tmp_path):
+        # uninterrupted reference, in this process
+        _, reference = self._build(network)
+        ref_run = reference.run(num_samples=self.NUM_SAMPLES)
+
+        # phase 1: run with a periodic checkpoint hook; the snapshot left
+        # on disk is the *last periodic save*, i.e. a mid-flight cut with
+        # a live event queue and a partially filled merged list.
+        api1, first = self._build(network)
+        snapshot_path = tmp_path / "scheduler.snapshot.jsonl"
+        session = SamplingSession(
+            api1, first, JsonLinesBackend(snapshot_path), checkpoint_every=self.CHECKPOINT_EVERY
+        )
+        first.run(num_samples=self.NUM_SAMPLES)
+        assert session.saves >= 1
+        saved_meta = session.peek_meta()
+        assert saved_meta["sampler_type"] == "EventDrivenWalkers"
+
+        # the stored snapshot must predate completion (mid-flight, not final)
+        stored_events = saved_meta.get("steps")
+        assert stored_events is None  # schedulers have no scalar .steps
+
+        # phase 2: a brand-new Python process resumes and continues
+        script = tmp_path / "resume_scheduler_child.py"
+        script.write_text(_SCHED_CHILD_SCRIPT)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, str(script), str(snapshot_path), str(self.NUM_SAMPLES)],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        child = json.loads(proc.stdout)
+
+        assert child["nodes"] == [s.node for s in ref_run.merged]
+        assert child["weights_hex"] == [s.weight.hex() for s in ref_run.merged]
+        assert child["sample_costs"] == [s.query_cost for s in ref_run.merged]
+        assert child["query_cost"] == ref_run.query_cost
+        assert child["sim_elapsed_hex"] == ref_run.sim_elapsed.hex()
+        assert child["events"] == ref_run.events_processed
+
+
 class TestWarmStartScenario:
     def test_reports_bit_for_bit_and_savings(self, network):
         from repro.experiments import run_warm_start

@@ -105,6 +105,79 @@ class TestParallelWalkers:
             walkers.run(num_samples=1, thinning=0)
 
 
+class TestThinningBookkeeping:
+    """Regression (ISSUE 3): per-chain sample spacing must equal thinning.
+
+    The collection loop's bare ``for…else`` fallback used to advance all
+    chains one extra step per round, stretching the spacing to
+    ``thinning + 1`` and billing an extra all-chain round after the final
+    sample.
+    """
+
+    @pytest.mark.parametrize("thinning", [1, 2, 3, 5])
+    def test_per_chain_sample_spacing_is_exact(self, thinning):
+        g = paper_barbell()
+        api = RestrictedSocialAPI(g)
+        samplers = [
+            SimpleRandomWalk(api, start=(0 if i % 2 == 0 else 11), seed=i)
+            for i in range(3)
+        ]
+        result = ParallelWalkers(samplers).run(num_samples=30, thinning=thinning)
+        for chain_run in result.per_chain:
+            steps = [s.step for s in chain_run.samples]
+            deltas = [b - a for a, b in zip(steps, steps[1:])]
+            assert deltas == [thinning] * len(deltas)
+
+    def test_no_steps_billed_after_final_sample(self):
+        g = paper_barbell()
+        api = RestrictedSocialAPI(g)
+        samplers = [
+            SimpleRandomWalk(api, start=(0 if i % 2 == 0 else 11), seed=i)
+            for i in range(3)
+        ]
+        walkers = ParallelWalkers(samplers)
+        num_samples = 30  # divisible by 3 chains: quota fills at a round end
+        result = walkers.run(num_samples=num_samples)
+        last_step = max(s.step for s in result.merged)
+        assert all(c.steps == last_step for c in walkers.chains)
+
+
+class TestPrefetchCacheEviction:
+    def test_prefetch_refetches_evicted_current_node(self):
+        from repro.datastore.kv import KeyValueStore
+        from repro.interface import NeighborhoodCache
+
+        g = paper_barbell()
+        store = KeyValueStore()
+        api = RestrictedSocialAPI(g, cache=NeighborhoodCache(store))
+        samplers = [
+            SimpleRandomWalk(api, start=0, seed=0),
+            SimpleRandomWalk(api, start=11, seed=1),
+        ]
+        walkers = ParallelWalkers(samplers, prefetch=True)
+        walkers.step_all()
+
+        # Evict chain 0's current node from the bounded cache, as LRU
+        # pressure would; its stable ordering is gone from local state.
+        current = samplers[0].current
+        for key_kind in ("nbrs", "seq", "attrs"):
+            store.delete((key_kind, current))
+        assert api.cache.neighbor_seq(current) is None
+
+        cost_before = api.query_cost
+        total_before = api.total_queries
+        result = walkers.prefetch_candidates()
+
+        # The fallback re-queried the current node: a new logical query
+        # was issued, but §II-B unique-cost accounting is untouched (the
+        # log remembers the user was already billed).
+        assert api.total_queries > total_before
+        assert api.query_cost == cost_before + len(result.responses)
+        assert api.cache.neighbor_seq(current) is not None
+        # The walk continues normally over the refreshed cache.
+        walkers.step_all()
+
+
 class TestSharedOverlayMTO:
     def test_chains_share_rewirings(self):
         net = load("epinions_like", seed=0, scale=0.15)
