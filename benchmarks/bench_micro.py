@@ -24,8 +24,10 @@ from repro.core.criteria import removal_criterion
 from repro.core.mto import MTOSampler
 from repro.datasets import load
 from repro.datastore.snapshot import JsonLinesBackend, KeyValueBackend
-from repro.experiments import run_latency_sweep
+from repro.experiments import run_fleet_sweep, run_latency_sweep
+from repro.fleet import sharded_fleet
 from repro.generators import barbell_graph, paper_barbell
+from repro.interface import RestrictedSocialAPI
 from repro.interface.session import SamplingSession
 from repro.walks import EventDrivenWalkers, SimpleRandomWalk
 from repro.walks.parallel import ParallelWalkers
@@ -255,6 +257,108 @@ def test_scheduler_profile(network, figure_report):
                 row.lockstep_wall_per_sample,
                 row.event_wall_per_sample,
                 row.speedup,
+            )
+        )
+    lines.append(f"  zero-latency bit-for-bit: {bit_for_bit}")
+    figure_report("\n".join(lines))
+
+
+# ----------------------------------------------------------------------
+# fleet batch-coalescing profile (machine-readable artifact)
+# ----------------------------------------------------------------------
+
+_FLEET_CHAINS = 8
+_FLEET_SAMPLES = 400
+_FLEET_SHARDS = 4
+_FLEET_SKEW = 8.0
+_FLEET_SEED = 0
+
+
+def test_fleet_profile(network, figure_report):
+    """Emit ``BENCH_fleet.json``: the sharded-fleet batch-coalescing profile.
+
+    The acceptance metric (ISSUE 4): over a skewed 4-shard fleet with
+    per-shard admission limits, batch coalescing collects the same samples
+    at identical §II-B query cost for at least 1.5x less simulated
+    wall-clock per sample than uncoalesced dispatch (``batch_cap=1``).
+    Simulated numbers are seeded and hardware-independent, so CI gates on
+    them tightly.
+    """
+    sweep = run_fleet_sweep(
+        network,
+        shard_counts=(_FLEET_SHARDS,),
+        skews=(_FLEET_SKEW,),
+        batch_caps=(1, 8),
+        chains=_FLEET_CHAINS,
+        num_samples=_FLEET_SAMPLES,
+        seed=_FLEET_SEED,
+    )
+    by_cap = {row.batch_cap: row for row in sweep.rows}
+    coalesced = by_cap[8]
+    assert coalesced.query_cost == by_cap[1].query_cost
+    assert coalesced.speedup_vs_uncoalesced >= 1.5, (
+        f"fleet batch-coalescing speedup regressed: "
+        f"{coalesced.speedup_vs_uncoalesced:.2f}x"
+    )
+
+    # Zero-latency single-shard determinism probe: the batch-coalescing
+    # loop over a trivial fleet must reproduce lock-step rounds bit for
+    # bit — the ISSUE 4 equivalence criterion.
+    def chains(api):
+        return [
+            SimpleRandomWalk(api, start=network.seed_node(i), seed=i)
+            for i in range(_FLEET_CHAINS)
+        ]
+
+    lock_run = ParallelWalkers(chains(network.interface())).run(num_samples=200)
+    fleet_api = RestrictedSocialAPI(
+        sharded_fleet(network.graph, 1, seed=0, profiles=network.profiles)
+    )
+    batched_run = EventDrivenWalkers(chains(fleet_api), batching=True).run(num_samples=200)
+    bit_for_bit = (
+        batched_run.merged == lock_run.merged
+        and batched_run.query_cost == lock_run.query_cost
+        and batched_run.sim_elapsed == 0.0
+    )
+    assert bit_for_bit
+
+    report = {
+        "benchmark": "fleet",
+        "dataset": {"name": "epinions_like", "seed": 0, "scale": 0.3},
+        "python": ".".join(str(p) for p in sys.version_info[:3]),
+        "chains": _FLEET_CHAINS,
+        "num_samples": sweep.num_samples,
+        "num_shards": _FLEET_SHARDS,
+        "skew": _FLEET_SKEW,
+        "seed": _FLEET_SEED,
+        "zero_latency_bit_for_bit": bit_for_bit,
+        "caps": {
+            str(cap): {
+                "query_cost": row.query_cost,
+                "wall_per_sample": round(row.wall_per_sample, 6),
+                "speedup_vs_uncoalesced": round(row.speedup_vs_uncoalesced, 4),
+                "hot_shard_share": round(row.hot_shard_share, 4),
+                "max_in_flight": row.max_in_flight,
+            }
+            for cap, row in by_cap.items()
+        },
+    }
+
+    out_path = os.environ.get("BENCH_FLEET_OUT", "BENCH_fleet.json")
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    lines = [f"fleet profile  ->  {out_path}"]
+    for cap, row in sorted(by_cap.items()):
+        lines.append(
+            "  cap {:>2}: {:.4f} s/sample at {} queries ({:.2f}x vs uncoalesced, "
+            "burst depth <= {})".format(
+                cap,
+                row.wall_per_sample,
+                row.query_cost,
+                row.speedup_vs_uncoalesced,
+                row.max_in_flight,
             )
         )
     lines.append(f"  zero-latency bit-for-bit: {bit_for_bit}")

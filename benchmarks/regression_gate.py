@@ -13,8 +13,9 @@ Two kinds of metrics, two kinds of tolerance:
   narrow enough to catch an accidental O(k log k) hot path;
 * **simulated metrics** (queries/sample, scheduler wall-clock per sample,
   speedup) are seeded and hardware-independent — they are gated inside a
-  tight ``simulated_tolerance`` band (default 2%), and the scheduler
-  speedup additionally has the ISSUE 3 hard floor of 2x.
+  tight ``simulated_tolerance`` band (default 2%), the scheduler speedup
+  additionally has the ISSUE 3 hard floor of 2x, and the fleet
+  batch-coalescing speedup has the ISSUE 4 hard floor of 1.5x.
 
 Usage::
 
@@ -31,6 +32,9 @@ from typing import List
 
 #: Hard floor on the heavy-tailed scheduler speedup (ISSUE 3 acceptance).
 MIN_SCHEDULER_SPEEDUP = 2.0
+
+#: Hard floor on the fleet batch-coalescing speedup (ISSUE 4 acceptance).
+MIN_FLEET_BATCH_SPEEDUP = 1.5
 
 
 def _load(path: Path) -> dict:
@@ -120,6 +124,55 @@ def check_scheduler(
     return failures
 
 
+def check_fleet(
+    fresh: dict,
+    baseline: dict,
+    simulated_tolerance: float = 0.02,
+    min_speedup: float = MIN_FLEET_BATCH_SPEEDUP,
+) -> List[str]:
+    """Failures for the fleet profile (empty list = gate passes)."""
+    failures = []
+    if not fresh.get("zero_latency_bit_for_bit", False):
+        failures.append("fleet: zero-latency bit-for-bit equivalence no longer holds")
+    coalesced = fresh.get("caps", {}).get("8")
+    uncoalesced = fresh.get("caps", {}).get("1")
+    if coalesced is None or uncoalesced is None:
+        return failures + ["fleet: cap rows missing from fresh profile"]
+    if coalesced["query_cost"] != uncoalesced["query_cost"]:
+        failures.append(
+            "fleet: coalescing changed the §II-B bill: {} vs {}".format(
+                coalesced["query_cost"], uncoalesced["query_cost"]
+            )
+        )
+    if coalesced["speedup_vs_uncoalesced"] < min_speedup:
+        failures.append(
+            f"fleet: batch-coalescing speedup {coalesced['speedup_vs_uncoalesced']:.2f}x "
+            f"below the {min_speedup:.1f}x floor"
+        )
+    for cap, base_row in baseline.get("caps", {}).items():
+        fresh_row = fresh.get("caps", {}).get(cap)
+        if fresh_row is None:
+            failures.append(f"fleet: cap {cap!r} missing from fresh profile")
+            continue
+        for metric in ("wall_per_sample", "speedup_vs_uncoalesced", "query_cost"):
+            base_value = base_row[metric]
+            allowed = simulated_tolerance * abs(base_value)
+            # wall-clock and cost regress upward; speedup regresses downward
+            worse = (
+                base_value - fresh_row[metric]
+                if metric == "speedup_vs_uncoalesced"
+                else fresh_row[metric] - base_value
+            )
+            if worse > allowed:
+                failures.append(
+                    "fleet: cap {} {} regressed: {} vs baseline {} "
+                    "(simulated metric, tolerance {:.0%})".format(
+                        cap, metric, fresh_row[metric], base_value, simulated_tolerance
+                    )
+                )
+    return failures
+
+
 def run_gate(
     fresh_dir: Path,
     baseline_dir: Path,
@@ -131,6 +184,7 @@ def run_gate(
     pairs = [
         ("BENCH_walk_engine.json", check_walk_engine, {"throughput_tolerance": throughput_tolerance}),
         ("BENCH_scheduler.json", check_scheduler, {}),
+        ("BENCH_fleet.json", check_fleet, {}),
     ]
     for filename, check, extra in pairs:
         baseline_path = baseline_dir / filename

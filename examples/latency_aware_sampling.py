@@ -24,6 +24,7 @@ from repro.interface import (
     InMemoryGraphProvider,
     LatencyModelProvider,
     RestrictedSocialAPI,
+    collect_telemetry,
 )
 from repro.walks import EventDrivenWalkers, ParallelWalkers, SimpleRandomWalk
 
@@ -44,7 +45,7 @@ def build_api(net):
         timeout_latency=2.0,
         seed=7,
     )
-    return RestrictedSocialAPI(provider), provider
+    return RestrictedSocialAPI(provider)
 
 
 def main() -> None:
@@ -56,24 +57,27 @@ def main() -> None:
 
     results = {}
     for name, scheduler_cls in (("lock-step", ParallelWalkers), ("event-driven", EventDrivenWalkers)):
-        api, provider = build_api(net)
+        api = build_api(net)
         chains = [
             SimpleRandomWalk(api, start=net.seed_node(i), seed=i) for i in range(CHAINS)
         ]
         run = scheduler_cls(chains).run(num_samples=SAMPLES)
         est = estimate(query, run.merged, api)
-        stats = provider.retry_stats
+        # One call replaces poking provider internals: latency, retries,
+        # and (over a fleet) per-shard books all come from the telemetry.
+        telemetry = collect_telemetry(api)
         results[name] = run
         print(
             f"{name:>13}: {run.query_cost} unique queries, "
             f"{run.sim_elapsed:8.1f}s simulated wall-clock "
             f"({run.sim_elapsed / SAMPLES:.3f} s/sample), "
-            f"estimate {est.estimate:.2f} "
-            f"[{stats.timeouts} timeouts over {stats.attempts} attempts]"
+            f"estimate {est.estimate:.2f}"
         )
+        print(" " * 15 + telemetry.format_summary().replace("\n", "\n" + " " * 15))
 
     lock, event = results["lock-step"], results["event-driven"]
     assert lock.query_cost == event.query_cost
+    assert event.latency_spent > 0 and event.retries >= 0  # surfaced on the run itself
     print(
         f"\nsame bill, {lock.sim_elapsed / event.sim_elapsed:.1f}x less waiting: "
         "the event-driven scheduler never parks a fast chain behind a slow response."

@@ -13,6 +13,7 @@ from repro import AggregateQuery, MTOSampler, estimate, ground_truth
 from repro.convergence import GelmanRubinDiagnostic
 from repro.core.overlay import OverlayGraph
 from repro.datasets import load
+from repro.interface import collect_telemetry
 from repro.walks import ParallelWalkers
 
 
@@ -43,6 +44,7 @@ def main() -> None:
             f"R-hat at convergence {result.r_hat_at_convergence:.3f}, "
             f"{overlay.removal_count} shared removals"
         )
+        print("  " + collect_telemetry(api).format_summary().replace("\n", "\n  "))
 
 
 if __name__ == "__main__":

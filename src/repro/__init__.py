@@ -33,6 +33,7 @@ from repro.core.overlay import OverlayGraph, build_overlay_fixpoint
 from repro.datastore.snapshot import JsonLinesBackend, KeyValueBackend, SnapshotBackend
 from repro.graph.adjacency import Graph
 from repro.interface.api import RestrictedSocialAPI
+from repro.fleet import ShardRouter, ShardedProvider, sharded_fleet
 from repro.interface.providers import (
     FlakyProvider,
     InMemoryGraphProvider,
@@ -40,6 +41,7 @@ from repro.interface.providers import (
     SocialProvider,
 )
 from repro.interface.session import SamplingSession
+from repro.interface.telemetry import collect_telemetry
 from repro.walks.mhrw import MetropolisHastingsWalk
 from repro.walks.parallel import ParallelWalkers
 from repro.walks.rj import RandomJumpWalk
@@ -64,6 +66,10 @@ __all__ = [
     "InMemoryGraphProvider",
     "LatencyModelProvider",
     "FlakyProvider",
+    "ShardRouter",
+    "ShardedProvider",
+    "sharded_fleet",
+    "collect_telemetry",
     "ParallelWalkers",
     "EventDrivenWalkers",
     "SamplingSession",

@@ -69,6 +69,7 @@ def register_codec(
     cls: type,
     encode: Callable[[object], object],
     decode: Callable[[object], object],
+    override: bool = False,
 ) -> None:
     """Register an extension codec for an application type.
 
@@ -77,7 +78,9 @@ def register_codec(
     an event-driven scheduler's in-flight state) register a codec pair
     here.  ``encode`` must reduce an instance to values the base codec
     already supports; ``decode`` inverts it.  Registration is idempotent
-    for an identical (tag, cls) pair, so repeated module imports are safe.
+    for an identical (tag, cls) pair, so repeated module imports are safe;
+    any other duplicate is rejected — two subsystems silently fighting
+    over one tag would corrupt every snapshot that crosses them.
 
     Args:
         tag: Snapshot tag; must start with ``"x:"`` to stay clear of the
@@ -86,19 +89,56 @@ def register_codec(
             must never silently widen a type).
         encode: Instance -> base-codec-supported value.
         decode: Inverse of ``encode``.
+        override: Replace an existing registration for the same (tag, cls)
+            pair instead of rejecting the conflict — a hook for tests that
+            stub codecs; production registrations must never need it.
 
     Raises:
-        SnapshotError: On malformed tags or conflicting registrations.
+        SnapshotError: On malformed tags, or a duplicate tag/type
+            registration without ``override``.
     """
     if not tag.startswith("x:"):
         raise SnapshotError(f"extension codec tag {tag!r} must start with 'x:'")
     existing = _EXTENSION_ENCODERS.get(cls)
     if existing is not None and existing[0] != tag:
-        raise SnapshotError(f"type {cls.__name__} already registered under {existing[0]!r}")
-    if tag in _EXTENSION_DECODERS and (existing is None or existing[0] != tag):
-        raise SnapshotError(f"extension codec tag {tag!r} already registered")
+        raise SnapshotError(
+            f"type {cls.__name__} is already registered under extension codec tag "
+            f"{existing[0]!r}; unregister it before rebinding to {tag!r}"
+        )
+    if tag in _EXTENSION_DECODERS and existing is None:
+        raise SnapshotError(
+            f"extension codec tag {tag!r} is already registered to another type; "
+            "pick a distinct tag (or unregister_codec() the old one first)"
+        )
+    if existing is not None and not override:
+        # Same (tag, cls): keep the first registration so repeated module
+        # imports stay no-ops; an explicit override is the test hook.
+        return
     _EXTENSION_ENCODERS[cls] = (tag, encode)
     _EXTENSION_DECODERS[tag] = decode
+
+
+def unregister_codec(tag: str) -> bool:
+    """Remove an extension codec by tag; returns whether one was removed.
+
+    A test that registered a throwaway codec (or overrode a real one)
+    uses this to restore the global registry; decoding a payload written
+    under a tag after its codec is gone raises :class:`SnapshotError`
+    (the unknown-tag failure), which is exactly the safety the tagged
+    format is for.
+    """
+    if tag not in _EXTENSION_DECODERS:
+        return False
+    del _EXTENSION_DECODERS[tag]
+    for cls, (registered_tag, _encode) in list(_EXTENSION_ENCODERS.items()):
+        if registered_tag == tag:
+            del _EXTENSION_ENCODERS[cls]
+    return True
+
+
+def codec_registered(tag: str) -> bool:
+    """Whether an extension codec is currently registered under ``tag``."""
+    return tag in _EXTENSION_DECODERS
 
 
 def encode_value(value: object) -> object:

@@ -21,6 +21,11 @@ from repro.experiments.fig8 import Fig8Result, run_fig8
 from repro.experiments.fig9 import Fig9Result, run_fig9
 from repro.experiments.fig10 import Fig10Result, run_fig10
 from repro.experiments.fig11 import Fig11Result, run_fig11
+from repro.experiments.fleet import (
+    FleetSweepResult,
+    FleetSweepRow,
+    run_fleet_sweep,
+)
 from repro.experiments.latency_sweep import (
     LatencySweepResult,
     LatencySweepRow,
@@ -48,6 +53,9 @@ __all__ = [
     "run_fig10",
     "Fig11Result",
     "run_fig11",
+    "FleetSweepResult",
+    "FleetSweepRow",
+    "run_fleet_sweep",
     "LatencySweepResult",
     "LatencySweepRow",
     "run_latency_sweep",

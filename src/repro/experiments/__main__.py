@@ -11,6 +11,7 @@ Usage::
     python -m repro.experiments fig11
     python -m repro.experiments warmstart --scale 0.3
     python -m repro.experiments latency --scale 0.3
+    python -m repro.experiments fleet --scale 0.3
     python -m repro.experiments all   --scale 0.5
 
 Each command prints the same rows/series the paper's artifact reports.
@@ -28,6 +29,7 @@ from repro.experiments import (
     run_fig9,
     run_fig10,
     run_fig11,
+    run_fleet_sweep,
     run_latency_sweep,
     run_running_example,
     run_table1,
@@ -52,6 +54,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "fig11",
             "warmstart",
             "latency",
+            "fleet",
             "all",
         ],
         help="which artifact to regenerate",
@@ -99,6 +102,11 @@ def main(argv: list[str] | None = None) -> int:
             _load_network(seed=args.seed, scale=args.scale), seed=args.seed
         ),
         "latency": lambda: run_latency_sweep(
+            _load_network(seed=args.seed, scale=args.scale),
+            seed=args.seed,
+            **({"num_samples": args.samples} if args.samples is not None else {}),
+        ),
+        "fleet": lambda: run_fleet_sweep(
             _load_network(seed=args.seed, scale=args.scale),
             seed=args.seed,
             **({"num_samples": args.samples} if args.samples is not None else {}),

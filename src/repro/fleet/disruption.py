@@ -1,0 +1,116 @@
+"""Seeded shard-outage and degradation schedules.
+
+Real fleet shards do not fail uniformly at random per request the way a
+:class:`~repro.interface.providers.FlakyProvider` times out — they degrade
+and recover in *windows*: a bad deploy, a hot replica, a saturated cache
+tier.  :class:`DisruptionSchedule` models that as contiguous windows over
+a shard's **request index** (its 1st, 2nd, ... fetch): the request axis
+advances with the crawl on any scheduler, needs no clock plumbed into the
+provider layer, and — because window membership is a pure seeded hash of
+the window number — is deterministic across processes and snapshot
+round-trips with *no mutable state at all*.  The only thing a snapshot
+must carry is the shard's request counter, which the per-shard accounting
+already owns.
+
+A request classifies as one of three modes:
+
+* ``ok`` — the shard answers at its modelled latency;
+* ``degraded`` — latency is multiplied by ``degraded_multiplier``
+  (a slow replica / saturated tier);
+* ``outage`` — the request additionally pays ``outage_penalty`` seconds
+  (failover + retry against a dead shard) on top of the degraded rate.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+#: Request classification modes, in increasing severity.
+MODES = ("ok", "degraded", "outage")
+
+
+class DisruptionSchedule:
+    """Stateless seeded degradation/outage windows over request indices.
+
+    Requests are grouped into windows of ``window`` consecutive fetches;
+    each window's mode is a pure hash of ``(seed, window number)``, drawn
+    as ``outage`` with probability ``outage_rate``, else ``degraded`` with
+    probability ``degraded_rate``, else ``ok``.
+
+    Args:
+        seed: Master seed for the window draws.
+        window: Requests per window (>= 1).
+        degraded_rate: Probability a window is degraded, in [0, 1].
+        outage_rate: Probability a window is a full outage, in [0, 1];
+            ``degraded_rate + outage_rate`` must not exceed 1.
+        degraded_multiplier: Latency multiplier inside degraded and outage
+            windows (>= 1).
+        outage_penalty: Extra simulated seconds every request in an outage
+            window pays (>= 0).
+
+    Raises:
+        ValueError: On out-of-range parameters.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        window: int = 64,
+        degraded_rate: float = 0.15,
+        outage_rate: float = 0.05,
+        degraded_multiplier: float = 3.0,
+        outage_penalty: float = 30.0,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be positive")
+        if not 0.0 <= degraded_rate <= 1.0 or not 0.0 <= outage_rate <= 1.0:
+            raise ValueError("rates must be in [0, 1]")
+        if degraded_rate + outage_rate > 1.0:
+            raise ValueError("degraded_rate + outage_rate must not exceed 1")
+        if degraded_multiplier < 1.0:
+            raise ValueError("degraded_multiplier must be at least 1")
+        if outage_penalty < 0.0:
+            raise ValueError("outage_penalty must be non-negative")
+        self._seed = int(seed)
+        self._window = int(window)
+        self._degraded_rate = float(degraded_rate)
+        self._outage_rate = float(outage_rate)
+        self._multiplier = float(degraded_multiplier)
+        self._penalty = float(outage_penalty)
+
+    @property
+    def window(self) -> int:
+        """Requests per schedule window."""
+        return self._window
+
+    def mode_of(self, request_index: int) -> str:
+        """Classify the ``request_index``-th fetch (0-based): one of MODES."""
+        block = request_index // self._window
+        h = zlib.crc32(f"{self._seed}:window:{block}".encode("utf-8"))
+        u = h / 0xFFFFFFFF  # uniform in [0, 1], pure function of (seed, block)
+        if u < self._outage_rate:
+            return "outage"
+        if u < self._outage_rate + self._degraded_rate:
+            return "degraded"
+        return "ok"
+
+    def disrupted_latency(self, request_index: int, base_latency: float) -> float:
+        """The latency a request pays once the schedule is applied."""
+        mode = self.mode_of(request_index)
+        if mode == "ok":
+            return base_latency
+        latency = base_latency * self._multiplier
+        if mode == "outage":
+            latency += self._penalty
+        return latency
+
+    def state_dict(self) -> dict:
+        """The schedule's defining configuration (it has no mutable state)."""
+        return {
+            "seed": self._seed,
+            "window": self._window,
+            "degraded_rate": self._degraded_rate,
+            "outage_rate": self._outage_rate,
+            "degraded_multiplier": self._multiplier,
+            "outage_penalty": self._penalty,
+        }

@@ -1,0 +1,422 @@
+"""A provider fleet: per-shard stacks behind one ``SocialProvider`` face.
+
+:class:`ShardedProvider` routes each user's fetch — via a deterministic
+:class:`~repro.fleet.router.ShardRouter` — to that user's owning shard,
+where a private provider stack (composed from the existing PR-3 layers:
+in-memory graph → seeded latency model → flaky retries) answers it.  Each
+shard keeps its own books (:class:`ShardStats`: queries, latency spent,
+retries, burst depth) and optionally runs a seeded
+:class:`~repro.fleet.disruption.DisruptionSchedule` that degrades whole
+windows of its requests, so experiments can ask what a walk costs when
+one shard of the fleet is having a bad day.
+
+The interface layer needs no change: a fleet *is* a
+:class:`~repro.interface.providers.SocialProvider`, so all §II-B billing,
+caching, budget, and rate-limit semantics hold bit-for-bit over it.  What
+the fleet adds beyond routing is **dispatch structure** for the
+batch-aware scheduler: per-shard batch caps and admission intervals
+(how many fetches one ``query_many`` round trip may carry, and how
+closely a shard admits round trips), plus a dispatch trace the scheduler
+drains to learn which shard each in-flight fetch went to.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Hashable, List, Optional, Sequence, Tuple, Union
+
+from repro.datastore.documents import DocumentStore
+from repro.fleet.disruption import DisruptionSchedule
+from repro.fleet.router import ShardRouter
+from repro.graph.adjacency import Graph
+from repro.interface.providers import (
+    FlakyProvider,
+    InMemoryGraphProvider,
+    LatencyModelProvider,
+    SocialProvider,
+)
+
+Node = Hashable
+
+
+@dataclasses.dataclass(frozen=True)
+class FetchDispatch:
+    """One completed fetch, as the batch-aware scheduler sees it.
+
+    Attributes:
+        shard: Index of the shard that served the fetch.
+        user: The fetched user id.
+        latency: Simulated seconds the shard took (disruption included).
+    """
+
+    shard: int
+    user: Node
+    latency: float
+
+
+@dataclasses.dataclass
+class ShardStats:
+    """Mutable per-shard accounting.
+
+    Attributes:
+        queries: Fetch requests routed to the shard (refusals included —
+            a refusal consumes a shard request like any other).
+        latency_spent: Total simulated response latency the shard served.
+        retries: Extra attempts flaky layers consumed beyond the first.
+        disrupted: Requests that landed in a degraded or outage window.
+        bursts: Coalesced round trips the scheduler dispatched here.
+        max_in_flight: Largest burst depth the shard has carried.
+    """
+
+    queries: int = 0
+    latency_spent: float = 0.0
+    retries: int = 0
+    disrupted: int = 0
+    bursts: int = 0
+    max_in_flight: int = 0
+
+    def state_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def load_state(self, state: dict) -> None:
+        self.queries = int(state["queries"])
+        self.latency_spent = float(state["latency_spent"])
+        self.retries = int(state["retries"])
+        self.disrupted = int(state["disrupted"])
+        self.bursts = int(state["bursts"])
+        self.max_in_flight = int(state["max_in_flight"])
+
+
+def _per_shard(value: Union[float, int, Sequence], num_shards: int, name: str) -> tuple:
+    """Broadcast a scalar (or validate a sequence) into per-shard values."""
+    if isinstance(value, (int, float)):
+        return (value,) * num_shards
+    values = tuple(value)
+    if len(values) != num_shards:
+        raise ValueError(f"got {len(values)} {name} values for {num_shards} shards")
+    return values
+
+
+class ShardedProvider(SocialProvider):
+    """Route each user to its owning shard's provider stack.
+
+    Args:
+        shards: One provider stack per shard, all answering over the same
+            hidden network (the fleet is a partition of *serving*, not of
+            *data* — any shard can answer an existence check).
+        router: The user→shard map; its shard count must match.
+        disruptions: Optional per-shard
+            :class:`~repro.fleet.disruption.DisruptionSchedule` (entries
+            may be ``None`` for always-healthy shards).
+        batch_cap: Per-shard maximum fetches one coalesced round trip may
+            carry (scalar broadcasts; each cap >= 1).
+        admission_interval: Per-shard minimum simulated seconds between
+            round-trip admissions — the shard-side rate limit the
+            batch-aware scheduler honours (scalar broadcasts; >= 0).
+        latency_quantum: When positive, every non-zero response latency is
+            rounded *up* to a multiple of this many simulated seconds.
+            Real backends answer on an RTT/polling grid rather than a
+            continuum; on the simulated side the grid is what lets
+            independent chains' completions land on the same tick, which
+            is where batch coalescing finds its bursts.  Use a
+            binary-exact value (0.5, 0.25, ...) so grid arithmetic stays
+            exact in floating point.
+
+    Raises:
+        ValueError: On shard-count mismatches or invalid caps/intervals.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[SocialProvider],
+        router: ShardRouter,
+        disruptions: Optional[Sequence[Optional[DisruptionSchedule]]] = None,
+        batch_cap: Union[int, Sequence[int]] = 8,
+        admission_interval: Union[float, Sequence[float]] = 0.0,
+        latency_quantum: float = 0.0,
+    ) -> None:
+        if len(shards) < 1:
+            raise ValueError("a fleet needs at least one shard")
+        if router.num_shards != len(shards):
+            raise ValueError(
+                f"router addresses {router.num_shards} shards, got {len(shards)} stacks"
+            )
+        if disruptions is not None and len(disruptions) != len(shards):
+            raise ValueError(
+                f"got {len(disruptions)} disruption schedules for {len(shards)} shards"
+            )
+        self._shards = list(shards)
+        self._router = router
+        self._disruptions: Tuple[Optional[DisruptionSchedule], ...] = (
+            tuple(disruptions) if disruptions is not None else (None,) * len(shards)
+        )
+        self._batch_caps = tuple(
+            int(c) for c in _per_shard(batch_cap, len(shards), "batch_cap")
+        )
+        if any(c < 1 for c in self._batch_caps):
+            raise ValueError("batch caps must be positive")
+        self._intervals = tuple(
+            float(i) for i in _per_shard(admission_interval, len(shards), "admission_interval")
+        )
+        if any(i < 0 for i in self._intervals):
+            raise ValueError("admission intervals must be non-negative")
+        if latency_quantum < 0:
+            raise ValueError("latency_quantum must be non-negative")
+        self._quantum = float(latency_quantum)
+        self._stats = [ShardStats() for _ in shards]
+        self._trace_dispatches = False
+        self._dispatch_log: List[FetchDispatch] = []
+
+    # ------------------------------------------------------------------
+    # fleet introspection
+    # ------------------------------------------------------------------
+    @property
+    def router(self) -> ShardRouter:
+        """The user→shard map."""
+        return self._router
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards in the fleet."""
+        return len(self._shards)
+
+    @property
+    def shards(self) -> Sequence[SocialProvider]:
+        """The per-shard provider stacks."""
+        return tuple(self._shards)
+
+    @property
+    def stats(self) -> Sequence[ShardStats]:
+        """Per-shard accounting (live objects; read-only use)."""
+        return tuple(self._stats)
+
+    def batch_cap(self, shard: int) -> int:
+        """Max fetches one coalesced round trip to ``shard`` may carry."""
+        return self._batch_caps[shard]
+
+    def admission_interval(self, shard: int) -> float:
+        """Min simulated seconds between round-trip admissions at ``shard``."""
+        return self._intervals[shard]
+
+    @property
+    def latency_quantum(self) -> float:
+        """The response-latency grid (0.0 = continuous latencies)."""
+        return self._quantum
+
+    def shard_of(self, user: Node) -> int:
+        """The shard that serves ``user`` (delegates to the router)."""
+        return self._router.shard_of(user)
+
+    # ------------------------------------------------------------------
+    # dispatch tracing (consumed by the batch-aware scheduler)
+    # ------------------------------------------------------------------
+    def trace_dispatches(self, enabled: bool = True) -> None:
+        """Start (or stop) recording per-fetch dispatch events."""
+        self._trace_dispatches = bool(enabled)
+        if not enabled:
+            self._dispatch_log.clear()
+
+    def drain_dispatches(self) -> Tuple[FetchDispatch, ...]:
+        """Return and clear the dispatch events recorded since last drain."""
+        events = tuple(self._dispatch_log)
+        self._dispatch_log.clear()
+        return events
+
+    def record_burst(self, shard: int, depth: int = 1) -> None:
+        """Account one new coalesced round trip of ``depth`` fetches."""
+        stats = self._stats[shard]
+        stats.bursts += 1
+        if depth > stats.max_in_flight:
+            stats.max_in_flight = depth
+
+    def record_burst_depth(self, shard: int, depth: int) -> None:
+        """Update the in-flight depth of the shard's open round trip."""
+        stats = self._stats[shard]
+        if depth > stats.max_in_flight:
+            stats.max_in_flight = depth
+
+    # ------------------------------------------------------------------
+    # SocialProvider contract
+    # ------------------------------------------------------------------
+    def has_user(self, user: Node) -> bool:
+        return self._shards[self._router.shard_of(user)].has_user(user)
+
+    def fetch(self, user: Node):
+        shard = self._router.shard_of(user)
+        stats = self._stats[shard]
+        request_index = stats.queries
+        stats.queries += 1
+        fetched = self._shards[shard].fetch(user)  # refusals propagate billed
+        latency = fetched.latency
+        schedule = self._disruptions[shard]
+        if schedule is not None:
+            latency = schedule.disrupted_latency(request_index, latency)
+            if schedule.mode_of(request_index) != "ok":
+                stats.disrupted += 1
+        if self._quantum > 0.0 and latency > 0.0:
+            latency = self._quantum * math.ceil(latency / self._quantum)
+        stats.latency_spent += latency
+        stats.retries += max(0, fetched.attempts - 1)
+        if self._trace_dispatches:
+            self._dispatch_log.append(
+                FetchDispatch(shard=shard, user=user, latency=latency)
+            )
+        if latency != fetched.latency:
+            fetched = dataclasses.replace(fetched, latency=latency)
+        return fetched
+
+    def user_count(self) -> int:
+        return self._shards[0].user_count()
+
+    @property
+    def may_refuse(self) -> bool:
+        return any(s.may_refuse for s in self._shards)
+
+    # ------------------------------------------------------------------
+    # snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Router fingerprint, per-shard stack states, and accounting.
+
+        The per-shard request counters (inside the stats) are what anchor
+        the disruption schedules, and the stacks' own states carry any
+        flaky RNG positions — restoring all of it means a resumed crawl
+        replays the same shard behaviour bit-for-bit.
+        """
+        return {
+            "router": self._router.state_dict(),
+            "shards": [s.state_dict() for s in self._shards],
+            "stats": [s.state_dict() for s in self._stats],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a captured fleet state.
+
+        Raises:
+            SnapshotError: If the captured router configuration differs
+                from this fleet's.
+        """
+        self._router.load_state(state["router"])
+        for stack, stack_state in zip(self._shards, state["shards"]):
+            stack.load_state(stack_state)
+        for stats, stats_state in zip(self._stats, state["stats"]):
+            stats.load_state(stats_state)
+        self._dispatch_log.clear()
+
+
+def find_fleet(provider: SocialProvider) -> Optional[ShardedProvider]:
+    """The :class:`ShardedProvider` inside a provider stack, or ``None``.
+
+    Walks ``inner`` links so a fleet wrapped in e.g. a
+    :class:`~repro.interface.providers.FlakyProvider` is still found.
+    """
+    seen = 0
+    while provider is not None and seen < 32:  # stacks are shallow
+        if isinstance(provider, ShardedProvider):
+            return provider
+        provider = getattr(provider, "inner", None)
+        seen += 1
+    return None
+
+
+def sharded_fleet(
+    graph: Graph,
+    num_shards: int,
+    seed: int = 0,
+    weights: Optional[Sequence[float]] = None,
+    profiles: Optional[DocumentStore] = None,
+    latency_distribution: Optional[str] = None,
+    latency_scale: float = 1.0,
+    latency_alpha: float = 1.5,
+    shard_latency_spread: float = 0.0,
+    failure_rate: float = 0.0,
+    max_attempts: int = 8,
+    timeout_latency: float = 5.0,
+    disruption: Optional[dict] = None,
+    batch_cap: Union[int, Sequence[int]] = 8,
+    admission_interval: Union[float, Sequence[float]] = 0.0,
+    latency_quantum: float = 0.0,
+) -> ShardedProvider:
+    """Compose a homogeneous-data, heterogeneous-serving fleet.
+
+    Every shard serves the same hidden ``graph`` (the fleet partitions
+    *traffic*, not data) through its own stack of the PR-3 provider
+    layers::
+
+        InMemoryGraphProvider          # the data
+          └─ LatencyModelProvider      # per-shard seeded latency (optional)
+               └─ FlakyProvider        # per-shard seeded retries (optional)
+
+    Args:
+        graph: The hidden social-network topology.
+        num_shards: Fleet size (>= 1).
+        seed: Master seed; every shard's latency/flaky/disruption streams
+            derive from it (and the shard index), so the whole fleet is a
+            pure function of its configuration.
+        weights: Optional routing weights (skew axis): heavier shards own
+            proportionally more of the key space.
+        profiles: Optional per-user attribute documents.
+        latency_distribution: When given, each shard serves through a
+            seeded :class:`~repro.interface.providers.LatencyModelProvider`
+            of this distribution.
+        latency_scale: Base latency scale in simulated seconds.
+        latency_alpha: Pareto shape for heavy-tailed latencies.
+        shard_latency_spread: Heterogeneity axis: shard ``s`` scales its
+            latency by ``1 + spread * s / (num_shards - 1)`` — shard 0 is
+            the fastest replica, the last shard the slowest.
+        failure_rate: When positive, each shard wraps its stack in a
+            seeded :class:`~repro.interface.providers.FlakyProvider`.
+        max_attempts: Flaky retry bound per fetch.
+        timeout_latency: Simulated seconds one timed-out attempt costs.
+        disruption: When given, keyword arguments for per-shard
+            :class:`~repro.fleet.disruption.DisruptionSchedule` instances
+            (each seeded from ``seed`` and the shard index); ``{}`` uses
+            the schedule defaults.
+        batch_cap: Per-shard batch caps (see :class:`ShardedProvider`).
+        admission_interval: Per-shard admission intervals.
+        latency_quantum: Response-latency grid (see
+            :class:`ShardedProvider`; 0.0 keeps latencies continuous).
+
+    Raises:
+        ValueError: On invalid shard counts or parameters (propagated from
+            the underlying layers).
+    """
+    router = ShardRouter(num_shards, seed=seed, weights=weights)
+    stacks: List[SocialProvider] = []
+    disruptions: Optional[List[Optional[DisruptionSchedule]]] = None
+    for shard in range(num_shards):
+        stack: SocialProvider = InMemoryGraphProvider(graph, profiles=profiles)
+        if latency_distribution is not None:
+            multiplier = 1.0
+            if num_shards > 1 and shard_latency_spread > 0.0:
+                multiplier += shard_latency_spread * shard / (num_shards - 1)
+            stack = LatencyModelProvider(
+                stack,
+                distribution=latency_distribution,
+                scale=latency_scale * multiplier,
+                seed=seed * 1_000_003 + shard,
+                alpha=latency_alpha,
+            )
+        if failure_rate > 0.0:
+            stack = FlakyProvider(
+                stack,
+                failure_rate=failure_rate,
+                seed=seed * 999_983 + shard,
+                max_attempts=max_attempts,
+                timeout_latency=timeout_latency,
+            )
+        stacks.append(stack)
+    if disruption is not None:
+        disruptions = [
+            DisruptionSchedule(seed=seed * 31_337 + shard, **disruption)
+            for shard in range(num_shards)
+        ]
+    return ShardedProvider(
+        stacks,
+        router,
+        disruptions=disruptions,
+        batch_cap=batch_cap,
+        admission_interval=admission_interval,
+        latency_quantum=latency_quantum,
+    )

@@ -21,6 +21,11 @@ from repro.interface.providers import (
     SocialProvider,
 )
 from repro.interface.session import SamplingSession
+from repro.interface.telemetry import (
+    InterfaceTelemetry,
+    ShardTelemetry,
+    collect_telemetry,
+)
 from repro.interface.ratelimit import (
     FixedWindowRateLimiter,
     RateLimiter,
@@ -41,6 +46,9 @@ __all__ = [
     "FlakyProvider",
     "RetryStats",
     "SamplingSession",
+    "InterfaceTelemetry",
+    "ShardTelemetry",
+    "collect_telemetry",
     "FixedWindowRateLimiter",
     "RateLimiter",
     "SimulatedClock",

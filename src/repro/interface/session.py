@@ -44,6 +44,7 @@ from typing import Dict, Optional
 from repro.datastore.snapshot import SnapshotBackend
 from repro.errors import SnapshotError
 from repro.interface.api import RestrictedSocialAPI
+from repro.interface.telemetry import collect_telemetry, shard_breakdown_dict
 
 #: Section names used in session snapshots.
 SECTION_META = "meta"
@@ -188,3 +189,28 @@ class SamplingSession:
         if sections is None:
             return None
         return dict(sections.get(SECTION_META, {}))
+
+    def summary(self) -> Dict[str, object]:
+        """Everything this run has spent, in one JSON-safe record.
+
+        Callers used to poke ``api``/provider internals for latency and
+        retry accounting; this gathers the whole picture — §II-B cost,
+        simulated clock, provider latency, retry counts, and (over a
+        fleet) per-shard breakdowns — via
+        :func:`~repro.interface.telemetry.collect_telemetry`, plus the
+        sampler's step count and this session's save count.
+        """
+        telemetry = collect_telemetry(self._api)
+        return {
+            "sampler_type": type(self._sampler).__name__,
+            "steps": getattr(self._sampler, "steps", None),
+            "query_cost": telemetry.query_cost,
+            "total_queries": telemetry.total_queries,
+            "latency_spent": telemetry.latency_spent,
+            "clock_now": telemetry.clock_now,
+            "fetch_attempts": telemetry.fetch_attempts,
+            "retries": telemetry.retries,
+            "abandoned": telemetry.abandoned,
+            "shards": shard_breakdown_dict(telemetry),
+            "saves": self._saves,
+        }

@@ -1,0 +1,157 @@
+"""One-stop telemetry over an interface and its provider stack.
+
+Callers used to poke provider internals to answer "what did this run
+cost?": ``api.latency_spent`` here, a ``FlakyProvider.retry_stats``
+somewhere inside the stack there, per-shard books on the fleet.
+:func:`collect_telemetry` walks the whole stack once — ``inner`` links
+and fleet shards included — and returns a single
+:class:`InterfaceTelemetry` record that experiment drivers, run results
+(:class:`~repro.walks.scheduler.EventDrivenRun`), and
+:meth:`~repro.interface.session.SamplingSession.summary` all share.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, Optional
+
+from repro.interface.api import RestrictedSocialAPI
+from repro.interface.providers import SocialProvider
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardTelemetry:
+    """Read-only per-shard breakdown (one row per fleet shard).
+
+    Attributes:
+        queries: Fetch requests the shard served (refusals included).
+        latency_spent: Total simulated response latency at the shard.
+        retries: Flaky-layer retry attempts beyond the first.
+        disrupted: Requests served inside degraded/outage windows.
+        bursts: Coalesced round trips dispatched to the shard.
+        max_in_flight: Largest burst depth the shard has carried.
+    """
+
+    queries: int
+    latency_spent: float
+    retries: int
+    disrupted: int
+    bursts: int
+    max_in_flight: int
+
+
+@dataclasses.dataclass(frozen=True)
+class InterfaceTelemetry:
+    """Everything one run spent, in one record.
+
+    Attributes:
+        query_cost: Billed unique queries (§II-B's cost measure).
+        total_queries: All logical queries including cache hits.
+        latency_spent: Total provider response latency billed (serial sum
+            over billed fetches, in simulated seconds).
+        clock_now: The interface's simulated-clock reading.
+        fetch_attempts: Physical fetch attempts across every flaky layer
+            in the stack (0 when no flaky layer exists).
+        retries: Attempts beyond the first — timed-out-and-retried fetches.
+        abandoned: Fetches that exhausted every attempt.
+        shards: Per-shard breakdowns keyed by shard index, or ``None``
+            when the stack has no fleet.
+    """
+
+    query_cost: int
+    total_queries: int
+    latency_spent: float
+    clock_now: float
+    fetch_attempts: int
+    retries: int
+    abandoned: int
+    shards: Optional[Dict[int, ShardTelemetry]]
+
+    def format_summary(self) -> str:
+        """A compact human-readable multi-line summary."""
+        lines = [
+            "telemetry: {} unique queries ({} total), {:.1f}s provider latency, "
+            "clock at {:.1f}s".format(
+                self.query_cost, self.total_queries, self.latency_spent, self.clock_now
+            )
+        ]
+        if self.fetch_attempts:
+            lines.append(
+                "  retries: {} extra attempts over {} fetch attempts "
+                "({} abandoned)".format(self.retries, self.fetch_attempts, self.abandoned)
+            )
+        if self.shards is not None:
+            for shard, row in sorted(self.shards.items()):
+                lines.append(
+                    "  shard {:>2}: {:>6} queries  {:>10.1f}s latency  "
+                    "{:>4} retries  {:>4} disrupted  {:>4} bursts (depth <= {})".format(
+                        shard,
+                        row.queries,
+                        row.latency_spent,
+                        row.retries,
+                        row.disrupted,
+                        row.bursts,
+                        row.max_in_flight,
+                    )
+                )
+        return "\n".join(lines)
+
+
+def iter_provider_stack(provider: SocialProvider) -> Iterator[SocialProvider]:
+    """Yield every provider in a stack: the root, ``inner`` links, shards."""
+    pending = [provider]
+    seen = 0
+    while pending and seen < 256:  # stacks are shallow; guard cycles anyway
+        current = pending.pop()
+        seen += 1
+        yield current
+        shards = getattr(current, "shards", None)
+        if shards is not None:
+            pending.extend(shards)
+        inner = getattr(current, "inner", None)
+        if inner is not None:
+            pending.append(inner)
+
+
+def collect_telemetry(api: RestrictedSocialAPI) -> InterfaceTelemetry:
+    """Gather the full cost/latency/retry/shard picture for one interface."""
+    attempts = retries = abandoned = 0
+    shards: Optional[Dict[int, ShardTelemetry]] = None
+    for provider in iter_provider_stack(api.provider):
+        retry_stats = getattr(provider, "retry_stats", None)
+        if retry_stats is not None:
+            attempts += retry_stats.attempts
+            retries += retry_stats.attempts - retry_stats.fetches
+            abandoned += retry_stats.abandoned
+        stats = getattr(provider, "stats", None)
+        if stats is not None and getattr(provider, "router", None) is not None:
+            shards = {
+                shard: ShardTelemetry(
+                    queries=row.queries,
+                    latency_spent=row.latency_spent,
+                    retries=row.retries,
+                    disrupted=row.disrupted,
+                    bursts=row.bursts,
+                    max_in_flight=row.max_in_flight,
+                )
+                for shard, row in enumerate(stats)
+            }
+    return InterfaceTelemetry(
+        query_cost=api.query_cost,
+        total_queries=api.total_queries,
+        latency_spent=api.latency_spent,
+        clock_now=api.clock.now(),
+        fetch_attempts=attempts,
+        retries=retries,
+        abandoned=abandoned,
+        shards=shards,
+    )
+
+
+def shard_breakdown_dict(telemetry: InterfaceTelemetry) -> Optional[Dict[int, dict]]:
+    """The per-shard breakdown as plain dicts (JSON/report-friendly)."""
+    if telemetry.shards is None:
+        return None
+    return {
+        shard: dataclasses.asdict(row) for shard, row in sorted(telemetry.shards.items())
+    }

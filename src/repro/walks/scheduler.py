@@ -33,9 +33,22 @@ Two clocks, deliberately distinct:
   around each step) onto concurrent per-chain timelines;
   :attr:`EventDrivenWalkers.simulated_elapsed` is the resulting makespan.
 
-The full in-flight state — event queue, per-chain ready times, phase, and
-the partially filled merged sample list — serializes through
-``state_dict``/``load_state``, so a
+Batch-aware dispatch (``batching=True``) adds the fleet dimension: over a
+:class:`~repro.fleet.provider.ShardedProvider`, dispatches that land on
+the same simulated tick and head to the same shard coalesce into one
+``query_many``-style burst, billed as a *single* provider round trip —
+the maximum latency of the burst, bounded by the shard's batch cap —
+and each burst consumes one admission slot of the shard's rate limit
+instead of one per fetch.  §II-B unique-query billing is untouched
+(every fetch is still billed individually by the interface); only the
+concurrent timeline changes.  With batching disabled the code path is
+the unbatched one, bit for bit; with a single zero-latency shard the
+coalesced timeline degenerates to the unbatched one, so the equivalence
+guarantee above carries over to fleets.
+
+The full in-flight state — event queue, per-chain ready times, per-shard
+admission horizons, phase, and the partially filled merged sample list —
+serializes through ``state_dict``/``load_state``, so a
 :class:`~repro.interface.session.SamplingSession` can checkpoint a run
 mid-flight and a fresh process resumes it bit-for-bit.
 """
@@ -44,11 +57,13 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
-from typing import Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.convergence.gelman_rubin import GelmanRubinDiagnostic
 from repro.core.overlay import shared_overlay_of
 from repro.errors import SnapshotError, WalkError
+from repro.fleet.provider import FetchDispatch, find_fleet
+from repro.interface.telemetry import ShardTelemetry, collect_telemetry
 from repro.walks.base import RandomWalkSampler, SamplingRun, WalkSample
 
 Node = Hashable
@@ -74,6 +89,12 @@ class EventDrivenRun:
         sim_elapsed: Simulated wall-clock makespan: the event time at
             which the final sample was collected.
         events_processed: Dispatched chain actions (steps + collections).
+        latency_spent: Total provider response latency billed (the serial
+            sum over billed fetches; the makespan redistributes it).
+        retries: Flaky-layer retry attempts beyond the first, summed over
+            the whole provider stack (0 without flaky layers).
+        shards: Per-shard telemetry breakdown keyed by shard index, or
+            ``None`` when the interface has no provider fleet.
     """
 
     merged: List[WalkSample]
@@ -82,6 +103,9 @@ class EventDrivenRun:
     query_cost: int
     sim_elapsed: float
     events_processed: int
+    latency_spent: float = 0.0
+    retries: int = 0
+    shards: Optional[Dict[int, ShardTelemetry]] = None
 
 
 class EventDrivenWalkers:
@@ -98,10 +122,29 @@ class EventDrivenWalkers:
             lengths for R̂ (a chain arbitrarily far ahead wastes budget if
             convergence fires early); collection has no such bound —
             interleaving by completion is the point.
+        batching: Enable batch-coalescing dispatch.  Requires the shared
+            interface to sit on a provider stack containing a
+            :class:`~repro.fleet.provider.ShardedProvider`: events that
+            pop on the same simulated tick and fetch from the same shard
+            are dispatched as one burst (up to the shard's batch cap)
+            billed a single round-trip latency — the burst maximum — and
+            one admission slot.  §II-B billing is identical either way.
+        batch_window: Simulated seconds the dispatcher may *hold* a ready
+            chain so later-completing chains can join its tick: events
+            within ``batch_window`` of the earliest queued event form one
+            tick, dispatched together at the group's latest ready time.
+            The classic coalescing trade — a small delay per dispatch
+            buys much larger bursts on saturated shards.  ``0.0`` (the
+            default) coalesces only exact ties, which preserves the
+            zero-latency equivalence guarantee trivially (every event
+            sits at the same timestamp, so the window adds nothing).
+            Requires ``batching``.
 
     Raises:
         WalkError: With fewer than two samplers, mismatched interfaces,
-            or a non-positive ``max_lead``.
+            a non-positive ``max_lead``, a negative ``batch_window`` (or
+            one without ``batching``), or ``batching`` over an interface
+            whose provider stack has no fleet.
 
     Example:
         >>> from repro.datasets import load
@@ -117,7 +160,13 @@ class EventDrivenWalkers:
         30
     """
 
-    def __init__(self, samplers: Sequence[RandomWalkSampler], max_lead: int = 64) -> None:
+    def __init__(
+        self,
+        samplers: Sequence[RandomWalkSampler],
+        max_lead: int = 64,
+        batching: bool = False,
+        batch_window: float = 0.0,
+    ) -> None:
         if len(samplers) < 2:
             raise WalkError("event-driven walking needs at least two samplers")
         api = samplers[0].api
@@ -129,6 +178,25 @@ class EventDrivenWalkers:
         self._api = api
         self._max_lead = int(max_lead)
         self._overlay = shared_overlay_of(samplers)
+        self._fleet = None
+        if batch_window < 0:
+            raise WalkError("batch_window must be non-negative")
+        if batch_window > 0 and not batching:
+            raise WalkError("batch_window only applies to batch-coalescing dispatch")
+        self._batch_window = float(batch_window)
+        if batching:
+            self._fleet = find_fleet(api.provider)
+            if self._fleet is None:
+                raise WalkError(
+                    "batch-coalescing dispatch needs a ShardedProvider in the "
+                    "interface's provider stack (see repro.fleet)"
+                )
+        num_shards = self._fleet.num_shards if self._fleet else 0
+        self._next_free = [0.0] * num_shards
+        # Per shard: the open (not yet departed) burst as [start, max
+        # member latency, member count], or None — the in-flight batch
+        # state later dispatches coalesce into.
+        self._open_bursts: List[Optional[List[float]]] = [None] * num_shards
 
         k = len(self._samplers)
         self._phase = PHASE_FRESH
@@ -183,6 +251,16 @@ class EventDrivenWalkers:
     def phase(self) -> str:
         """Current lifecycle phase (``fresh``/``burnin``/``collect``/``done``)."""
         return self._phase
+
+    @property
+    def batching(self) -> bool:
+        """Whether batch-coalescing dispatch is enabled."""
+        return self._fleet is not None
+
+    @property
+    def fleet(self):
+        """The dispatch fleet when batching, else ``None``."""
+        return self._fleet
 
     # ------------------------------------------------------------------
     # event-queue plumbing
@@ -261,6 +339,10 @@ class EventDrivenWalkers:
             "merged": tuple(self._merged),
             "merged_chain": tuple(self._merged_chain),
             "events": self._events,
+            "next_free": tuple(self._next_free),
+            "open_bursts": tuple(
+                None if burst is None else tuple(burst) for burst in self._open_bursts
+            ),
         }
 
     def load_state(self, state: dict) -> None:
@@ -294,6 +376,30 @@ class EventDrivenWalkers:
         self._merged = list(state["merged"])
         self._merged_chain = [int(i) for i in state["merged_chain"]]
         self._events = int(state["events"])
+        # Absent from snapshots written before batch-aware dispatch; a
+        # fleet that has admitted nothing has an all-zero horizon.
+        next_free = state.get("next_free", ())
+        if self._fleet is not None:
+            if len(next_free) not in (0, self._fleet.num_shards):
+                raise SnapshotError(
+                    f"snapshot tracks {len(next_free)} shard admission horizons; "
+                    f"this fleet has {self._fleet.num_shards} shards"
+                )
+            restored = [float(t) for t in next_free]
+            self._next_free = restored or [0.0] * self._fleet.num_shards
+        else:
+            self._next_free = [float(t) for t in next_free]
+        open_bursts = state.get("open_bursts", ())
+        self._open_bursts = [
+            None if burst is None else [float(x) for x in burst] for burst in open_bursts
+        ]
+        if self._fleet is not None and not self._open_bursts:
+            self._open_bursts = [None] * self._fleet.num_shards
+        if self._fleet is not None and len(self._open_bursts) != self._fleet.num_shards:
+            raise SnapshotError(
+                f"snapshot tracks {len(self._open_bursts)} open bursts; "
+                f"this fleet has {self._fleet.num_shards} shards"
+            )
 
     # ------------------------------------------------------------------
     # the event loop
@@ -333,6 +439,10 @@ class EventDrivenWalkers:
             raise ValueError("num_samples must be positive")
         if thinning <= 0:
             raise ValueError("thinning must be positive")
+        if self._fleet is not None:
+            # Tracing is scoped to the run so an api outliving this
+            # scheduler never accumulates an undrained dispatch log.
+            self._fleet.trace_dispatches(True)
         if self._phase == PHASE_FRESH:
             if monitor is not None:
                 self._phase = PHASE_BURNIN
@@ -346,11 +456,19 @@ class EventDrivenWalkers:
                     "this scheduler is mid-burn-in (e.g. restored from a checkpoint); "
                     "run() needs the same monitor the original run used"
                 )
-            self._run_burnin(monitor, check_every, max_steps)
+            if self._fleet is not None:
+                self._run_burnin_batched(monitor, check_every, max_steps)
+            else:
+                self._run_burnin(monitor, check_every, max_steps)
             self._begin_collect(thinning)
         if self._phase == PHASE_COLLECT:
-            self._run_collect(num_samples, thinning)
+            if self._fleet is not None:
+                self._run_collect_batched(num_samples, thinning)
+            else:
+                self._run_collect(num_samples, thinning)
             self._phase = PHASE_DONE
+        if self._fleet is not None:
+            self._fleet.trace_dispatches(False)
         return self._result(monitor)
 
     def _run_burnin(
@@ -437,6 +555,190 @@ class EventDrivenWalkers:
             self._push(chain, self._ready[chain])
             self._event_committed()
 
+    # ------------------------------------------------------------------
+    # the batch-coalescing event loop (fleet dispatch)
+    # ------------------------------------------------------------------
+    # The batched loops mirror the unbatched ones action for action; what
+    # changes is granularity.  Events are popped a *tick* at a time (all
+    # queue entries sharing the earliest timestamp, in FIFO order), every
+    # popped chain acts exactly as in the unbatched loop, and only then
+    # are the tick's provider fetches settled: dispatches to one shard
+    # coalesce into bursts of at most the shard's batch cap, each burst
+    # costs one admission slot plus its members' *maximum* latency, and
+    # each chain becomes ready when its burst completes.  On a fleet
+    # whose every latency is zero a tick is one lock-step round, every
+    # burst completes instantly, and the dispatch order reduces to the
+    # unbatched FIFO round-robin — the equivalence the determinism suite
+    # asserts.
+
+    def _pop_tick(self) -> List[Tuple[float, int, int]]:
+        """Pop one tick: the earliest event plus everything within the window.
+
+        With ``batch_window == 0`` that is exactly the set of events tied
+        at the earliest timestamp, in FIFO order; a positive window also
+        sweeps in events up to that much later — the dispatcher holds the
+        early chains so the group departs together.  The tick's dispatch
+        time is the *latest* member's ready time (``group[-1][0]``; heap
+        pops are time-ordered).
+        """
+        group = [heapq.heappop(self._heap)]
+        horizon = group[0][0] + self._batch_window
+        while self._heap and self._heap[0][0] <= horizon:
+            group.append(heapq.heappop(self._heap))
+        return group
+
+    def _settle_tick(
+        self, when: float, fetches: List[Tuple[int, Tuple[FetchDispatch, ...]]]
+    ) -> None:
+        """Coalesce one tick's dispatches into bursts; set chain ready times.
+
+        Every shard keeps at most one *open* burst: a round trip that has
+        claimed an admission slot (``start = max(dispatch time, shard
+        admission horizon)``) but whose admission time has not yet passed.
+        A dispatch joins the open burst while there is room under the
+        shard's batch cap — this is what packs a backlogged shard: chains
+        arriving over many ticks all ride the next admission instead of
+        each consuming a slot — and otherwise opens the next burst, pushing
+        the admission horizon by the shard's interval.  A chain becomes
+        ready when its burst's round trip lands: the burst's admission
+        time plus the largest member latency as of this tick (later
+        joiners may stretch the round trip further, but never retroactively
+        delay chains already committed).  A chain whose step issued several
+        fetches (e.g. a redraw around a refusal) fires them concurrently
+        and becomes ready when the last of its bursts lands.
+        """
+        fleet = self._fleet
+        joined: Dict[int, List[List[float]]] = {}  # chain -> bursts it rides
+        for chain, dispatches in fetches:
+            self._ready[chain] = when
+            for dispatch in dispatches:
+                shard = dispatch.shard
+                burst = self._open_bursts[shard]
+                if (
+                    burst is None
+                    or burst[0] < when  # already departed
+                    or int(burst[2]) >= fleet.batch_cap(shard)
+                ):
+                    start = max(when, self._next_free[shard])
+                    self._next_free[shard] = start + fleet.admission_interval(shard)
+                    burst = [start, dispatch.latency, 1.0]
+                    self._open_bursts[shard] = burst
+                    fleet.record_burst(shard, 1)
+                else:
+                    burst[1] = max(burst[1], dispatch.latency)
+                    burst[2] += 1.0
+                    fleet.record_burst_depth(shard, int(burst[2]))
+                joined.setdefault(chain, []).append(burst)
+        for chain, bursts in joined.items():  # insertion order: deterministic
+            done = max(start + max_latency for start, max_latency, _ in bursts)
+            if done > self._ready[chain]:
+                self._ready[chain] = done
+
+    def _tick_committed(self, events_in_tick: int) -> None:
+        """Commit a whole tick; checkpoints fire only at tick boundaries.
+
+        Mid-tick the popped-but-unsettled dispatches are not yet back in
+        the queue, so a snapshot there would not be a resumable cut; the
+        period is therefore honoured at the first boundary that crosses
+        it.
+        """
+        before = self._events
+        self._events += events_in_tick
+        if (
+            self._checkpoint_fn is not None
+            and self._checkpoint_every > 0
+            and self._events // self._checkpoint_every > before // self._checkpoint_every
+        ):
+            self._checkpoint_fn(self)
+
+    def _run_burnin_batched(
+        self, monitor: GelmanRubinDiagnostic, check_every: int, max_steps: int
+    ) -> None:
+        self._fleet.drain_dispatches()  # drop anything traced outside the loop
+        while True:
+            rounds = min(self._burn_rounds)
+            if rounds >= max_steps:
+                self._r_hat = monitor.r_hat([s.trace for s in self._samplers])
+                self._converged = False
+                return
+            if rounds >= self._next_check:
+                traces = [s.trace for s in self._samplers]
+                if monitor.converged(traces):
+                    self._r_hat = monitor.r_hat(traces)
+                    self._converged = True
+                    return
+                self._next_check = rounds + max(check_every, rounds // 5)
+            group = self._pop_tick()
+            when = group[-1][0]  # the held group departs together
+            self._sim_time = max(self._sim_time, when)
+            fetches: List[Tuple[int, Tuple[FetchDispatch, ...]]] = []
+            pushes: List[int] = []
+            for _when, _seq, chain in group:
+                floor_before = min(self._burn_rounds)
+                self._samplers[chain].step()
+                fetches.append((chain, self._fleet.drain_dispatches()))
+                self._burn_rounds[chain] += 1
+                floor = min(self._burn_rounds)
+                if self._burn_rounds[chain] - floor >= self._max_lead:
+                    self._parked.add(chain)
+                else:
+                    pushes.append(chain)
+                if floor > floor_before and self._parked:
+                    for idx in sorted(self._parked):
+                        if self._burn_rounds[idx] - floor < self._max_lead:
+                            self._parked.discard(idx)
+                            pushes.append(idx)
+            self._settle_tick(when, fetches)
+            for chain in pushes:
+                self._push(chain, self._ready[chain])
+            self._tick_committed(len(group))
+
+    def _run_collect_batched(self, num_samples: int, thinning: int) -> None:
+        self._fleet.drain_dispatches()
+        quota = -(-num_samples // len(self._samplers))  # ceil division
+        collected = [0] * len(self._samplers)
+        for chain in self._merged_chain:
+            collected[chain] += 1
+        while len(self._merged) < num_samples:
+            group = self._pop_tick()
+            when = group[-1][0]  # the held group departs together
+            self._sim_time = max(self._sim_time, when)
+            fetches: List[Tuple[int, Tuple[FetchDispatch, ...]]] = []
+            pushes: List[int] = []
+            events = 0
+            for _when, _seq, chain in group:
+                if len(self._merged) >= num_samples:
+                    # The quota filled mid-tick: requeue the unprocessed
+                    # dispatches so the heap stays a faithful state cut.
+                    self._push(chain, self._ready[chain])
+                    continue
+                events += 1
+                sampler = self._samplers[chain]
+                if self._since[chain] >= thinning:
+                    sample = WalkSample(
+                        node=sampler.current,
+                        weight=sampler.weight(sampler.current),
+                        query_cost=self._api.query_cost,
+                        step=sampler.steps,
+                    )
+                    self._merged.append(sample)
+                    self._merged_chain.append(chain)
+                    collected[chain] += 1
+                    self._since[chain] = 0
+                    self._ready[chain] = when  # collection reads local state: free
+                    if collected[chain] >= quota:
+                        # Fair share delivered: the chain leaves the queue.
+                        continue
+                else:
+                    sampler.step()
+                    fetches.append((chain, self._fleet.drain_dispatches()))
+                    self._since[chain] += 1
+                pushes.append(chain)
+            self._settle_tick(when, fetches)
+            for chain in pushes:
+                self._push(chain, self._ready[chain])
+            self._tick_committed(events)
+
     def _result(self, monitor: Optional[GelmanRubinDiagnostic]) -> EventDrivenRun:
         per_chain_samples: List[List[WalkSample]] = [[] for _ in self._samplers]
         for sample, chain in zip(self._merged, self._merged_chain):
@@ -452,6 +754,7 @@ class EventDrivenWalkers:
             )
             for i in range(len(self._samplers))
         ]
+        telemetry = collect_telemetry(self._api)
         return EventDrivenRun(
             merged=list(self._merged),
             per_chain=per_chain,
@@ -459,4 +762,7 @@ class EventDrivenWalkers:
             query_cost=self._api.query_cost,
             sim_elapsed=self._sim_time,
             events_processed=self._events,
+            latency_spent=telemetry.latency_spent,
+            retries=telemetry.retries,
+            shards=telemetry.shards,
         )

@@ -35,6 +35,25 @@ def _scheduler_profile(speedup=3.0, wall=0.3, cost=227, bit_for_bit=True):
     }
 
 
+def _fleet_profile(speedup=2.0, wall=0.2, cost=245, coalesced_cost=None, bit_for_bit=True):
+    coalesced_cost = cost if coalesced_cost is None else coalesced_cost
+    return {
+        "zero_latency_bit_for_bit": bit_for_bit,
+        "caps": {
+            "1": {
+                "query_cost": cost,
+                "wall_per_sample": wall * speedup,
+                "speedup_vs_uncoalesced": 1.0,
+            },
+            "8": {
+                "query_cost": coalesced_cost,
+                "wall_per_sample": wall,
+                "speedup_vs_uncoalesced": speedup,
+            },
+        },
+    }
+
+
 class TestWalkEngineGate:
     def test_identical_profiles_pass(self):
         base = _walk_engine_profile()
@@ -90,6 +109,40 @@ class TestSchedulerGate:
         assert any("query_cost regressed" in f for f in failures)
 
 
+class TestFleetGate:
+    def test_identical_profiles_pass(self):
+        base = _fleet_profile()
+        assert gate.check_fleet(base, base) == []
+
+    def test_speedup_floor_enforced(self):
+        fresh = _fleet_profile(speedup=1.2)
+        failures = gate.check_fleet(fresh, _fleet_profile(speedup=1.2))
+        assert any("below the 1.5x floor" in f for f in failures)
+
+    def test_lost_determinism_fails(self):
+        fresh = _fleet_profile(bit_for_bit=False)
+        failures = gate.check_fleet(fresh, _fleet_profile())
+        assert any("bit-for-bit" in f for f in failures)
+
+    def test_bill_change_between_caps_fails(self):
+        fresh = _fleet_profile(coalesced_cost=260)
+        failures = gate.check_fleet(fresh, _fleet_profile())
+        assert any("changed the" in f for f in failures)
+
+    def test_wall_clock_regression_fails(self):
+        fresh = _fleet_profile(wall=0.3)
+        failures = gate.check_fleet(fresh, _fleet_profile(wall=0.2))
+        assert any("wall_per_sample regressed" in f for f in failures)
+
+    def test_faster_wall_clock_passes(self):
+        fresh = _fleet_profile(wall=0.1, speedup=3.0)
+        assert gate.check_fleet(fresh, _fleet_profile(wall=0.2, speedup=2.0)) == []
+
+    def test_missing_cap_rows_fail(self):
+        failures = gate.check_fleet({"zero_latency_bit_for_bit": True}, _fleet_profile())
+        assert any("cap rows missing" in f for f in failures)
+
+
 class TestRunGate:
     def _write(self, directory, name, payload):
         with open(directory / name, "w") as fh:
@@ -102,8 +155,10 @@ class TestRunGate:
         fresh_dir.mkdir()
         self._write(baseline_dir, "BENCH_walk_engine.json", _walk_engine_profile())
         self._write(baseline_dir, "BENCH_scheduler.json", _scheduler_profile())
+        self._write(baseline_dir, "BENCH_fleet.json", _fleet_profile())
         self._write(fresh_dir, "BENCH_walk_engine.json", _walk_engine_profile())
         self._write(fresh_dir, "BENCH_scheduler.json", _scheduler_profile())
+        self._write(fresh_dir, "BENCH_fleet.json", _fleet_profile())
         assert gate.run_gate(fresh_dir, baseline_dir) == []
         assert gate.main(["--fresh-dir", str(fresh_dir), "--baseline-dir", str(baseline_dir)]) == 0
 

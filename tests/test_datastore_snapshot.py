@@ -229,3 +229,67 @@ class TestExtensionCodecs:
 
         with pytest.raises(SnapshotError):
             encode_value(Opaque())
+
+    def test_unknown_tag_decode_fails_clearly(self):
+        import pytest
+
+        from repro.datastore.snapshot import decode_value
+        from repro.errors import SnapshotError
+
+        with pytest.raises(SnapshotError, match="unknown snapshot tag"):
+            decode_value(["x:never-registered", ["i", 1]])
+        # Non-string garbage in the tag slot is malformed, not a lookup.
+        with pytest.raises(SnapshotError):
+            decode_value([42, ["i", 1]])
+
+    def test_unregister_and_override_hooks(self):
+        import pytest
+
+        from repro.datastore.snapshot import (
+            codec_registered,
+            decode_value,
+            encode_value,
+            register_codec,
+            unregister_codec,
+        )
+        from repro.errors import SnapshotError
+
+        class Probe:
+            def __init__(self, value):
+                self.value = value
+
+        try:
+            register_codec("x:probe", Probe, lambda p: p.value, lambda v: Probe(v))
+            assert codec_registered("x:probe")
+            payload = encode_value(Probe(7))
+            assert decode_value(payload).value == 7
+
+            # Re-registration without override keeps the first codec...
+            register_codec("x:probe", Probe, lambda p: ("new", p.value), lambda v: Probe(v))
+            assert encode_value(Probe(7)) == payload
+            # ...override (the for-tests hook) replaces it.
+            register_codec(
+                "x:probe",
+                Probe,
+                lambda p: p.value * 10,
+                lambda v: Probe(v // 10),
+                override=True,
+            )
+            assert decode_value(encode_value(Probe(7))).value == 7
+            assert encode_value(Probe(7)) != payload
+        finally:
+            assert unregister_codec("x:probe") is True
+        assert not codec_registered("x:probe")
+        assert unregister_codec("x:probe") is False
+        # A payload written under the removed tag now fails to decode —
+        # the unknown-tag safety the tagged format exists for.
+        with pytest.raises(SnapshotError, match="unknown snapshot tag"):
+            decode_value(payload)
+        with pytest.raises(SnapshotError):
+            encode_value(Probe(7))
+        # The tag is free again for a different type.
+        try:
+            register_codec("x:probe", Probe, lambda p: p.value, lambda v: Probe(v))
+            assert codec_registered("x:probe")
+        finally:
+            unregister_codec("x:probe")

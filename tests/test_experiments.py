@@ -212,3 +212,56 @@ class TestLatencySweep:
         out = capsys.readouterr().out
         assert "latency sweep" in out
         assert "heavy_tailed" in out
+
+
+class TestFleetSweep:
+    def test_structure_and_invariants(self):
+        from repro.datasets import load
+        from repro.experiments import run_fleet_sweep
+
+        net = load("epinions_like", seed=0, scale=0.1)
+        result = run_fleet_sweep(
+            net,
+            shard_counts=(1, 4),
+            skews=(1.0, 4.0),
+            batch_caps=(1, 8),
+            chains=4,
+            num_samples=82,
+            seed=2,
+        )
+        # rounded down to a per-chain-even quota
+        assert result.num_samples == 80
+        # 1 shard sweeps one skew; 4 shards sweep two; two caps each.
+        assert len(result.rows) == (1 + 2) * 2
+        by_cell = {}
+        for row in result.rows:
+            assert row.query_cost > 0
+            assert row.wall_per_sample >= 0
+            by_cell.setdefault((row.num_shards, row.skew), {})[row.batch_cap] = row
+        for cell in by_cell.values():
+            # identical §II-B cost across caps is the driver's own assertion
+            assert cell[1].query_cost == cell[8].query_cost
+            assert cell[1].speedup_vs_uncoalesced == 1.0
+        assert "fleet sweep" in str(result)
+        assert "speedup" in str(result)
+
+    def test_rejects_bad_parameters(self):
+        import pytest
+
+        from repro.datasets import load
+        from repro.errors import ExperimentError
+        from repro.experiments import run_fleet_sweep
+
+        net = load("epinions_like", seed=0, scale=0.1)
+        with pytest.raises(ExperimentError):
+            run_fleet_sweep(net, chains=1)
+        with pytest.raises(ExperimentError):
+            run_fleet_sweep(net, chains=4, num_samples=3)
+
+    def test_cli_subcommand(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fleet", "--scale", "0.1", "--samples", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet sweep" in out
+        assert "shards" in out

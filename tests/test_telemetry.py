@@ -1,0 +1,92 @@
+"""Tests for the one-stop interface telemetry (ISSUE 4 satellite)."""
+
+import pytest
+
+from repro.datasets import load
+from repro.fleet import sharded_fleet
+from repro.interface import (
+    FlakyProvider,
+    InMemoryGraphProvider,
+    LatencyModelProvider,
+    RestrictedSocialAPI,
+    collect_telemetry,
+)
+from repro.interface.telemetry import iter_provider_stack, shard_breakdown_dict
+from repro.walks import SimpleRandomWalk
+
+
+@pytest.fixture(scope="module")
+def network():
+    return load("epinions_like", seed=0, scale=0.15)
+
+
+class TestStackWalking:
+    def test_iterates_inner_links(self, network):
+        base = InMemoryGraphProvider(network.graph)
+        stack = FlakyProvider(LatencyModelProvider(base), failure_rate=0.0)
+        kinds = [type(p).__name__ for p in iter_provider_stack(stack)]
+        assert kinds == ["FlakyProvider", "LatencyModelProvider", "InMemoryGraphProvider"]
+
+    def test_iterates_fleet_shards(self, network):
+        fleet = sharded_fleet(
+            network.graph, 2, seed=1, latency_distribution="constant", failure_rate=0.1
+        )
+        kinds = [type(p).__name__ for p in iter_provider_stack(fleet)]
+        assert kinds.count("FlakyProvider") == 2
+        assert kinds.count("LatencyModelProvider") == 2
+        assert kinds[0] == "ShardedProvider"
+
+
+class TestCollect:
+    def test_plain_interface(self, network):
+        api = network.interface()
+        walk = SimpleRandomWalk(api, start=network.seed_node(0), seed=1)
+        for _ in range(50):
+            walk.step()
+        telemetry = collect_telemetry(api)
+        assert telemetry.query_cost == api.query_cost
+        assert telemetry.total_queries == api.total_queries
+        assert telemetry.latency_spent == 0.0
+        assert telemetry.fetch_attempts == 0
+        assert telemetry.retries == 0
+        assert telemetry.shards is None
+        assert shard_breakdown_dict(telemetry) is None
+        assert "unique queries" in telemetry.format_summary()
+
+    def test_flaky_latency_stack(self, network):
+        provider = FlakyProvider(
+            LatencyModelProvider(
+                InMemoryGraphProvider(network.graph), distribution="constant", scale=0.5
+            ),
+            failure_rate=0.3,
+            timeout_latency=1.0,
+            seed=5,
+        )
+        api = RestrictedSocialAPI(provider)
+        for user in list(network.graph.nodes())[:80]:
+            api.query(user)
+        telemetry = collect_telemetry(api)
+        stats = provider.retry_stats
+        assert telemetry.fetch_attempts == stats.attempts
+        assert telemetry.retries == stats.attempts - stats.fetches
+        assert telemetry.retries > 0
+        assert telemetry.latency_spent == api.latency_spent
+        assert "retries" in telemetry.format_summary()
+
+    def test_fleet_breakdown(self, network):
+        fleet = sharded_fleet(
+            network.graph, 3, seed=2, latency_distribution="constant", latency_scale=0.25
+        )
+        api = RestrictedSocialAPI(fleet)
+        for user in list(network.graph.nodes())[:60]:
+            api.query(user)
+        telemetry = collect_telemetry(api)
+        assert set(telemetry.shards) == {0, 1, 2}
+        assert sum(r.queries for r in telemetry.shards.values()) == api.query_cost
+        assert (
+            pytest.approx(sum(r.latency_spent for r in telemetry.shards.values()))
+            == api.latency_spent
+        )
+        as_dicts = shard_breakdown_dict(telemetry)
+        assert as_dicts[0]["queries"] == telemetry.shards[0].queries
+        assert "shard  0" in telemetry.format_summary()
