@@ -14,8 +14,10 @@ Two kinds of metrics, two kinds of tolerance:
 * **simulated metrics** (queries/sample, scheduler wall-clock per sample,
   speedup) are seeded and hardware-independent — they are gated inside a
   tight ``simulated_tolerance`` band (default 2%), the scheduler speedup
-  additionally has the ISSUE 3 hard floor of 2x, and the fleet
-  batch-coalescing speedup has the ISSUE 4 hard floor of 1.5x.
+  additionally has the ISSUE 3 hard floor of 2x, the fleet
+  batch-coalescing speedup the ISSUE 4 hard floor of 1.5x, and the
+  history-aware planning speedup the ISSUE 5 hard floor of 1.5x at
+  equal-or-lower §II-B cost.
 
 Usage::
 
@@ -35,6 +37,9 @@ MIN_SCHEDULER_SPEEDUP = 2.0
 
 #: Hard floor on the fleet batch-coalescing speedup (ISSUE 4 acceptance).
 MIN_FLEET_BATCH_SPEEDUP = 1.5
+
+#: Hard floor on the history-aware planning speedup (ISSUE 5 acceptance).
+MIN_PLANNING_SPEEDUP = 1.5
 
 
 def _load(path: Path) -> dict:
@@ -173,6 +178,66 @@ def check_fleet(
     return failures
 
 
+def check_planning(
+    fresh: dict,
+    baseline: dict,
+    simulated_tolerance: float = 0.02,
+    min_speedup: float = MIN_PLANNING_SPEEDUP,
+) -> List[str]:
+    """Failures for the planning profile (empty list = gate passes)."""
+    failures = []
+    if not fresh.get("zero_knob_bit_for_bit", False):
+        failures.append("planning: zero-knob bit-for-bit equivalence no longer holds")
+    plain = fresh.get("cells", {}).get("lookahead_0_off")
+    lookahead = fresh.get("lookahead")
+    planned = fresh.get("cells", {}).get(f"lookahead_{lookahead}_off")
+    if plain is None or planned is None:
+        return failures + ["planning: baseline/planned cells missing from fresh profile"]
+    if planned["query_cost"] > plain["query_cost"]:
+        failures.append(
+            "planning: prefetch raised the §II-B bill: {} vs {}".format(
+                planned["query_cost"], plain["query_cost"]
+            )
+        )
+    if planned["prefetch_issued"] != (
+        planned["prefetch_used"] + planned["prefetch_wasted"]
+    ):
+        failures.append(
+            "planning: prefetch ledger does not balance: {} issued vs {} used + {} wasted".format(
+                planned["prefetch_issued"],
+                planned["prefetch_used"],
+                planned["prefetch_wasted"],
+            )
+        )
+    if planned["speedup_vs_plain"] < min_speedup:
+        failures.append(
+            f"planning: speedup {planned['speedup_vs_plain']:.2f}x "
+            f"below the {min_speedup:.1f}x floor"
+        )
+    for cell, base_row in baseline.get("cells", {}).items():
+        fresh_row = fresh.get("cells", {}).get(cell)
+        if fresh_row is None:
+            failures.append(f"planning: cell {cell!r} missing from fresh profile")
+            continue
+        for metric in ("wall_per_sample", "speedup_vs_plain", "query_cost"):
+            base_value = base_row[metric]
+            allowed = simulated_tolerance * abs(base_value)
+            # wall-clock and cost regress upward; speedup regresses downward
+            worse = (
+                base_value - fresh_row[metric]
+                if metric == "speedup_vs_plain"
+                else fresh_row[metric] - base_value
+            )
+            if worse > allowed:
+                failures.append(
+                    "planning: cell {} {} regressed: {} vs baseline {} "
+                    "(simulated metric, tolerance {:.0%})".format(
+                        cell, metric, fresh_row[metric], base_value, simulated_tolerance
+                    )
+                )
+    return failures
+
+
 def run_gate(
     fresh_dir: Path,
     baseline_dir: Path,
@@ -185,6 +250,7 @@ def run_gate(
         ("BENCH_walk_engine.json", check_walk_engine, {"throughput_tolerance": throughput_tolerance}),
         ("BENCH_scheduler.json", check_scheduler, {}),
         ("BENCH_fleet.json", check_fleet, {}),
+        ("BENCH_planning.json", check_planning, {}),
     ]
     for filename, check, extra in pairs:
         baseline_path = baseline_dir / filename

@@ -28,9 +28,11 @@ Three layers live here:
   embed them.
 * **Payload shape** — a snapshot is a flat ``{section name: state dict}``
   mapping.  Sections are produced by the ``state_dict()`` methods of the
-  stateful classes (overlay, cache, query log, walkers) and restored by
-  their ``load_state()`` counterparts; this module never reaches into
-  their internals.
+  stateful classes (overlay, cache, query log, walkers, scheduler — the
+  latter carrying the planning layer's prefetch ledger and chain roster
+  when a dispatch planner is attached) and restored by their
+  ``load_state()`` counterparts; this module never reaches into their
+  internals.
 """
 
 from __future__ import annotations

@@ -157,6 +157,15 @@ class NotConvergedError(WalkError):
     """A convergence monitor was asked for a verdict before it had data."""
 
 
+class PlanningError(ReproError):
+    """Dispatch-planner configuration or wiring failures.
+
+    Raised when a :class:`~repro.planning.DispatchPlanner` is constructed
+    with invalid knobs, bound twice, or consulted before being bound to an
+    interface/fleet pair.
+    """
+
+
 class EstimationError(ReproError):
     """Importance-sampling / aggregate estimation failures."""
 

@@ -26,6 +26,11 @@ from repro.experiments.fleet import (
     FleetSweepRow,
     run_fleet_sweep,
 )
+from repro.experiments.history_sweep import (
+    HistorySweepResult,
+    HistorySweepRow,
+    run_history_sweep,
+)
 from repro.experiments.latency_sweep import (
     LatencySweepResult,
     LatencySweepRow,
@@ -56,6 +61,9 @@ __all__ = [
     "FleetSweepResult",
     "FleetSweepRow",
     "run_fleet_sweep",
+    "HistorySweepResult",
+    "HistorySweepRow",
+    "run_history_sweep",
     "LatencySweepResult",
     "LatencySweepRow",
     "run_latency_sweep",

@@ -12,6 +12,7 @@ Usage::
     python -m repro.experiments warmstart --scale 0.3
     python -m repro.experiments latency --scale 0.3
     python -m repro.experiments fleet --scale 0.3
+    python -m repro.experiments history --scale 0.3
     python -m repro.experiments all   --scale 0.5
 
 Each command prints the same rows/series the paper's artifact reports.
@@ -30,6 +31,7 @@ from repro.experiments import (
     run_fig10,
     run_fig11,
     run_fleet_sweep,
+    run_history_sweep,
     run_latency_sweep,
     run_running_example,
     run_table1,
@@ -55,6 +57,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "warmstart",
             "latency",
             "fleet",
+            "history",
             "all",
         ],
         help="which artifact to regenerate",
@@ -107,6 +110,11 @@ def main(argv: list[str] | None = None) -> int:
             **({"num_samples": args.samples} if args.samples is not None else {}),
         ),
         "fleet": lambda: run_fleet_sweep(
+            _load_network(seed=args.seed, scale=args.scale),
+            seed=args.seed,
+            **({"num_samples": args.samples} if args.samples is not None else {}),
+        ),
+        "history": lambda: run_history_sweep(
             _load_network(seed=args.seed, scale=args.scale),
             seed=args.seed,
             **({"num_samples": args.samples} if args.samples is not None else {}),

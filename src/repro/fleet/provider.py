@@ -67,6 +67,8 @@ class ShardStats:
         disrupted: Requests that landed in a degraded or outage window.
         bursts: Coalesced round trips the scheduler dispatched here.
         max_in_flight: Largest burst depth the shard has carried.
+        prefetched: Fetches a dispatch planner issued predictively into
+            this shard's open bursts (a subset of ``queries``).
     """
 
     queries: int = 0
@@ -75,6 +77,7 @@ class ShardStats:
     disrupted: int = 0
     bursts: int = 0
     max_in_flight: int = 0
+    prefetched: int = 0
 
     def state_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -86,6 +89,8 @@ class ShardStats:
         self.disrupted = int(state["disrupted"])
         self.bursts = int(state["bursts"])
         self.max_in_flight = int(state["max_in_flight"])
+        # Absent from snapshots written before the planning layer.
+        self.prefetched = int(state.get("prefetched", 0))
 
 
 def _per_shard(value: Union[float, int, Sequence], num_shards: int, name: str) -> tuple:
@@ -235,6 +240,10 @@ class ShardedProvider(SocialProvider):
         stats = self._stats[shard]
         if depth > stats.max_in_flight:
             stats.max_in_flight = depth
+
+    def record_prefetch(self, shard: int) -> None:
+        """Account one planner-issued predictive fetch riding ``shard``."""
+        self._stats[shard].prefetched += 1
 
     # ------------------------------------------------------------------
     # SocialProvider contract

@@ -201,6 +201,8 @@ class RestrictedSocialAPI:
         self._cache = cache if cache is not None else NeighborhoodCache()
         self._log = QueryLog()
         self._latency_spent = 0.0
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     # ------------------------------------------------------------------
     # the public queries
@@ -305,6 +307,7 @@ class RestrictedSocialAPI:
             return None
         seq = self._cache.neighbor_seq(user)
         attrs = self._cache.attributes(user) or {}
+        self._cache_hits += 1
         self._log.record(user, timestamp=self._clock.now())
         return QueryResponse(
             user=user,
@@ -322,6 +325,7 @@ class RestrictedSocialAPI:
         interface bills without consuming a limiter token) never advances
         simulated time — exactly the pre-provider semantics.
         """
+        self._cache_misses += 1
         fetched = self._provider.fetch(user)  # may raise PrivateUserError
 
         wait = self._limiter.try_acquire(self._clock.now())
@@ -391,6 +395,22 @@ class RestrictedSocialAPI:
         return self._latency_spent
 
     @property
+    def cache_hits(self) -> int:
+        """Logical queries served from the local cache (free)."""
+        return self._cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Logical queries that had to consult the provider (billed).
+
+        Counts every billed fetch attempt, refusals included — on an
+        unbounded cache this equals ``query_cost``; under LRU/TTL caches
+        it also counts re-fetches of evicted or expired users (billed in
+        *time*, never again in unique-query cost, which the log owns).
+        """
+        return self._cache_misses
+
+    @property
     def may_have_private(self) -> bool:
         """Whether any user of this network can refuse queries.
 
@@ -430,6 +450,8 @@ class RestrictedSocialAPI:
         self._cache.clear()
         self._log = QueryLog()
         self._known_private = set()
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     # ------------------------------------------------------------------
     # snapshot support
@@ -454,6 +476,8 @@ class RestrictedSocialAPI:
             "log": self._log.state_dict(),
             "limiter": self._limiter.state_dict(),
             "latency_spent": self._latency_spent,
+            "cache_hits": self._cache_hits,
+            "cache_misses": self._cache_misses,
             "provider": self._provider.state_dict(),
         }
 
@@ -481,4 +505,6 @@ class RestrictedSocialAPI:
         # Keys below joined the payload with the provider refactor; absent
         # in snapshots written before it (both default to "nothing spent").
         self._latency_spent = float(state.get("latency_spent", 0.0))
+        self._cache_hits = int(state.get("cache_hits", 0))
+        self._cache_misses = int(state.get("cache_misses", 0))
         self._provider.load_state(state.get("provider", {}))

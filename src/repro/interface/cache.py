@@ -11,16 +11,35 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Hashable, Optional, Sequence, Tuple
 
 from repro.datastore.kv import KeyValueStore
+from repro.errors import DataStoreError
 
 Node = Hashable
 
 
 class NeighborhoodCache:
-    """Caches neighbor sets and profile attributes per queried user."""
+    """Caches neighbor sets and profile attributes per queried user.
 
-    def __init__(self, store: Optional[KeyValueStore] = None) -> None:
-        """Wrap ``store`` (a fresh unbounded store by default)."""
+    Args:
+        store: Backing key-value store (a fresh unbounded store by
+            default).  Pass a capacity-bounded store for bounded-memory
+            crawls — evicted users simply read as unknown again.
+        ttl: Optional freshness bound in store-clock seconds applied to
+            every entry: a neighborhood older than ``ttl`` expires and
+            the user reads as unknown (real crawls re-fetch stale
+            neighborhoods; §II-B unique-query cost is unaffected — the
+            query log, not the cache, owns billing).
+
+    Raises:
+        DataStoreError: On a non-positive ``ttl``.
+    """
+
+    def __init__(
+        self, store: Optional[KeyValueStore] = None, ttl: Optional[float] = None
+    ) -> None:
+        if ttl is not None and ttl <= 0:
+            raise DataStoreError("cache ttl must be positive or None")
         self._store = store if store is not None else KeyValueStore()
+        self._ttl = ttl
 
     @staticmethod
     def _nbr_key(user: Node) -> tuple:
@@ -50,9 +69,13 @@ class NeighborhoodCache:
                 derived from the set when omitted (legacy callers).
             attributes: Profile attributes.
         """
-        self._store.set(self._nbr_key(user), frozenset(neighbors))
-        self._store.set(self._seq_key(user), tuple(seq) if seq is not None else tuple(neighbors))
-        self._store.set(self._attr_key(user), dict(attributes))
+        self._store.set(self._nbr_key(user), frozenset(neighbors), ttl=self._ttl)
+        self._store.set(
+            self._seq_key(user),
+            tuple(seq) if seq is not None else tuple(neighbors),
+            ttl=self._ttl,
+        )
+        self._store.set(self._attr_key(user), dict(attributes), ttl=self._ttl)
 
     def has(self, user: Node) -> bool:
         """Whether ``user``'s response is cached."""
@@ -86,6 +109,12 @@ class NeighborhoodCache:
         """All user ids with cached responses."""
         return frozenset(
             key[1] for key in self._store.keys() if isinstance(key, tuple) and key[0] == "nbrs"
+        )
+
+    def known_count(self) -> int:
+        """Number of users with live cached responses (expired excluded)."""
+        return sum(
+            1 for key in self._store.keys() if isinstance(key, tuple) and key[0] == "nbrs"
         )
 
     def clear(self) -> None:

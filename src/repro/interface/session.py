@@ -195,13 +195,16 @@ class SamplingSession:
 
         Callers used to poke ``api``/provider internals for latency and
         retry accounting; this gathers the whole picture — §II-B cost,
-        simulated clock, provider latency, retry counts, and (over a
-        fleet) per-shard breakdowns — via
+        simulated clock, provider latency, retry counts, cache hit/miss
+        counts, and (over a fleet) per-shard breakdowns — via
         :func:`~repro.interface.telemetry.collect_telemetry`, plus the
-        sampler's step count and this session's save count.
+        sampler's step count and this session's save count.  Samplers
+        that plan (an :class:`~repro.walks.scheduler.EventDrivenWalkers`
+        with a dispatch planner) additionally contribute per-chain step
+        counts and the planning/prefetch accounting.
         """
         telemetry = collect_telemetry(self._api)
-        return {
+        summary: Dict[str, object] = {
             "sampler_type": type(self._sampler).__name__,
             "steps": getattr(self._sampler, "steps", None),
             "query_cost": telemetry.query_cost,
@@ -211,6 +214,16 @@ class SamplingSession:
             "fetch_attempts": telemetry.fetch_attempts,
             "retries": telemetry.retries,
             "abandoned": telemetry.abandoned,
+            "cache_hits": telemetry.cache_hits,
+            "cache_misses": telemetry.cache_misses,
+            "prefetched": telemetry.prefetched,
             "shards": shard_breakdown_dict(telemetry),
             "saves": self._saves,
         }
+        chain_steps = getattr(self._sampler, "chain_steps", None)
+        if chain_steps is not None:
+            summary["chain_steps"] = tuple(chain_steps)
+        planning_summary = getattr(self._sampler, "planning_summary", None)
+        if callable(planning_summary):
+            summary["planning"] = planning_summary()
+        return summary

@@ -30,6 +30,7 @@ class ShardTelemetry:
         disrupted: Requests served inside degraded/outage windows.
         bursts: Coalesced round trips dispatched to the shard.
         max_in_flight: Largest burst depth the shard has carried.
+        prefetched: Planner-issued predictive fetches the shard served.
     """
 
     queries: int
@@ -38,6 +39,7 @@ class ShardTelemetry:
     disrupted: int
     bursts: int
     max_in_flight: int
+    prefetched: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -56,6 +58,11 @@ class InterfaceTelemetry:
         abandoned: Fetches that exhausted every attempt.
         shards: Per-shard breakdowns keyed by shard index, or ``None``
             when the stack has no fleet.
+        cache_hits: Logical queries the local cache served for free.
+        cache_misses: Logical queries that consulted the provider
+            (billed fetches, refusals and LRU/TTL re-fetches included).
+        prefetched: Planner-issued predictive fetches across the fleet
+            (0 without a planning layer).
     """
 
     query_cost: int
@@ -66,6 +73,9 @@ class InterfaceTelemetry:
     retries: int
     abandoned: int
     shards: Optional[Dict[int, ShardTelemetry]]
+    cache_hits: int = 0
+    cache_misses: int = 0
+    prefetched: int = 0
 
     def format_summary(self) -> str:
         """A compact human-readable multi-line summary."""
@@ -75,6 +85,15 @@ class InterfaceTelemetry:
                 self.query_cost, self.total_queries, self.latency_spent, self.clock_now
             )
         ]
+        if self.cache_hits or self.cache_misses:
+            lines.append(
+                "  cache: {} hits / {} misses ({:.1%} hit rate){}".format(
+                    self.cache_hits,
+                    self.cache_misses,
+                    self.cache_hits / (self.cache_hits + self.cache_misses),
+                    f", {self.prefetched} prefetched" if self.prefetched else "",
+                )
+            )
         if self.fetch_attempts:
             lines.append(
                 "  retries: {} extra attempts over {} fetch attempts "
@@ -84,7 +103,8 @@ class InterfaceTelemetry:
             for shard, row in sorted(self.shards.items()):
                 lines.append(
                     "  shard {:>2}: {:>6} queries  {:>10.1f}s latency  "
-                    "{:>4} retries  {:>4} disrupted  {:>4} bursts (depth <= {})".format(
+                    "{:>4} retries  {:>4} disrupted  {:>4} bursts (depth <= {})"
+                    "  {:>4} prefetched".format(
                         shard,
                         row.queries,
                         row.latency_spent,
@@ -92,6 +112,7 @@ class InterfaceTelemetry:
                         row.disrupted,
                         row.bursts,
                         row.max_in_flight,
+                        row.prefetched,
                     )
                 )
         return "\n".join(lines)
@@ -133,6 +154,7 @@ def collect_telemetry(api: RestrictedSocialAPI) -> InterfaceTelemetry:
                     disrupted=row.disrupted,
                     bursts=row.bursts,
                     max_in_flight=row.max_in_flight,
+                    prefetched=row.prefetched,
                 )
                 for shard, row in enumerate(stats)
             }
@@ -145,6 +167,9 @@ def collect_telemetry(api: RestrictedSocialAPI) -> InterfaceTelemetry:
         retries=retries,
         abandoned=abandoned,
         shards=shards,
+        cache_hits=api.cache_hits,
+        cache_misses=api.cache_misses,
+        prefetched=sum(row.prefetched for row in shards.values()) if shards else 0,
     )
 
 

@@ -1,0 +1,173 @@
+"""Adaptive chain lifecycle: spawn and retire chains from observed behaviour.
+
+A fixed chain count is the wrong knob under a heterogeneous fleet: one
+chain pinned to a slow replica's key range drags the group makespan (the
+event queue hides it better than lock-step rounds do, but its samples
+still arrive at the tail), while an unconverged burn-in could use more
+exploration than the configured chains provide.  The event-driven
+scheduler makes chain lifecycle cheap — a chain is one heap entry — so a
+policy can adjust the roster mid-run.
+
+:class:`AdaptiveChainPolicy` is a *pure decision function* over observed
+per-chain statistics; the scheduler owns the roster and asks the policy
+at collection round floors.  Three roster states exist:
+
+* ``active`` — scheduled; contributes samples toward its quota;
+* ``reserve`` — burned in with the group but dormant: not scheduled,
+  available to spawn (the warm standby the event queue makes free);
+* ``retired`` — permanently descheduled; its already-merged samples stay
+  exactly where completion order put them.
+
+Decisions are deterministic functions of the observations, so two runs
+over the same seeds make identical roster changes and a checkpointed
+roster resumes bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+from typing import List, Optional, Sequence
+
+from repro.errors import PlanningError
+
+#: Roster states a chain can be in.
+ROSTER_ACTIVE = "active"
+ROSTER_RESERVE = "reserve"
+ROSTER_RETIRED = "retired"
+
+
+@dataclasses.dataclass(frozen=True)
+class ChainObservation:
+    """One chain's observed behaviour, as the scheduler books it.
+
+    Attributes:
+        chain: Chain index.
+        roster: Current roster state (``active``/``reserve``/``retired``).
+        timed_steps: Stepped actions whose dispatch latency was observed.
+        latency: Total simulated dispatch latency those steps incurred.
+        collect_steps: Stepped actions during the collection phase.
+        collected: Samples the chain has contributed so far.
+    """
+
+    chain: int
+    roster: str
+    timed_steps: int
+    latency: float
+    collect_steps: int
+    collected: int
+
+    @property
+    def mean_latency(self) -> float:
+        """Observed latency per stepped action (0.0 before any step)."""
+        return self.latency / self.timed_steps if self.timed_steps else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class RosterDecision:
+    """What the policy wants changed: chains to retire and to spawn."""
+
+    retire: tuple = ()
+    spawn: tuple = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.retire or self.spawn)
+
+
+class AdaptiveChainPolicy:
+    """Retire latency-tail outliers; spawn warm reserves to replace them.
+
+    Args:
+        start_chains: How many chains collect from the start; the rest
+            burn in with the group but wait as warm reserves.  ``None``
+            activates every chain (retire-only operation).
+        min_chains: Never retire below this many active chains.
+        max_active: Cap on simultaneously active chains; ``None`` means
+            the group size.
+        tail_ratio: A chain is a tail outlier when its mean observed
+            step latency exceeds ``tail_ratio`` times the active median.
+        evaluate_every: Collection-phase round floors between reviews
+            (the scheduler reviews when every working chain has taken at
+            least this many further collection steps).
+        min_observations: Steps a chain must have been observed for
+            before its latency estimate can retire it.
+        spawn_r_hat_above: When burn-in ends with R̂ above this value
+            (budget ran out before convergence), activate every reserve
+            at collection start — more chains to average over.  ``None``
+            disables the R̂ trigger.
+
+    Raises:
+        PlanningError: On non-positive/contradictory parameters.
+    """
+
+    def __init__(
+        self,
+        start_chains: Optional[int] = None,
+        min_chains: int = 2,
+        max_active: Optional[int] = None,
+        tail_ratio: float = 2.0,
+        evaluate_every: int = 16,
+        min_observations: int = 8,
+        spawn_r_hat_above: Optional[float] = None,
+    ) -> None:
+        if start_chains is not None and start_chains < 2:
+            raise PlanningError("start_chains must be at least 2 (or None for all)")
+        if min_chains < 1:
+            raise PlanningError("min_chains must be positive")
+        if max_active is not None and max_active < min_chains:
+            raise PlanningError("max_active must be at least min_chains")
+        if tail_ratio <= 1.0:
+            raise PlanningError("tail_ratio must exceed 1.0")
+        if evaluate_every < 1:
+            raise PlanningError("evaluate_every must be positive")
+        if min_observations < 1:
+            raise PlanningError("min_observations must be positive")
+        self.start_chains = start_chains
+        self.min_chains = int(min_chains)
+        self.max_active = max_active
+        self.tail_ratio = float(tail_ratio)
+        self.evaluate_every = int(evaluate_every)
+        self.min_observations = int(min_observations)
+        self.spawn_r_hat_above = spawn_r_hat_above
+
+    # ------------------------------------------------------------------
+    def initial_roster(self, num_chains: int) -> List[str]:
+        """Roster at construction: the first ``start_chains`` are active."""
+        active = num_chains if self.start_chains is None else min(self.start_chains, num_chains)
+        return [ROSTER_ACTIVE if i < active else ROSTER_RESERVE for i in range(num_chains)]
+
+    def collect_spawn_count(self, reserves: int, r_hat: Optional[float]) -> int:
+        """Reserves to activate when collection begins (the R̂ trigger)."""
+        if reserves <= 0 or self.spawn_r_hat_above is None or r_hat is None:
+            return 0
+        return reserves if r_hat > self.spawn_r_hat_above else 0
+
+    def review(self, observations: Sequence[ChainObservation]) -> RosterDecision:
+        """Decide roster changes from one round of observations.
+
+        At most one chain is retired per review (gradual shedding keeps
+        every decision auditable against the stats that drove it), and a
+        retirement spawns the lowest-index warm reserve as a replacement
+        when one exists and the active cap allows it.
+
+        Args:
+            observations: One entry per chain, any roster state.
+
+        Returns:
+            The (possibly empty) :class:`RosterDecision`.
+        """
+        active = [obs for obs in observations if obs.roster == ROSTER_ACTIVE]
+        measured = [obs for obs in active if obs.timed_steps >= self.min_observations]
+        retire: tuple = ()
+        if len(active) > self.min_chains and len(measured) >= 2:
+            median = statistics.median(obs.mean_latency for obs in measured)
+            worst = max(measured, key=lambda obs: (obs.mean_latency, obs.chain))
+            if median > 0.0 and worst.mean_latency > self.tail_ratio * median:
+                retire = (worst.chain,)
+        spawn: tuple = ()
+        if retire:
+            cap = self.max_active if self.max_active is not None else len(observations)
+            reserves = [obs.chain for obs in observations if obs.roster == ROSTER_RESERVE]
+            if reserves and len(active) - len(retire) < cap:
+                spawn = (min(reserves),)
+        return RosterDecision(retire=retire, spawn=spawn)

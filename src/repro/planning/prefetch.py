@@ -1,0 +1,136 @@
+"""Prefetch accounting: what predictive fetching issued, used, and wasted.
+
+Predictive prefetch spends §II-B budget *early*: a neighborhood fetched
+into a coalesced burst's spare slot is billed exactly like the fetch the
+walk would have issued a few events later.  That only stays honest if the
+spend is visible, so every prefetch passes through a
+:class:`PrefetchLedger`:
+
+* **issued** — the fetch rode an open burst's headroom;
+* **used** — a chain later committed a step onto the prefetched node
+  (its query was served from history at zero simulated latency);
+* **wasted** — the prefetch can no longer be used: its owning chain was
+  retired by the adaptive policy with the fetch still outstanding;
+* **outstanding** — issued, not yet used, owner still active (a resumed
+  run may still consume these, which is why the ledger snapshots).
+
+``issued == used + wasted + outstanding`` holds at every commit point,
+and the whole ledger rides in the scheduler's ``state_dict`` so a
+checkpoint taken with prefetches in flight resumes bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+Node = Hashable
+
+
+class PrefetchLedger:
+    """Running account of predictive prefetches."""
+
+    def __init__(self) -> None:
+        self._issued = 0
+        self._used = 0
+        self._wasted = 0
+        #: node -> (owning chain, simulated land time of its round trip)
+        self._pending: Dict[Node, Tuple[int, float]] = {}
+
+    # ------------------------------------------------------------------
+    def record_issue(self, node: Node, chain: int, lands_at: float) -> None:
+        """Book one prefetched fetch riding an open burst.
+
+        Args:
+            node: The prefetched user id.
+            chain: The chain whose predicted path requested it.
+            lands_at: Simulated time the carrying round trip completes.
+        """
+        self._issued += 1
+        self._pending[node] = (int(chain), float(lands_at))
+
+    def mark_used(self, node: Node):
+        """Consume a pending prefetch.
+
+        Returns:
+            The simulated time the prefetched response landed (so a chain
+            that reaches the node *before* its round trip completed can
+            be made to wait out the difference), or ``None`` when no
+            prefetch was pending for ``node``.
+        """
+        entry = self._pending.pop(node, None)
+        if entry is None:
+            return None
+        self._used += 1
+        return entry[1]
+
+    def drop_chain(self, chain: int) -> int:
+        """Write off a retired chain's outstanding prefetches as wasted.
+
+        Returns:
+            How many pending entries were written off.
+        """
+        orphaned = [node for node, (owner, _land) in self._pending.items() if owner == chain]
+        for node in orphaned:
+            del self._pending[node]
+        self._wasted += len(orphaned)
+        return len(orphaned)
+
+    def is_pending(self, node: Node) -> bool:
+        """Whether ``node`` was prefetched and not yet consumed."""
+        return node in self._pending
+
+    # ------------------------------------------------------------------
+    @property
+    def issued(self) -> int:
+        """Prefetches issued so far."""
+        return self._issued
+
+    @property
+    def used(self) -> int:
+        """Prefetches later consumed by a chain's committed step."""
+        return self._used
+
+    @property
+    def wasted(self) -> int:
+        """Prefetches orphaned by chain retirement."""
+        return self._wasted
+
+    @property
+    def outstanding(self) -> int:
+        """Prefetches issued but not yet consumed or written off."""
+        return len(self._pending)
+
+    def summary(self) -> Dict[str, int]:
+        """The issued/used/wasted/outstanding counters as one dict."""
+        return {
+            "issued": self._issued,
+            "used": self._used,
+            "wasted": self._wasted,
+            "outstanding": self.outstanding,
+        }
+
+    # ------------------------------------------------------------------
+    # snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable ledger state, pending entries included."""
+        return {
+            "issued": self._issued,
+            "used": self._used,
+            "wasted": self._wasted,
+            "pending": {node: tuple(entry) for node, entry in self._pending.items()},
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a ledger captured by :meth:`state_dict`.
+
+        Args:
+            state: Output of :meth:`state_dict`.
+        """
+        self._issued = int(state["issued"])
+        self._used = int(state["used"])
+        self._wasted = int(state["wasted"])
+        self._pending = {
+            node: (int(chain), float(lands_at))
+            for node, (chain, lands_at) in state["pending"].items()
+        }

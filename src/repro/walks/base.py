@@ -274,6 +274,27 @@ class RandomWalkSampler(abc.ABC):
         self._current_resp = None
 
     # ------------------------------------------------------------------
+    # planning support
+    # ------------------------------------------------------------------
+    def predict_next_fetch(self, max_steps: int = 64):
+        """The node this walk will *fetch* next, or ``None`` if unknown.
+
+        Engines whose per-step randomness can be replayed against cached
+        neighborhoods (e.g. :class:`~repro.walks.srw.SimpleRandomWalk`)
+        override this to clone their RNG and walk forward through known
+        territory until the first uncached node — the fetch a
+        history-aware planner can issue early, into an open burst's
+        spare slot.  The prediction must consume **no** live RNG state
+        and issue **no** queries.  The default answers ``None``:
+        unpredictable engines simply get no prefetch.
+
+        Args:
+            max_steps: Simulation horizon — how far through cached
+                territory to look before giving up.
+        """
+        return None
+
+    # ------------------------------------------------------------------
     # sampling loop
     # ------------------------------------------------------------------
     def run(

@@ -46,9 +46,31 @@ the unbatched one, bit for bit; with a single zero-latency shard the
 coalesced timeline degenerates to the unbatched one, so the equivalence
 guarantee above carries over to fleets.
 
+History-aware planning (``planner=DispatchPlanner(...)``) adds the
+:mod:`repro.planning` layer on top of batch-coalescing dispatch:
+
+* **cache-first stepping** — a chain whose next neighborhood is already
+  in history advances at zero simulated latency without occupying an
+  admission slot (its step dispatches nothing, so it joins no burst);
+* **predictive prefetch** — after a tick's real fetches are settled, the
+  planner replays each stepping chain's RNG through cached territory to
+  find the neighborhood it will fetch next, and rides that fetch in an
+  open burst's spare slots (same admission, §II-B budget spent early);
+  a chain that reaches a prefetched node before its round trip landed
+  waits out the difference — walk, not wait, but never time travel;
+* **adaptive chain lifecycle** — an optional policy retires latency-tail
+  chains at collection round floors and spawns warm reserves that burned
+  in alongside the group; quotas rebalance deterministically and retired
+  chains' merged samples stay where completion order put them.
+
+With no planner every code path above is untouched — the determinism
+suite pins the planner-free scheduler to the PR-3/PR-4 behaviour bit for
+bit.
+
 The full in-flight state — event queue, per-chain ready times, per-shard
-admission horizons, phase, and the partially filled merged sample list —
-serializes through ``state_dict``/``load_state``, so a
+admission horizons, phase, chain roster, planner ledger, and the
+partially filled merged sample list — serializes through
+``state_dict``/``load_state``, so a
 :class:`~repro.interface.session.SamplingSession` can checkpoint a run
 mid-flight and a fresh process resumes it bit-for-bit.
 """
@@ -61,9 +83,16 @@ from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.convergence.gelman_rubin import GelmanRubinDiagnostic
 from repro.core.overlay import shared_overlay_of
-from repro.errors import SnapshotError, WalkError
+from repro.errors import PrivateUserError, SnapshotError, WalkError
 from repro.fleet.provider import FetchDispatch, find_fleet
 from repro.interface.telemetry import ShardTelemetry, collect_telemetry
+from repro.planning.lifecycle import (
+    ROSTER_ACTIVE,
+    ROSTER_RESERVE,
+    ROSTER_RETIRED,
+    ChainObservation,
+)
+from repro.planning.planner import DispatchPlanner
 from repro.walks.base import RandomWalkSampler, SamplingRun, WalkSample
 
 Node = Hashable
@@ -95,6 +124,12 @@ class EventDrivenRun:
             the whole provider stack (0 without flaky layers).
         shards: Per-shard telemetry breakdown keyed by shard index, or
             ``None`` when the interface has no provider fleet.
+        chain_steps: Per-chain committed step counts, in chain order —
+            the audit trail for adaptive retirement decisions (a retired
+            chain's count freezes at its retirement).
+        planning: Planner accounting (prefetch issued/used/wasted,
+            cache-first step counts, roster) when a dispatch planner was
+            attached, else ``None``.
     """
 
     merged: List[WalkSample]
@@ -106,6 +141,8 @@ class EventDrivenRun:
     latency_spent: float = 0.0
     retries: int = 0
     shards: Optional[Dict[int, ShardTelemetry]] = None
+    chain_steps: Optional[Tuple[int, ...]] = None
+    planning: Optional[dict] = None
 
 
 class EventDrivenWalkers:
@@ -139,12 +176,20 @@ class EventDrivenWalkers:
             zero-latency equivalence guarantee trivially (every event
             sits at the same timestamp, so the window adds nothing).
             Requires ``batching``.
+        planner: Optional :class:`~repro.planning.DispatchPlanner`
+            enabling history-aware dispatch: cache-first stepping
+            accounting, predictive prefetch into open bursts' spare
+            slots, and (when the planner carries a policy) adaptive
+            chain spawn/retire.  Requires ``batching`` — prefetch rides
+            coalesced round trips.  The planner must be freshly
+            constructed (it holds per-run state).
 
     Raises:
         WalkError: With fewer than two samplers, mismatched interfaces,
             a non-positive ``max_lead``, a negative ``batch_window`` (or
-            one without ``batching``), or ``batching`` over an interface
-            whose provider stack has no fleet.
+            one without ``batching``), ``batching`` over an interface
+            whose provider stack has no fleet, or a ``planner`` without
+            ``batching``.
 
     Example:
         >>> from repro.datasets import load
@@ -166,6 +211,7 @@ class EventDrivenWalkers:
         max_lead: int = 64,
         batching: bool = False,
         batch_window: float = 0.0,
+        planner: Optional[DispatchPlanner] = None,
     ) -> None:
         if len(samplers) < 2:
             raise WalkError("event-driven walking needs at least two samplers")
@@ -199,6 +245,28 @@ class EventDrivenWalkers:
         self._open_bursts: List[Optional[List[float]]] = [None] * num_shards
 
         k = len(self._samplers)
+        self._planner = planner
+        if planner is not None:
+            if self._fleet is None:
+                raise WalkError(
+                    "a dispatch planner needs batch-coalescing dispatch "
+                    "(batching=True over a provider fleet; see repro.planning)"
+                )
+            planner.bind(self._api, self._fleet)
+        # Chain roster and per-chain observation books.  Without a policy
+        # every chain is active for the whole run and the books are pure
+        # bookkeeping; with one, the roster drives collection scheduling.
+        policy = planner.policy if planner is not None else None
+        self._roster: List[str] = (
+            policy.initial_roster(k) if policy is not None else [ROSTER_ACTIVE] * k
+        )
+        self._collect_steps = [0] * k
+        self._timed_steps = [0] * k
+        self._chain_latency = [0.0] * k
+        self._next_review = 0
+        self._collected = [0] * k
+        self._quota = 0
+        self._thinning = 1
         self._phase = PHASE_FRESH
         # (ready_time, seq, chain): seq is a global dispatch counter so
         # equal-time events pop FIFO — at zero latency that *is* the
@@ -261,6 +329,41 @@ class EventDrivenWalkers:
     def fleet(self):
         """The dispatch fleet when batching, else ``None``."""
         return self._fleet
+
+    @property
+    def planner(self):
+        """The attached dispatch planner, or ``None``."""
+        return self._planner
+
+    @property
+    def chain_steps(self) -> Tuple[int, ...]:
+        """Per-chain committed step counts, in chain order."""
+        return tuple(s.steps for s in self._samplers)
+
+    @property
+    def roster(self) -> Tuple[str, ...]:
+        """Per-chain roster states (all ``active`` without a policy)."""
+        return tuple(self._roster)
+
+    def planning_summary(self) -> Optional[dict]:
+        """Planner accounting + roster, or ``None`` without a planner."""
+        if self._planner is None:
+            return None
+        summary = self._planner.summary()
+        summary.update(
+            {
+                "roster": tuple(self._roster),
+                "active_chains": sum(1 for r in self._roster if r == ROSTER_ACTIVE),
+                "retired_chains": tuple(
+                    i for i, r in enumerate(self._roster) if r == ROSTER_RETIRED
+                ),
+                "reserve_chains": tuple(
+                    i for i, r in enumerate(self._roster) if r == ROSTER_RESERVE
+                ),
+                "chain_collect_steps": tuple(self._collect_steps),
+            }
+        )
+        return summary
 
     # ------------------------------------------------------------------
     # event-queue plumbing
@@ -343,6 +446,12 @@ class EventDrivenWalkers:
             "open_bursts": tuple(
                 None if burst is None else tuple(burst) for burst in self._open_bursts
             ),
+            "roster": tuple(self._roster),
+            "collect_steps": tuple(self._collect_steps),
+            "timed_steps": tuple(self._timed_steps),
+            "chain_latency": tuple(self._chain_latency),
+            "next_review": self._next_review,
+            "planner": None if self._planner is None else self._planner.state_dict(),
         }
 
     def load_state(self, state: dict) -> None:
@@ -399,6 +508,32 @@ class EventDrivenWalkers:
             raise SnapshotError(
                 f"snapshot tracks {len(self._open_bursts)} open bursts; "
                 f"this fleet has {self._fleet.num_shards} shards"
+            )
+        # Planning keys joined the payload with the planning layer; absent
+        # in earlier snapshots (which could not have planned anything).
+        k = len(self._samplers)
+        self._roster = list(state.get("roster", (ROSTER_ACTIVE,) * k))
+        if len(self._roster) != k:
+            raise SnapshotError(
+                f"snapshot tracks a roster of {len(self._roster)} chains; "
+                f"this group has {k}"
+            )
+        self._collect_steps = [int(c) for c in state.get("collect_steps", (0,) * k)]
+        self._timed_steps = [int(c) for c in state.get("timed_steps", (0,) * k)]
+        self._chain_latency = [float(x) for x in state.get("chain_latency", (0.0,) * k)]
+        self._next_review = int(state.get("next_review", 0))
+        planner_state = state.get("planner")
+        if self._planner is not None:
+            if planner_state is None:
+                raise SnapshotError(
+                    "snapshot was captured without a dispatch planner; "
+                    "resume with an identically configured scheduler"
+                )
+            self._planner.load_state(planner_state)
+        elif planner_state is not None:
+            raise SnapshotError(
+                "snapshot carries dispatch-planner state; attach the same "
+                "planner configuration before resuming"
             )
 
     # ------------------------------------------------------------------
@@ -508,13 +643,26 @@ class EventDrivenWalkers:
             self._event_committed()
 
     def _begin_collect(self, thinning: int) -> None:
-        """Switch to collection: discard burn-in events, re-seed the queue."""
+        """Switch to collection: discard burn-in events, re-seed the queue.
+
+        With an adaptive policy only active-roster chains are queued;
+        reserves stay warm (burned in, positioned, not scheduled) until
+        a review spawns them.  The policy's R̂ trigger may activate
+        reserves right here — an unconverged burn-in means more chains
+        to average over.
+        """
         self._phase = PHASE_COLLECT
         self._heap = []
         self._parked = set()
         self._since = [thinning] * len(self._samplers)
+        policy = self._planner.policy if self._planner is not None else None
+        if policy is not None:
+            reserves = [i for i, r in enumerate(self._roster) if r == ROSTER_RESERVE]
+            for chain in reserves[: policy.collect_spawn_count(len(reserves), self._r_hat)]:
+                self._roster[chain] = ROSTER_ACTIVE
         for i in range(len(self._samplers)):
-            self._push(i, self._ready[i])
+            if self._roster[i] == ROSTER_ACTIVE:
+                self._push(i, self._ready[i])
 
     def _run_collect(self, num_samples: int, thinning: int) -> None:
         # Per-chain quota: no chain contributes more than its fair share.
@@ -651,6 +799,225 @@ class EventDrivenWalkers:
         ):
             self._checkpoint_fn(self)
 
+    # ------------------------------------------------------------------
+    # the planning hooks (all of them no-ops without a planner)
+    # ------------------------------------------------------------------
+    def _observe_step(self, chain: int, dispatches: Tuple[FetchDispatch, ...]):
+        """Book one stepped action: latency observation + planner stats.
+
+        Returns:
+            The land time of a consumed prefetch when the planner has one
+            pending for the node the step reached, else ``None``.  The
+            loops apply it *after* burst settling: a chain that walks
+            onto a prefetched node before its round trip completed waits
+            out the difference (prefetch responses are not available
+            before they land).
+        """
+        self._timed_steps[chain] += 1
+        self._chain_latency[chain] += sum(d.latency for d in dispatches)
+        if self._planner is None:
+            return None
+        return self._planner.note_step(
+            chain, self._samplers[chain].current, free=not dispatches
+        )
+
+    def _apply_prefetch_waits(self, waits: List[Tuple[int, float]]) -> None:
+        """Delay chains that outran their prefetched responses.
+
+        Applied after burst settling (which resets ready times) so the
+        delay survives: a chain that stepped onto a prefetched node whose
+        round trip lands later becomes ready only when it does.
+        """
+        for chain, lands_at in waits:
+            if lands_at > self._ready[chain]:
+                self._ready[chain] = lands_at
+
+    def _remaining_steps(self, chain: int) -> int:
+        """Stepped actions this chain will still take before its quota fills.
+
+        The prefetch horizon: a prediction past this bound would fetch a
+        neighborhood the chain can never walk to (it leaves the queue at
+        its quota), turning budget-spent-early into budget wasted.
+        """
+        need = self._quota - self._collected[chain]
+        if need <= 0:
+            return 0
+        return (self._thinning - self._since[chain]) + (need - 1) * self._thinning
+
+    def _plan_prefetches(
+        self, when: float, fetches: List[Tuple[int, Tuple[FetchDispatch, ...]]]
+    ) -> None:
+        """Fill open bursts' spare slots with the chains' predicted fetches.
+
+        For every chain that stepped this tick (FIFO order — the
+        determinism), the planner replays the chain's RNG through cached
+        territory to the neighborhood it will fetch next; if that user's
+        shard has an open (not yet departed) round trip with headroom
+        under its batch cap, the fetch is issued *now* and rides the
+        existing admission slot.  Each success extends the simulated
+        walk-ahead (the fetched response joins history, so the next
+        replay walks through it), up to the planner's lookahead and —
+        during collection — the chain's remaining step budget.  The
+        issuing chain does not wait here; it pays only if it reaches a
+        prefetched node before that node's round trip landed (the
+        consumption hook applies the land time), so the plan stays
+        honest about when responses become available.
+        """
+        planner = self._planner
+        for chain, _dispatches in fetches:
+            if self._roster[chain] != ROSTER_ACTIVE:
+                continue  # reserves may stop stepping before consuming
+            budget = planner.lookahead
+            horizon = None
+            if self._phase == PHASE_COLLECT:
+                # Never predict past the steps the chain will actually
+                # take: a prefetch beyond its quota would be pure waste.
+                horizon = self._remaining_steps(chain)
+            sampler = self._samplers[chain]
+            issued = 0
+            while issued < budget:
+                remaining = self._api.remaining_budget()
+                if remaining is not None and remaining <= 0:
+                    return  # never let planning exhaust the §II-B budget
+                target = planner.predict_next_fetch(sampler, max_steps=horizon)
+                if target is None or not self._prefetch_into_burst(chain, target, when):
+                    break
+                issued += 1
+            for target in planner.speculative_targets(sampler):
+                remaining = self._api.remaining_budget()
+                if remaining is not None and remaining <= 0:
+                    return
+                if not self._prefetch_into_burst(chain, target, when):
+                    break
+
+    def _prefetch_into_burst(self, chain: int, target, when: float) -> bool:
+        """Issue one prefetch if ``target``'s shard has an open slot.
+
+        Returns ``False`` when the shard has no open round trip with
+        headroom — prefetch never claims admission slots of its own, it
+        only rides capacity the real dispatches already paid for.
+        """
+        fleet = self._fleet
+        shard = fleet.shard_of(target)
+        burst = self._open_bursts[shard]
+        if burst is None or burst[0] < when or int(burst[2]) >= fleet.batch_cap(shard):
+            return False
+        try:
+            response = self._api.query(target)  # billed now; cached for the walk
+        except PrivateUserError:
+            # Speculative candidates can hit refusals (RNG-replay targets
+            # cannot — prediction is disabled on private-user networks).
+            # The refusal is billed and cached exactly as the walk's own
+            # redraw would have billed it; it occupies no burst slot.
+            fleet.drain_dispatches()
+            return True
+        dispatched = fleet.drain_dispatches()
+        if not dispatched:  # pragma: no cover - target raced into the cache
+            return True
+        for dispatch in dispatched:
+            burst[1] = max(burst[1], dispatch.latency)
+            burst[2] += 1.0
+            fleet.record_burst_depth(shard, int(burst[2]))
+            fleet.record_prefetch(shard)
+        # The chain does not wait here: it only pays if it *reaches* the
+        # prefetched node before this round trip lands (the consumption
+        # hook applies the land time then).  Walk, not wait.
+        lands_at = burst[0] + burst[1]
+        self._planner.ledger.record_issue(target, chain, lands_at)
+        assert response.user == target
+        return True
+
+    def _pop_tick_active(self, num_samples: int) -> List[Tuple[float, int, int]]:
+        """Pop one tick of *active* chains, dropping retired chains' events.
+
+        Retirement deschedules lazily: the retired chain's queued event
+        stays in the heap and is discarded here.  When the heap drains
+        with the global count short (the roster shrank below what the
+        old quotas could deliver), quotas are raised and the under-quota
+        active chains re-queued at the current simulated time.
+        """
+        while True:
+            while self._heap:
+                group = [
+                    entry
+                    for entry in self._pop_tick()
+                    if self._roster[entry[2]] == ROSTER_ACTIVE
+                ]
+                if group:
+                    return group
+            self._recompute_quota(num_samples)
+            self._requeue_missing(self._sim_time)
+            if not self._heap:
+                raise WalkError(
+                    "no active chain can make progress toward the sample count; "
+                    "the adaptive policy retired too much of the group"
+                )
+
+    def _recompute_quota(self, num_samples: int) -> None:
+        """Smallest per-chain quota the active roster can fill the run with."""
+        active = [i for i, r in enumerate(self._roster) if r == ROSTER_ACTIVE]
+        if not active:
+            raise WalkError("the adaptive policy left no active chains")
+        need = num_samples - len(self._merged)
+        quota = -(-num_samples // len(active))  # ceil division
+        while sum(max(0, quota - self._collected[i]) for i in active) < need:
+            quota += 1
+        self._quota = quota
+
+    def _requeue_missing(self, when: float) -> None:
+        """Re-queue active under-quota chains that left at an older quota."""
+        queued = {entry[2] for entry in self._heap}
+        for chain in range(len(self._samplers)):
+            if (
+                self._roster[chain] == ROSTER_ACTIVE
+                and self._collected[chain] < self._quota
+                and chain not in queued
+            ):
+                self._push(chain, when)
+
+    def _maybe_review_roster(self, num_samples: int, when: float) -> None:
+        """Run a policy review when the collection round floor crosses it.
+
+        The floor is the minimum collection-step count over working
+        (active, under-quota) chains — the batched analogue of the
+        burn-in round floor — so reviews happen when *every* working
+        chain has contributed fresh observations since the last one.
+        """
+        policy = self._planner.policy
+        working = [
+            i
+            for i, r in enumerate(self._roster)
+            if r == ROSTER_ACTIVE and self._collected[i] < self._quota
+        ]
+        if not working:
+            return
+        floor = min(self._collect_steps[i] for i in working)
+        if floor < self._next_review:
+            return
+        self._next_review = floor + policy.evaluate_every
+        observations = [
+            ChainObservation(
+                chain=i,
+                roster=self._roster[i],
+                timed_steps=self._timed_steps[i],
+                latency=self._chain_latency[i],
+                collect_steps=self._collect_steps[i],
+                collected=self._collected[i],
+            )
+            for i in range(len(self._samplers))
+        ]
+        decision = policy.review(observations)
+        if not decision:
+            return
+        for chain in decision.retire:
+            self._roster[chain] = ROSTER_RETIRED
+            self._planner.on_retire(chain)
+        for chain in decision.spawn:
+            self._roster[chain] = ROSTER_ACTIVE
+            self._push(chain, when)
+        self._recompute_quota(num_samples)
+        self._requeue_missing(when)
+
     def _run_burnin_batched(
         self, monitor: GelmanRubinDiagnostic, check_every: int, max_steps: int
     ) -> None:
@@ -673,10 +1040,15 @@ class EventDrivenWalkers:
             self._sim_time = max(self._sim_time, when)
             fetches: List[Tuple[int, Tuple[FetchDispatch, ...]]] = []
             pushes: List[int] = []
+            waits: List[Tuple[int, float]] = []
             for _when, _seq, chain in group:
                 floor_before = min(self._burn_rounds)
                 self._samplers[chain].step()
-                fetches.append((chain, self._fleet.drain_dispatches()))
+                dispatches = self._fleet.drain_dispatches()
+                fetches.append((chain, dispatches))
+                lands_at = self._observe_step(chain, dispatches)
+                if lands_at is not None:
+                    waits.append((chain, lands_at))
                 self._burn_rounds[chain] += 1
                 floor = min(self._burn_rounds)
                 if self._burn_rounds[chain] - floor >= self._max_lead:
@@ -689,22 +1061,34 @@ class EventDrivenWalkers:
                             self._parked.discard(idx)
                             pushes.append(idx)
             self._settle_tick(when, fetches)
+            if self._planner is not None:
+                self._apply_prefetch_waits(waits)
+                self._plan_prefetches(when, fetches)
             for chain in pushes:
                 self._push(chain, self._ready[chain])
             self._tick_committed(len(group))
 
     def _run_collect_batched(self, num_samples: int, thinning: int) -> None:
         self._fleet.drain_dispatches()
-        quota = -(-num_samples // len(self._samplers))  # ceil division
-        collected = [0] * len(self._samplers)
+        policy = self._planner.policy if self._planner is not None else None
+        self._thinning = thinning
+        self._collected = [0] * len(self._samplers)
         for chain in self._merged_chain:
-            collected[chain] += 1
+            self._collected[chain] += 1
+        if policy is not None:
+            self._recompute_quota(num_samples)
+        else:
+            self._quota = -(-num_samples // len(self._samplers))  # ceil division
         while len(self._merged) < num_samples:
-            group = self._pop_tick()
+            if policy is not None:
+                group = self._pop_tick_active(num_samples)
+            else:
+                group = self._pop_tick()
             when = group[-1][0]  # the held group departs together
             self._sim_time = max(self._sim_time, when)
             fetches: List[Tuple[int, Tuple[FetchDispatch, ...]]] = []
             pushes: List[int] = []
+            waits: List[Tuple[int, float]] = []
             events = 0
             for _when, _seq, chain in group:
                 if len(self._merged) >= num_samples:
@@ -723,21 +1107,31 @@ class EventDrivenWalkers:
                     )
                     self._merged.append(sample)
                     self._merged_chain.append(chain)
-                    collected[chain] += 1
+                    self._collected[chain] += 1
                     self._since[chain] = 0
                     self._ready[chain] = when  # collection reads local state: free
-                    if collected[chain] >= quota:
+                    if self._collected[chain] >= self._quota:
                         # Fair share delivered: the chain leaves the queue.
                         continue
                 else:
                     sampler.step()
-                    fetches.append((chain, self._fleet.drain_dispatches()))
+                    dispatches = self._fleet.drain_dispatches()
+                    fetches.append((chain, dispatches))
                     self._since[chain] += 1
+                    self._collect_steps[chain] += 1
+                    lands_at = self._observe_step(chain, dispatches)
+                    if lands_at is not None:
+                        waits.append((chain, lands_at))
                 pushes.append(chain)
             self._settle_tick(when, fetches)
+            if self._planner is not None:
+                self._apply_prefetch_waits(waits)
+                self._plan_prefetches(when, fetches)
             for chain in pushes:
                 self._push(chain, self._ready[chain])
             self._tick_committed(events)
+            if policy is not None:
+                self._maybe_review_roster(num_samples, when)
 
     def _result(self, monitor: Optional[GelmanRubinDiagnostic]) -> EventDrivenRun:
         per_chain_samples: List[List[WalkSample]] = [[] for _ in self._samplers]
@@ -765,4 +1159,6 @@ class EventDrivenWalkers:
             latency_spent=telemetry.latency_spent,
             retries=telemetry.retries,
             shards=telemetry.shards,
+            chain_steps=self.chain_steps,
+            planning=self.planning_summary(),
         )

@@ -7,7 +7,8 @@ importance weights are ``1 / k_v``.
 
 from __future__ import annotations
 
-from typing import Hashable
+import random
+from typing import Hashable, Optional
 
 from repro.walks.base import RandomWalkSampler
 
@@ -41,6 +42,42 @@ class SimpleRandomWalk(RandomWalkSampler):
         nxt, nxt_resp = drawn
         self._advance(nxt, nxt_resp)
         return nxt
+
+    def predict_next_fetch(self, max_steps: int = 64) -> Optional[Node]:
+        """Replay the walk's RNG through cached territory to its next fetch.
+
+        SRW consumes exactly one ``randrange`` per step on networks
+        without private users, so a clone of the Mersenne state walks the
+        *actual* future path for free: follow the draws while every
+        visited neighborhood is cached, and the first uncached node hit
+        is precisely the neighborhood the walk will pay a provider round
+        trip for.  The live RNG is untouched and no queries are issued.
+
+        Returns ``None`` when the future path cannot be simulated: the
+        network has private users (the redraw loop consumes a
+        data-dependent number of draws), the walk is parked on a dead end
+        or an evicted neighborhood, or everything within ``max_steps``
+        is already known (nothing to prefetch).
+        """
+        if self._api.may_have_private:
+            return None
+        cache = self._api.cache
+        rng = random.Random()
+        rng.setstate(self._rng.getstate())
+        cur = self._current
+        for _ in range(max_steps):
+            seq = cache.neighbor_seq(cur)
+            if seq is None and cur == self._current and self._current_resp is not None:
+                # The current node's response may live only in the step
+                # memo (evicted from a bounded cache); the memo is what
+                # the real step will draw from.
+                seq = self._current_resp.neighbor_seq
+            if not seq:
+                return None
+            cur = seq[rng.randrange(len(seq))]
+            if not cache.has(cur):
+                return cur
+        return None
 
     def weight(self, node: Node) -> float:
         """``1 / k_node`` — corrects the degree-proportional stationary.

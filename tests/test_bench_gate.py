@@ -54,6 +54,41 @@ def _fleet_profile(speedup=2.0, wall=0.2, cost=245, coalesced_cost=None, bit_for
     }
 
 
+def _planning_profile(
+    speedup=2.1,
+    wall=0.12,
+    cost=245,
+    planned_cost=None,
+    issued=180,
+    used=180,
+    wasted=0,
+    bit_for_bit=True,
+):
+    planned_cost = cost if planned_cost is None else planned_cost
+    return {
+        "zero_knob_bit_for_bit": bit_for_bit,
+        "lookahead": 4,
+        "cells": {
+            "lookahead_0_off": {
+                "query_cost": cost,
+                "wall_per_sample": wall * speedup,
+                "speedup_vs_plain": 1.0,
+                "prefetch_issued": 0,
+                "prefetch_used": 0,
+                "prefetch_wasted": 0,
+            },
+            "lookahead_4_off": {
+                "query_cost": planned_cost,
+                "wall_per_sample": wall,
+                "speedup_vs_plain": speedup,
+                "prefetch_issued": issued,
+                "prefetch_used": used,
+                "prefetch_wasted": wasted,
+            },
+        },
+    }
+
+
 class TestWalkEngineGate:
     def test_identical_profiles_pass(self):
         base = _walk_engine_profile()
@@ -143,6 +178,45 @@ class TestFleetGate:
         assert any("cap rows missing" in f for f in failures)
 
 
+class TestPlanningGate:
+    def test_identical_profiles_pass(self):
+        base = _planning_profile()
+        assert gate.check_planning(base, base) == []
+
+    def test_speedup_floor_enforced(self):
+        fresh = _planning_profile(speedup=1.2)
+        failures = gate.check_planning(fresh, _planning_profile(speedup=1.2))
+        assert any("below the 1.5x floor" in f for f in failures)
+
+    def test_lost_determinism_fails(self):
+        fresh = _planning_profile(bit_for_bit=False)
+        failures = gate.check_planning(fresh, _planning_profile())
+        assert any("bit-for-bit" in f for f in failures)
+
+    def test_cost_increase_fails(self):
+        fresh = _planning_profile(planned_cost=260)
+        failures = gate.check_planning(fresh, _planning_profile())
+        assert any("raised the" in f for f in failures)
+
+    def test_unbalanced_ledger_fails(self):
+        fresh = _planning_profile(issued=180, used=170, wasted=0)
+        failures = gate.check_planning(fresh, _planning_profile())
+        assert any("ledger" in f for f in failures)
+
+    def test_wall_clock_regression_fails(self):
+        fresh = _planning_profile(wall=0.2)
+        failures = gate.check_planning(fresh, _planning_profile(wall=0.12))
+        assert any("wall_per_sample regressed" in f for f in failures)
+
+    def test_faster_wall_clock_passes(self):
+        fresh = _planning_profile(wall=0.08, speedup=3.0)
+        assert gate.check_planning(fresh, _planning_profile(wall=0.12, speedup=2.1)) == []
+
+    def test_missing_cells_fail(self):
+        failures = gate.check_planning({"zero_knob_bit_for_bit": True}, _planning_profile())
+        assert any("cells missing" in f for f in failures)
+
+
 class TestRunGate:
     def _write(self, directory, name, payload):
         with open(directory / name, "w") as fh:
@@ -156,9 +230,11 @@ class TestRunGate:
         self._write(baseline_dir, "BENCH_walk_engine.json", _walk_engine_profile())
         self._write(baseline_dir, "BENCH_scheduler.json", _scheduler_profile())
         self._write(baseline_dir, "BENCH_fleet.json", _fleet_profile())
+        self._write(baseline_dir, "BENCH_planning.json", _planning_profile())
         self._write(fresh_dir, "BENCH_walk_engine.json", _walk_engine_profile())
         self._write(fresh_dir, "BENCH_scheduler.json", _scheduler_profile())
         self._write(fresh_dir, "BENCH_fleet.json", _fleet_profile())
+        self._write(fresh_dir, "BENCH_planning.json", _planning_profile())
         assert gate.run_gate(fresh_dir, baseline_dir) == []
         assert gate.main(["--fresh-dir", str(fresh_dir), "--baseline-dir", str(baseline_dir)]) == 0
 

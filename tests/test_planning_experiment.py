@@ -1,0 +1,72 @@
+"""Smoke tests for the history sweep driver and its CLI subcommand."""
+
+import pytest
+
+from repro.datasets import load
+from repro.errors import ExperimentError
+from repro.experiments import run_history_sweep
+from repro.experiments.__main__ import main as experiments_main
+
+
+@pytest.fixture(scope="module")
+def network():
+    return load("epinions_like", seed=0, scale=0.15)
+
+
+def test_history_sweep_rows_and_cost_equality(network):
+    result = run_history_sweep(
+        network,
+        skews=(4.0,),
+        lookaheads=(0, 2),
+        policies=("off", "adaptive"),
+        chains=4,
+        num_samples=48,
+    )
+    assert result.num_samples == 48
+    assert len(result.rows) == 4  # 2 lookaheads x 2 policies
+    by_cell = {(row.lookahead, row.policy): row for row in result.rows}
+    baseline = by_cell[(0, "off")]
+    assert baseline.speedup_vs_plain == 1.0
+    planned = by_cell[(2, "off")]
+    # The §II-B bill is identical with prediction-only prefetch...
+    assert planned.query_cost == baseline.query_cost
+    # ...and the run table carries the planning accounting.
+    assert planned.prefetch_issued >= planned.prefetch_used > 0
+    assert 0.0 < planned.cache_first_rate < 1.0
+    assert baseline.prefetch_issued == 0
+    rendered = str(result)
+    assert "lookahead" in rendered and "cache-1st" in rendered
+
+
+def test_history_sweep_anchors_baseline_regardless_of_axes(network):
+    """The planner-free anchor cell runs even when the caller omits it."""
+    result = run_history_sweep(
+        network,
+        skews=(1.0,),
+        lookaheads=(2,),
+        policies=("adaptive",),
+        chains=4,
+        num_samples=32,
+    )
+    by_cell = {(row.lookahead, row.policy): row for row in result.rows}
+    assert (0, "off") in by_cell
+    assert by_cell[(0, "off")].speedup_vs_plain == 1.0
+    assert (2, "adaptive") in by_cell
+
+
+def test_history_sweep_validation(network):
+    with pytest.raises(ExperimentError):
+        run_history_sweep(network, chains=1)
+    with pytest.raises(ExperimentError):
+        run_history_sweep(network, policies=("off", "nope"))
+    with pytest.raises(ExperimentError):
+        run_history_sweep(network, chains=4, num_samples=2)
+
+
+def test_history_cli_subcommand(capsys):
+    assert (
+        experiments_main(["history", "--scale", "0.12", "--samples", "32"]) == 0
+    )
+    out = capsys.readouterr().out
+    assert "history sweep" in out
+    assert "speedup" in out
