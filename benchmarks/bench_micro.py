@@ -20,16 +20,29 @@ import pytest
 
 from repro.analysis.conductance import min_conductance_exact, sweep_conductance
 from repro.analysis.spectral import slem
+from repro.compose import (
+    FleetSpec,
+    ProviderSpec,
+    StackConfig,
+    WalkSpec,
+    build_fleet,
+    build_stack,
+)
 from repro.core.criteria import removal_criterion
 from repro.core.mto import MTOSampler
 from repro.datasets import load
 from repro.datastore.snapshot import JsonLinesBackend, KeyValueBackend
-from repro.experiments import run_fleet_sweep, run_history_sweep, run_latency_sweep
-from repro.fleet import sharded_fleet
+from repro.experiments import (
+    run_fleet_sweep,
+    run_history_sweep,
+    run_latency_sweep,
+    run_tenant_sweep,
+)
 from repro.generators import barbell_graph, paper_barbell
 from repro.interface import RestrictedSocialAPI
 from repro.planning import DispatchPlanner
 from repro.interface.session import SamplingSession
+from repro.service import SamplingService
 from repro.walks import EventDrivenWalkers, SimpleRandomWalk
 from repro.walks.parallel import ParallelWalkers
 
@@ -221,7 +234,7 @@ def test_scheduler_profile(network, figure_report):
     event_run = EventDrivenWalkers(chains(network.interface())).run(num_samples=200)
     event_elapsed = time.perf_counter() - t0
     bit_for_bit = (
-        event_run.merged == lock_run.merged and event_run.query_cost == lock_run.query_cost
+        event_run.samples == lock_run.samples and event_run.queries == lock_run.queries
     )
     assert bit_for_bit
 
@@ -313,12 +326,12 @@ def test_fleet_profile(network, figure_report):
 
     lock_run = ParallelWalkers(chains(network.interface())).run(num_samples=200)
     fleet_api = RestrictedSocialAPI(
-        sharded_fleet(network.graph, 1, seed=0, profiles=network.profiles)
+        build_fleet(FleetSpec(num_shards=1, seed=0), network.graph, profiles=network.profiles)
     )
     batched_run = EventDrivenWalkers(chains(fleet_api), batching=True).run(num_samples=200)
     bit_for_bit = (
-        batched_run.merged == lock_run.merged
-        and batched_run.query_cost == lock_run.query_cost
+        batched_run.samples == lock_run.samples
+        and batched_run.queries == lock_run.queries
         and batched_run.sim_elapsed == 0.0
     )
     assert bit_for_bit
@@ -421,7 +434,7 @@ def test_planning_profile(network, figure_report):
 
     lock_run = ParallelWalkers(chains(network.interface())).run(num_samples=200)
     fleet_api = RestrictedSocialAPI(
-        sharded_fleet(network.graph, 1, seed=0, profiles=network.profiles)
+        build_fleet(FleetSpec(num_shards=1, seed=0), network.graph, profiles=network.profiles)
     )
     zero_knob_run = EventDrivenWalkers(
         chains(fleet_api),
@@ -429,8 +442,8 @@ def test_planning_profile(network, figure_report):
         planner=DispatchPlanner(lookahead=0, speculation=0),
     ).run(num_samples=200)
     bit_for_bit = (
-        zero_knob_run.merged == lock_run.merged
-        and zero_knob_run.query_cost == lock_run.query_cost
+        zero_knob_run.samples == lock_run.samples
+        and zero_knob_run.queries == lock_run.queries
         and zero_knob_run.sim_elapsed == 0.0
     )
     assert bit_for_bit
@@ -566,4 +579,137 @@ def test_snapshot_profile(network, figure_report, tmp_path):
     )
     for op, rate in report["ops_per_second"].items():
         lines.append(f"  {op:>14}: {rate:>8.1f} ops/s")
+    figure_report("\n".join(lines))
+
+
+# ----------------------------------------------------------------------
+# multi-tenant service profile (machine-readable artifact)
+# ----------------------------------------------------------------------
+
+_SERVICE_TENANTS = 8
+_SERVICE_SKEW = 10.0
+_SERVICE_SAMPLES = 40
+_SERVICE_SEED = 0
+_SERVICE_FAIR_RATIO_CEILING = 3.0
+
+
+def test_service_profile(network, figure_report):
+    """Emit ``BENCH_service.json``: the multi-tenant service profile.
+
+    The acceptance metric (ISSUE 6): on an 8-tenant workload where one
+    tenant requests 10x everyone else's samples, deficit-round-robin
+    admission bounds every tenant's p95 simulated wall-clock per sample
+    within 3x of its fair share, at equal-or-lower total §II-B cost than
+    FCFS run-to-completion.  Two bit-for-bit probes ride along: a
+    single-tenant service must reproduce the direct ``build_stack`` run
+    exactly, and a hibernated session must resume indistinguishably from
+    one that never hibernated.
+    """
+    sweep = run_tenant_sweep(
+        network,
+        tenant_counts=(_SERVICE_TENANTS,),
+        skews=(_SERVICE_SKEW,),
+        num_samples=_SERVICE_SAMPLES,
+        seed=_SERVICE_SEED,
+    )
+    modes = {("drr" if row.fairness else "fcfs"): row for row in sweep.rows}
+    fair, fcfs = modes["drr"], modes["fcfs"]
+    assert fair.total_samples == fcfs.total_samples
+    assert fair.total_query_cost <= fcfs.total_query_cost, (
+        f"fair admission raised the §II-B bill: "
+        f"{fair.total_query_cost} vs {fcfs.total_query_cost}"
+    )
+    assert fair.max_ratio <= _SERVICE_FAIR_RATIO_CEILING, (
+        f"fairness bound regressed: worst tenant at {fair.max_ratio:.2f}x "
+        f"fair share (ceiling {_SERVICE_FAIR_RATIO_CEILING}x)"
+    )
+
+    # Single-tenant equivalence probe: a service hosting one tenant with
+    # the default admission policy must reproduce the direct
+    # ``build_stack(...).run(...)`` result bit for bit.
+    solo_config = StackConfig(
+        fleet=FleetSpec(
+            num_shards=4,
+            seed=3,
+            provider=ProviderSpec(
+                latency_distribution="constant", latency_scale=0.5
+            ),
+        ),
+        walk=WalkSpec(engine="srw", chains=4, seed=11),
+    )
+    direct = build_stack(solo_config, network).run(num_samples=120)
+    solo_service = SamplingService(network, fleet=solo_config.fleet)
+    solo_service.register("solo", solo_config)
+    solo_service.request("solo", 120)
+    solo_service.run_pending()
+    solo = solo_service.tenant("solo").stack.walkers.result()
+    single_tenant_bit_for_bit = (
+        solo.samples == direct.samples
+        and solo.queries == direct.queries
+        and solo.sim_elapsed == direct.sim_elapsed
+    )
+    assert single_tenant_bit_for_bit
+
+    # Hibernate/resume probe: spill mid-request, wake, finish — the
+    # result must match a twin service that never hibernated.
+    def _run_split(hibernate):
+        service = SamplingService(network, fleet=solo_config.fleet)
+        service.register("t", solo_config)
+        service.request("t", 60)
+        service.run_pending()
+        if hibernate:
+            service.hibernate("t")
+        service.request("t", 60)
+        service.run_pending()
+        return service.tenant("t").stack.walkers.result()
+
+    spilled, straight = _run_split(True), _run_split(False)
+    hibernate_resume_bit_for_bit = (
+        spilled.samples == straight.samples
+        and spilled.queries == straight.queries
+        and spilled.sim_elapsed == straight.sim_elapsed
+    )
+    assert hibernate_resume_bit_for_bit
+
+    report = {
+        "benchmark": "service",
+        "dataset": {"name": "epinions_like", "seed": 0, "scale": 0.3},
+        "python": ".".join(str(p) for p in sys.version_info[:3]),
+        "tenants": _SERVICE_TENANTS,
+        "skew": _SERVICE_SKEW,
+        "num_samples": sweep.num_samples,
+        "quantum": sweep.quantum,
+        "seed": _SERVICE_SEED,
+        "single_tenant_bit_for_bit": single_tenant_bit_for_bit,
+        "hibernate_resume_bit_for_bit": hibernate_resume_bit_for_bit,
+        "modes": {
+            label: {
+                "total_samples": row.total_samples,
+                "total_query_cost": row.total_query_cost,
+                "clock": round(row.clock, 6),
+                "fair_share": round(row.fair_share, 6),
+                "max_ratio": round(row.max_ratio, 4),
+                "hot_ratio": round(row.hot_ratio, 4),
+                "shared_cache_hits": row.shared_cache_hits,
+            }
+            for label, row in modes.items()
+        },
+    }
+
+    out_path = os.environ.get("BENCH_SERVICE_OUT", "BENCH_service.json")
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    lines = [f"service profile  ->  {out_path}"]
+    for label in ("drr", "fcfs"):
+        row = modes[label]
+        lines.append(
+            "  {:>4}: {} queries, clock {:.1f}s, worst tenant {:.2f}x fair "
+            "share (hot {:.2f}x)".format(
+                label, row.total_query_cost, row.clock, row.max_ratio, row.hot_ratio
+            )
+        )
+    lines.append(f"  single-tenant bit-for-bit: {single_tenant_bit_for_bit}")
+    lines.append(f"  hibernate/resume bit-for-bit: {hibernate_resume_bit_for_bit}")
     figure_report("\n".join(lines))

@@ -15,9 +15,11 @@ Two kinds of metrics, two kinds of tolerance:
   speedup) are seeded and hardware-independent — they are gated inside a
   tight ``simulated_tolerance`` band (default 2%), the scheduler speedup
   additionally has the ISSUE 3 hard floor of 2x, the fleet
-  batch-coalescing speedup the ISSUE 4 hard floor of 1.5x, and the
+  batch-coalescing speedup the ISSUE 4 hard floor of 1.5x, the
   history-aware planning speedup the ISSUE 5 hard floor of 1.5x at
-  equal-or-lower §II-B cost.
+  equal-or-lower §II-B cost, and the multi-tenant service profile the
+  ISSUE 6 hard ceiling of 3x fair share on the worst tenant's p95
+  per-sample pace at equal-or-lower §II-B cost than FCFS.
 
 Usage::
 
@@ -40,6 +42,10 @@ MIN_FLEET_BATCH_SPEEDUP = 1.5
 
 #: Hard floor on the history-aware planning speedup (ISSUE 5 acceptance).
 MIN_PLANNING_SPEEDUP = 1.5
+
+#: Hard ceiling on the worst tenant's p95 pace over fair share under
+#: deficit-round-robin admission (ISSUE 6 acceptance).
+MAX_SERVICE_FAIR_RATIO = 3.0
 
 
 def _load(path: Path) -> dict:
@@ -238,6 +244,58 @@ def check_planning(
     return failures
 
 
+def check_service(
+    fresh: dict,
+    baseline: dict,
+    simulated_tolerance: float = 0.02,
+    max_fair_ratio: float = MAX_SERVICE_FAIR_RATIO,
+) -> List[str]:
+    """Failures for the multi-tenant service profile (empty list = pass)."""
+    failures = []
+    for probe in ("single_tenant_bit_for_bit", "hibernate_resume_bit_for_bit"):
+        if not fresh.get(probe, False):
+            failures.append(
+                f"service: {probe.replace('_', ' ')} equivalence no longer holds"
+            )
+    fair = fresh.get("modes", {}).get("drr")
+    fcfs = fresh.get("modes", {}).get("fcfs")
+    if fair is None or fcfs is None:
+        return failures + ["service: drr/fcfs mode rows missing from fresh profile"]
+    if fair["max_ratio"] > max_fair_ratio:
+        failures.append(
+            f"service: fair admission leaves the worst tenant at "
+            f"{fair['max_ratio']:.2f}x fair share, above the "
+            f"{max_fair_ratio:.1f}x ceiling"
+        )
+    if fair["total_query_cost"] > fcfs["total_query_cost"]:
+        failures.append(
+            "service: fair admission raised the §II-B bill: {} vs {} under FCFS".format(
+                fair["total_query_cost"], fcfs["total_query_cost"]
+            )
+        )
+    for mode, base_row in baseline.get("modes", {}).items():
+        fresh_row = fresh.get("modes", {}).get(mode)
+        if fresh_row is None:
+            failures.append(f"service: mode {mode!r} missing from fresh profile")
+            continue
+        metrics = ("total_query_cost", "clock")
+        if mode == "drr":
+            # the FCFS ratio is the (deliberately bad) contrast point, not
+            # a gated quantity — only the fair row's ratio may not creep up
+            metrics += ("max_ratio",)
+        for metric in metrics:
+            base_value = base_row[metric]
+            allowed = simulated_tolerance * abs(base_value)
+            if fresh_row[metric] - base_value > allowed:
+                failures.append(
+                    "service: {} {} regressed: {} vs baseline {} "
+                    "(simulated metric, tolerance {:.0%})".format(
+                        mode, metric, fresh_row[metric], base_value, simulated_tolerance
+                    )
+                )
+    return failures
+
+
 def run_gate(
     fresh_dir: Path,
     baseline_dir: Path,
@@ -251,6 +309,7 @@ def run_gate(
         ("BENCH_scheduler.json", check_scheduler, {}),
         ("BENCH_fleet.json", check_fleet, {}),
         ("BENCH_planning.json", check_planning, {}),
+        ("BENCH_service.json", check_service, {}),
     ]
     for filename, check, extra in pairs:
         baseline_path = baseline_dir / filename

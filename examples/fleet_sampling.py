@@ -23,9 +23,9 @@ Run:
 """
 
 from repro import AggregateQuery, estimate, ground_truth
+from repro.compose import FleetSpec, ProviderSpec, build_fleet
 from repro.datasets import load
 from repro.datastore.snapshot import KeyValueBackend
-from repro.fleet import sharded_fleet
 from repro.interface import RestrictedSocialAPI, SamplingSession
 from repro.walks import EventDrivenWalkers, SimpleRandomWalk
 
@@ -36,20 +36,18 @@ SHARDS = 4
 
 def build_api(cap):
     net = load("epinions_like", seed=0, scale=0.5)
-    fleet = sharded_fleet(
-        net.graph,
-        SHARDS,
+    spec = FleetSpec(
+        num_shards=SHARDS,
         seed=7,
         weights=[4.0] + [1.0] * (SHARDS - 1),  # shard 0 is hot
-        profiles=net.profiles,
-        latency_distribution="heavy_tailed",
-        latency_scale=0.5,
+        provider=ProviderSpec(latency_distribution="heavy_tailed", latency_scale=0.5),
         shard_latency_spread=1.0,  # later shards are slower replicas
         disruption={"window": 32, "degraded_rate": 0.3, "outage_rate": 0.05},
         admission_interval=1.0,  # each shard admits one round trip per second
         batch_cap=cap,
         latency_quantum=0.5,  # responses land on an RTT grid
     )
+    fleet = build_fleet(spec, net.graph, profiles=net.profiles)
     return net, RestrictedSocialAPI(fleet)
 
 
@@ -67,11 +65,11 @@ def main() -> None:
         run = EventDrivenWalkers(make_chains(net, api), batching=True).run(
             num_samples=SAMPLES
         )
-        est = estimate(query, run.merged, api)
+        est = estimate(query, run.samples, api)
         results[label] = run
         truth = ground_truth(query, net.graph)
         print(
-            f"{label:>15}: {run.query_cost} unique queries, "
+            f"{label:>15}: {run.queries} unique queries, "
             f"{run.sim_elapsed:7.1f}s wall ({run.sim_elapsed / SAMPLES:.3f} s/sample), "
             f"estimate {est.estimate:.2f} (truth {truth:.2f})"
         )
@@ -83,7 +81,7 @@ def main() -> None:
             )
 
     off, on = results["coalescing off"], results["coalescing on"]
-    assert off.query_cost == on.query_cost
+    assert off.queries == on.queries
     print(
         f"\nsame bill, {off.sim_elapsed / on.sim_elapsed:.2f}x less waiting: "
         "backlogged dispatches ride one admission slot instead of queueing for their own."
@@ -103,11 +101,11 @@ def main() -> None:
     resume_session = SamplingSession(api2, resumed_group, backend)
     assert resume_session.resume()
     resumed = resumed_group.run(num_samples=SAMPLES)
-    assert resumed.merged == interrupted.merged
+    assert resumed.samples == interrupted.samples
     assert resumed.sim_elapsed == interrupted.sim_elapsed
     print(
         f"\ncheckpoint/resume: {session.saves} snapshots; resumed run reproduced "
-        f"{len(resumed.merged)} samples and the {resumed.sim_elapsed:.1f}s makespan bit-for-bit."
+        f"{len(resumed.samples)} samples and the {resumed.sim_elapsed:.1f}s makespan bit-for-bit."
     )
     summary = resume_session.summary()
     print(

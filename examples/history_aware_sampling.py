@@ -22,9 +22,9 @@ Run:
     python examples/history_aware_sampling.py
 """
 
+from repro.compose import FleetSpec, ProviderSpec, build_fleet
 from repro.datasets import load
 from repro.datastore.snapshot import KeyValueBackend
-from repro.fleet import sharded_fleet
 from repro.interface import RestrictedSocialAPI, SamplingSession
 from repro.planning import AdaptiveChainPolicy, DispatchPlanner
 from repro.walks import EventDrivenWalkers, SimpleRandomWalk
@@ -36,19 +36,17 @@ SHARDS = 4
 
 def build_api():
     net = load("epinions_like", seed=0, scale=0.5)
-    fleet = sharded_fleet(
-        net.graph,
-        SHARDS,
+    spec = FleetSpec(
+        num_shards=SHARDS,
         seed=7,
         weights=[8.0] + [1.0] * (SHARDS - 1),  # shard 0 is hot
-        profiles=net.profiles,
-        latency_distribution="heavy_tailed",
-        latency_scale=0.5,
+        provider=ProviderSpec(latency_distribution="heavy_tailed", latency_scale=0.5),
         shard_latency_spread=1.0,
         admission_interval=2.0,
         batch_cap=16,
         latency_quantum=0.5,
     )
+    fleet = build_fleet(spec, net.graph, profiles=net.profiles)
     return net, RestrictedSocialAPI(fleet)
 
 
@@ -77,7 +75,7 @@ def main() -> None:
         run = group.run(num_samples=SAMPLES)
         runs[label] = run
         line = (
-            f"{label:>20}: {run.query_cost} unique queries, "
+            f"{label:>20}: {run.queries} unique queries, "
             f"{run.sim_elapsed:7.1f}s wall ({run.sim_elapsed / SAMPLES:.3f} s/sample)"
         )
         if run.planning is not None:
@@ -91,7 +89,7 @@ def main() -> None:
         print(line)
 
     plain, planned = runs["no planner"], runs["prefetch"]
-    assert planned.query_cost == plain.query_cost  # same §II-B bill, spent earlier
+    assert planned.queries == plain.queries  # same §II-B bill, spent earlier
     print(
         f"\nsame bill, {plain.sim_elapsed / planned.sim_elapsed:.2f}x less waiting: "
         "the planner rode the walk's own future fetches in open bursts' spare slots."
@@ -116,12 +114,12 @@ def main() -> None:
     resume_session = SamplingSession(api2, resumed_group, backend)
     assert resume_session.resume()
     resumed = resumed_group.run(num_samples=SAMPLES)
-    assert resumed.merged == interrupted.merged
+    assert resumed.samples == interrupted.samples
     assert resumed.sim_elapsed == interrupted.sim_elapsed
     assert resumed.planning == interrupted.planning
     print(
         f"\ncheckpoint/resume: {session.saves} snapshots; the resumed run reproduced "
-        f"{len(resumed.merged)} samples, the {resumed.sim_elapsed:.1f}s makespan, and "
+        f"{len(resumed.samples)} samples, the {resumed.sim_elapsed:.1f}s makespan, and "
         "the prefetch ledger bit-for-bit."
     )
     summary = resume_session.summary()

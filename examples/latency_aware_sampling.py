@@ -62,13 +62,13 @@ def main() -> None:
             SimpleRandomWalk(api, start=net.seed_node(i), seed=i) for i in range(CHAINS)
         ]
         run = scheduler_cls(chains).run(num_samples=SAMPLES)
-        est = estimate(query, run.merged, api)
+        est = estimate(query, run.samples, api)
         # One call replaces poking provider internals: latency, retries,
         # and (over a fleet) per-shard books all come from the telemetry.
         telemetry = collect_telemetry(api)
         results[name] = run
         print(
-            f"{name:>13}: {run.query_cost} unique queries, "
+            f"{name:>13}: {run.queries} unique queries, "
             f"{run.sim_elapsed:8.1f}s simulated wall-clock "
             f"({run.sim_elapsed / SAMPLES:.3f} s/sample), "
             f"estimate {est.estimate:.2f}"
@@ -76,7 +76,7 @@ def main() -> None:
         print(" " * 15 + telemetry.format_summary().replace("\n", "\n" + " " * 15))
 
     lock, event = results["lock-step"], results["event-driven"]
-    assert lock.query_cost == event.query_cost
+    assert lock.queries == event.queries
     assert event.latency_spent > 0 and event.retries >= 0  # surfaced on the run itself
     print(
         f"\nsame bill, {lock.sim_elapsed / event.sim_elapsed:.1f}x less waiting: "

@@ -36,11 +36,11 @@ def main() -> None:
             num_samples=1200,
             monitor=GelmanRubinDiagnostic(threshold=1.2),
         )
-        est = estimate(query, result.merged, api)
+        est = estimate(query, result.samples, api)
         err = abs(est.estimate - truth) / truth
         print(
             f"{len(samplers)} chains: estimate {est.estimate:.2f} "
-            f"(rel. error {err:.1%}), {result.query_cost} shared queries, "
+            f"(rel. error {err:.1%}), {result.queries} shared queries, "
             f"R-hat at convergence {result.r_hat_at_convergence:.3f}, "
             f"{overlay.removal_count} shared removals"
         )

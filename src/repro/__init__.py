@@ -26,6 +26,16 @@ Quickstart::
 """
 
 from repro.aggregates.queries import AggregateQuery, ground_truth
+from repro.compose import (
+    FleetSpec,
+    PlannerSpec,
+    ProviderSpec,
+    RateLimitSpec,
+    StackConfig,
+    WalkSpec,
+    build_fleet,
+    build_stack,
+)
 from repro.convergence.geweke import GewekeDiagnostic
 from repro.core.estimators import EstimationResult, Estimator, estimate
 from repro.core.mto import MTOSampler
@@ -42,6 +52,7 @@ from repro.interface.providers import (
 )
 from repro.interface.session import SamplingSession
 from repro.interface.telemetry import collect_telemetry
+from repro.service import SamplingService, TenantSession
 from repro.walks.mhrw import MetropolisHastingsWalk
 from repro.walks.parallel import ParallelWalkers
 from repro.walks.rj import RandomJumpWalk
@@ -69,6 +80,16 @@ __all__ = [
     "ShardRouter",
     "ShardedProvider",
     "sharded_fleet",
+    "FleetSpec",
+    "ProviderSpec",
+    "PlannerSpec",
+    "RateLimitSpec",
+    "StackConfig",
+    "WalkSpec",
+    "build_fleet",
+    "build_stack",
+    "SamplingService",
+    "TenantSession",
     "collect_telemetry",
     "ParallelWalkers",
     "EventDrivenWalkers",

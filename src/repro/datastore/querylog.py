@@ -39,9 +39,24 @@ class QueryLog:
         self._records: List[QueryRecord] = []
         self._unique: Set[Hashable] = set()
 
-    def record(self, user: Hashable, timestamp: float = 0.0) -> QueryRecord:
-        """Append a query for ``user``; returns the created record."""
-        billed = user not in self._unique
+    def record(
+        self, user: Hashable, timestamp: float = 0.0, billed: Optional[bool] = None
+    ) -> QueryRecord:
+        """Append a query for ``user``; returns the created record.
+
+        Args:
+            user: The queried user.
+            timestamp: Simulated time of the query.
+            billed: ``None`` (default) derives the §II-B billing rule —
+                first query per user is billed, repeats are free.  An
+                explicit ``False`` logs a free read of knowledge this
+                crawler never paid for (a shared-cache hit in the service
+                layer: another tenant's spend must not enter this log's
+                unique set, or a later eviction re-fetch would be billed
+                wrongly free).  An explicit ``True`` force-bills.
+        """
+        if billed is None:
+            billed = user not in self._unique
         if billed:
             self._unique.add(user)
         rec = QueryRecord(

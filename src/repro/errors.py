@@ -166,6 +166,23 @@ class PlanningError(ReproError):
     """
 
 
+class ComposeError(ReproError):
+    """Stack-composition failures.
+
+    Raised by :mod:`repro.compose` when a spec holds invalid knobs or the
+    requested combination cannot be assembled (e.g. a planner without a
+    fleet to plan over).
+    """
+
+
+class ServiceError(ReproError):
+    """Multi-tenant sampling-service failures.
+
+    Raised by :mod:`repro.service` on unknown or duplicate tenants,
+    malformed requests, and service-snapshot mismatches.
+    """
+
+
 class EstimationError(ReproError):
     """Importance-sampling / aggregate estimation failures."""
 

@@ -46,6 +46,11 @@ from repro.experiments.runner import (
 )
 from repro.experiments.running_example import RunningExampleResult, run_running_example
 from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.tenant_sweep import (
+    TenantSweepResult,
+    TenantSweepRow,
+    run_tenant_sweep,
+)
 
 __all__ = [
     "Fig7Result",
@@ -77,4 +82,7 @@ __all__ = [
     "run_running_example",
     "Table1Result",
     "run_table1",
+    "TenantSweepResult",
+    "TenantSweepRow",
+    "run_tenant_sweep",
 ]

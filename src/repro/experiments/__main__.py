@@ -13,6 +13,7 @@ Usage::
     python -m repro.experiments latency --scale 0.3
     python -m repro.experiments fleet --scale 0.3
     python -m repro.experiments history --scale 0.3
+    python -m repro.experiments service --scale 0.3
     python -m repro.experiments all   --scale 0.5
 
 Each command prints the same rows/series the paper's artifact reports.
@@ -35,6 +36,7 @@ from repro.experiments import (
     run_latency_sweep,
     run_running_example,
     run_table1,
+    run_tenant_sweep,
     run_warm_start,
 )
 
@@ -58,6 +60,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "latency",
             "fleet",
             "history",
+            "service",
             "all",
         ],
         help="which artifact to regenerate",
@@ -115,6 +118,11 @@ def main(argv: list[str] | None = None) -> int:
             **({"num_samples": args.samples} if args.samples is not None else {}),
         ),
         "history": lambda: run_history_sweep(
+            _load_network(seed=args.seed, scale=args.scale),
+            seed=args.seed,
+            **({"num_samples": args.samples} if args.samples is not None else {}),
+        ),
+        "service": lambda: run_tenant_sweep(
             _load_network(seed=args.seed, scale=args.scale),
             seed=args.seed,
             **({"num_samples": args.samples} if args.samples is not None else {}),

@@ -21,7 +21,7 @@ from typing import List, Sequence
 
 from repro.datasets.standins import SocialNetwork
 from repro.errors import ExperimentError
-from repro.fleet import sharded_fleet
+from repro.compose import FleetSpec, ProviderSpec, build_fleet
 from repro.interface.api import RestrictedSocialAPI
 from repro.walks.scheduler import EventDrivenWalkers
 from repro.walks.srw import SimpleRandomWalk
@@ -161,18 +161,22 @@ def run_fleet_sweep(
         weights = None
         if num_shards > 1 and skew != 1.0:
             weights = [skew] + [1.0] * (num_shards - 1)
-        fleet = sharded_fleet(
+        fleet = build_fleet(
+            FleetSpec(
+                num_shards=num_shards,
+                seed=seed * 7 + 3,
+                weights=weights,
+                provider=ProviderSpec(
+                    latency_distribution="heavy_tailed",
+                    latency_scale=latency_scale,
+                ),
+                shard_latency_spread=1.0,
+                admission_interval=admission_interval,
+                batch_cap=cap,
+                latency_quantum=latency_quantum,
+            ),
             network.graph,
-            num_shards,
-            seed=seed * 7 + 3,
-            weights=weights,
             profiles=network.profiles,
-            latency_distribution="heavy_tailed",
-            latency_scale=latency_scale,
-            shard_latency_spread=1.0,
-            admission_interval=admission_interval,
-            batch_cap=cap,
-            latency_quantum=latency_quantum,
         )
         api = RestrictedSocialAPI(fleet)
         walkers = [
@@ -192,12 +196,12 @@ def run_fleet_sweep(
                 run = run_cell(num_shards, skew, cap)
                 if cap == 1:
                     baseline_wall = run.sim_elapsed
-                    baseline_cost = run.query_cost
-                elif run.query_cost != baseline_cost:
+                    baseline_cost = run.queries
+                elif run.queries != baseline_cost:
                     raise ExperimentError(
                         f"batch cap {cap} changed the §II-B bill on "
                         f"{num_shards} shards (skew {skew}): "
-                        f"{run.query_cost} vs {baseline_cost}"
+                        f"{run.queries} vs {baseline_cost}"
                     )
                 shard_rows = run.shards or {}
                 total_fetches = sum(r.queries for r in shard_rows.values()) or 1
@@ -206,7 +210,7 @@ def run_fleet_sweep(
                         num_shards=num_shards,
                         skew=skew,
                         batch_cap=cap,
-                        query_cost=run.query_cost,
+                        query_cost=run.queries,
                         sim_wall=run.sim_elapsed,
                         wall_per_sample=run.sim_elapsed / num_samples,
                         speedup_vs_uncoalesced=(

@@ -24,7 +24,7 @@ from typing import List, Optional, Sequence
 
 from repro.datasets.standins import SocialNetwork
 from repro.errors import ExperimentError
-from repro.fleet import sharded_fleet
+from repro.compose import FleetSpec, ProviderSpec, build_fleet
 from repro.interface.api import RestrictedSocialAPI
 from repro.planning import AdaptiveChainPolicy, DispatchPlanner
 from repro.walks.scheduler import EventDrivenWalkers
@@ -204,18 +204,22 @@ def run_history_sweep(
         weights = None
         if num_shards > 1 and skew != 1.0:
             weights = [skew] + [1.0] * (num_shards - 1)
-        fleet = sharded_fleet(
+        fleet = build_fleet(
+            FleetSpec(
+                num_shards=num_shards,
+                seed=seed * 7 + 3,
+                weights=weights,
+                provider=ProviderSpec(
+                    latency_distribution="heavy_tailed",
+                    latency_scale=latency_scale,
+                ),
+                shard_latency_spread=1.0,
+                admission_interval=admission_interval,
+                batch_cap=batch_cap,
+                latency_quantum=latency_quantum,
+            ),
             network.graph,
-            num_shards,
-            seed=seed * 7 + 3,
-            weights=weights,
             profiles=network.profiles,
-            latency_distribution="heavy_tailed",
-            latency_scale=latency_scale,
-            shard_latency_spread=1.0,
-            admission_interval=admission_interval,
-            batch_cap=batch_cap,
-            latency_quantum=latency_quantum,
         )
         api = RestrictedSocialAPI(fleet)
         walkers = [
@@ -246,11 +250,11 @@ def run_history_sweep(
                 run = run_cell(skew, lookahead, policy_name)
                 if policy_name == POLICY_OFF and lookahead == 0:
                     baseline_wall = run.sim_elapsed
-                    baseline_cost = run.query_cost
-                elif policy_name == POLICY_OFF and run.query_cost != baseline_cost:
+                    baseline_cost = run.queries
+                elif policy_name == POLICY_OFF and run.queries != baseline_cost:
                     raise ExperimentError(
                         f"lookahead {lookahead} changed the §II-B bill at skew "
-                        f"{skew}: {run.query_cost} vs {baseline_cost}"
+                        f"{skew}: {run.queries} vs {baseline_cost}"
                     )
                 planning = run.planning or {}
                 rows.append(
@@ -258,7 +262,7 @@ def run_history_sweep(
                         skew=skew,
                         lookahead=lookahead,
                         policy=policy_name,
-                        query_cost=run.query_cost,
+                        query_cost=run.queries,
                         sim_wall=run.sim_elapsed,
                         wall_per_sample=run.sim_elapsed / num_samples,
                         speedup_vs_plain=(

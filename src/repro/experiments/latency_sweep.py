@@ -146,10 +146,10 @@ def run_latency_sweep(
         event_run = EventDrivenWalkers(event_chains).run(
             num_samples=num_samples, thinning=thinning
         )
-        if event_run.query_cost != lock_run.query_cost:
+        if event_run.queries != lock_run.queries:
             raise ExperimentError(
                 f"schedulers disagree on query cost under {distribution!r}: "
-                f"{lock_run.query_cost} vs {event_run.query_cost}"
+                f"{lock_run.queries} vs {event_run.queries}"
             )
         speedup = (
             lock_run.sim_elapsed / event_run.sim_elapsed if event_run.sim_elapsed > 0 else 1.0
@@ -157,7 +157,7 @@ def run_latency_sweep(
         rows.append(
             LatencySweepRow(
                 distribution=distribution,
-                query_cost=lock_run.query_cost,
+                query_cost=lock_run.queries,
                 lockstep_wall=lock_run.sim_elapsed,
                 event_wall=event_run.sim_elapsed,
                 lockstep_wall_per_sample=lock_run.sim_elapsed / num_samples,

@@ -1,0 +1,224 @@
+"""Tenant sweep: tenant count × hot-tenant skew × fairness on/off.
+
+The fleet and history sweeps measure one crawl at a time.  This driver
+measures the **service layer** (PR 6): many tenants sampling the same
+network through one shared fleet and one shared neighborhood cache,
+with a deliberately skewed workload — one hot tenant requesting
+``skew``× the samples of everyone else on ``hot_chains`` chains.
+
+Each cell runs twice: fairness on (deficit round-robin over simulated
+fleet occupancy) and fairness off (first-come-first-served
+run-to-completion, the hot tenant registered first).  Fair admission
+must come at equal-or-lower total §II-B cost — the shared cache means
+admission order can nudge who pays for a fetch and even wiggle the
+walks by a step, but interleaving must never make the fleet *more*
+expensive overall — and the driver asserts it.  What fairness buys
+shows up in ``max_ratio``: the worst tenant's p95 per-sample pace
+over its fair share, bounded under round-robin and unbounded under
+FCFS, where every cold tenant pays the hot tenant's whole run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+from repro.compose import FleetSpec, ProviderSpec, StackConfig, WalkSpec
+from repro.datasets.standins import SocialNetwork
+from repro.errors import ExperimentError
+from repro.service import SamplingService
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantSweepRow:
+    """One (tenant count, skew, fairness) cell of the sweep.
+
+    Attributes:
+        num_tenants: Concurrent tenants in the cell.
+        skew: Hot tenant's request size as a multiple of a cold tenant's.
+        fairness: Whether deficit-round-robin admission was on.
+        total_samples: Samples delivered across all tenants.
+        total_query_cost: Summed §II-B bill — asserted equal-or-lower
+            under fair admission than under FCFS for each
+            (tenants, skew) pair.
+        clock: Simulated fleet occupancy when the last request finished.
+        fair_share: The per-sample pace a perfect round-robin would give
+            every tenant (``num_tenants * clock / total_samples``).
+        max_ratio: Worst tenant's p95 per-sample pace over ``fair_share``.
+        hot_ratio: The hot tenant's ratio (it trades pace for volume).
+        shared_cache_hits: Queries the cross-tenant cache served free.
+    """
+
+    num_tenants: int
+    skew: float
+    fairness: bool
+    total_samples: int
+    total_query_cost: int
+    clock: float
+    fair_share: float
+    max_ratio: float
+    hot_ratio: float
+    shared_cache_hits: int
+
+
+@dataclasses.dataclass
+class TenantSweepResult:
+    """Everything one tenant sweep produced.
+
+    Attributes:
+        dataset: Network label.
+        num_samples: Samples per cold tenant (the hot one asks for
+            ``skew`` times as many).
+        quantum: Deficit-round-robin quantum (simulated seconds).
+        rows: One :class:`TenantSweepRow` per swept cell.
+    """
+
+    dataset: str
+    num_samples: int
+    quantum: float
+    rows: List[TenantSweepRow]
+
+    def __str__(self) -> str:
+        lines = [
+            f"tenant sweep — {self.num_samples} samples per cold tenant "
+            f"on {self.dataset} (quantum {self.quantum:g}s)",
+            "  {:>7} {:>5} {:>8} {:>8} {:>9} {:>10} {:>9} {:>9}".format(
+                "tenants", "skew", "fair", "queries", "clock", "fair share", "max", "hot"
+            ),
+        ]
+        for row in self.rows:
+            lines.append(
+                "  {:>7} {:>5.1f} {:>8} {:>8} {:>9.1f} {:>10.4f} {:>8.2f}x {:>8.2f}x".format(
+                    row.num_tenants,
+                    row.skew,
+                    "drr" if row.fairness else "fcfs",
+                    row.total_query_cost,
+                    row.clock,
+                    row.fair_share,
+                    row.max_ratio,
+                    row.hot_ratio,
+                )
+            )
+        return "\n".join(lines)
+
+
+def run_tenant_sweep(
+    network: SocialNetwork,
+    tenant_counts: Sequence[int] = (4, 8),
+    skews: Sequence[float] = (4.0, 10.0),
+    num_samples: int = 40,
+    hot_chains: int = 4,
+    cold_chains: int = 2,
+    quantum: float = 0.5,
+    num_shards: int = 4,
+    latency_scale: float = 0.5,
+    seed: int = 0,
+) -> TenantSweepResult:
+    """Sweep multi-tenant workloads under both admission policies.
+
+    For every (tenant count, skew) pair the identical tenant fleet —
+    same configs, same seeds, same requests — runs once with fairness on
+    and once with it off, and fair admission must not raise the total
+    §II-B bill (the shared cache lets order shift a few queries between
+    tenants, never upward in aggregate).
+
+    Args:
+        network: Dataset to sample.
+        tenant_counts: Concurrent tenant counts to sweep.
+        skews: Hot-tenant request multipliers.
+        num_samples: Samples each cold tenant requests.
+        hot_chains: Chain count of the hot tenant's walk spec.
+        cold_chains: Chain count of every cold tenant's walk spec.
+        quantum: Deficit-round-robin quantum (simulated seconds).
+        num_shards: Shared fleet size.
+        latency_scale: Uniform per-shard latency scale (simulated s).
+        seed: Master seed (fleet streams and every tenant's walks
+            derive from it).
+
+    Raises:
+        ExperimentError: On invalid sizes, or when fair admission bills
+            more §II-B cost than FCFS for the same cell.
+    """
+    if min(hot_chains, cold_chains) < 2:
+        raise ExperimentError("every tenant needs at least two chains")
+    # Chain-divisible request sizes mean every chain runs exactly its
+    # quota, making each tenant's visited set independent of admission
+    # order — a short final chain would otherwise be *picked* by event
+    # order, wiggling the §II-B bill between the two policies.
+    num_samples = (num_samples // cold_chains) * cold_chains
+    if num_samples <= 0:
+        raise ExperimentError("num_samples must be at least the cold chain count")
+
+    # Constant latency keeps every fetch's *provider* duration independent
+    # of the cross-tenant dispatch order (random draws would consume shard
+    # RNG streams in admission order).  The residual cost wiggle between
+    # admission policies is the shared cache itself: whether a tenant
+    # finds a user pre-warmed — and therefore steps instantly — depends
+    # on who ran first, so walks can diverge by a step or two.
+    fleet_spec = FleetSpec(
+        num_shards=num_shards,
+        seed=seed * 7 + 3,
+        provider=ProviderSpec(
+            latency_distribution="constant", latency_scale=latency_scale
+        ),
+    )
+
+    def run_cell(num_tenants: int, skew: float, fairness: bool):
+        service = SamplingService(
+            network, fleet=fleet_spec, fairness=fairness, quantum=quantum
+        )
+        for i in range(num_tenants):
+            hot = i == 0
+            service.register(
+                f"t{i}",
+                StackConfig(
+                    walk=WalkSpec(
+                        engine="srw",
+                        chains=hot_chains if hot else cold_chains,
+                        seed=seed * 1_009 + i,
+                    )
+                ),
+            )
+        hot_samples = max(1, round(num_samples * skew / hot_chains)) * hot_chains
+        for i in range(num_tenants):
+            service.request(f"t{i}", hot_samples if i == 0 else num_samples)
+        service.run_pending()
+        return service.fairness_report()
+
+    rows: List[TenantSweepRow] = []
+    for num_tenants in tenant_counts:
+        for skew in skews:
+            baseline_cost = None
+            for fairness in (True, False):
+                report = run_cell(num_tenants, skew, fairness)
+                if fairness:
+                    baseline_cost = report["total_query_cost"]
+                elif baseline_cost > report["total_query_cost"]:
+                    raise ExperimentError(
+                        f"fair admission raised the §II-B bill for "
+                        f"{num_tenants} tenants (skew {skew}): "
+                        f"{baseline_cost} vs {report['total_query_cost']} under FCFS"
+                    )
+                tenants = report["tenants"]
+                rows.append(
+                    TenantSweepRow(
+                        num_tenants=num_tenants,
+                        skew=skew,
+                        fairness=fairness,
+                        total_samples=report["total_samples"],
+                        total_query_cost=report["total_query_cost"],
+                        clock=report["clock"],
+                        fair_share=report["fair_share"],
+                        max_ratio=report["max_ratio"],
+                        hot_ratio=tenants["t0"]["ratio"],
+                        shared_cache_hits=sum(
+                            row.get("cache_hits", 0) for row in tenants.values()
+                        ),
+                    )
+                )
+    return TenantSweepResult(
+        dataset=network.name,
+        num_samples=num_samples,
+        quantum=quantum,
+        rows=rows,
+    )

@@ -24,16 +24,14 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Hashable, List, Optional, Sequence, Tuple, Union
+import warnings
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro.datastore.documents import DocumentStore
 from repro.fleet.disruption import DisruptionSchedule
 from repro.fleet.router import ShardRouter
 from repro.graph.adjacency import Graph
 from repro.interface.providers import (
-    FlakyProvider,
-    InMemoryGraphProvider,
-    LatencyModelProvider,
     SocialProvider,
 )
 
@@ -69,6 +67,10 @@ class ShardStats:
         max_in_flight: Largest burst depth the shard has carried.
         prefetched: Fetches a dispatch planner issued predictively into
             this shard's open bursts (a subset of ``queries``).
+        tenants: Per-tenant books — ``label -> {"queries", "latency_spent"}``
+            — filled only while a service layer names an active tenant
+            (see :meth:`ShardedProvider.set_active_tenant`); empty for
+            single-tenant use.
     """
 
     queries: int = 0
@@ -78,6 +80,13 @@ class ShardStats:
     bursts: int = 0
     max_in_flight: int = 0
     prefetched: int = 0
+    tenants: Dict[str, Dict[str, float]] = dataclasses.field(default_factory=dict)
+
+    def book_tenant(self, tenant: str, latency: float) -> None:
+        """Attribute one served fetch (and its latency) to ``tenant``."""
+        book = self.tenants.setdefault(tenant, {"queries": 0, "latency_spent": 0.0})
+        book["queries"] += 1
+        book["latency_spent"] += latency
 
     def state_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -91,6 +100,14 @@ class ShardStats:
         self.max_in_flight = int(state["max_in_flight"])
         # Absent from snapshots written before the planning layer.
         self.prefetched = int(state.get("prefetched", 0))
+        # Absent from snapshots written before the service layer.
+        self.tenants = {
+            str(label): {
+                "queries": int(book.get("queries", 0)),
+                "latency_spent": float(book.get("latency_spent", 0.0)),
+            }
+            for label, book in state.get("tenants", {}).items()
+        }
 
 
 def _per_shard(value: Union[float, int, Sequence], num_shards: int, name: str) -> tuple:
@@ -172,6 +189,7 @@ class ShardedProvider(SocialProvider):
         self._stats = [ShardStats() for _ in shards]
         self._trace_dispatches = False
         self._dispatch_log: List[FetchDispatch] = []
+        self._active_tenant: Optional[str] = None
 
     # ------------------------------------------------------------------
     # fleet introspection
@@ -246,6 +264,25 @@ class ShardedProvider(SocialProvider):
         self._stats[shard].prefetched += 1
 
     # ------------------------------------------------------------------
+    # per-tenant attribution (set by the service layer around each tick)
+    # ------------------------------------------------------------------
+    @property
+    def active_tenant(self) -> Optional[str]:
+        """The tenant label fetches are currently booked under, or ``None``."""
+        return self._active_tenant
+
+    def set_active_tenant(self, label: Optional[str]) -> None:
+        """Attribute subsequent fetches to ``label`` in the shard books.
+
+        The service layer brackets each tenant's scheduler tick with
+        ``set_active_tenant(tenant_id)`` / ``set_active_tenant(None)`` so
+        :attr:`ShardStats.tenants` splits the fleet's load by who caused
+        it.  Transient runtime state: not part of :meth:`state_dict` — a
+        restored service re-asserts it before every tick.
+        """
+        self._active_tenant = None if label is None else str(label)
+
+    # ------------------------------------------------------------------
     # SocialProvider contract
     # ------------------------------------------------------------------
     def has_user(self, user: Node) -> bool:
@@ -267,6 +304,8 @@ class ShardedProvider(SocialProvider):
             latency = self._quantum * math.ceil(latency / self._quantum)
         stats.latency_spent += latency
         stats.retries += max(0, fetched.attempts - 1)
+        if self._active_tenant is not None:
+            stats.book_tenant(self._active_tenant, latency)
         if self._trace_dispatches:
             self._dispatch_log.append(
                 FetchDispatch(shard=shard, user=user, latency=latency)
@@ -390,42 +429,44 @@ def sharded_fleet(
     Raises:
         ValueError: On invalid shard counts or parameters (propagated from
             the underlying layers).
+
+    .. deprecated::
+        Build fleets declaratively through
+        :class:`repro.compose.FleetSpec` — specs persist through the
+        snapshot codec and compose into full stacks via
+        :func:`repro.compose.build_stack`.  This shim keeps old call
+        sites working and emits a :class:`DeprecationWarning`.
     """
-    router = ShardRouter(num_shards, seed=seed, weights=weights)
-    stacks: List[SocialProvider] = []
-    disruptions: Optional[List[Optional[DisruptionSchedule]]] = None
-    for shard in range(num_shards):
-        stack: SocialProvider = InMemoryGraphProvider(graph, profiles=profiles)
-        if latency_distribution is not None:
-            multiplier = 1.0
-            if num_shards > 1 and shard_latency_spread > 0.0:
-                multiplier += shard_latency_spread * shard / (num_shards - 1)
-            stack = LatencyModelProvider(
-                stack,
-                distribution=latency_distribution,
-                scale=latency_scale * multiplier,
-                seed=seed * 1_000_003 + shard,
-                alpha=latency_alpha,
-            )
-        if failure_rate > 0.0:
-            stack = FlakyProvider(
-                stack,
-                failure_rate=failure_rate,
-                seed=seed * 999_983 + shard,
-                max_attempts=max_attempts,
-                timeout_latency=timeout_latency,
-            )
-        stacks.append(stack)
-    if disruption is not None:
-        disruptions = [
-            DisruptionSchedule(seed=seed * 31_337 + shard, **disruption)
-            for shard in range(num_shards)
-        ]
-    return ShardedProvider(
-        stacks,
-        router,
-        disruptions=disruptions,
-        batch_cap=batch_cap,
-        admission_interval=admission_interval,
+    # Imported lazily: repro.compose builds on this module's classes.
+    from repro.compose import FleetSpec, ProviderSpec
+
+    warnings.warn(
+        "sharded_fleet() is deprecated; use repro.compose.FleetSpec("
+        "num_shards=..., provider=ProviderSpec(...)).build(graph, profiles=...) "
+        "(see repro.compose)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    spec = FleetSpec(
+        num_shards=num_shards,
+        seed=seed,
+        weights=None if weights is None else tuple(weights),
+        provider=ProviderSpec(
+            latency_distribution=latency_distribution,
+            latency_scale=latency_scale,
+            latency_alpha=latency_alpha,
+            failure_rate=failure_rate,
+            max_attempts=max_attempts,
+            timeout_latency=timeout_latency,
+        ),
+        shard_latency_spread=shard_latency_spread,
+        disruption=disruption,
+        batch_cap=batch_cap if isinstance(batch_cap, int) else tuple(batch_cap),
+        admission_interval=(
+            admission_interval
+            if isinstance(admission_interval, (int, float))
+            else tuple(admission_interval)
+        ),
         latency_quantum=latency_quantum,
     )
+    return spec.build(graph, profiles=profiles)

@@ -301,14 +301,23 @@ class RestrictedSocialAPI:
     # shared query machinery
     # ------------------------------------------------------------------
     def _serve_cached(self, user: Node) -> Optional[QueryResponse]:
-        """Build a free response from the cache, or ``None`` on a miss."""
+        """Build a free response from the cache, or ``None`` on a miss.
+
+        Logged with an explicit ``billed=False``: under a *shared* cache
+        (the service layer hands many tenant interfaces one
+        ``NeighborhoodCache``) the hit may serve knowledge another
+        tenant's budget paid for, and auto-derived billing would charge
+        this tenant's unique set for a fetch it never issued.  For a
+        private cache the explicit flag is identical to the derived one —
+        a cached user is always already in this log's unique set.
+        """
         cached = self._cache.neighbors(user)
         if cached is None:
             return None
         seq = self._cache.neighbor_seq(user)
         attrs = self._cache.attributes(user) or {}
         self._cache_hits += 1
-        self._log.record(user, timestamp=self._clock.now())
+        self._log.record(user, timestamp=self._clock.now(), billed=False)
         return QueryResponse(
             user=user,
             neighbors=cached,
@@ -456,7 +465,7 @@ class RestrictedSocialAPI:
     # ------------------------------------------------------------------
     # snapshot support
     # ------------------------------------------------------------------
-    def state_dict(self) -> dict:
+    def state_dict(self, include_shared: bool = True) -> dict:
         """Serializable sampler-side interface state.
 
         Captures everything the crawl has *paid for* — the response cache,
@@ -468,18 +477,28 @@ class RestrictedSocialAPI:
         on top, after which billing continues exactly where it left off
         (cached users stay free, the budget remembers its spend, the rate
         limiter its window).
+
+        Args:
+            include_shared: When ``False``, omit the ``cache`` and
+                ``provider`` sections.  The service layer hands many
+                tenant interfaces one shared cache and one shared fleet;
+                a *tenant-scoped* snapshot must carry only what this
+                tenant owns (log, clock, limiter, private set, counters)
+                — the shared layers live in the service's own sections.
         """
-        return {
+        state = {
             "clock_now": self._clock.now(),
             "known_private": set(self._known_private),
-            "cache": self._cache.state_dict(),
             "log": self._log.state_dict(),
             "limiter": self._limiter.state_dict(),
             "latency_spent": self._latency_spent,
             "cache_hits": self._cache_hits,
             "cache_misses": self._cache_misses,
-            "provider": self._provider.state_dict(),
         }
+        if include_shared:
+            state["cache"] = self._cache.state_dict()
+            state["provider"] = self._provider.state_dict()
+        return state
 
     def load_state(self, state: dict) -> None:
         """Replace cache/log/clock/limiter state with a captured one.
@@ -499,7 +518,11 @@ class RestrictedSocialAPI:
             )
         self._clock.advance(delta)
         self._known_private = set(state["known_private"])
-        self._cache.load_state(state["cache"])
+        # Tenant-scoped snapshots (``state_dict(include_shared=False)``)
+        # omit the shared cache/provider sections — the service restores
+        # those once from its own sections, never per tenant.
+        if "cache" in state:
+            self._cache.load_state(state["cache"])
         self._log.load_state(state["log"])
         self._limiter.load_state(state["limiter"])
         # Keys below joined the payload with the provider refactor; absent
@@ -507,4 +530,5 @@ class RestrictedSocialAPI:
         self._latency_spent = float(state.get("latency_spent", 0.0))
         self._cache_hits = int(state.get("cache_hits", 0))
         self._cache_misses = int(state.get("cache_misses", 0))
-        self._provider.load_state(state.get("provider", {}))
+        if "provider" in state:
+            self._provider.load_state(state["provider"])

@@ -31,6 +31,8 @@ class ShardTelemetry:
         bursts: Coalesced round trips dispatched to the shard.
         max_in_flight: Largest burst depth the shard has carried.
         prefetched: Planner-issued predictive fetches the shard served.
+        tenants: Per-tenant books (``label -> {"queries", "latency_spent"}``)
+            when a service layer attributed fetches, else empty.
     """
 
     queries: int
@@ -40,6 +42,7 @@ class ShardTelemetry:
     bursts: int
     max_in_flight: int
     prefetched: int = 0
+    tenants: Optional[dict] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -155,6 +158,7 @@ def collect_telemetry(api: RestrictedSocialAPI) -> InterfaceTelemetry:
                     bursts=row.bursts,
                     max_in_flight=row.max_in_flight,
                     prefetched=row.prefetched,
+                    tenants={k: dict(v) for k, v in row.tenants.items()} or None,
                 )
                 for shard, row in enumerate(stats)
             }

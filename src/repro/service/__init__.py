@@ -1,0 +1,24 @@
+"""Multi-tenant sampling service over one shared provider fleet.
+
+See :mod:`repro.service.service` for the runtime and
+:mod:`repro.compose` for the declarative stack specs tenants register
+with.
+"""
+
+from repro.service.service import (
+    STATE_ACTIVE,
+    STATE_EXHAUSTED,
+    STATE_HIBERNATED,
+    STATE_IDLE,
+    SamplingService,
+    TenantSession,
+)
+
+__all__ = [
+    "SamplingService",
+    "TenantSession",
+    "STATE_ACTIVE",
+    "STATE_IDLE",
+    "STATE_HIBERNATED",
+    "STATE_EXHAUSTED",
+]

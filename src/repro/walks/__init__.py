@@ -18,13 +18,15 @@ from repro.walks.base import RandomWalkSampler, SamplingRun, WalkSample
 from repro.walks.crawlers import BFSCrawler, DFSCrawler, SnowballCrawler
 from repro.walks.mhrw import MetropolisHastingsWalk
 from repro.walks.nbrw import NonBacktrackingWalk
-from repro.walks.parallel import ParallelRun, ParallelWalkers
+from repro.walks.parallel import ParallelWalkers
+from repro.walks.results import EventDrivenRun, ParallelRun, RunResult
 from repro.walks.rj import RandomJumpWalk
-from repro.walks.scheduler import EventDrivenRun, EventDrivenWalkers
+from repro.walks.scheduler import EventDrivenWalkers
 from repro.walks.srw import SimpleRandomWalk
 
 __all__ = [
     "RandomWalkSampler",
+    "RunResult",
     "SamplingRun",
     "WalkSample",
     "BFSCrawler",

@@ -23,39 +23,17 @@ algorithm".  This module makes the observation concrete:
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Hashable, List, Optional, Sequence
 
 from repro.convergence.gelman_rubin import GelmanRubinDiagnostic
 from repro.core.overlay import shared_overlay_of
 from repro.errors import SnapshotError, WalkError
 from repro.interface.api import BatchQueryResult
+from repro.interface.telemetry import collect_telemetry
 from repro.walks.base import RandomWalkSampler, SamplingRun, WalkSample
+from repro.walks.results import ParallelRun
 
 Node = Hashable
-
-
-@dataclasses.dataclass
-class ParallelRun:
-    """Result of a parallel sampling run.
-
-    Attributes:
-        merged: All chains' samples interleaved in collection order.
-        per_chain: The individual chains' runs.
-        r_hat_at_convergence: The R̂ value when burn-in ended (``None``
-            when no monitor was used).
-        query_cost: Final billed cost of the shared interface.
-        sim_elapsed: Simulated wall-clock the lock-stepped group spent
-            waiting on provider responses: per round, the chains' fetches
-            overlap, so the round costs the *maximum* of its chains'
-            response latencies (0.0 on zero-latency providers).
-    """
-
-    merged: List[WalkSample]
-    per_chain: List[SamplingRun]
-    r_hat_at_convergence: Optional[float]
-    query_cost: int
-    sim_elapsed: float = 0.0
 
 
 class ParallelWalkers:
@@ -85,7 +63,7 @@ class ParallelWalkers:
         ...     for i in range(3)
         ... ])
         >>> result = walkers.run(num_samples=30)
-        >>> len(result.merged)
+        >>> len(result.samples)
         30
     """
 
@@ -349,10 +327,14 @@ class ParallelWalkers:
             )
             for i in range(len(self._samplers))
         ]
+        telemetry = collect_telemetry(self._api)
         return ParallelRun(
-            merged=merged,
+            samples=merged,
             per_chain=per_chain,
             r_hat_at_convergence=r_hat,
-            query_cost=self._api.query_cost,
+            queries=self._api.query_cost,
             sim_elapsed=self._sim_elapsed,
+            latency_spent=telemetry.latency_spent,
+            chain_steps=tuple(s.steps for s in self._samplers),
+            telemetry=telemetry,
         )

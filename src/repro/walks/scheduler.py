@@ -77,7 +77,6 @@ mid-flight and a fresh process resumes it bit-for-bit.
 
 from __future__ import annotations
 
-import dataclasses
 import heapq
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
@@ -85,7 +84,7 @@ from repro.convergence.gelman_rubin import GelmanRubinDiagnostic
 from repro.core.overlay import shared_overlay_of
 from repro.errors import PrivateUserError, SnapshotError, WalkError
 from repro.fleet.provider import FetchDispatch, find_fleet
-from repro.interface.telemetry import ShardTelemetry, collect_telemetry
+from repro.interface.telemetry import collect_telemetry
 from repro.planning.lifecycle import (
     ROSTER_ACTIVE,
     ROSTER_RESERVE,
@@ -94,6 +93,7 @@ from repro.planning.lifecycle import (
 )
 from repro.planning.planner import DispatchPlanner
 from repro.walks.base import RandomWalkSampler, SamplingRun, WalkSample
+from repro.walks.results import EventDrivenRun
 
 Node = Hashable
 
@@ -102,47 +102,6 @@ PHASE_FRESH = "fresh"
 PHASE_BURNIN = "burnin"
 PHASE_COLLECT = "collect"
 PHASE_DONE = "done"
-
-
-@dataclasses.dataclass
-class EventDrivenRun:
-    """Result of an event-driven sampling run.
-
-    Attributes:
-        merged: All chains' samples interleaved in completion order (at
-            zero latency: identical to the lock-step round-robin order).
-        per_chain: The individual chains' runs.
-        r_hat_at_convergence: The R̂ value when burn-in ended (``None``
-            when no monitor was used).
-        query_cost: Final billed cost of the shared interface.
-        sim_elapsed: Simulated wall-clock makespan: the event time at
-            which the final sample was collected.
-        events_processed: Dispatched chain actions (steps + collections).
-        latency_spent: Total provider response latency billed (the serial
-            sum over billed fetches; the makespan redistributes it).
-        retries: Flaky-layer retry attempts beyond the first, summed over
-            the whole provider stack (0 without flaky layers).
-        shards: Per-shard telemetry breakdown keyed by shard index, or
-            ``None`` when the interface has no provider fleet.
-        chain_steps: Per-chain committed step counts, in chain order —
-            the audit trail for adaptive retirement decisions (a retired
-            chain's count freezes at its retirement).
-        planning: Planner accounting (prefetch issued/used/wasted,
-            cache-first step counts, roster) when a dispatch planner was
-            attached, else ``None``.
-    """
-
-    merged: List[WalkSample]
-    per_chain: List[SamplingRun]
-    r_hat_at_convergence: Optional[float]
-    query_cost: int
-    sim_elapsed: float
-    events_processed: int
-    latency_spent: float = 0.0
-    retries: int = 0
-    shards: Optional[Dict[int, ShardTelemetry]] = None
-    chain_steps: Optional[Tuple[int, ...]] = None
-    planning: Optional[dict] = None
 
 
 class EventDrivenWalkers:
@@ -201,7 +160,7 @@ class EventDrivenWalkers:
         ...     for i in range(3)
         ... ])
         >>> result = walkers.run(num_samples=30)
-        >>> len(result.merged)
+        >>> len(result.samples)
         30
     """
 
@@ -1070,6 +1029,12 @@ class EventDrivenWalkers:
 
     def _run_collect_batched(self, num_samples: int, thinning: int) -> None:
         self._fleet.drain_dispatches()
+        self._init_collect_batched(num_samples, thinning)
+        while len(self._merged) < num_samples:
+            self._collect_tick_batched(num_samples)
+
+    def _init_collect_batched(self, num_samples: int, thinning: int) -> None:
+        """(Re-)derive collection bookkeeping: thinning, per-chain tallies, quota."""
         policy = self._planner.policy if self._planner is not None else None
         self._thinning = thinning
         self._collected = [0] * len(self._samplers)
@@ -1079,59 +1044,144 @@ class EventDrivenWalkers:
             self._recompute_quota(num_samples)
         else:
             self._quota = -(-num_samples // len(self._samplers))  # ceil division
-        while len(self._merged) < num_samples:
-            if policy is not None:
-                group = self._pop_tick_active(num_samples)
-            else:
-                group = self._pop_tick()
-            when = group[-1][0]  # the held group departs together
-            self._sim_time = max(self._sim_time, when)
-            fetches: List[Tuple[int, Tuple[FetchDispatch, ...]]] = []
-            pushes: List[int] = []
-            waits: List[Tuple[int, float]] = []
-            events = 0
-            for _when, _seq, chain in group:
-                if len(self._merged) >= num_samples:
-                    # The quota filled mid-tick: requeue the unprocessed
-                    # dispatches so the heap stays a faithful state cut.
-                    self._push(chain, self._ready[chain])
-                    continue
-                events += 1
-                sampler = self._samplers[chain]
-                if self._since[chain] >= thinning:
-                    sample = WalkSample(
-                        node=sampler.current,
-                        weight=sampler.weight(sampler.current),
-                        query_cost=self._api.query_cost,
-                        step=sampler.steps,
-                    )
-                    self._merged.append(sample)
-                    self._merged_chain.append(chain)
-                    self._collected[chain] += 1
-                    self._since[chain] = 0
-                    self._ready[chain] = when  # collection reads local state: free
-                    if self._collected[chain] >= self._quota:
-                        # Fair share delivered: the chain leaves the queue.
-                        continue
-                else:
-                    sampler.step()
-                    dispatches = self._fleet.drain_dispatches()
-                    fetches.append((chain, dispatches))
-                    self._since[chain] += 1
-                    self._collect_steps[chain] += 1
-                    lands_at = self._observe_step(chain, dispatches)
-                    if lands_at is not None:
-                        waits.append((chain, lands_at))
-                pushes.append(chain)
-            self._settle_tick(when, fetches)
-            if self._planner is not None:
-                self._apply_prefetch_waits(waits)
-                self._plan_prefetches(when, fetches)
-            for chain in pushes:
+
+    def _collect_tick_batched(self, num_samples: int) -> None:
+        """Advance collection by exactly one tick (one dispatched group)."""
+        thinning = self._thinning
+        policy = self._planner.policy if self._planner is not None else None
+        if policy is not None:
+            group = self._pop_tick_active(num_samples)
+        else:
+            group = self._pop_tick()
+        when = group[-1][0]  # the held group departs together
+        self._sim_time = max(self._sim_time, when)
+        fetches: List[Tuple[int, Tuple[FetchDispatch, ...]]] = []
+        pushes: List[int] = []
+        waits: List[Tuple[int, float]] = []
+        events = 0
+        for _when, _seq, chain in group:
+            if len(self._merged) >= num_samples:
+                # The quota filled mid-tick: requeue the unprocessed
+                # dispatches so the heap stays a faithful state cut.
                 self._push(chain, self._ready[chain])
-            self._tick_committed(events)
-            if policy is not None:
-                self._maybe_review_roster(num_samples, when)
+                continue
+            events += 1
+            sampler = self._samplers[chain]
+            if self._since[chain] >= thinning:
+                sample = WalkSample(
+                    node=sampler.current,
+                    weight=sampler.weight(sampler.current),
+                    query_cost=self._api.query_cost,
+                    step=sampler.steps,
+                )
+                self._merged.append(sample)
+                self._merged_chain.append(chain)
+                self._collected[chain] += 1
+                self._since[chain] = 0
+                self._ready[chain] = when  # collection reads local state: free
+                if self._collected[chain] >= self._quota:
+                    # Fair share delivered: the chain leaves the queue.
+                    continue
+            else:
+                sampler.step()
+                dispatches = self._fleet.drain_dispatches()
+                fetches.append((chain, dispatches))
+                self._since[chain] += 1
+                self._collect_steps[chain] += 1
+                lands_at = self._observe_step(chain, dispatches)
+                if lands_at is not None:
+                    waits.append((chain, lands_at))
+            pushes.append(chain)
+        self._settle_tick(when, fetches)
+        if self._planner is not None:
+            self._apply_prefetch_waits(waits)
+            self._plan_prefetches(when, fetches)
+        for chain in pushes:
+            self._push(chain, self._ready[chain])
+        self._tick_committed(events)
+        if policy is not None:
+            self._maybe_review_roster(num_samples, when)
+
+    # ------------------------------------------------------------------
+    # incremental collection (service-driven, one tick at a time)
+    # ------------------------------------------------------------------
+    # The service layer interleaves many tenants' schedulers over one
+    # shared fleet: instead of run()'s closed loop, each tenant advances
+    # tick by tick under the service's admission policy.  begin_collect +
+    # collect_tick execute exactly the code path run() does — the
+    # single-tenant equivalence suite pins the two byte for byte.
+
+    @property
+    def samples_collected(self) -> int:
+        """Samples merged so far (all phases)."""
+        return len(self._merged)
+
+    def begin_collect(self, num_samples: int, thinning: int = 1) -> None:
+        """Prepare monitor-less collection for tick-at-a-time driving.
+
+        Re-entrant in every state ``run`` supports: a fresh scheduler
+        seeds its queue, a restored mid-collection one re-derives its
+        quota bookkeeping, and a ``done`` scheduler re-opens when the new
+        target exceeds what it already collected (the service's
+        incremental-request path).
+
+        Args:
+            num_samples: Total sample target across all chains.
+            thinning: Per-chain spacing between collected samples.
+
+        Raises:
+            ValueError: On non-positive ``num_samples``/``thinning``.
+            WalkError: Without batch-coalescing dispatch, or mid-burn-in.
+        """
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        if thinning <= 0:
+            raise ValueError("thinning must be positive")
+        if self._fleet is None:
+            raise WalkError(
+                "incremental collection needs batch-coalescing dispatch "
+                "(batching=True over a provider fleet)"
+            )
+        if self._phase == PHASE_BURNIN:
+            raise WalkError(
+                "this scheduler is mid-burn-in; finish run() with its monitor "
+                "before driving it incrementally"
+            )
+        self._fleet.trace_dispatches(True)
+        self._fleet.drain_dispatches()
+        if self._phase == PHASE_FRESH:
+            self._begin_collect(thinning)
+        elif self._phase == PHASE_DONE and len(self._merged) < num_samples:
+            self._phase = PHASE_COLLECT
+        if self._phase == PHASE_COLLECT:
+            self._init_collect_batched(num_samples, thinning)
+            # A re-opened scheduler's chains left the queue at the old
+            # quota; under-quota active chains resume at the current time.
+            self._requeue_missing(self._sim_time)
+
+    def collect_tick(self, num_samples: int) -> bool:
+        """Advance one tick toward ``num_samples``; ``True`` when reached.
+
+        Args:
+            num_samples: The same target ``begin_collect`` planned for.
+
+        Raises:
+            WalkError: When called without :meth:`begin_collect`.
+        """
+        if self._phase == PHASE_DONE:
+            return True
+        if self._phase != PHASE_COLLECT:
+            raise WalkError("begin_collect must run before collect_tick")
+        if len(self._merged) < num_samples:
+            self._collect_tick_batched(num_samples)
+        if len(self._merged) >= num_samples:
+            self._phase = PHASE_DONE
+            return True
+        return False
+
+    def result(self) -> EventDrivenRun:
+        """Build the run result from the current state (incremental driving)."""
+        return self._result(None)
 
     def _result(self, monitor: Optional[GelmanRubinDiagnostic]) -> EventDrivenRun:
         per_chain_samples: List[List[WalkSample]] = [[] for _ in self._samplers]
@@ -1150,10 +1200,10 @@ class EventDrivenWalkers:
         ]
         telemetry = collect_telemetry(self._api)
         return EventDrivenRun(
-            merged=list(self._merged),
+            samples=list(self._merged),
             per_chain=per_chain,
             r_hat_at_convergence=self._r_hat,
-            query_cost=self._api.query_cost,
+            queries=self._api.query_cost,
             sim_elapsed=self._sim_time,
             events_processed=self._events,
             latency_spent=telemetry.latency_spent,
@@ -1161,4 +1211,5 @@ class EventDrivenWalkers:
             shards=telemetry.shards,
             chain_steps=self.chain_steps,
             planning=self.planning_summary(),
+            telemetry=telemetry,
         )

@@ -89,6 +89,40 @@ def _planning_profile(
     }
 
 
+def _service_profile(
+    max_ratio=2.1,
+    fcfs_ratio=26.5,
+    cost=359,
+    fcfs_cost=None,
+    clock=69.5,
+    single_tenant=True,
+    hibernate=True,
+):
+    fcfs_cost = cost if fcfs_cost is None else fcfs_cost
+    return {
+        "single_tenant_bit_for_bit": single_tenant,
+        "hibernate_resume_bit_for_bit": hibernate,
+        "modes": {
+            "drr": {
+                "total_samples": 680,
+                "total_query_cost": cost,
+                "clock": clock,
+                "fair_share": 0.82,
+                "max_ratio": max_ratio,
+                "shared_cache_hits": 321,
+            },
+            "fcfs": {
+                "total_samples": 680,
+                "total_query_cost": fcfs_cost,
+                "clock": clock - 1.5,
+                "fair_share": 0.80,
+                "max_ratio": fcfs_ratio,
+                "shared_cache_hits": 321,
+            },
+        },
+    }
+
+
 class TestWalkEngineGate:
     def test_identical_profiles_pass(self):
         base = _walk_engine_profile()
@@ -217,6 +251,39 @@ class TestPlanningGate:
         assert any("cells missing" in f for f in failures)
 
 
+class TestServiceGate:
+    def test_identical_profiles_pass(self):
+        base = _service_profile()
+        assert gate.check_service(base, base) == []
+
+    def test_fair_ratio_ceiling_enforced(self):
+        fresh = _service_profile(max_ratio=3.4)
+        failures = gate.check_service(fresh, _service_profile(max_ratio=3.4))
+        assert any("ceiling" in f for f in failures)
+
+    def test_fair_bill_increase_fails(self):
+        fresh = _service_profile(cost=380, fcfs_cost=359)
+        failures = gate.check_service(fresh, _service_profile())
+        assert any("raised the" in f for f in failures)
+
+    def test_lost_equivalences_fail(self):
+        for probe in ("single_tenant", "hibernate"):
+            fresh = _service_profile(**{probe: False})
+            failures = gate.check_service(fresh, _service_profile())
+            assert any("equivalence no longer holds" in f for f in failures)
+
+    def test_drr_ratio_drift_gated_but_fcfs_is_not(self):
+        fresh = _service_profile(max_ratio=2.5, fcfs_ratio=40.0)
+        failures = gate.check_service(fresh, _service_profile())
+        assert any("drr max_ratio regressed" in f for f in failures)
+        assert not any("fcfs max_ratio" in f for f in failures)
+
+    def test_missing_modes_fail(self):
+        fresh = {"single_tenant_bit_for_bit": True, "hibernate_resume_bit_for_bit": True}
+        failures = gate.check_service(fresh, _service_profile())
+        assert any("mode rows missing" in f for f in failures)
+
+
 class TestRunGate:
     def _write(self, directory, name, payload):
         with open(directory / name, "w") as fh:
@@ -231,10 +298,12 @@ class TestRunGate:
         self._write(baseline_dir, "BENCH_scheduler.json", _scheduler_profile())
         self._write(baseline_dir, "BENCH_fleet.json", _fleet_profile())
         self._write(baseline_dir, "BENCH_planning.json", _planning_profile())
+        self._write(baseline_dir, "BENCH_service.json", _service_profile())
         self._write(fresh_dir, "BENCH_walk_engine.json", _walk_engine_profile())
         self._write(fresh_dir, "BENCH_scheduler.json", _scheduler_profile())
         self._write(fresh_dir, "BENCH_fleet.json", _fleet_profile())
         self._write(fresh_dir, "BENCH_planning.json", _planning_profile())
+        self._write(fresh_dir, "BENCH_service.json", _service_profile())
         assert gate.run_gate(fresh_dir, baseline_dir) == []
         assert gate.main(["--fresh-dir", str(fresh_dir), "--baseline-dir", str(baseline_dir)]) == 0
 

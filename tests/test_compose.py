@@ -1,0 +1,157 @@
+"""The unified composition API: specs, builders, codec round-trips.
+
+ISSUE 6 satellite: one declarative ``StackConfig`` stands up the whole
+provider → interface → walkers → planner stack, round-trips through the
+snapshot codec bit-for-bit, and the spec-built fleet is indistinguishable
+from the deprecated ``sharded_fleet(...)`` constructor's output.
+"""
+
+import pytest
+
+from repro.compose import (
+    FleetSpec,
+    PlannerSpec,
+    PolicySpec,
+    ProviderSpec,
+    RateLimitSpec,
+    StackConfig,
+    WalkSpec,
+    build_fleet,
+    build_stack,
+    walk_starts,
+)
+from repro.datasets import load
+from repro.datastore.snapshot import KeyValueBackend, decode_value, encode_value
+from repro.errors import ComposeError
+from repro.fleet import sharded_fleet
+from repro.walks import EventDrivenWalkers, SimpleRandomWalk
+
+
+@pytest.fixture(scope="module")
+def network():
+    return load("epinions_like", seed=0, scale=0.2)
+
+
+class TestBuildStack:
+    def test_assembles_every_layer(self, network):
+        config = StackConfig(
+            fleet=FleetSpec(num_shards=2, seed=5),
+            walk=WalkSpec(engine="srw", chains=3, seed=4),
+            planner=PlannerSpec(lookahead=2),
+            query_budget=10_000,
+        )
+        stack = build_stack(config, network)
+        assert stack.config is config
+        assert len(stack.samplers) == 3
+        assert all(s.api is stack.api for s in stack.samplers)
+        assert stack.planner is not None
+        assert stack.walkers.planner is stack.planner
+
+    def test_run_returns_unified_result(self, network):
+        stack = build_stack(StackConfig(walk=WalkSpec(chains=2, seed=1)), network)
+        run = stack.run(num_samples=20)
+        assert len(run.samples) == 20
+        assert run.queries == stack.api.query_cost
+
+    def test_fresh_planner_per_stack(self, network):
+        config = StackConfig(
+            walk=WalkSpec(chains=2, seed=2), planner=PlannerSpec(lookahead=3)
+        )
+        first = build_stack(config, network)
+        second = build_stack(config, network)
+        assert first.planner is not second.planner
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            StackConfig(walk=WalkSpec(engine="teleport")),
+            StackConfig(walk=WalkSpec(chains=1)),
+            StackConfig(walk=WalkSpec(chains=3, starts=("a", "b"))),
+        ],
+    )
+    def test_invalid_configs_raise(self, network, config):
+        with pytest.raises(ComposeError):
+            build_stack(config, network)
+
+
+class TestWalkStarts:
+    def test_explicit_starts_win(self, network):
+        starts = (network.seed_node(50), network.seed_node(51))
+        config = StackConfig(walk=WalkSpec(chains=2, starts=starts))
+        assert walk_starts(config, network) == starts
+
+    def test_derived_starts_follow_seed(self, network):
+        config = StackConfig(walk=WalkSpec(chains=3, seed=9))
+        assert walk_starts(config, network) == tuple(
+            network.seed_node(9 + i) for i in range(3)
+        )
+
+
+class TestSpecCodec:
+    CONFIG = StackConfig(
+        fleet=FleetSpec(
+            num_shards=3,
+            seed=7,
+            weights=(4.0, 1.0, 1.0),
+            provider=ProviderSpec(
+                latency_distribution="heavy_tailed", latency_scale=0.4
+            ),
+            shard_latency_spread=1.0,
+            batch_cap=16,
+            admission_interval=2.0,
+            latency_quantum=0.5,
+        ),
+        walk=WalkSpec(engine="mhrw", chains=4, seed=11, max_lead=32),
+        planner=PlannerSpec(
+            lookahead=4, speculation=2, policy=PolicySpec(min_chains=2)
+        ),
+        rate_limit=RateLimitSpec(kind="fixed_window", limit=10, window=1.0),
+        query_budget=500,
+        seconds_per_query=2.0,
+    )
+
+    def test_value_round_trip_is_equal(self):
+        assert decode_value(encode_value(self.CONFIG)) == self.CONFIG
+
+    def test_backend_round_trip_is_equal(self):
+        backend = KeyValueBackend()
+        backend.write({"config": self.CONFIG})
+        assert backend.read()["config"] == self.CONFIG
+
+    def test_round_trip_builds_identical_stack(self, network):
+        config = decode_value(encode_value(StackConfig(walk=WalkSpec(chains=2, seed=3))))
+        a = build_stack(StackConfig(walk=WalkSpec(chains=2, seed=3)), network).run(30)
+        b = build_stack(config, network).run(30)
+        assert a.samples == b.samples and a.queries == b.queries
+
+
+class TestDeprecatedFleetConstructor:
+    def test_shim_warns_and_matches_spec_fleet(self, network):
+        spec = FleetSpec(
+            num_shards=2,
+            seed=3,
+            provider=ProviderSpec(latency_distribution="uniform", latency_scale=0.3),
+        )
+        with pytest.deprecated_call():
+            legacy = sharded_fleet(
+                network.graph,
+                2,
+                seed=3,
+                profiles=network.profiles,
+                latency_distribution="uniform",
+                latency_scale=0.3,
+            )
+        modern = build_fleet(spec, network.graph, profiles=network.profiles)
+
+        def run(fleet):
+            config = StackConfig(walk=WalkSpec(chains=2, seed=6))
+            return build_stack(config, network, fleet=fleet).run(num_samples=40)
+
+        a, b = run(legacy), run(modern)
+        assert a.samples == b.samples
+        assert a.queries == b.queries
+        assert a.sim_elapsed == b.sim_elapsed
+
+    def test_warning_names_the_replacement(self, network):
+        with pytest.warns(DeprecationWarning, match="FleetSpec"):
+            sharded_fleet(network.graph, 1, seed=0)

@@ -1,0 +1,78 @@
+"""Deprecation policy: the old spellings warn, and nothing inside uses them.
+
+ISSUE 6 satellite: ``sharded_fleet(...)`` and the ``RunResult.merged`` /
+``RunResult.query_cost`` aliases keep working for external callers, but
+they emit :class:`DeprecationWarning` naming the replacement, and this
+lint keeps ``src/``, ``examples/``, and ``tests/`` free of them so the
+codebase never sets a bad example.
+"""
+
+import re
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.walks.results import RunResult
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: Files allowed to mention the deprecated constructor: its definition
+#: site, the composition module that documents the migration, and the
+#: tests that deliberately exercise the shim.
+FLEET_SHIM_ALLOWED = {
+    REPO / "src" / "repro" / "fleet" / "provider.py",
+    REPO / "src" / "repro" / "compose.py",
+    REPO / "tests" / "test_compose.py",
+    REPO / "tests" / "test_deprecation_policy.py",
+}
+
+#: The deprecated result-field spellings live (and are documented) here.
+RESULT_SHIM_ALLOWED = {
+    REPO / "src" / "repro" / "walks" / "results.py",
+    REPO / "tests" / "test_deprecation_policy.py",
+}
+
+
+def _scan(pattern, allowed):
+    offenders = []
+    for root in (REPO / "src", REPO / "examples", REPO / "tests"):
+        for path in sorted(root.rglob("*.py")):
+            if path in allowed:
+                continue
+            for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+                if re.search(pattern, line):
+                    offenders.append(f"{path.relative_to(REPO)}:{lineno}: {line.strip()}")
+    return offenders
+
+
+class TestNoDeprecatedUses:
+    def test_no_sharded_fleet_calls(self):
+        offenders = _scan(r"\bsharded_fleet\s*\(", FLEET_SHIM_ALLOWED)
+        assert not offenders, (
+            "deprecated sharded_fleet(...) calls remain (use "
+            "repro.compose.FleetSpec/build_fleet):\n" + "\n".join(offenders)
+        )
+
+    def test_no_merged_reads(self):
+        offenders = _scan(r"\.merged\b", RESULT_SHIM_ALLOWED)
+        assert not offenders, (
+            "deprecated RunResult.merged reads remain (use .samples):\n"
+            + "\n".join(offenders)
+        )
+
+
+class TestShimsStillWarnAndWork:
+    def test_merged_alias_warns_and_delegates(self):
+        run = RunResult(samples=[], per_chain=[], r_hat_at_convergence=None, queries=7)
+        with pytest.deprecated_call(match="samples"):
+            assert run.merged == []
+        with pytest.deprecated_call(match="queries"):
+            assert run.query_cost == 7
+
+    def test_canonical_fields_do_not_warn(self):
+        run = RunResult(samples=[], per_chain=[], r_hat_at_convergence=None, queries=7)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert run.samples == []
+            assert run.queries == 7

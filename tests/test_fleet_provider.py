@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.compose import FleetSpec, ProviderSpec, build_fleet
 from repro.datasets import load
 from repro.datastore.snapshot import decode_value, encode_value
 from repro.errors import PrivateUserError, SnapshotError
@@ -10,7 +11,6 @@ from repro.fleet import (
     ShardRouter,
     ShardedProvider,
     find_fleet,
-    sharded_fleet,
 )
 from repro.interface import (
     FlakyProvider,
@@ -56,7 +56,7 @@ class TestValidation:
 
 class TestRoutingAndBilling:
     def test_fleet_answers_match_the_graph(self, network):
-        fleet = sharded_fleet(network.graph, 4, seed=1, profiles=network.profiles)
+        fleet = build_fleet(FleetSpec(num_shards=4, seed=1), network.graph, profiles=network.profiles)
         api = RestrictedSocialAPI(fleet)
         for user in list(network.graph.nodes())[:50]:
             resp = api.query(user)
@@ -65,7 +65,7 @@ class TestRoutingAndBilling:
         assert api.published_user_count() == network.graph.num_nodes
 
     def test_every_fetch_lands_on_the_owning_shard(self, network):
-        fleet = sharded_fleet(network.graph, 4, seed=1)
+        fleet = build_fleet(FleetSpec(num_shards=4, seed=1), network.graph)
         api = RestrictedSocialAPI(fleet)
         users = list(network.graph.nodes())[:120]
         for user in users:
@@ -77,7 +77,7 @@ class TestRoutingAndBilling:
         assert sum(s.queries for s in fleet.stats) == api.query_cost
 
     def test_cache_hits_never_reach_the_fleet(self, network):
-        fleet = sharded_fleet(network.graph, 2, seed=1)
+        fleet = build_fleet(FleetSpec(num_shards=2, seed=1), network.graph)
         api = RestrictedSocialAPI(fleet)
         user = network.seed_node(0)
         api.query(user)
@@ -90,7 +90,9 @@ class TestRoutingAndBilling:
         plain = network.interface()
         walk_a = SimpleRandomWalk(plain, start=network.seed_node(3), seed=7)
         fleet_api = RestrictedSocialAPI(
-            sharded_fleet(network.graph, 4, seed=1, profiles=network.profiles)
+            build_fleet(
+                FleetSpec(num_shards=4, seed=1), network.graph, profiles=network.profiles
+            )
         )
         walk_b = SimpleRandomWalk(fleet_api, start=network.seed_node(3), seed=7)
         nodes_a = [walk_a.step() for _ in range(200)]
@@ -120,16 +122,15 @@ class TestRoutingAndBilling:
 class TestLatencyAndDisruption:
     def test_per_shard_latency_is_deterministic(self, network):
         def build():
-            return RestrictedSocialAPI(
-                sharded_fleet(
-                    network.graph,
-                    3,
-                    seed=5,
-                    latency_distribution="heavy_tailed",
-                    latency_scale=0.5,
-                    shard_latency_spread=1.0,
-                )
+            spec = FleetSpec(
+                num_shards=3,
+                seed=5,
+                provider=ProviderSpec(
+                    latency_distribution="heavy_tailed", latency_scale=0.5
+                ),
+                shard_latency_spread=1.0,
             )
+            return RestrictedSocialAPI(build_fleet(spec, network.graph))
 
         users = list(network.graph.nodes())[:60]
         a, b = build(), build()
@@ -139,16 +140,13 @@ class TestLatencyAndDisruption:
         assert a.latency_spent == b.latency_spent > 0
 
     def test_quantum_grids_every_latency(self, network):
-        api = RestrictedSocialAPI(
-            sharded_fleet(
-                network.graph,
-                2,
-                seed=5,
-                latency_distribution="uniform",
-                latency_scale=1.0,
-                latency_quantum=0.25,
-            )
+        spec = FleetSpec(
+            num_shards=2,
+            seed=5,
+            provider=ProviderSpec(latency_distribution="uniform", latency_scale=1.0),
+            latency_quantum=0.25,
         )
+        api = RestrictedSocialAPI(build_fleet(spec, network.graph))
         for user in list(network.graph.nodes())[:40]:
             latency = api.query(user).latency
             assert latency > 0
@@ -190,15 +188,17 @@ class TestLatencyAndDisruption:
             DisruptionSchedule(outage_penalty=-1.0)
 
     def test_flaky_shard_retries_are_accounted(self, network):
-        fleet = sharded_fleet(
-            network.graph,
-            2,
+        spec = FleetSpec(
+            num_shards=2,
             seed=9,
-            latency_distribution="constant",
-            latency_scale=0.1,
-            failure_rate=0.3,
-            timeout_latency=1.0,
+            provider=ProviderSpec(
+                latency_distribution="constant",
+                latency_scale=0.1,
+                failure_rate=0.3,
+                timeout_latency=1.0,
+            ),
         )
+        fleet = build_fleet(spec, network.graph)
         api = RestrictedSocialAPI(fleet)
         for user in list(network.graph.nodes())[:80]:
             api.query(user)
@@ -210,7 +210,7 @@ class TestLatencyAndDisruption:
 
 class TestFindFleet:
     def test_found_at_root_and_nested(self, network):
-        fleet = sharded_fleet(network.graph, 2, seed=1)
+        fleet = build_fleet(FleetSpec(num_shards=2, seed=1), network.graph)
         assert find_fleet(fleet) is fleet
         wrapped = FlakyProvider(fleet, failure_rate=0.0)
         assert find_fleet(wrapped) is fleet
@@ -221,30 +221,24 @@ class TestFindFleet:
 
 class TestFleetSnapshots:
     def test_state_round_trips_through_codec(self, network):
-        fleet = sharded_fleet(
-            network.graph,
-            3,
+        spec = FleetSpec(
+            num_shards=3,
             seed=2,
-            latency_distribution="heavy_tailed",
-            latency_scale=0.5,
-            failure_rate=0.2,
+            provider=ProviderSpec(
+                latency_distribution="heavy_tailed",
+                latency_scale=0.5,
+                failure_rate=0.2,
+            ),
             disruption={"window": 8},
         )
+        fleet = build_fleet(spec, network.graph)
         api = RestrictedSocialAPI(fleet)
         users = list(network.graph.nodes())
         for user in users[:90]:
             api.query(user)
         captured = decode_value(encode_value(fleet.state_dict()))
 
-        restored = sharded_fleet(
-            network.graph,
-            3,
-            seed=2,
-            latency_distribution="heavy_tailed",
-            latency_scale=0.5,
-            failure_rate=0.2,
-            disruption={"window": 8},
-        )
+        restored = build_fleet(spec, network.graph)
         restored.load_state(captured)
         assert [s.state_dict() for s in restored.stats] == [
             s.state_dict() for s in fleet.stats
@@ -257,8 +251,8 @@ class TestFleetSnapshots:
         assert lat_a == lat_b
 
     def test_router_mismatch_rejected_on_load(self, network):
-        fleet = sharded_fleet(network.graph, 2, seed=2)
+        fleet = build_fleet(FleetSpec(num_shards=2, seed=2), network.graph)
         captured = fleet.state_dict()
-        other = sharded_fleet(network.graph, 2, seed=3)
+        other = build_fleet(FleetSpec(num_shards=2, seed=3), network.graph)
         with pytest.raises(SnapshotError):
             other.load_state(captured)

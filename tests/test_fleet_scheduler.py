@@ -23,8 +23,8 @@ import pytest
 from repro.convergence.gelman_rubin import GelmanRubinDiagnostic
 from repro.datasets import load
 from repro.datastore.snapshot import JsonLinesBackend, KeyValueBackend
+from repro.compose import FleetSpec, ProviderSpec, build_fleet
 from repro.errors import WalkError
-from repro.fleet import sharded_fleet
 from repro.interface import RestrictedSocialAPI, SamplingSession
 from repro.walks import EventDrivenWalkers, ParallelWalkers, SimpleRandomWalk
 
@@ -43,20 +43,24 @@ def _chains(network, api, k=4, seed_base=0):
     ]
 
 
-def _skewed_fleet_api(network, cap, **overrides):
-    kwargs = dict(
+def _skewed_fleet_api(network, cap, failure_rate=0.0):
+    spec = FleetSpec(
+        num_shards=4,
         seed=11,
-        weights=[5.0, 1.0, 1.0, 1.0],
-        profiles=network.profiles,
-        latency_distribution="heavy_tailed",
-        latency_scale=0.5,
+        weights=(5.0, 1.0, 1.0, 1.0),
+        provider=ProviderSpec(
+            latency_distribution="heavy_tailed",
+            latency_scale=0.5,
+            failure_rate=failure_rate,
+        ),
         shard_latency_spread=1.0,
         admission_interval=1.0,
         latency_quantum=0.5,
         batch_cap=cap,
     )
-    kwargs.update(overrides)
-    return RestrictedSocialAPI(sharded_fleet(network.graph, 4, **kwargs))
+    return RestrictedSocialAPI(
+        build_fleet(spec, network.graph, profiles=network.profiles)
+    )
 
 
 class TestValidation:
@@ -91,12 +95,12 @@ class TestFleetEquivalence:
         """Batching ON over a trivial fleet == lock-step rounds, bit for bit."""
         lock_run = ParallelWalkers(_chains(network, network.interface())).run(**config)
         fleet_api = RestrictedSocialAPI(
-            sharded_fleet(network.graph, 1, seed=0, profiles=network.profiles)
+            build_fleet(FleetSpec(num_shards=1, seed=0), network.graph, profiles=network.profiles)
         )
         event = EventDrivenWalkers(_chains(network, fleet_api), batching=True)
         event_run = event.run(**config)
-        assert event_run.merged == lock_run.merged
-        assert event_run.query_cost == lock_run.query_cost
+        assert event_run.samples == lock_run.samples
+        assert event_run.queries == lock_run.queries
         assert event_run.r_hat_at_convergence == lock_run.r_hat_at_convergence
         assert event_run.sim_elapsed == 0.0
 
@@ -109,21 +113,21 @@ class TestFleetEquivalence:
         )
         plain_run = EventDrivenWalkers(_chains(network, plain_api, 4)).run(num_samples=40)
 
-        # seed=1: sharded_fleet derives the shard-0 latency seed as
+        # seed=1: the fleet builder derives the shard-0 latency seed as
         # seed * 1_000_003 + 0, so this fleet's only stack is identical.
+        spec = FleetSpec(
+            num_shards=1,
+            seed=1,
+            provider=ProviderSpec(
+                latency_distribution="heavy_tailed", latency_scale=0.5
+            ),
+        )
         fleet_api = RestrictedSocialAPI(
-            sharded_fleet(
-                network.graph,
-                1,
-                seed=1,
-                profiles=network.profiles,
-                latency_distribution="heavy_tailed",
-                latency_scale=0.5,
-            )
+            build_fleet(spec, network.graph, profiles=network.profiles)
         )
         fleet_run = EventDrivenWalkers(_chains(network, fleet_api, 4)).run(num_samples=40)
-        assert fleet_run.merged == plain_run.merged
-        assert fleet_run.query_cost == plain_run.query_cost
+        assert fleet_run.samples == plain_run.samples
+        assert fleet_run.queries == plain_run.queries
         assert fleet_run.sim_elapsed == plain_run.sim_elapsed
 
     def test_coalescing_same_bill_less_waiting(self, network):
@@ -134,9 +138,9 @@ class TestFleetEquivalence:
         coalesced = EventDrivenWalkers(
             _chains(network, _skewed_fleet_api(network, cap=8), k), batching=True
         ).run(num_samples=n)
-        assert coalesced.query_cost == uncoalesced.query_cost
-        assert sorted(s.node for s in coalesced.merged) == sorted(
-            s.node for s in uncoalesced.merged
+        assert coalesced.queries == uncoalesced.queries
+        assert sorted(s.node for s in coalesced.samples) == sorted(
+            s.node for s in uncoalesced.samples
         )
         assert coalesced.sim_elapsed < uncoalesced.sim_elapsed
         # Coalescing showed up in the books: multi-fetch round trips.
@@ -153,7 +157,7 @@ class TestFleetEquivalence:
             batching=True,
             batch_window=1.0,
         ).run(num_samples=n)
-        assert held.query_cost == tight.query_cost
+        assert held.queries == tight.queries
         held_bursts = sum(row.bursts for row in held.shards.values())
         tight_bursts = sum(row.bursts for row in tight.shards.values())
         assert held_bursts <= tight_bursts  # the window packs rounds deeper
@@ -163,7 +167,7 @@ class TestFleetEquivalence:
         run = EventDrivenWalkers(_chains(network, api, 4), batching=True).run(
             num_samples=24, monitor=GelmanRubinDiagnostic(threshold=1.3)
         )
-        assert len(run.merged) == 24
+        assert len(run.samples) == 24
         assert run.r_hat_at_convergence is not None
         assert run.latency_spent > 0
 
@@ -198,8 +202,8 @@ class TestFleetCheckpointing:
         assert resume_session.resume()
         resumed_run = resumed.run(num_samples=60)
 
-        assert resumed_run.merged == ref_run.merged
-        assert resumed_run.query_cost == ref_run.query_cost
+        assert resumed_run.samples == ref_run.samples
+        assert resumed_run.queries == ref_run.queries
         assert resumed_run.sim_elapsed == ref_run.sim_elapsed
         assert api_b.query_cost == api_ref.query_cost
         # The per-shard books resumed too.
@@ -256,10 +260,10 @@ class TestFleetCheckpointing:
             check=True,
         )
         child = json.loads(proc.stdout)
-        assert child["nodes"] == [s.node for s in ref_run.merged]
-        assert child["query_cost"] == ref_run.query_cost
+        assert child["nodes"] == [s.node for s in ref_run.samples]
+        assert child["query_cost"] == ref_run.queries
         assert child["sim_elapsed_hex"] == ref_run.sim_elapsed.hex()
-        assert child["weights_hex"] == [s.weight.hex() for s in ref_run.merged]
+        assert child["weights_hex"] == [s.weight.hex() for s in ref_run.samples]
 
 
 class _Interrupted(Exception):
@@ -270,26 +274,28 @@ _CHILD_SCRIPT = """
 import json, sys
 from repro.datasets import load
 from repro.datastore.snapshot import JsonLinesBackend
-from repro.fleet import sharded_fleet
+from repro.compose import FleetSpec, ProviderSpec, build_fleet
 from repro.interface import RestrictedSocialAPI, SamplingSession
 from repro.walks import EventDrivenWalkers, SimpleRandomWalk
 
 network = load("epinions_like", seed=0, scale=0.15)
-api = RestrictedSocialAPI(sharded_fleet(
-    network.graph, 4, seed=11, weights=[5.0, 1.0, 1.0, 1.0],
-    profiles=network.profiles, latency_distribution="heavy_tailed",
-    latency_scale=0.5, shard_latency_spread=1.0, admission_interval=1.0,
-    latency_quantum=0.5, batch_cap=8, failure_rate=0.1,
-))
+spec = FleetSpec(
+    num_shards=4, seed=11, weights=(5.0, 1.0, 1.0, 1.0),
+    provider=ProviderSpec(latency_distribution="heavy_tailed",
+                          latency_scale=0.5, failure_rate=0.1),
+    shard_latency_spread=1.0, admission_interval=1.0,
+    latency_quantum=0.5, batch_cap=8,
+)
+api = RestrictedSocialAPI(build_fleet(spec, network.graph, profiles=network.profiles))
 chains = [SimpleRandomWalk(api, start=network.seed_node(i), seed=i) for i in range(4)]
 group = EventDrivenWalkers(chains, batching=True)
 session = SamplingSession(api, group, JsonLinesBackend(sys.argv[1]))
 assert session.resume()
 run = group.run(num_samples=60)
 print(json.dumps({
-    "nodes": [s.node for s in run.merged],
-    "query_cost": run.query_cost,
+    "nodes": [s.node for s in run.samples],
+    "query_cost": run.queries,
     "sim_elapsed_hex": run.sim_elapsed.hex(),
-    "weights_hex": [s.weight.hex() for s in run.merged],
+    "weights_hex": [s.weight.hex() for s in run.samples],
 }))
 """

@@ -23,8 +23,8 @@ import pytest
 
 from repro.datasets import load
 from repro.datastore.snapshot import JsonLinesBackend, KeyValueBackend
+from repro.compose import FleetSpec, ProviderSpec, build_fleet
 from repro.errors import SnapshotError, WalkError
-from repro.fleet import sharded_fleet
 from repro.interface import RestrictedSocialAPI, SamplingSession, collect_telemetry
 from repro.planning import AdaptiveChainPolicy, DispatchPlanner
 from repro.walks import EventDrivenWalkers, ParallelWalkers, SimpleRandomWalk
@@ -44,20 +44,22 @@ def _chains(network, api, k=4, seed_base=0):
     ]
 
 
-def _skewed_fleet_api(network, **overrides):
-    kwargs = dict(
+def _skewed_fleet_api(network, shard_latency_spread=1.0):
+    spec = FleetSpec(
+        num_shards=4,
         seed=11,
-        weights=[5.0, 1.0, 1.0, 1.0],
-        profiles=network.profiles,
-        latency_distribution="heavy_tailed",
-        latency_scale=0.5,
-        shard_latency_spread=1.0,
+        weights=(5.0, 1.0, 1.0, 1.0),
+        provider=ProviderSpec(
+            latency_distribution="heavy_tailed", latency_scale=0.5
+        ),
+        shard_latency_spread=shard_latency_spread,
         admission_interval=1.0,
         latency_quantum=0.5,
         batch_cap=16,
     )
-    kwargs.update(overrides)
-    return RestrictedSocialAPI(sharded_fleet(network.graph, 4, **kwargs))
+    return RestrictedSocialAPI(
+        build_fleet(spec, network.graph, profiles=network.profiles)
+    )
 
 
 def _policy(**overrides):
@@ -125,15 +127,15 @@ class TestPlanningEquivalence:
         """An all-zero planner over a trivial fleet == lock-step, bit for bit."""
         lock_run = ParallelWalkers(_chains(network, network.interface())).run(num_samples=48)
         fleet_api = RestrictedSocialAPI(
-            sharded_fleet(network.graph, 1, seed=0, profiles=network.profiles)
+            build_fleet(FleetSpec(num_shards=1, seed=0), network.graph, profiles=network.profiles)
         )
         planned = EventDrivenWalkers(
             _chains(network, fleet_api),
             batching=True,
             planner=DispatchPlanner(lookahead=0, speculation=0),
         ).run(num_samples=48)
-        assert planned.merged == lock_run.merged
-        assert planned.query_cost == lock_run.query_cost
+        assert planned.samples == lock_run.samples
+        assert planned.queries == lock_run.queries
         assert planned.sim_elapsed == 0.0
 
     def test_same_bill_less_waiting(self, network):
@@ -146,9 +148,9 @@ class TestPlanningEquivalence:
             batching=True,
             planner=DispatchPlanner(lookahead=4),
         ).run(num_samples=n)
-        assert planned.query_cost == plain.query_cost
-        assert sorted(s.node for s in planned.merged) == sorted(
-            s.node for s in plain.merged
+        assert planned.queries == plain.queries
+        assert sorted(s.node for s in planned.samples) == sorted(
+            s.node for s in plain.samples
         )
         assert planned.sim_elapsed < plain.sim_elapsed
         planning = planned.planning
@@ -173,7 +175,7 @@ class TestPlanningEquivalence:
             ).run(num_samples=120)
 
         a, b = run_once(), run_once()
-        assert a.merged == b.merged
+        assert a.samples == b.samples
         assert a.sim_elapsed == b.sim_elapsed
         assert a.planning == b.planning
 
@@ -188,7 +190,7 @@ class TestPlanningEquivalence:
         ).run(num_samples=120)
         # Speculative candidates are guesses: cost may exceed the plain
         # bill (that is the documented trade), never undershoot it.
-        assert speculative.query_cost >= plain.query_cost
+        assert speculative.queries >= plain.queries
         assert speculative.planning["prefetch_issued"] > 0
 
     def test_chain_steps_surfaced(self, network):
@@ -244,7 +246,7 @@ class TestAdaptiveLifecycle:
 
     def test_retirement_happens_and_completes(self, network):
         _group, run = self._run(network)
-        assert len(run.merged) == 160
+        assert len(run.samples) == 160
         assert run.planning["retired_chains"]  # the spread makes tails certain
         retired = set(run.planning["retired_chains"])
         # Retired chains' samples are still in the merged output.
@@ -255,7 +257,7 @@ class TestAdaptiveLifecycle:
         """Satellite: rerunning the same config reproduces the same merge."""
         _g1, a = self._run(network)
         _g2, b = self._run(network)
-        assert a.merged == b.merged
+        assert a.samples == b.samples
         assert a.planning["roster"] == b.planning["roster"]
         assert a.chain_steps == b.chain_steps
 
@@ -276,7 +278,7 @@ class TestAdaptiveLifecycle:
             ),
         )
         run = group.run(num_samples=160)
-        assert len(run.merged) == 160
+        assert len(run.samples) == 160
         # A retirement spawned the lowest-index reserve (chain 6); the
         # spawned chain may itself be retired by a later review, but it
         # can no longer be a dormant reserve.
@@ -309,7 +311,7 @@ class TestPlanningCheckpoint:
         assert resume_session.resume()
         resumed_run = resumed.run(num_samples=80)
 
-        assert resumed_run.merged == ref_run.merged
+        assert resumed_run.samples == ref_run.samples
         assert resumed_run.sim_elapsed == ref_run.sim_elapsed
         assert resumed_run.planning == ref_run.planning
         assert api_b.query_cost == _api_ref.query_cost
@@ -364,8 +366,8 @@ class TestPlanningCheckpoint:
             check=True,
         )
         child = json.loads(proc.stdout)
-        assert child["nodes"] == [s.node for s in ref_run.merged]
-        assert child["query_cost"] == ref_run.query_cost
+        assert child["nodes"] == [s.node for s in ref_run.samples]
+        assert child["query_cost"] == ref_run.queries
         assert child["sim_elapsed_hex"] == ref_run.sim_elapsed.hex()
         for key in ("prefetch_issued", "prefetch_used", "prefetch_wasted"):
             assert child["planning"][key] == ref_run.planning[key]
@@ -380,18 +382,19 @@ _CHILD_SCRIPT = """
 import json, sys
 from repro.datasets import load
 from repro.datastore.snapshot import JsonLinesBackend
-from repro.fleet import sharded_fleet
+from repro.compose import FleetSpec, ProviderSpec, build_fleet
 from repro.interface import RestrictedSocialAPI, SamplingSession
 from repro.planning import AdaptiveChainPolicy, DispatchPlanner
 from repro.walks import EventDrivenWalkers, SimpleRandomWalk
 
 network = load("epinions_like", seed=0, scale=0.15)
-api = RestrictedSocialAPI(sharded_fleet(
-    network.graph, 4, seed=11, weights=[5.0, 1.0, 1.0, 1.0],
-    profiles=network.profiles, latency_distribution="heavy_tailed",
-    latency_scale=0.5, shard_latency_spread=4.0, admission_interval=1.0,
+spec = FleetSpec(
+    num_shards=4, seed=11, weights=(5.0, 1.0, 1.0, 1.0),
+    provider=ProviderSpec(latency_distribution="heavy_tailed", latency_scale=0.5),
+    shard_latency_spread=4.0, admission_interval=1.0,
     latency_quantum=0.5, batch_cap=16,
-))
+)
+api = RestrictedSocialAPI(build_fleet(spec, network.graph, profiles=network.profiles))
 chains = [SimpleRandomWalk(api, start=network.seed_node(i), seed=i) for i in range(4)]
 policy = AdaptiveChainPolicy(min_chains=2, tail_ratio=1.5, evaluate_every=8, min_observations=6)
 group = EventDrivenWalkers(
@@ -407,8 +410,8 @@ planning = {
 }
 planning["roster"] = list(planning["roster"])
 print(json.dumps({
-    "nodes": [s.node for s in run.merged],
-    "query_cost": run.query_cost,
+    "nodes": [s.node for s in run.samples],
+    "query_cost": run.queries,
     "sim_elapsed_hex": run.sim_elapsed.hex(),
     "planning": planning,
 }))

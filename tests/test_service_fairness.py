@@ -1,0 +1,102 @@
+"""Fairness-aware admission: deficit round-robin vs run-to-completion.
+
+ISSUE 6 acceptance, test-sized: on a skewed workload (one hot tenant
+requesting many times everyone else's samples) deficit-round-robin
+admission bounds every tenant's p95 per-sample pace near its fair share,
+while FCFS parks every cold tenant behind the hog.  Fair interleaving
+must not raise the total §II-B bill.
+"""
+
+import pytest
+
+from repro.compose import FleetSpec, ProviderSpec, StackConfig, WalkSpec
+from repro.datasets import load
+from repro.experiments import run_tenant_sweep
+from repro.service import SamplingService
+
+FLEET = FleetSpec(
+    num_shards=2,
+    seed=3,
+    provider=ProviderSpec(latency_distribution="constant", latency_scale=0.5),
+)
+
+TENANTS = 4
+COLD_SAMPLES = 20
+HOT_SAMPLES = 120
+
+
+@pytest.fixture(scope="module")
+def network():
+    return load("epinions_like", seed=0, scale=0.2)
+
+
+def _run_skewed(network, fairness, quantum=0.5):
+    service = SamplingService(network, fleet=FLEET, fairness=fairness, quantum=quantum)
+    for i in range(TENANTS):
+        service.register(
+            f"t{i}",
+            StackConfig(
+                fleet=FLEET,
+                walk=WalkSpec(engine="srw", chains=4 if i == 0 else 2, seed=10 + i),
+            ),
+        )
+    for i in range(TENANTS):
+        service.request(f"t{i}", HOT_SAMPLES if i == 0 else COLD_SAMPLES)
+    service.run_pending()
+    return service
+
+
+class TestDeficitRoundRobin:
+    def test_bounds_every_tenant_near_fair_share(self, network):
+        fair = _run_skewed(network, fairness=True).fairness_report()
+        fcfs = _run_skewed(network, fairness=False).fairness_report()
+        assert fair["max_ratio"] <= 3.0
+        assert fcfs["max_ratio"] > fair["max_ratio"]
+
+    def test_interleaves_instead_of_parking(self, network):
+        service = _run_skewed(network, fairness=True)
+        hot, cold = service.tenant("t0"), service.tenant("t1")
+        # under round-robin the cold tenant collects its first sample
+        # long before the hot tenant collects its last
+        assert cold.sample_clock[0] < hot.sample_clock[-1]
+
+    def test_fcfs_parks_cold_tenants_behind_the_hog(self, network):
+        service = _run_skewed(network, fairness=False)
+        hot, cold = service.tenant("t0"), service.tenant("t1")
+        assert cold.sample_clock[0] >= hot.sample_clock[-1]
+
+    def test_everyone_still_gets_everything(self, network):
+        for fairness in (True, False):
+            service = _run_skewed(network, fairness=fairness)
+            assert service.tenant("t0").samples == HOT_SAMPLES
+            for i in range(1, TENANTS):
+                assert service.tenant(f"t{i}").samples == COLD_SAMPLES
+
+    def test_fair_admission_never_raises_the_bill(self, network):
+        fair = _run_skewed(network, fairness=True).fairness_report()
+        fcfs = _run_skewed(network, fairness=False).fairness_report()
+        assert fair["total_query_cost"] <= fcfs["total_query_cost"]
+
+    @pytest.mark.parametrize("quantum", [0.25, 0.5, 1.0])
+    def test_bound_holds_across_quanta(self, network, quantum):
+        fair = _run_skewed(network, fairness=True, quantum=quantum).fairness_report()
+        assert fair["max_ratio"] <= 3.0
+
+
+class TestTenantSweepDriver:
+    def test_sweep_asserts_cost_and_reports_both_policies(self, network):
+        sweep = run_tenant_sweep(
+            network,
+            tenant_counts=(4,),
+            skews=(4.0,),
+            num_samples=20,
+            seed=0,
+        )
+        assert len(sweep.rows) == 2
+        fair = next(r for r in sweep.rows if r.fairness)
+        fcfs = next(r for r in sweep.rows if not r.fairness)
+        assert fair.total_samples == fcfs.total_samples
+        assert fair.total_query_cost <= fcfs.total_query_cost
+        assert fair.max_ratio < fcfs.max_ratio
+        assert fair.shared_cache_hits > 0
+        assert "drr" in str(sweep) and "fcfs" in str(sweep)

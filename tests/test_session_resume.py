@@ -404,10 +404,10 @@ assert scheduler.phase == "collect"          # restored mid-flight
 
 result = scheduler.run(num_samples=num_samples)
 print(json.dumps({
-    "nodes": [s.node for s in result.merged],
-    "weights_hex": [s.weight.hex() for s in result.merged],
-    "sample_costs": [s.query_cost for s in result.merged],
-    "query_cost": result.query_cost,
+    "nodes": [s.node for s in result.samples],
+    "weights_hex": [s.weight.hex() for s in result.samples],
+    "sample_costs": [s.query_cost for s in result.samples],
+    "query_cost": result.queries,
     "sim_elapsed_hex": result.sim_elapsed.hex(),
     "events": result.events_processed,
 }))
@@ -466,10 +466,10 @@ class TestSchedulerResumeInFreshProcess:
         )
         child = json.loads(proc.stdout)
 
-        assert child["nodes"] == [s.node for s in ref_run.merged]
-        assert child["weights_hex"] == [s.weight.hex() for s in ref_run.merged]
-        assert child["sample_costs"] == [s.query_cost for s in ref_run.merged]
-        assert child["query_cost"] == ref_run.query_cost
+        assert child["nodes"] == [s.node for s in ref_run.samples]
+        assert child["weights_hex"] == [s.weight.hex() for s in ref_run.samples]
+        assert child["sample_costs"] == [s.query_cost for s in ref_run.samples]
+        assert child["query_cost"] == ref_run.queries
         assert child["sim_elapsed_hex"] == ref_run.sim_elapsed.hex()
         assert child["events"] == ref_run.events_processed
 

@@ -2,8 +2,8 @@
 
 import pytest
 
+from repro.compose import FleetSpec, ProviderSpec, build_fleet
 from repro.datasets import load
-from repro.fleet import sharded_fleet
 from repro.interface import (
     FlakyProvider,
     InMemoryGraphProvider,
@@ -28,9 +28,12 @@ class TestStackWalking:
         assert kinds == ["FlakyProvider", "LatencyModelProvider", "InMemoryGraphProvider"]
 
     def test_iterates_fleet_shards(self, network):
-        fleet = sharded_fleet(
-            network.graph, 2, seed=1, latency_distribution="constant", failure_rate=0.1
+        spec = FleetSpec(
+            num_shards=2,
+            seed=1,
+            provider=ProviderSpec(latency_distribution="constant", failure_rate=0.1),
         )
+        fleet = build_fleet(spec, network.graph)
         kinds = [type(p).__name__ for p in iter_provider_stack(fleet)]
         assert kinds.count("FlakyProvider") == 2
         assert kinds.count("LatencyModelProvider") == 2
@@ -74,9 +77,12 @@ class TestCollect:
         assert "retries" in telemetry.format_summary()
 
     def test_fleet_breakdown(self, network):
-        fleet = sharded_fleet(
-            network.graph, 3, seed=2, latency_distribution="constant", latency_scale=0.25
+        spec = FleetSpec(
+            num_shards=3,
+            seed=2,
+            provider=ProviderSpec(latency_distribution="constant", latency_scale=0.25),
         )
+        fleet = build_fleet(spec, network.graph)
         api = RestrictedSocialAPI(fleet)
         for user in list(network.graph.nodes())[:60]:
             api.query(user)

@@ -87,7 +87,7 @@ class TestParallelWalkers:
     def test_run_collects_quota(self):
         _, walkers = self._walkers()
         result = walkers.run(num_samples=30)
-        assert len(result.merged) == 30
+        assert len(result.samples) == 30
         assert sum(len(r.samples) for r in result.per_chain) == 30
 
     def test_run_with_monitor_reports_r_hat(self):
@@ -138,7 +138,7 @@ class TestThinningBookkeeping:
         walkers = ParallelWalkers(samplers)
         num_samples = 30  # divisible by 3 chains: quota fills at a round end
         result = walkers.run(num_samples=num_samples)
-        last_step = max(s.step for s in result.merged)
+        last_step = max(s.step for s in result.samples)
         assert all(c.steps == last_step for c in walkers.chains)
 
 
@@ -205,6 +205,6 @@ class TestSharedOverlayMTO:
             for i in range(3)
         ]
         result = ParallelWalkers(chains).run(num_samples=900)
-        est = estimate(AggregateQuery.average_degree(), result.merged, api)
+        est = estimate(AggregateQuery.average_degree(), result.samples, api)
         truth = ground_truth(AggregateQuery.average_degree(), net.graph)
         assert abs(est.estimate - truth) / truth < 0.3

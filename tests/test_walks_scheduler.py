@@ -85,8 +85,8 @@ class TestZeroLatencyEquivalence:
         event = EventDrivenWalkers(_srw_chains(network, network.interface()))
         event_run = event.run(**config)
 
-        assert event_run.merged == lock_run.merged
-        assert event_run.query_cost == lock_run.query_cost
+        assert event_run.samples == lock_run.samples
+        assert event_run.queries == lock_run.queries
         assert event_run.r_hat_at_convergence == lock_run.r_hat_at_convergence
         assert [c.steps for c in event.chains] == [c.steps for c in lock.chains]
         assert [tuple(c.trace) for c in event.chains] == [tuple(c.trace) for c in lock.chains]
@@ -104,8 +104,8 @@ class TestZeroLatencyEquivalence:
         event = EventDrivenWalkers(event_chains)
         event_run = event.run(num_samples=45, monitor=GelmanRubinDiagnostic(threshold=1.3))
 
-        assert event_run.merged == lock_run.merged
-        assert event_run.query_cost == lock_run.query_cost
+        assert event_run.samples == lock_run.samples
+        assert event_run.queries == lock_run.queries
         assert event_run.r_hat_at_convergence == lock_run.r_hat_at_convergence
         # The shared overlay evolved identically under both schedules.
         lock_overlay = lock_chains[0].overlay
@@ -135,9 +135,9 @@ class TestLatencyAwareScheduling:
         event_run = EventDrivenWalkers(_srw_chains(network, api_event, k)).run(num_samples=n)
 
         # Balanced per-chain quotas: the same walk work, the same bill.
-        assert event_run.query_cost == lock_run.query_cost
-        assert sorted(s.node for s in event_run.merged) == sorted(
-            s.node for s in lock_run.merged
+        assert event_run.queries == lock_run.queries
+        assert sorted(s.node for s in event_run.samples) == sorted(
+            s.node for s in lock_run.samples
         )
         # Lock-step pays each round's maximum latency; event-driven chains
         # never wait for each other.
@@ -171,7 +171,7 @@ def _chain_attribution(run):
     """Recover per-sample chain indices from the per_chain partition."""
     remaining = [list(c.samples) for c in run.per_chain]
     attribution = []
-    for sample in run.merged:
+    for sample in run.samples:
         for idx, queue in enumerate(remaining):
             if queue and queue[0] == sample:
                 attribution.append(idx)
@@ -189,7 +189,7 @@ class TestBurnInLead:
         lock_run = lock.run(num_samples=9, monitor=monitor, max_steps=30)
         event = EventDrivenWalkers(_srw_chains(network, network.interface()))
         event_run = event.run(num_samples=9, monitor=monitor, max_steps=30)
-        assert event_run.merged == lock_run.merged
+        assert event_run.samples == lock_run.samples
         assert event_run.r_hat_at_convergence == lock_run.r_hat_at_convergence
         assert not event_run.per_chain[0].converged
         assert not lock_run.per_chain[0].converged
@@ -199,7 +199,7 @@ class TestBurnInLead:
         first = walkers.run(num_samples=12)
         assert walkers.phase == "done"
         again = walkers.run(num_samples=12)
-        assert again.merged == first.merged
+        assert again.samples == first.samples
         assert again.events_processed == first.events_processed
 
     def test_max_lead_bounds_runahead(self, network):
@@ -231,8 +231,8 @@ class TestSchedulerCheckpointing:
         assert resume_session.resume()
         resumed_run = resumed.run(num_samples=60)
 
-        assert resumed_run.merged == ref_run.merged
-        assert resumed_run.query_cost == ref_run.query_cost
+        assert resumed_run.samples == ref_run.samples
+        assert resumed_run.queries == ref_run.queries
         assert resumed_run.sim_elapsed == ref_run.sim_elapsed
         assert api_b.query_cost == api_ref.query_cost
 
@@ -257,8 +257,8 @@ class TestSchedulerCheckpointing:
         assert resumed.phase in ("burnin", "collect")
         resumed_run = resumed.run(num_samples=21, monitor=monitor)
 
-        assert resumed_run.merged == ref_run.merged
-        assert resumed_run.query_cost == ref_run.query_cost
+        assert resumed_run.samples == ref_run.samples
+        assert resumed_run.queries == ref_run.queries
         assert resumed_run.r_hat_at_convergence == ref_run.r_hat_at_convergence
 
     def test_resumed_burnin_without_monitor_raises(self, network):
