@@ -43,7 +43,12 @@ from repro.interface import RestrictedSocialAPI
 from repro.planning import DispatchPlanner
 from repro.interface.session import SamplingSession
 from repro.service import SamplingService
-from repro.walks import EventDrivenWalkers, SimpleRandomWalk
+from repro.walks import (
+    EventDrivenWalkers,
+    MetropolisHastingsWalk,
+    NonBacktrackingWalk,
+    SimpleRandomWalk,
+)
 from repro.walks.parallel import ParallelWalkers
 
 
@@ -55,6 +60,18 @@ def network():
 def test_srw_step(benchmark, network):
     api = network.interface()
     walk = SimpleRandomWalk(api, start=network.seed_node(0), seed=1)
+    benchmark(walk.step)
+
+
+def test_mhrw_step(benchmark, network):
+    api = network.interface()
+    walk = MetropolisHastingsWalk(api, start=network.seed_node(0), seed=1)
+    benchmark(walk.step)
+
+
+def test_nbrw_step(benchmark, network):
+    api = network.interface()
+    walk = NonBacktrackingWalk(api, start=network.seed_node(0), seed=1)
     benchmark(walk.step)
 
 
@@ -119,46 +136,87 @@ def _engine_profile(network, make_sampler):
     }
 
 
-def _parallel_profile(network, prefetch):
-    api = network.interface()
-    shared = None
-    chains = []
-    for i in range(_PARALLEL_CHAINS):
-        mto = MTOSampler(api, start=network.seed_node(i), seed=i, overlay=shared)
-        shared = mto.overlay
-        chains.append(mto)
-    walkers = ParallelWalkers(chains, prefetch=prefetch)
-    for _ in range(20):
-        walkers.step_all()
-    t0 = time.perf_counter()
-    for _ in range(_PARALLEL_ROUNDS):
-        walkers.step_all()
-    elapsed = time.perf_counter() - t0
-    return {
-        "chain_steps_per_second": round(_PARALLEL_ROUNDS * _PARALLEL_CHAINS / elapsed),
-        "query_cost": api.query_cost,
-    }
+def _make_chains(network, name):
+    """Chain factory per engine name: 4 chains over one fresh interface."""
+
+    def chains(api):
+        if name == "mto":
+            shared = None
+            built = []
+            for i in range(_PARALLEL_CHAINS):
+                mto = MTOSampler(api, start=network.seed_node(i), seed=i, overlay=shared)
+                shared = mto.overlay
+                built.append(mto)
+            return built
+        engine = {
+            "srw": SimpleRandomWalk,
+            "mhrw": MetropolisHastingsWalk,
+            "nbrw": NonBacktrackingWalk,
+        }[name]
+        return [
+            engine(api, start=network.seed_node(i), seed=i)
+            for i in range(_PARALLEL_CHAINS)
+        ]
+
+    return chains
+
+
+def _parallel_profile(network, make_chains, prefetch, repeats=3):
+    """Best-of-N parallel throughput (noisy runners; cost is seeded-exact)."""
+    best = 0.0
+    query_cost = None
+    for _ in range(repeats):
+        api = network.interface()
+        walkers = ParallelWalkers(make_chains(api), prefetch=prefetch)
+        for _ in range(20):
+            walkers.step_all()
+        t0 = time.perf_counter()
+        for _ in range(_PARALLEL_ROUNDS):
+            walkers.step_all()
+        elapsed = time.perf_counter() - t0
+        best = max(best, _PARALLEL_ROUNDS * _PARALLEL_CHAINS / elapsed)
+        query_cost = api.query_cost
+    return {"chain_steps_per_second": round(best), "query_cost": query_cost}
+
+
+_ENGINE_FACTORIES = {
+    "srw": lambda network, api: SimpleRandomWalk(api, start=network.seed_node(0), seed=1),
+    "mhrw": lambda network, api: MetropolisHastingsWalk(api, start=network.seed_node(0), seed=1),
+    "nbrw": lambda network, api: NonBacktrackingWalk(api, start=network.seed_node(0), seed=1),
+    "mto": lambda network, api: MTOSampler(api, start=network.seed_node(0), seed=1),
+}
 
 
 def test_walk_engine_profile(network, figure_report):
-    """Emit ``BENCH_walk_engine.json``: the walk engines' perf trajectory."""
+    """Emit ``BENCH_walk_engine.json``: the walk engines' perf trajectory.
+
+    Serial steps/s and queries/sample for every engine, plus per-engine
+    lock-step parallel throughput with prefetch off and on — the gate
+    asserts prefetch-on is equal-or-faster at equal-or-lower §II-B cost
+    (the ISSUE 7 regression).
+    """
     report = {
         "benchmark": "walk_engine",
         "dataset": {"name": "epinions_like", "seed": 0, "scale": 0.3},
         "python": ".".join(str(p) for p in sys.version_info[:3]),
         "timed_steps": _TIMED_STEPS,
         "engines": {
-            "mto": _engine_profile(
-                network, lambda api: MTOSampler(api, start=network.seed_node(0), seed=1)
-            ),
-            "srw": _engine_profile(
-                network, lambda api: SimpleRandomWalk(api, start=network.seed_node(0), seed=1)
-            ),
+            name: _engine_profile(network, lambda api, f=factory: f(network, api))
+            for name, factory in _ENGINE_FACTORIES.items()
         },
-        "parallel_mto": {
+        "parallel": {
             "chains": _PARALLEL_CHAINS,
-            "prefetch_off": _parallel_profile(network, prefetch=False),
-            "prefetch_on": _parallel_profile(network, prefetch=True),
+            "engines": {
+                name: {
+                    "prefetch_off": _parallel_profile(
+                        network, _make_chains(network, name), prefetch=False
+                    ),
+                    "prefetch_on": _parallel_profile(
+                        network, _make_chains(network, name), prefetch=True
+                    ),
+                }
+                for name in _ENGINE_FACTORIES
+            },
         },
         "reference": {
             "pre_refactor_steps_per_second": _PRE_REFACTOR_STEPS_PER_SECOND,
@@ -168,6 +226,9 @@ def test_walk_engine_profile(network, figure_report):
     for engine in report["engines"].values():
         assert engine["steps_per_second"] > 0
         assert engine["queries_per_sample"] > 0
+    for name, rows in report["parallel"]["engines"].items():
+        # Draw-aware prefetch bills only nodes the chains fetch anyway.
+        assert rows["prefetch_on"]["query_cost"] <= rows["prefetch_off"]["query_cost"], name
 
     out_path = os.environ.get("BENCH_WALK_ENGINE_OUT", "BENCH_walk_engine.json")
     with open(out_path, "w") as fh:
@@ -181,14 +242,15 @@ def test_walk_engine_profile(network, figure_report):
                 name, engine["steps_per_second"], engine["queries_per_sample"]
             )
         )
-    par = report["parallel_mto"]
-    lines.append(
-        "  parallel x{}: {} chain-steps/s (prefetch off), {} (on)".format(
-            par["chains"],
-            par["prefetch_off"]["chain_steps_per_second"],
-            par["prefetch_on"]["chain_steps_per_second"],
+    for name, rows in report["parallel"]["engines"].items():
+        lines.append(
+            "  parallel {:>4} x{}: {} chain-steps/s (prefetch off), {} (on)".format(
+                name,
+                report["parallel"]["chains"],
+                rows["prefetch_off"]["chain_steps_per_second"],
+                rows["prefetch_on"]["chain_steps_per_second"],
+            )
         )
-    )
     figure_report("\n".join(lines))
 
 

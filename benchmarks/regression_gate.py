@@ -17,9 +17,12 @@ Two kinds of metrics, two kinds of tolerance:
   additionally has the ISSUE 3 hard floor of 2x, the fleet
   batch-coalescing speedup the ISSUE 4 hard floor of 1.5x, the
   history-aware planning speedup the ISSUE 5 hard floor of 1.5x at
-  equal-or-lower §II-B cost, and the multi-tenant service profile the
+  equal-or-lower §II-B cost, the multi-tenant service profile the
   ISSUE 6 hard ceiling of 3x fair share on the worst tenant's p95
-  per-sample pace at equal-or-lower §II-B cost than FCFS.
+  per-sample pace at equal-or-lower §II-B cost than FCFS, and the
+  walk-engine parallel rows the ISSUE 7 requirement that prefetch-on is
+  equal-or-faster than prefetch-off (same-run comparison, slim jitter
+  band) at equal-or-lower §II-B cost.
 
 Usage::
 
@@ -46,6 +49,20 @@ MIN_PLANNING_SPEEDUP = 1.5
 #: Hard ceiling on the worst tenant's p95 pace over fair share under
 #: deficit-round-robin admission (ISSUE 6 acceptance).
 MAX_SERVICE_FAIR_RATIO = 3.0
+
+#: Same-process prefetch-on/prefetch-off throughput parity floor (ISSUE 7
+#: acceptance).  Both runs execute back to back on one runner, so only a
+#: slim jitter band is allowed — draw-aware prefetch must be
+#: equal-or-faster, not 2x slower like the over-fetching version.
+MIN_PREFETCH_THROUGHPUT_PARITY = 0.85
+
+#: Engines whose parallel rows are gated on throughput parity.  For
+#: unpredictable engines prefetch is a detected no-op, so equal-or-faster
+#: is a hard invariant — parallel MTO is the ISSUE 7 headline regression.
+#: Draw-replay engines (srw) pay real prediction work per round; on the
+#: zero-latency bench fixture that is measurable overhead traded against
+#: round trips that cost nothing here, so only their §II-B cost is gated.
+PREFETCH_PARITY_ENGINES = ("mto",)
 
 
 def _load(path: Path) -> dict:
@@ -88,6 +105,56 @@ def check_walk_engine(
                     fresh_engine["queries_per_sample"],
                     base_qps,
                     simulated_tolerance,
+                )
+            )
+    # Per-engine parallel rows: prefetch-on must be equal-or-faster at
+    # equal-or-lower §II-B cost (ISSUE 7), and each engine's prefetch-off
+    # throughput must hold its hardware-banded floor vs baseline.
+    fresh_parallel = fresh.get("parallel", {}).get("engines", {})
+    for name, base_rows in baseline.get("parallel", {}).get("engines", {}).items():
+        fresh_rows = fresh_parallel.get(name)
+        if fresh_rows is None:
+            failures.append(f"walk_engine: parallel engine {name!r} missing from fresh profile")
+            continue
+        off, on = fresh_rows["prefetch_off"], fresh_rows["prefetch_on"]
+        if on["query_cost"] > off["query_cost"]:
+            failures.append(
+                "walk_engine: parallel {} prefetch raised the §II-B bill: "
+                "{} vs {} with prefetch off".format(
+                    name, on["query_cost"], off["query_cost"]
+                )
+            )
+        parity_floor = MIN_PREFETCH_THROUGHPUT_PARITY * off["chain_steps_per_second"]
+        if name in PREFETCH_PARITY_ENGINES and on["chain_steps_per_second"] < parity_floor:
+            failures.append(
+                "walk_engine: parallel {} prefetch-on throughput {} chain-steps/s "
+                "below {:.0f} ({:.0%} of same-run prefetch-off {})".format(
+                    name,
+                    on["chain_steps_per_second"],
+                    parity_floor,
+                    MIN_PREFETCH_THROUGHPUT_PARITY,
+                    off["chain_steps_per_second"],
+                )
+            )
+        base_off = base_rows["prefetch_off"]
+        floor = base_off["chain_steps_per_second"] * (1.0 - throughput_tolerance)
+        if off["chain_steps_per_second"] < floor:
+            failures.append(
+                "walk_engine: parallel {} throughput regressed: {} chain-steps/s "
+                "< {:.0f} ({}% band around baseline {})".format(
+                    name,
+                    off["chain_steps_per_second"],
+                    floor,
+                    int(throughput_tolerance * 100),
+                    base_off["chain_steps_per_second"],
+                )
+            )
+        drift = abs(off["query_cost"] - base_off["query_cost"])
+        if drift > simulated_tolerance * base_off["query_cost"]:
+            failures.append(
+                "walk_engine: parallel {} query cost drifted: {} vs baseline {} "
+                "(simulated metric, tolerance {:.0%})".format(
+                    name, off["query_cost"], base_off["query_cost"], simulated_tolerance
                 )
             )
     return failures

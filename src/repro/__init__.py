@@ -53,6 +53,7 @@ from repro.interface.providers import (
 from repro.interface.session import SamplingSession
 from repro.interface.telemetry import collect_telemetry
 from repro.service import SamplingService, TenantSession
+from repro.walks.executor import MultiprocessChainExecutor
 from repro.walks.mhrw import MetropolisHastingsWalk
 from repro.walks.parallel import ParallelWalkers
 from repro.walks.rj import RandomJumpWalk
@@ -93,6 +94,7 @@ __all__ = [
     "collect_telemetry",
     "ParallelWalkers",
     "EventDrivenWalkers",
+    "MultiprocessChainExecutor",
     "SamplingSession",
     "SnapshotBackend",
     "JsonLinesBackend",

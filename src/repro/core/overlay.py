@@ -27,6 +27,7 @@ from __future__ import annotations
 import random
 from typing import AbstractSet, Dict, FrozenSet, Hashable, Iterable, Iterator, Optional, Set, Tuple
 
+from repro.core.adjacency import CompactAdjacency
 from repro.core.criteria import is_removable, replacement_allowed
 from repro.errors import EdgeNotFoundError, SelfLoopError, WalkError
 from repro.graph.adjacency import Graph
@@ -77,8 +78,10 @@ class OverlayGraph:
         self._api = api
         # node -> insertion-ordered neighbor index (dict keys as ordered set)
         self._known: Dict[Node, Dict[Node, None]] = {}
-        # node -> cached neighbor tuple, dropped on mutation
-        self._seq: Dict[Node, Tuple[Node, ...]] = {}
+        # Int-interned arena mirror of _known, mutated in lockstep: serves
+        # neighbor tuples, seeded draws, and the batched lanes (a row
+        # exists exactly for materialized nodes).
+        self._compact = CompactAdjacency()
         self._removed: Dict[Node, Set[Node]] = {}
         # insertion-ordered so lazy application preserves determinism
         self._added: Dict[Node, Dict[Node, None]] = {}
@@ -98,6 +101,7 @@ class OverlayGraph:
             if v != node:
                 nbrs[v] = None
         self._known[node] = nbrs
+        self._compact.set_row(node, nbrs)
         self._orig_degree[node] = resp.degree
 
     def ensure_known(self, node: Node) -> None:
@@ -122,7 +126,13 @@ class OverlayGraph:
             The underlying :class:`~repro.interface.api.BatchQueryResult`,
             so callers can see which members failed.
         """
-        missing = [n for n in dict.fromkeys(nodes) if n not in self._known]
+        order = list(dict.fromkeys(nodes))
+        if order:
+            # One batched membership read instead of per-id dict probes.
+            mask = self._compact.row_mask(order)
+            missing = [n for n, known in zip(order, mask) if not known]
+        else:
+            missing = []
         result = self._api.query_many(missing)
         for node, resp in result.responses.items():
             if node not in self._known:
@@ -171,14 +181,10 @@ class OverlayGraph:
         Raises:
             WalkError: If the node has not been materialized.
         """
-        seq = self._seq.get(node)
-        if seq is None:
-            try:
-                seq = tuple(self._known[node])
-            except KeyError:
-                raise WalkError(f"node {node!r} not materialized in overlay") from None
-            self._seq[node] = seq
-        return seq
+        try:
+            return self._compact.seq(node)
+        except KeyError:
+            raise WalkError(f"node {node!r} not materialized in overlay") from None
 
     def random_neighbor(self, node: Node, rng: random.Random) -> Optional[Node]:
         """Uniform O(1) draw from a materialized neighborhood.
@@ -188,10 +194,34 @@ class OverlayGraph:
         Raises:
             WalkError: If the node has not been materialized.
         """
-        seq = self.neighbors_seq(node)
-        if not seq:
-            return None
-        return seq[rng.randrange(len(seq))]
+        try:
+            return self._compact.draw(node, rng)
+        except KeyError:
+            raise WalkError(f"node {node!r} not materialized in overlay") from None
+
+    def draw_many(
+        self, nodes, rngs
+    ) -> "list[Optional[Node]]":
+        """One uniform draw per ``(node, rng)`` pair — see
+        :meth:`repro.core.adjacency.CompactAdjacency.draw_many`.
+
+        Raises:
+            WalkError: If any node has not been materialized.
+        """
+        try:
+            return self._compact.draw_many(nodes, rngs)
+        except KeyError as exc:
+            raise WalkError(
+                f"node {exc.args[0]!r} not materialized in overlay"
+            ) from None
+
+    def known_mask(self, nodes):
+        """Boolean is-materialized for a batch of ids, one call."""
+        return self._compact.row_mask(nodes)
+
+    def known_degrees_many(self, nodes):
+        """Overlay degrees for a batch; ``-1`` marks unmaterialized ids."""
+        return self._compact.degrees_many(nodes)
 
     def degree(self, node: Node) -> int:
         """Overlay degree ``k*_node`` of a materialized node.
@@ -258,7 +288,7 @@ class OverlayGraph:
         for a, b in ((u, v), (v, u)):
             if a in self._known:
                 self._known[a].pop(b, None)
-                self._seq.pop(a, None)
+                self._compact.remove(a, b)
         self._removal_count += 1
 
     def add_edge(self, u: Node, v: Node) -> None:
@@ -272,8 +302,9 @@ class OverlayGraph:
         self._note_added(u, v)
         for a, b in ((u, v), (v, u)):
             if a in self._known:
+                if b not in self._known[a]:
+                    self._compact.append(a, b)
                 self._known[a][b] = None
-                self._seq.pop(a, None)
 
     def replace_edge(self, u: Node, v: Node, w: Node) -> None:
         """Theorem 4's operation: replace ``e_uv`` by ``e_uw``.
@@ -345,7 +376,9 @@ class OverlayGraph:
         self._orig_degree = dict(state["orig_degree"])
         self._removal_count = int(state["removal_count"])
         self._replacement_count = int(state["replacement_count"])
-        self._seq = {}
+        self._compact = CompactAdjacency()
+        for node, nbrs in self._known.items():
+            self._compact.set_row(node, nbrs)
 
     def known_subgraph(self) -> Graph:
         """The overlay restricted to materialized nodes, as a plain graph.

@@ -48,6 +48,11 @@ class KeyValueStore:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        # Monotonic write-version: bumped by every mutation (set, delete,
+        # purge, eviction, clear, load_state).  Read-side fast lanes (the
+        # neighborhood cache's hot dict) compare it to detect foreign
+        # writes through a shared store and flush themselves.
+        self._version = 0
 
     def _logical_clock(self) -> float:
         return self._logical_now
@@ -65,6 +70,7 @@ class KeyValueStore:
     def _purge(self, key: Hashable) -> None:
         self._data.pop(key, None)
         self._expires.pop(key, None)
+        self._version += 1
 
     # ------------------------------------------------------------------
     def set(self, key: Hashable, value: object, ttl: Optional[float] = None) -> None:
@@ -80,6 +86,7 @@ class KeyValueStore:
         """
         if ttl is not None and ttl <= 0:
             raise DataStoreError("ttl must be positive or None")
+        self._version += 1
         if key in self._data:
             self._data.move_to_end(key)
         self._data[key] = value
@@ -99,6 +106,7 @@ class KeyValueStore:
                 evicted, _ = self._data.popitem(last=False)
                 self._expires.pop(evicted, None)
                 self._evictions += 1
+                self._version += 1
 
     def get(self, key: Hashable, default: object = None) -> object:
         """Fetch the value for ``key`` or ``default`` if absent/expired."""
@@ -136,6 +144,7 @@ class KeyValueStore:
 
     def clear(self) -> None:
         """Drop all keys and reset hit/miss counters."""
+        self._version += 1
         self._data.clear()
         self._expires.clear()
         self._hits = 0
@@ -188,6 +197,7 @@ class KeyValueStore:
         Args:
             state: Output of :meth:`state_dict`.
         """
+        self._version += 1
         self._data.clear()
         self._expires.clear()
         now = self._clock()
@@ -207,6 +217,16 @@ class KeyValueStore:
                 self._evictions += 1
 
     # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> Optional[int]:
+        """The LRU capacity bound, or ``None`` when unbounded."""
+        return self._capacity
+
+    @property
+    def version(self) -> int:
+        """Monotonic write-version (bumped by every mutation)."""
+        return self._version
+
     @property
     def hits(self) -> int:
         """Number of successful :meth:`get` calls."""

@@ -33,11 +33,30 @@ class QueryRecord:
 
 
 class QueryLog:
-    """Record of all queries issued through a restricted interface."""
+    """Record of all queries issued through a restricted interface.
+
+    Records are held internally as plain ``(user, billed, timestamp)``
+    tuples — one append per logical query is on the walk engines' hot
+    path, and a frozen-dataclass construction per step costs more than
+    the draw itself.  Iteration and :meth:`tail` materialize
+    :class:`QueryRecord` views lazily, so readers see the same shape as
+    before.
+    """
 
     def __init__(self) -> None:
-        self._records: List[QueryRecord] = []
+        self._records: List[tuple] = []
         self._unique: Set[Hashable] = set()
+
+    def note(self, user: Hashable, billed: bool, timestamp: float) -> None:
+        """Hot-path append with an explicit billing decision.
+
+        Identical accounting to :meth:`record` minus the derived-billing
+        branch and the record-object construction; the walk engines' fast
+        cached-step lane calls this once per step.
+        """
+        if billed:
+            self._unique.add(user)
+        self._records.append((user, billed, timestamp))
 
     def record(
         self, user: Hashable, timestamp: float = 0.0, billed: Optional[bool] = None
@@ -57,13 +76,10 @@ class QueryLog:
         """
         if billed is None:
             billed = user not in self._unique
-        if billed:
-            self._unique.add(user)
-        rec = QueryRecord(
-            index=len(self._records), user=user, billed=billed, timestamp=timestamp
+        self.note(user, billed, timestamp)
+        return QueryRecord(
+            index=len(self._records) - 1, user=user, billed=billed, timestamp=timestamp
         )
-        self._records.append(rec)
-        return rec
 
     @property
     def total_queries(self) -> int:
@@ -84,7 +100,8 @@ class QueryLog:
         return frozenset(self._unique)
 
     def __iter__(self) -> Iterator[QueryRecord]:
-        return iter(self._records)
+        for i, (user, billed, ts) in enumerate(self._records):
+            yield QueryRecord(index=i, user=user, billed=billed, timestamp=ts)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -93,7 +110,11 @@ class QueryLog:
         """The most recent ``n`` records."""
         if n <= 0:
             return []
-        return self._records[-n:]
+        start = max(0, len(self._records) - n)
+        return [
+            QueryRecord(index=start + i, user=user, billed=billed, timestamp=ts)
+            for i, (user, billed, ts) in enumerate(self._records[start:])
+        ]
 
     # ------------------------------------------------------------------
     # snapshot support
@@ -107,7 +128,7 @@ class QueryLog:
         records themselves (it is recomputed from the billed flags on
         load, not stored separately).
         """
-        return {"records": [(rec.user, rec.billed, rec.timestamp) for rec in self._records]}
+        return {"records": [(user, billed, ts) for user, billed, ts in self._records]}
 
     def load_state(self, state: dict) -> None:
         """Replace this log's contents with a captured state.
@@ -116,22 +137,21 @@ class QueryLog:
             state: Output of :meth:`state_dict`.
         """
         self._records = [
-            QueryRecord(index=i, user=user, billed=bool(billed), timestamp=float(ts))
-            for i, (user, billed, ts) in enumerate(state["records"])
+            (user, bool(billed), float(ts)) for user, billed, ts in state["records"]
         ]
-        self._unique = {rec.user for rec in self._records if rec.billed}
+        self._unique = {user for user, billed, _ in self._records if billed}
 
     def billed_between(
         self, start: Optional[float] = None, end: Optional[float] = None
     ) -> int:
         """Billed queries with ``start <= timestamp < end`` (for rate audits)."""
         count = 0
-        for rec in self._records:
-            if not rec.billed:
+        for _, billed, timestamp in self._records:
+            if not billed:
                 continue
-            if start is not None and rec.timestamp < start:
+            if start is not None and timestamp < start:
                 continue
-            if end is not None and rec.timestamp >= end:
+            if end is not None and timestamp >= end:
                 continue
             count += 1
         return count

@@ -237,6 +237,33 @@ class RestrictedSocialAPI:
             self._known_private.add(user)
             raise
 
+    def fetch_seq(self, user: Node) -> Tuple[Node, ...]:
+        """Hot-path ``q(user)``: the stable neighbor sequence only.
+
+        Billing, budget, refusal, and clock semantics are identical to
+        :meth:`query` — every call logs one logical query, cache hits are
+        free, the first contact with an uncached user is billed — but a
+        cache hit skips the response rebuild entirely (no frozenset, no
+        attribute copy, no :class:`QueryResponse`): one hot-lane dict
+        read plus one log append.  This is what the walk engines' fast
+        cached-step lane runs on; everything that needs attributes or a
+        full response keeps using :meth:`query`.
+
+        The hot lane only serves unbounded, non-TTL caches; bounded or
+        TTL'd caches (and any miss) fall back to the full :meth:`query`
+        path, so eviction/expiry semantics are untouched.
+
+        Raises:
+            Exactly what :meth:`query` raises, under the same conditions.
+        """
+        if user not in self._known_private:
+            seq = self._cache.hot_seq(user)
+            if seq is not None:
+                self._cache_hits += 1
+                self._log.note(user, False, self._clock.now())
+                return seq
+        return self.query(user).neighbor_seq
+
     def query_many(self, users: Iterable[Node]) -> BatchQueryResult:
         """Issue ``q(u)`` for a batch of users.
 

@@ -40,6 +40,16 @@ class NeighborhoodCache:
             raise DataStoreError("cache ttl must be positive or None")
         self._store = store if store is not None else KeyValueStore()
         self._ttl = ttl
+        # Hot lane: user -> stable neighbor tuple, a plain-dict mirror of
+        # the store's "seq" entries for the walk engines' cached-step fast
+        # path.  Only coherent when nothing can silently drop entries —
+        # no TTL and an unbounded store — so it is disabled otherwise.
+        # Foreign writes through a *shared* store (a second cache object
+        # over the same KeyValueStore) are detected via the store's write
+        # version and flush the lane.
+        self._hot: Dict[Node, Tuple[Node, ...]] = {}
+        self._hot_enabled = ttl is None and self._store.capacity is None
+        self._hot_version = self._store.version
 
     @staticmethod
     def _nbr_key(user: Node) -> tuple:
@@ -69,13 +79,46 @@ class NeighborhoodCache:
                 derived from the set when omitted (legacy callers).
             attributes: Profile attributes.
         """
+        seq_tuple = tuple(seq) if seq is not None else tuple(neighbors)
+        version_before = self._store.version
         self._store.set(self._nbr_key(user), frozenset(neighbors), ttl=self._ttl)
-        self._store.set(
-            self._seq_key(user),
-            tuple(seq) if seq is not None else tuple(neighbors),
-            ttl=self._ttl,
-        )
+        self._store.set(self._seq_key(user), seq_tuple, ttl=self._ttl)
         self._store.set(self._attr_key(user), dict(attributes), ttl=self._ttl)
+        if self._hot_enabled:
+            if version_before != self._hot_version:
+                # A foreign writer touched the shared store since the lane
+                # last synced; drop everything it might have invalidated.
+                self._hot.clear()
+            self._hot[user] = seq_tuple
+            self._hot_version = self._store.version
+
+    def hot_seq(self, user: Node) -> Optional[Tuple[Node, ...]]:
+        """Hot-lane read: the stable neighbor tuple, or ``None``.
+
+        The walk engines' cached-step fast path — one plain-dict lookup
+        instead of three store reads plus a response rebuild.  Answers
+        ``None`` (callers then take the full :meth:`neighbor_seq` /
+        interface path) whenever the lane cannot guarantee coherence:
+        TTL'd or capacity-bounded stores, a foreign write through a
+        shared store since the last sync, or simply a user this cache
+        object has not mirrored yet.  A miss for a user the *store* does
+        hold repopulates the lane from the store.
+        """
+        if not self._hot_enabled:
+            return None
+        if self._store.version != self._hot_version:
+            self._hot.clear()
+            self._hot_version = self._store.version
+        seq = self._hot.get(user)
+        if seq is not None:
+            return seq
+        # Shared-store entries written by another cache object (or lane
+        # flushes) land here: re-mirror from the store once, then serve
+        # from the lane.
+        stored = self.neighbor_seq(user)
+        if stored is not None:
+            self._hot[user] = stored
+        return stored
 
     def has(self, user: Node) -> bool:
         """Whether ``user``'s response is cached."""
@@ -120,6 +163,8 @@ class NeighborhoodCache:
     def clear(self) -> None:
         """Drop everything."""
         self._store.clear()
+        self._hot.clear()
+        self._hot_version = self._store.version
 
     # ------------------------------------------------------------------
     # snapshot support
@@ -135,3 +180,5 @@ class NeighborhoodCache:
             state: Output of :meth:`state_dict`.
         """
         self._store.load_state(state["store"])
+        self._hot.clear()
+        self._hot_version = self._store.version

@@ -114,6 +114,10 @@ class RandomWalkSampler(abc.ABC):
         self._checkpoint_every = 0
         resp = self._api.query(start)  # materialize the start node
         self._current_resp: Optional[QueryResponse] = resp
+        # Seq memo for the fast cached-step lane: the current node's stable
+        # neighbor tuple, or None when it must be re-read through the
+        # interface (after load_state, or a commit that didn't carry it).
+        self._current_seq: Optional[tuple] = resp.neighbor_seq
         self._record_trace(resp)
 
     # ------------------------------------------------------------------
@@ -176,19 +180,28 @@ class RandomWalkSampler(abc.ABC):
         """Commit a move to ``node`` whose query returned ``response``."""
         self._current = node
         self._current_resp = response
+        self._current_seq = response.neighbor_seq
         self._steps += 1
         self._record_trace(response)
         self._after_commit()
 
-    def _advance_fast(self, node: Node, degree: int) -> None:
+    def _advance_fast(self, node: Node, degree: int, seq: Optional[tuple] = None) -> None:
         """Commit a move using already-paid-for degree knowledge.
 
         Skips rebuilding a cached :class:`QueryResponse` when only the
         default degree trace is recorded — the walk engines' hot path.
         Callers must only use it when ``self._uses_default_trace`` holds.
+
+        Args:
+            node: The node moved to.
+            degree: Its (already paid for) degree, recorded in the trace.
+            seq: Its stable neighbor tuple, when the caller already holds
+                it (the fast cached-step lane); keeps the seq memo warm so
+                the next step is draw-only.  Omitted → memo invalidated.
         """
         self._current = node
         self._current_resp = None
+        self._current_seq = seq
         self._steps += 1
         self._trace.append(float(degree))
         self._after_commit()
@@ -198,6 +211,18 @@ class RandomWalkSampler(abc.ABC):
         resp = self._query_current()  # memoized or cached — free
         self._steps += 1
         self._record_trace(resp)
+        self._after_commit()
+
+    def _stay_fast(self, degree: int) -> None:
+        """Commit a self-transition with already-known degree.
+
+        The fast-lane twin of :meth:`_stay`: no response lookup, just the
+        trace append and commit bookkeeping.  Callers must only use it
+        when ``self._uses_default_trace`` holds and ``degree`` is the
+        current node's degree.
+        """
+        self._steps += 1
+        self._trace.append(float(degree))
         self._after_commit()
 
     # ------------------------------------------------------------------
@@ -272,6 +297,7 @@ class RandomWalkSampler(abc.ABC):
         self._trace = [float(x) for x in state["trace"]]
         self._rng.setstate(state["rng"])
         self._current_resp = None
+        self._current_seq = None
 
     # ------------------------------------------------------------------
     # planning support
@@ -395,6 +421,21 @@ class RandomWalkSampler(abc.ABC):
             resp = self._api.query(self._current)
             self._current_resp = resp
         return resp
+
+    def _current_neighbor_seq(self) -> tuple:
+        """The current node's stable neighbor tuple, memoized.
+
+        The fast cached-step lane's opening read: a field access when the
+        memo is warm (every committed fast step re-warms it), otherwise
+        one re-read through the response memo — exactly what the slow
+        path's ``_query_current`` would have cost, so query-log parity
+        between the lanes is preserved.
+        """
+        seq = self._current_seq
+        if seq is None:
+            seq = self._query_current().neighbor_seq
+            self._current_seq = seq
+        return seq
 
     def _draw_accessible(
         self, neighbors: Sequence[Node]

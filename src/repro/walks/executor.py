@@ -1,0 +1,182 @@
+"""Multiprocess chain executor for lock-step collection rounds.
+
+Between collection rounds the chains of a :class:`~repro.walks.parallel.
+ParallelWalkers` / :class:`~repro.walks.scheduler.EventDrivenWalkers`
+group are independent: each one's next block of steps is a pure function
+of its own snapshot state (position, RNG, trace) and the static network.
+The PR-2 snapshot codec makes that state transferable, so a block of
+``thinning`` rounds can run as one worker-process task per chain —
+workers rebuild the network from the dataset registry, step their chain,
+and ship the new state back — turning the per-step Python interpreter
+floor into per-block process parallelism.
+
+**Billing equivalence.**  Workers bill against throwaway interfaces;
+their accounting is discarded.  What each worker returns alongside the
+chain state is the *logical query sequence* its block issued, one list
+per round.  The driver then replays those sequences against the real
+shared interface in serial round order (round 0: chain 0's queries, then
+chain 1's, …), which reproduces the §II-B log the serial lock-step run
+would have written — same users, same order, same billed flags, same
+unique-query cost — because chain draws do not depend on cache contents
+and the unique-set union is interleaving-independent within a round
+block.  Samples are only taken at block boundaries, so every
+:class:`~repro.walks.base.WalkSample.query_cost` matches serial exactly.
+
+**Scope.**  The equivalence argument needs chains whose steps cannot
+observe shared mutable state: registry-built networks without private
+users, chains without overlays (an MTO chain's rewirings couple chains
+through the shared overlay), zero-latency providers (the lock-step
+latency bookkeeping has no meaning inside a worker), and no checkpoint
+hooks (a hook firing mid-block would snapshot a state the driver never
+held).  :meth:`MultiprocessChainExecutor.check_compatible` enforces the
+structural half of that contract.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.errors import WalkError
+from repro.walks.base import RandomWalkSampler
+
+Node = Hashable
+
+
+def _engine_name(sampler: RandomWalkSampler) -> Optional[str]:
+    from repro.compose import WALK_ENGINES
+
+    for name, cls in WALK_ENGINES.items():
+        if type(sampler) is cls:
+            return name
+    return None
+
+
+def _run_block(payload: tuple) -> Tuple[dict, List[List[Node]]]:
+    """Worker task: step one chain ``rounds`` times on a rebuilt network.
+
+    Returns the chain's post-block state plus the per-round logical query
+    users (in issue order), which the driver replays for billing.
+    """
+    dataset, engine, start, state, rounds = payload
+    from repro.compose import WALK_ENGINES
+    from repro.datasets.registry import load
+
+    name, seed, scale = dataset
+    net = load(name, seed=seed, scale=scale)
+    api = net.interface()
+    sampler = WALK_ENGINES[engine](api, start=start, seed=0)
+    sampler.load_state(state)
+    # Warm the current-node memo outside the recorded segment: a restored
+    # chain's first step would otherwise log a memo re-read the live
+    # serial chain (whose memo is warm) never issues.
+    sampler._query_current()
+    log = api.log
+    per_round: List[List[Node]] = []
+    for _ in range(rounds):
+        before = len(log)
+        sampler.step()
+        per_round.append([rec.user for rec in log.tail(len(log) - before)])
+    return sampler.state_dict(), per_round
+
+
+class MultiprocessChainExecutor:
+    """Steps a chain group in worker processes, one block at a time.
+
+    Args:
+        dataset: Registry reference ``(name, seed, scale)`` workers
+            rebuild the network from — it must be the network the chains'
+            shared interface serves, or the replayed billing is fiction.
+        processes: Worker count; defaults to the CPU count (capped by the
+            chain count per block).
+
+    Example:
+        >>> executor = MultiprocessChainExecutor(("epinions_like", 0, 0.1))
+        >>> # walkers.run(..., executor=executor)
+        >>> executor.close()
+    """
+
+    def __init__(
+        self, dataset: Tuple[str, int, float], processes: Optional[int] = None
+    ) -> None:
+        name, seed, scale = dataset
+        self._dataset = (str(name), int(seed), float(scale))
+        self._processes = processes
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self, chains: int) -> ProcessPoolExecutor:
+        if self._pool is None:
+            workers = self._processes
+            if workers is None:
+                workers = max(1, min(chains, os.cpu_count() or 1))
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "MultiprocessChainExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def check_compatible(self, samplers: Sequence[RandomWalkSampler], api) -> None:
+        """Raise :class:`WalkError` unless block execution is equivalent.
+
+        Structural requirements: every chain is a registry engine
+        (``srw``/``mhrw``/``nbrw``), shares ``api``, carries no overlay,
+        and the network has no private users.  (Zero provider latency
+        and absent checkpoint hooks are the callers' side of the
+        contract — the group drivers check hooks, latency is a
+        documented requirement.)
+        """
+        if api.may_have_private:
+            raise WalkError(
+                "multiprocess execution needs a private-free network: "
+                "redraw loops couple chains through shared refusal state"
+            )
+        for s in samplers:
+            if s.api is not api:
+                raise WalkError("all chains must share the executor's interface")
+            if getattr(s, "overlay", None) is not None:
+                raise WalkError(
+                    "overlay chains (MTO) cannot run in worker processes: "
+                    "rewirings couple chains through the shared overlay"
+                )
+            if _engine_name(s) is None:
+                raise WalkError(
+                    f"chain type {type(s).__name__} is not a registry engine; "
+                    "workers cannot rebuild it"
+                )
+
+    def step_rounds(
+        self, samplers: Sequence[RandomWalkSampler], api, rounds: int
+    ) -> None:
+        """Advance every chain ``rounds`` lock-step rounds via workers.
+
+        Chains step concurrently in worker processes; the driver then
+        replays each round's logical queries against ``api`` in serial
+        chain order and loads the returned states, so afterwards the
+        group is indistinguishable — positions, RNG streams, traces,
+        query log — from having stepped serially.
+        """
+        if rounds <= 0:
+            return
+        pool = self._ensure_pool(len(samplers))
+        payloads = [
+            (self._dataset, _engine_name(s), s.current, s.state_dict(), rounds)
+            for s in samplers
+        ]
+        results = list(pool.map(_run_block, payloads))
+        for r in range(rounds):
+            for _state, per_round in results:
+                for user in per_round[r]:
+                    api.fetch_seq(user)
+        for sampler, (state, _per_round) in zip(samplers, results):
+            sampler.load_state(state)

@@ -29,7 +29,26 @@ class NonBacktrackingWalk(RandomWalkSampler):
     _previous: Optional[Node] = None
 
     def step(self) -> Node:
-        """Hop to a uniform accessible neighbor other than the predecessor."""
+        """Hop to a uniform accessible neighbor other than the predecessor.
+
+        On private-free networks with the default degree trace the step
+        runs on the fast cached-step lane — the same predecessor filter
+        over the same stable sequence, the same single ``randrange``, the
+        same query log and billing as the full path.
+        """
+        if self._uses_default_trace and not self._api.may_have_private:
+            seq = self._current_neighbor_seq()
+            neighbors: Sequence[Node] = seq
+            if self._previous is not None and len(neighbors) > 1:
+                neighbors = [v for v in neighbors if v != self._previous]
+            if not neighbors:  # only possible when seq itself is empty
+                self._stay_fast(0)
+                return self._current
+            nxt = neighbors[self._rng.randrange(len(neighbors))]
+            nxt_seq = self._api.fetch_seq(nxt)
+            self._previous = self._current
+            self._advance_fast(nxt, len(nxt_seq), seq=nxt_seq)
+            return nxt
         resp = self._query_current()
         neighbors: Sequence[Node] = resp.neighbor_seq
         if self._previous is not None and len(neighbors) > 1:

@@ -12,13 +12,13 @@ algorithm".  This module makes the observation concrete:
   :class:`~repro.core.overlay.OverlayGraph` via ``MTOSampler(overlay=…)``);
 * convergence is judged across chains with the Gelman–Rubin R̂
   diagnostic, which single-chain monitors cannot do;
-* with ``prefetch=True`` every lock-step round batch-fetches all chains'
-  candidate neighborhoods through ``query_many`` ahead of the draws, so
-  each chain's subsequent step is a cache hit — the "Walk, Not Wait"
-  direction of fetching what the chains are about to need.  Billing
-  semantics per user are unchanged; the batch spends budget *earlier*
-  (and possibly on candidates never drawn), trading query cost for
-  cache-warm chains.
+* with ``prefetch=True`` every lock-step round batch-fetches, through one
+  ``query_many`` call, the nodes the chains are *predicted to actually
+  fetch next* (RNG-replay ``predict_next_fetch``) — the "Walk, Not Wait"
+  direction of fetching what the chains are about to need.  Because only
+  predicted fetches are batched, per-user billing is unchanged and total
+  query cost is equal-or-lower than prefetch-off; chains whose draws
+  cannot be replayed (MTO, private users) fall back to fetch-on-visit.
 """
 
 from __future__ import annotations
@@ -43,12 +43,12 @@ class ParallelWalkers:
         samplers: Two or more walkers constructed over the *same*
             ``RestrictedSocialAPI`` (checked), typically from different
             start nodes.
-        prefetch: Batch-fetch every chain's candidate neighborhood through
-            ``query_many`` before each lock-step round, so all chains'
-            next queries hit the shared cache.  The batch may bill
-            neighbors no chain ends up drawing, so query accounting
-            differs from the paper's fetch-on-visit semantics; off by
-            default.
+        prefetch: Before each lock-step round, batch-fetch through
+            ``query_many`` the nodes the chains' RNG-replay predictions
+            say they will fetch next, so those steps hit the shared
+            cache.  Only actual future fetches are billed — query cost
+            is equal-or-lower than with prefetch off, and unpredictable
+            chains fall back to fetch-on-visit; off by default.
 
     Raises:
         WalkError: With fewer than two samplers or mismatched interfaces.
@@ -76,6 +76,15 @@ class ParallelWalkers:
         self._samplers = list(samplers)
         self._api = api
         self._prefetch = prefetch
+        # Chains whose engine overrides predict_next_fetch — the only
+        # ones a draw-aware batch can ever include.  Detected once so an
+        # all-unpredictable group (e.g. parallel MTO) pays nothing for
+        # prefetch=True beyond this check.
+        self._predictors = [
+            s
+            for s in self._samplers
+            if type(s).predict_next_fetch is not RandomWalkSampler.predict_next_fetch
+        ]
         # Users already swept into a batch; the network is static, so a
         # once-prefetched user never needs to enter a batch again.
         self._prefetched: set = set()
@@ -126,7 +135,7 @@ class ParallelWalkers:
 
     def step_all(self) -> List[Node]:
         """Advance every chain by one step; returns the new positions."""
-        if self._prefetch:
+        if self._prefetch and self._predictors:
             before = self._api.latency_spent
             self.prefetch_candidates()
             # A batch is one request burst; its fetches are serialized by
@@ -206,40 +215,45 @@ class ParallelWalkers:
         self._sim_elapsed = float(state.get("sim_elapsed", 0.0))
 
     def prefetch_candidates(self) -> BatchQueryResult:
-        """Batch-materialize the union of all chains' candidate draws.
+        """Batch-materialize each chain's *predicted* next fetch.
 
-        Each chain's next step draws from its current node's neighborhood;
-        fetching that union through one ``query_many`` call means the
-        subsequent per-chain queries are all cache hits.  Chains that walk
-        a rewired overlay (MTO) contribute their *overlay* neighborhood —
-        edges the sampler already removed can never be drawn, so billing
-        them would inflate query cost for nothing.  Private members and
-        budget exhaustion degrade gracefully (reported in the result, not
-        raised) — a chain that then trips on them handles it exactly as in
-        the unbatched path.
+        Draw-aware prefetch: every chain is asked, via its RNG-replay
+        :meth:`~repro.walks.base.RandomWalkSampler.predict_next_fetch`
+        with a **one-step horizon**, whether its very next step will pay
+        a provider round trip — and for which node.  Only those nodes
+        enter the batch, and each is consumed by its chain's step in the
+        same round, so the batch fetches exactly what the round's steps
+        would have fetched anyway: prefetch-on query cost equals
+        prefetch-off, never more.  (A deeper horizon replays the true
+        future path too, but bills the walk's frontier rounds before the
+        walk arrives — at any finite cutoff that is strictly *extra*
+        cost, the regression this method used to cause at 2x scale by
+        batching entire candidate neighborhoods.)  Chains whose next draw
+        cannot be replayed — data-dependent branches, private users,
+        overlay walkers like MTO whose base prediction answers ``None``
+        — contribute nothing and fall back to fetch-on-visit, exactly
+        the prefetch-off semantics.
+
+        Private members and budget exhaustion degrade gracefully
+        (reported in the result, not raised) — a chain that then trips on
+        them handles it exactly as in the unbatched path.
         """
         candidates: dict = {}
-        seen = self._prefetched
-        cache = self._api.cache
-        for s in self._samplers:
-            overlay = getattr(s, "overlay", None)
-            if overlay is not None and overlay.is_known(s.current):
-                seq = overlay.neighbors_seq(s.current)
-            else:
-                # The current node was queried when the chain arrived on
-                # it, so its ordering is in the local cache — read it
-                # without going through the response machinery.
-                # A capacity-bounded cache may have evicted the entry
-                # since the chain arrived; re-reading the current node is
-                # free in unique-query cost (the log still knows it).
-                seq = cache.neighbor_seq(s.current)
-                if seq is None:
-                    seq = self._api.query(s.current).neighbor_seq
-            for v in seq:
-                if v not in seen:
-                    candidates[v] = None
-        seen.update(candidates)
-        return self._api.query_many(candidates)
+        for s in self._predictors:
+            target = s.predict_next_fetch(max_steps=1)
+            if target is not None and target not in self._prefetched:
+                candidates[target] = None
+        if not candidates:
+            return BatchQueryResult(
+                responses={}, private=(), unknown=(), budget_exhausted=False
+            )
+        result = self._api.query_many(candidates)
+        # Record the swept users only after the batch returns, and never
+        # through a local alias of the live set: a checkpoint hook firing
+        # mid-round must see either the pre-batch or the post-batch
+        # bookkeeping, not a half-mutated set.
+        self._prefetched.update(candidates)
+        return result
 
     def run(
         self,
@@ -248,6 +262,7 @@ class ParallelWalkers:
         thinning: int = 1,
         check_every: int = 25,
         max_steps: int = 250_000,
+        executor=None,
     ) -> ParallelRun:
         """Burn in until R̂ converges, then collect samples round-robin.
 
@@ -258,14 +273,33 @@ class ParallelWalkers:
             check_every: Lock-step rounds between R̂ evaluations (grows
                 geometrically like the single-chain driver).
             max_steps: Per-chain step budget for the burn-in phase.
+            executor: Optional
+                :class:`~repro.walks.executor.MultiprocessChainExecutor`.
+                Collection then runs its ``thinning``-round step blocks in
+                worker processes and replays their logical queries here,
+                producing the same samples, log, and billing as the serial
+                loop (see the executor module for the equivalence
+                argument and its restrictions — registry engines only, no
+                overlay/private users, zero-latency providers, no
+                checkpoint hook).  Burn-in stays serial: the monitor reads
+                traces between rounds.
 
         Raises:
             ValueError: On non-positive ``num_samples``/``thinning``.
+            WalkError: If ``executor`` is given but the group violates its
+                equivalence restrictions.
         """
         if num_samples <= 0:
             raise ValueError("num_samples must be positive")
         if thinning <= 0:
             raise ValueError("thinning must be positive")
+        if executor is not None:
+            executor.check_compatible(self._samplers, self._api)
+            if self._checkpoint_fn is not None:
+                raise WalkError(
+                    "round checkpoints cannot fire inside executor step blocks; "
+                    "clear_checkpoint() before running with an executor"
+                )
         r_hat: Optional[float] = None
         if monitor is not None:
             next_check = 0
@@ -284,6 +318,27 @@ class ParallelWalkers:
 
         merged: List[WalkSample] = []
         per_chain_samples: List[List[WalkSample]] = [[] for _ in self._samplers]
+        if executor is not None:
+            # The serial loop below is uniform: `since` starts equal and
+            # advances in lock-step, so rounds are all-sample or all-step
+            # and collection decomposes into sample rounds separated by
+            # `thinning`-round step blocks — which the executor runs in
+            # worker processes, replaying their queries for §II-B parity.
+            while len(merged) < num_samples:
+                for i, sampler in enumerate(self._samplers):
+                    if len(merged) >= num_samples:
+                        break
+                    sample = WalkSample(
+                        node=sampler.current,
+                        weight=sampler.weight(sampler.current),
+                        query_cost=self._api.query_cost,
+                        step=sampler.steps,
+                    )
+                    merged.append(sample)
+                    per_chain_samples[i].append(sample)
+                if len(merged) >= num_samples:
+                    break
+                executor.step_rounds(self._samplers, self._api, thinning)
         since = [thinning] * len(self._samplers)
         while len(merged) < num_samples:
             round_latencies: List[float] = []

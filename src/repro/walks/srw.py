@@ -27,13 +27,33 @@ class SimpleRandomWalk(RandomWalkSampler):
         True
     """
 
+    #: Scratch RNG reused across predictions (lazily created): seeding a
+    #: fresh ``random.Random`` from the OS per call costs more than the
+    #: replay itself.
+    _replay_rng: Optional[random.Random] = None
+
     def step(self) -> Node:
         """Hop to a uniform accessible neighbor of the current node.
 
         Private neighbors are redrawn around; when the entire
         neighborhood is private the walk holds in place (a
         self-transition) rather than dying.
+
+        On private-free networks with the default degree trace the step
+        runs on the fast cached-step lane: one ``randrange`` draw into
+        the memoized neighbor tuple plus one :meth:`~repro.interface.api.
+        RestrictedSocialAPI.fetch_seq` — same RNG consumption, same query
+        log, same billing as the full path, bit for bit.
         """
+        if self._uses_default_trace and not self._api.may_have_private:
+            seq = self._current_neighbor_seq()
+            if not seq:
+                self._stay_fast(0)
+                return self._current
+            nxt = seq[self._rng.randrange(len(seq))]
+            nxt_seq = self._api.fetch_seq(nxt)
+            self._advance_fast(nxt, len(nxt_seq), seq=nxt_seq)
+            return nxt
         resp = self._query_current()
         drawn = self._draw_accessible(resp.neighbor_seq)
         if drawn is None:
@@ -62,16 +82,21 @@ class SimpleRandomWalk(RandomWalkSampler):
         if self._api.may_have_private:
             return None
         cache = self._api.cache
-        rng = random.Random()
+        rng = self._replay_rng
+        if rng is None:
+            rng = self._replay_rng = random.Random()
         rng.setstate(self._rng.getstate())
         cur = self._current
         for _ in range(max_steps):
             seq = cache.neighbor_seq(cur)
-            if seq is None and cur == self._current and self._current_resp is not None:
-                # The current node's response may live only in the step
-                # memo (evicted from a bounded cache); the memo is what
-                # the real step will draw from.
-                seq = self._current_resp.neighbor_seq
+            if seq is None and cur == self._current:
+                # The current node's neighborhood may live only in the
+                # step memos (evicted from a bounded cache); a memo is
+                # what the real step will draw from.
+                if self._current_seq is not None:
+                    seq = self._current_seq
+                elif self._current_resp is not None:
+                    seq = self._current_resp.neighbor_seq
             if not seq:
                 return None
             cur = seq[rng.randrange(len(seq))]

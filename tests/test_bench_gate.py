@@ -4,20 +4,35 @@ import importlib.util
 import json
 from pathlib import Path
 
-import pytest
-
 _GATE_PATH = Path(__file__).resolve().parents[1] / "benchmarks" / "regression_gate.py"
 _spec = importlib.util.spec_from_file_location("regression_gate", _GATE_PATH)
 gate = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(gate)
 
 
-def _walk_engine_profile(mto_sps=100_000, mto_qps=0.54):
+def _walk_engine_profile(
+    mto_sps=100_000, mto_qps=0.54, on_sps=48_000, on_cost=360, off_sps=47_000, off_cost=360
+):
     return {
         "engines": {
             "mto": {"steps_per_second": mto_sps, "queries_per_sample": mto_qps},
             "srw": {"steps_per_second": 90_000, "queries_per_sample": 0.54},
-        }
+        },
+        "parallel": {
+            "chains": 4,
+            "engines": {
+                "mto": {
+                    "prefetch_off": {
+                        "chain_steps_per_second": off_sps,
+                        "query_cost": off_cost,
+                    },
+                    "prefetch_on": {
+                        "chain_steps_per_second": on_sps,
+                        "query_cost": on_cost,
+                    },
+                }
+            },
+        },
     }
 
 
@@ -146,6 +161,31 @@ class TestWalkEngineGate:
         fresh = {"engines": {"srw": _walk_engine_profile()["engines"]["srw"]}}
         failures = gate.check_walk_engine(fresh, _walk_engine_profile())
         assert any("missing" in f for f in failures)
+
+    def test_prefetch_cost_above_off_fails(self):
+        fresh = _walk_engine_profile(on_cost=737)  # the old 2x over-fetch
+        failures = gate.check_walk_engine(fresh, _walk_engine_profile())
+        assert any("raised the §II-B bill" in f for f in failures)
+
+    def test_prefetch_throughput_parity_enforced(self):
+        fresh = _walk_engine_profile(on_sps=30_000)  # far below same-run off
+        failures = gate.check_walk_engine(fresh, _walk_engine_profile())
+        assert any("prefetch-on throughput" in f for f in failures)
+
+    def test_prefetch_jitter_tolerated(self):
+        fresh = _walk_engine_profile(on_sps=42_000)  # ~11% under off: jitter band
+        assert gate.check_walk_engine(fresh, _walk_engine_profile()) == []
+
+    def test_parallel_baseline_floor_enforced(self):
+        fresh = _walk_engine_profile(off_sps=20_000, on_sps=20_000)  # >50% drop
+        failures = gate.check_walk_engine(fresh, _walk_engine_profile())
+        assert any("parallel mto throughput regressed" in f for f in failures)
+
+    def test_missing_parallel_engine_fails(self):
+        fresh = _walk_engine_profile()
+        fresh["parallel"]["engines"] = {}
+        failures = gate.check_walk_engine(fresh, _walk_engine_profile())
+        assert any("parallel engine 'mto' missing" in f for f in failures)
 
 
 class TestSchedulerGate:

@@ -136,16 +136,22 @@ class TestPrefetchingWalkers:
                 assert g.has_edge(before, after)
             prev = positions
 
-    def test_parallel_prefetch_warms_cache_for_all_chains(self):
+    def test_parallel_prefetch_warms_each_chains_next_fetch(self):
         api = RestrictedSocialAPI(paper_barbell())
         walkers = ParallelWalkers(
             [SimpleRandomWalk(api, start=0, seed=i) for i in range(3)],
             prefetch=True,
         )
+        api.query(0)  # the shared start, as the chains' first round fetches it
+        predicted = [s.predict_next_fetch(max_steps=1) for s in walkers.chains]
+        assert any(t is not None for t in predicted)
         walkers.prefetch_candidates()
-        # every neighbor of the shared start is now a cache hit
-        for v in api.query(0).neighbor_seq:
-            assert api.query(v).from_cache
+        # exactly the predicted fetches were billed into the batch...
+        assert api.query_cost == 1 + len({t for t in predicted if t is not None})
+        # ...and each chain's next fetch is now a cache hit
+        for target in predicted:
+            if target is not None:
+                assert api.query(target).from_cache
 
     def test_mto_prefetch_replacement_still_rewires(self):
         def replacements(prefetch):

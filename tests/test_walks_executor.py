@@ -1,0 +1,120 @@
+"""Multiprocess executor determinism: worker blocks ≡ serial collection.
+
+The executor's contract is *indistinguishability*: running collection
+blocks in worker processes and replaying their logical queries must leave
+samples, chain states, and the §II-B query log bit-identical to the
+serial loop.  These tests run real worker processes (no mocking) against
+the seeded registry dataset.
+"""
+
+import pytest
+
+from repro.core import MTOSampler, OverlayGraph
+from repro.datasets import load
+from repro.errors import WalkError
+from repro.walks import (
+    EventDrivenWalkers,
+    MetropolisHastingsWalk,
+    MultiprocessChainExecutor,
+    NonBacktrackingWalk,
+    ParallelWalkers,
+    SimpleRandomWalk,
+)
+
+DATASET = ("epinions_like", 0, 0.2)
+ENGINES = [SimpleRandomWalk, MetropolisHastingsWalk, NonBacktrackingWalk]
+
+
+def _build(engine, k=3):
+    name, seed, scale = DATASET
+    net = load(name, seed=seed, scale=scale)
+    api = net.interface()
+    chains = [engine(api, start=net.seed_node(i), seed=100_003 * i + 7) for i in range(k)]
+    return net, api, chains
+
+
+def _log_records(api):
+    return [(r.user, r.billed) for r in api.log.tail(len(api.log))]
+
+
+@pytest.fixture(scope="module")
+def pool():
+    executor = MultiprocessChainExecutor(DATASET, processes=2)
+    yield executor
+    executor.close()
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("engine", ENGINES, ids=lambda e: e.__name__)
+    def test_samples_and_billing_match_serial(self, engine, pool):
+        _, api_ref, chains_ref = _build(engine)
+        ref = ParallelWalkers(chains_ref).run(num_samples=24, thinning=3)
+
+        _, api_got, chains_got = _build(engine)
+        got = ParallelWalkers(chains_got).run(num_samples=24, thinning=3, executor=pool)
+
+        assert [s.node for s in got.samples] == [s.node for s in ref.samples]
+        assert [s.weight for s in got.samples] == [s.weight for s in ref.samples]
+        # Per-sample cumulative cost, not just the total: a replay that
+        # batches queries at the wrong boundary would shift these.
+        assert [s.query_cost for s in got.samples] == [s.query_cost for s in ref.samples]
+        assert got.queries == ref.queries
+        assert got.chain_steps == ref.chain_steps
+        assert _log_records(api_got) == _log_records(api_ref)
+
+    def test_chain_states_continue_identically(self, pool):
+        """Post-run chains must be resumable as if they stepped serially."""
+        _, _, chains_ref = _build(SimpleRandomWalk)
+        ParallelWalkers(chains_ref).run(num_samples=12, thinning=2)
+        _, _, chains_got = _build(SimpleRandomWalk)
+        ParallelWalkers(chains_got).run(num_samples=12, thinning=2, executor=pool)
+        for ref, got in zip(chains_ref, chains_got):
+            assert got.current == ref.current
+            assert got.steps == ref.steps
+            assert got.trace == ref.trace
+            # Further serial steps draw from identical RNG streams.
+            assert [got.step() for _ in range(5)] == [ref.step() for _ in range(5)]
+
+
+class TestEventDrivenDeterminism:
+    def test_samples_billing_and_events_match_serial(self, pool):
+        _, api_ref, chains_ref = _build(SimpleRandomWalk)
+        ref = EventDrivenWalkers(chains_ref).run(num_samples=24, thinning=3)
+        _, api_got, chains_got = _build(SimpleRandomWalk)
+        got = EventDrivenWalkers(chains_got).run(num_samples=24, thinning=3, executor=pool)
+        assert [s.node for s in got.samples] == [s.node for s in ref.samples]
+        assert [s.query_cost for s in got.samples] == [s.query_cost for s in ref.samples]
+        assert got.queries == ref.queries
+        assert got.events_processed == ref.events_processed
+        assert _log_records(api_got) == _log_records(api_ref)
+
+
+class TestCompatibilityGuards:
+    def test_rejects_overlay_chains(self, pool):
+        name, seed, scale = DATASET
+        net = load(name, seed=seed, scale=scale)
+        api = net.interface()
+        overlay = OverlayGraph(api)
+        chains = [
+            MTOSampler(api, start=net.seed_node(i), seed=i, overlay=overlay)
+            for i in range(2)
+        ]
+        with pytest.raises(WalkError, match="overlay"):
+            ParallelWalkers(chains).run(num_samples=4, executor=pool)
+
+    def test_rejects_checkpoint_hook(self, pool):
+        _, _, chains = _build(SimpleRandomWalk)
+        walkers = ParallelWalkers(chains)
+        walkers.set_checkpoint(lambda w: None, every=5)
+        with pytest.raises(WalkError, match="checkpoint"):
+            walkers.run(num_samples=4, executor=pool)
+
+    def test_scheduler_rejects_restored_state(self, pool):
+        _, _, chains = _build(SimpleRandomWalk)
+        donor = EventDrivenWalkers(chains)
+        donor.run(num_samples=6)
+        _, _, chains2 = _build(SimpleRandomWalk)
+        restored = EventDrivenWalkers(chains2)
+        restored.load_state(donor.state_dict())
+        with pytest.raises(WalkError, match="fresh"):
+            restored.run(num_samples=6, executor=pool)

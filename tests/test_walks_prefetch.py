@@ -1,0 +1,130 @@
+"""Draw-aware prefetch regressions (ISSUE 7 headline bugfix).
+
+The old ``prefetch_candidates`` batch-fetched every chain's entire
+candidate neighborhood, so prefetch-on cost ~2x the queries of
+prefetch-off while running slower.  Draw-aware prefetch batches only the
+nodes the chains' RNG-replay predictions say they will *actually fetch*,
+so on the seeded epinions-like fixture prefetch-on must now be
+equal-or-lower cost at identical walk behavior — and parallel-MTO groups,
+whose draws cannot be replayed, must degrade to exactly the prefetch-off
+query pattern instead of paying for dead neighborhoods.
+"""
+
+from repro.core import MTOSampler, OverlayGraph
+from repro.datasets import load
+from repro.walks import ParallelWalkers, SimpleRandomWalk
+
+ROUNDS = 120
+
+
+def _srw_group(prefetch):
+    net = load("epinions_like", seed=0, scale=0.3)
+    api = net.interface()
+    chains = [SimpleRandomWalk(api, start=net.seed_node(i), seed=i) for i in range(4)]
+    return api, ParallelWalkers(chains, prefetch=prefetch)
+
+
+def _mto_group(prefetch):
+    net = load("epinions_like", seed=0, scale=0.3)
+    api = net.interface()
+    overlay = OverlayGraph(api)
+    chains = [
+        MTOSampler(api, start=net.seed_node(i), seed=i, overlay=overlay)
+        for i in range(4)
+    ]
+    return api, ParallelWalkers(chains, prefetch=prefetch)
+
+
+class TestPrefetchCostAndThroughput:
+    def test_srw_prefetch_on_is_equal_or_cheaper(self):
+        """Both ISSUE inequalities, cost side: queries(on) <= queries(off).
+
+        Predictions are the chains' real future fetches, so prefetching
+        them early cannot enlarge the §II-B unique-query set; walk
+        behavior (positions, steps — hence steps/s at equal work) is
+        untouched because predictions consume no live RNG.
+        """
+        api_off, off = _srw_group(prefetch=False)
+        api_on, on = _srw_group(prefetch=True)
+        for _ in range(ROUNDS):
+            off.step_all()
+            on.step_all()
+        assert [c.current for c in on.chains] == [c.current for c in off.chains]
+        assert [c.steps for c in on.chains] == [c.steps for c in off.chains]
+        # One-step-horizon predictions are consumed by their chain in the
+        # same round, so the billed sets are identical — not just <=.
+        assert api_on.query_cost == api_off.query_cost
+        # Each batched node costs one logical query in the batch plus one
+        # cache hit at the step, so total logical traffic grows by at
+        # most one per chain-step; any more would be over-fetch.
+        assert api_on.total_queries <= api_off.total_queries + ROUNDS * len(on.chains)
+
+    def test_parallel_mto_prefetch_regression(self):
+        """Headline bugfix: prefetch-on parallel MTO ≡ prefetch-off.
+
+        MTO draws are data-dependent (rewirings change the neighborhood
+        mid-walk), so ``predict_next_fetch`` answers ``None`` and the
+        batch must stay empty — equal positions, equal billed cost, zero
+        batched queries, instead of the old 2x-cost over-fetch.
+        """
+        api_off, off = _mto_group(prefetch=False)
+        api_on, on = _mto_group(prefetch=True)
+        for _ in range(ROUNDS):
+            off.step_all()
+            on.step_all()
+        assert [c.current for c in on.chains] == [c.current for c in off.chains]
+        assert api_on.query_cost == api_off.query_cost
+        assert api_on.total_queries == api_off.total_queries
+
+    def test_mto_prefetch_batches_are_empty(self):
+        _, on = _mto_group(prefetch=True)
+        for _ in range(30):
+            result = on.prefetch_candidates()
+            assert not result.responses
+            on.step_all()
+
+
+class TestCheckpointPrefetchedSet:
+    def test_snapshots_do_not_alias_the_live_set(self):
+        """Regression: ``state_dict`` must copy the prefetched set.
+
+        A hook's captured snapshot and the live bookkeeping used to share
+        one set object, so later batches mutated history and a restore
+        could skip users the snapshot had never swept.
+        """
+        _, walkers = _srw_group(prefetch=True)
+        snapshots = []
+        walkers.set_checkpoint(lambda w: snapshots.append(w.state_dict()), every=10)
+        for _ in range(40):
+            walkers.step_all()
+        assert len(snapshots) == 4
+        frozen = [set(s["prefetched"]) for s in snapshots]
+        walkers.clear_checkpoint()
+        for _ in range(40):
+            walkers.step_all()
+        # Later rounds grew the live set; the captured snapshots did not.
+        assert [set(s["prefetched"]) for s in snapshots] == frozen
+        assert len(walkers.state_dict()["prefetched"]) >= len(frozen[-1])
+
+    def test_mid_run_resume_replays_identically(self):
+        """Restore a mid-run checkpoint; the walk continues bit-for-bit."""
+        api, walkers = _srw_group(prefetch=True)
+        captured = {}
+        walkers.set_checkpoint(
+            lambda w: captured.setdefault("state", w.state_dict()), every=60
+        )
+        tail = []
+        for _ in range(ROUNDS):
+            tail.append(walkers.step_all())
+        expected_tail = tail[60:]
+
+        restored = ParallelWalkers(
+            [SimpleRandomWalk(api, start=0, seed=0) for _ in range(4)], prefetch=True
+        )
+        restored.load_state(captured["state"])
+        cost_before = api.query_cost
+        replayed = [restored.step_all() for _ in range(ROUNDS - 60)]
+        assert replayed == expected_tail
+        # The original run already billed this territory and the restored
+        # prefetched set blocks re-batching, so the replay is free.
+        assert api.query_cost == cost_before
