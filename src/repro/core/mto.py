@@ -237,6 +237,80 @@ class MTOSampler(RandomWalkSampler):
             # lazy hold: redraw a neighbor without committing a move
         raise WalkError(f"step at {u!r} exceeded {self._max_redraws} redraws")
 
+    def predict_next_fetch(self, max_steps: int = 64) -> Node | None:
+        """Replay the overlay draw / rewiring branches to the next fetch.
+
+        Algorithm 1's (potential) query is ``ensure_known`` on the drawn
+        candidate — or on the Theorem-4 replacement target — so the
+        replay draws from the *live* overlay rows with a cloned RNG and
+        returns the first candidate G* has not materialized.  Branches
+        that would **mutate** the overlay before the fetch resolves
+        (a certified removal, a replacement whose target is already
+        materialized) end the replay with ``None``: simulating them
+        would require mutating shared state the prediction must not
+        touch.  Lazy holds and committed moves through materialized
+        territory replay exactly (the overlay is unchanged by them), so
+        the horizon can span several steps.
+
+        The replay reads the overlay as it stands *now*; drivers that
+        interleave other chains writing the same shared G* between
+        prediction and step must only predict for chains no earlier
+        writer can invalidate (see ``ParallelWalkers``).
+
+        Returns ``None`` on networks with private users, in
+        ``prefetch_replacement`` mode once the replacement branch fires
+        (its batched fetch has no single-node prediction), at dead ends,
+        and when the horizon resolves entirely inside G*.
+        """
+        if self._api.may_have_private:
+            return None
+        overlay = self._overlay
+        if not overlay.is_known(self._current):
+            return None
+        rng = self._replay_rng_clone()
+        u = self._current
+        for _ in range(max_steps):
+            committed = None
+            for _ in range(self._max_redraws):
+                v = overlay.random_neighbor(u, rng)
+                if v is None:
+                    return None  # live step dead-ends
+                if not overlay.is_known(v):
+                    return v  # ensure_known(v) is the step's query
+                if (
+                    self._enable_removal
+                    and overlay.degree(u) > 1
+                    and overlay.degree(v) > 1
+                    and self._removable(u, v)
+                ):
+                    return None  # removal mutates G*, then redraws
+                if (
+                    self._enable_replacement
+                    and replacement_allowed(overlay.degree(v))
+                    and rng.random() < self._replacement_probability
+                ):
+                    if self._prefetch_replacement:
+                        return None  # batched candidate materialization
+                    others = [
+                        w
+                        for w in overlay.neighbors_seq(v)
+                        if w != u and not overlay.has_edge(u, w)
+                    ]
+                    if others:
+                        w = others[rng.randrange(len(others))]
+                        if not overlay.is_known(w):
+                            return w  # _choose_replacement's query
+                        return None  # replace_edge mutates G*
+                    # no candidates: no RNG spent, replacement skipped
+                if not self._lazy or rng.random() < 0.5:
+                    committed = v
+                    break
+                # lazy hold: redraw without committing
+            if committed is None:
+                return None  # max_redraws exhausted — live step raises
+            u = committed
+        return None
+
     def weight(self, node: Node) -> float:
         """``1 / k*_node`` — corrects the overlay-degree stationary (eq. 10).
 

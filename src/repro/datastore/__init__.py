@@ -14,9 +14,14 @@ equivalent roles in pure Python:
 * :mod:`~repro.datastore.snapshot` — persistent snapshots of sampling
   state (overlay, cache, log, walker RNG) through pluggable backends, so
   the query budget already spent (§II-B) survives process exit.
+* :class:`~repro.datastore.history.HistoryStore` — cross-run history
+  artifacts: the known-neighborhood summary plus planning statistics,
+  persisted so a *different* crawl can warm-start from knowledge an
+  earlier one already paid for.
 """
 
 from repro.datastore.documents import DocumentStore
+from repro.datastore.history import HistoryRecord, HistoryStore, capture_history
 from repro.datastore.kv import KeyValueStore
 from repro.datastore.querylog import QueryLog, QueryRecord
 from repro.datastore.snapshot import (
@@ -29,6 +34,9 @@ from repro.datastore.snapshot import (
 
 __all__ = [
     "DocumentStore",
+    "HistoryRecord",
+    "HistoryStore",
+    "capture_history",
     "KeyValueStore",
     "QueryLog",
     "QueryRecord",

@@ -51,6 +51,12 @@ from repro.experiments.tenant_sweep import (
     TenantSweepRow,
     run_tenant_sweep,
 )
+from repro.experiments.warm_history import (
+    WarmHistoryEngineRow,
+    WarmHistoryResult,
+    WarmStartReport,
+    run_warm_history,
+)
 
 __all__ = [
     "Fig7Result",
@@ -85,4 +91,8 @@ __all__ = [
     "TenantSweepResult",
     "TenantSweepRow",
     "run_tenant_sweep",
+    "WarmHistoryEngineRow",
+    "WarmHistoryResult",
+    "WarmStartReport",
+    "run_warm_history",
 ]

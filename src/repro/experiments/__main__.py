@@ -14,6 +14,7 @@ Usage::
     python -m repro.experiments fleet --scale 0.3
     python -m repro.experiments history --scale 0.3
     python -m repro.experiments service --scale 0.3
+    python -m repro.experiments warmhistory --scale 0.3
     python -m repro.experiments all   --scale 0.5
 
 Each command prints the same rows/series the paper's artifact reports.
@@ -37,6 +38,7 @@ from repro.experiments import (
     run_running_example,
     run_table1,
     run_tenant_sweep,
+    run_warm_history,
     run_warm_start,
 )
 
@@ -61,6 +63,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "fleet",
             "history",
             "service",
+            "warmhistory",
             "all",
         ],
         help="which artifact to regenerate",
@@ -123,6 +126,11 @@ def main(argv: list[str] | None = None) -> int:
             **({"num_samples": args.samples} if args.samples is not None else {}),
         ),
         "service": lambda: run_tenant_sweep(
+            _load_network(seed=args.seed, scale=args.scale),
+            seed=args.seed,
+            **({"num_samples": args.samples} if args.samples is not None else {}),
+        ),
+        "warmhistory": lambda: run_warm_history(
             _load_network(seed=args.seed, scale=args.scale),
             seed=args.seed,
             **({"num_samples": args.samples} if args.samples is not None else {}),

@@ -203,6 +203,8 @@ class RestrictedSocialAPI:
         self._latency_spent = 0.0
         self._cache_hits = 0
         self._cache_misses = 0
+        self._warm_users: FrozenSet[Node] = frozenset()
+        self._warm_hits = 0
 
     # ------------------------------------------------------------------
     # the public queries
@@ -260,6 +262,8 @@ class RestrictedSocialAPI:
             seq = self._cache.hot_seq(user)
             if seq is not None:
                 self._cache_hits += 1
+                if user in self._warm_users:
+                    self._warm_hits += 1
                 self._log.note(user, False, self._clock.now())
                 return seq
         return self.query(user).neighbor_seq
@@ -344,6 +348,8 @@ class RestrictedSocialAPI:
         seq = self._cache.neighbor_seq(user)
         attrs = self._cache.attributes(user) or {}
         self._cache_hits += 1
+        if user in self._warm_users:
+            self._warm_hits += 1
         self._log.record(user, timestamp=self._clock.now(), billed=False)
         return QueryResponse(
             user=user,
@@ -455,6 +461,60 @@ class RestrictedSocialAPI:
         """
         return self._provider.may_refuse
 
+    # ------------------------------------------------------------------
+    # cross-run warm starts (history preloaded, never billed)
+    # ------------------------------------------------------------------
+    def warm_start(self, neighborhoods: Dict, private: Iterable[Node] = ()) -> int:
+        """Preload a prior run's paid-for knowledge into this interface.
+
+        Every entry goes straight into the sampler-side cache via
+        ``cache.put`` — never through :meth:`query` — so nothing is
+        billed, no limiter token is consumed, and the simulated clock
+        does not move: §II-B already charged these fetches in the run
+        that recorded them.  Known refusals are replayed into the
+        private set the same way, so a warm walk never re-bills a
+        refusal the prior run paid for.
+
+        Args:
+            neighborhoods: ``{user: (neighbor_seq, attributes)}`` as a
+                :class:`~repro.datastore.history.HistoryStore` records
+                them.  Users already cached here are skipped (the live
+                entry is fresher).
+            private: Users a prior run's billed refusals identified.
+
+        Returns:
+            Number of neighborhoods actually preloaded.
+        """
+        count = 0
+        for user, (seq, attrs) in neighborhoods.items():
+            if not self._cache.has(user):
+                seq = tuple(seq)
+                self._cache.put(user, frozenset(seq), dict(attrs), seq=seq)
+                count += 1
+        self._known_private.update(private)
+        self.note_warm_start(list(neighborhoods) + list(private))
+        return count
+
+    def note_warm_start(self, users: Iterable[Node]) -> None:
+        """Mark ``users`` as warm-started for hit attribution.
+
+        The service layer warms its *shared* cache once and then calls
+        this on every tenant interface — the entries are already in
+        place, but each tenant's :attr:`warm_hits` must still attribute
+        the free hits to the warm start rather than to live sharing.
+        """
+        self._warm_users = self._warm_users | frozenset(users)
+
+    @property
+    def warm_user_count(self) -> int:
+        """Users this interface was warm-started with (0 when cold)."""
+        return len(self._warm_users)
+
+    @property
+    def warm_hits(self) -> int:
+        """Cache hits served from warm-started (prior-run) knowledge."""
+        return self._warm_hits
+
     def cached_degree(self, user: Node) -> Optional[int]:
         """Degree of ``user`` if previously queried, else ``None``. Free."""
         return self._cache.degree(user)
@@ -488,6 +548,8 @@ class RestrictedSocialAPI:
         self._known_private = set()
         self._cache_hits = 0
         self._cache_misses = 0
+        self._warm_users = frozenset()
+        self._warm_hits = 0
 
     # ------------------------------------------------------------------
     # snapshot support
@@ -521,6 +583,8 @@ class RestrictedSocialAPI:
             "latency_spent": self._latency_spent,
             "cache_hits": self._cache_hits,
             "cache_misses": self._cache_misses,
+            "warm_users": frozenset(self._warm_users),
+            "warm_hits": self._warm_hits,
         }
         if include_shared:
             state["cache"] = self._cache.state_dict()
@@ -557,5 +621,7 @@ class RestrictedSocialAPI:
         self._latency_spent = float(state.get("latency_spent", 0.0))
         self._cache_hits = int(state.get("cache_hits", 0))
         self._cache_misses = int(state.get("cache_misses", 0))
+        self._warm_users = frozenset(state.get("warm_users", frozenset()))
+        self._warm_hits = int(state.get("warm_hits", 0))
         if "provider" in state:
             self._provider.load_state(state["provider"])

@@ -74,6 +74,15 @@ class SamplingSession:
             (walk samplers) or lock-step rounds (parallel groups).
         metadata: Extra JSON-safe entries merged into the snapshot's meta
             section (experiment labels, dataset seeds, ...).
+        history: Optional :class:`~repro.datastore.history.HistoryStore`
+            to warm-start from: any artifact it holds preloads the
+            interface's cache (never billed — §II-B was charged by the
+            run that recorded it) and, when the sampler carries a bound
+            dispatch planner, its history statistics.  Unlike
+            ``resume()``, a warm start does not constrain the sampler
+            type or seeds — history is knowledge, not position.  Call
+            :meth:`save_history` after the run to write this run's
+            (strictly larger) knowledge back.
 
     Raises:
         ValueError: If ``checkpoint_every`` is requested but the sampler
@@ -88,6 +97,7 @@ class SamplingSession:
         overlay=None,
         checkpoint_every: Optional[int] = None,
         metadata: Optional[dict] = None,
+        history=None,
     ) -> None:
         self._api = api
         self._sampler = sampler
@@ -95,6 +105,10 @@ class SamplingSession:
         self._overlay = overlay if overlay is not None else getattr(sampler, "overlay", None)
         self._metadata = dict(metadata or {})
         self._saves = 0
+        self._history = history
+        self._warmed_users = 0
+        if history is not None:
+            self._warmed_users = history.warm(api, planner=getattr(sampler, "planner", None))
         if checkpoint_every is not None:
             set_hook = getattr(sampler, "set_checkpoint", None)
             if set_hook is None:
@@ -114,6 +128,28 @@ class SamplingSession:
     def saves(self) -> int:
         """Number of snapshots written by this session."""
         return self._saves
+
+    @property
+    def warmed_users(self) -> int:
+        """Neighborhoods the ``history`` store preloaded (0 when cold)."""
+        return self._warmed_users
+
+    def save_history(self, metadata: Optional[dict] = None) -> Dict[str, dict]:
+        """Write this run's paid-for knowledge to the attached history store.
+
+        Raises:
+            SnapshotError: When the session was constructed without a
+                ``history`` store.
+        """
+        if self._history is None:
+            raise SnapshotError(
+                "this session has no history store; pass history=... at construction"
+            )
+        return self._history.save(
+            self._api,
+            planner=getattr(self._sampler, "planner", None),
+            metadata=metadata,
+        )
 
     def _on_checkpoint(self, _sampler) -> None:
         self.save()
@@ -217,6 +253,8 @@ class SamplingSession:
             "cache_hits": telemetry.cache_hits,
             "cache_misses": telemetry.cache_misses,
             "prefetched": telemetry.prefetched,
+            "warm_users": telemetry.warm_users,
+            "warm_hits": telemetry.warm_hits,
             "shards": shard_breakdown_dict(telemetry),
             "saves": self._saves,
         }

@@ -66,6 +66,11 @@ class InterfaceTelemetry:
             (billed fetches, refusals and LRU/TTL re-fetches included).
         prefetched: Planner-issued predictive fetches across the fleet
             (0 without a planning layer).
+        warm_users: Neighborhoods preloaded from a prior run's
+            :class:`~repro.datastore.history.HistoryStore` (0 when the
+            run started cold).
+        warm_hits: Cache hits served from that warm-started knowledge —
+            queries a cold run would have billed.
     """
 
     query_cost: int
@@ -79,6 +84,8 @@ class InterfaceTelemetry:
     cache_hits: int = 0
     cache_misses: int = 0
     prefetched: int = 0
+    warm_users: int = 0
+    warm_hits: int = 0
 
     def format_summary(self) -> str:
         """A compact human-readable multi-line summary."""
@@ -96,6 +103,11 @@ class InterfaceTelemetry:
                     self.cache_hits / (self.cache_hits + self.cache_misses),
                     f", {self.prefetched} prefetched" if self.prefetched else "",
                 )
+            )
+        if self.warm_users:
+            lines.append(
+                "  warm start: {} preloaded neighborhoods, {} hits served "
+                "from history".format(self.warm_users, self.warm_hits)
             )
         if self.fetch_attempts:
             lines.append(
@@ -174,6 +186,8 @@ def collect_telemetry(api: RestrictedSocialAPI) -> InterfaceTelemetry:
         cache_hits=api.cache_hits,
         cache_misses=api.cache_misses,
         prefetched=sum(row.prefetched for row in shards.values()) if shards else 0,
+        warm_users=api.warm_user_count,
+        warm_hits=api.warm_hits,
     )
 
 

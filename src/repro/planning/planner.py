@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import json
 import zlib
-from typing import Hashable, Optional, Tuple
+from typing import Dict, Hashable, Optional, Tuple
 
 from repro.datastore.snapshot import encode_value
 from repro.errors import PlanningError
@@ -89,6 +89,13 @@ class DispatchPlanner:
         self._api = None
         self._history: Optional[HistoryIndex] = None
         self._ledger = PrefetchLedger()
+        # Per-engine prediction books: {engine: {"hits": n, "misses": n,
+        # "speculative": n}}.  A hit is a replay that resolved a concrete
+        # future fetch; a miss is a replay that answered None (engine
+        # guard, unresolvable branch, or horizon exhausted); speculative
+        # counts frontier candidates offered under the speculation knob.
+        self._prediction: Dict[str, Dict[str, int]] = {}
+        self._warm_visits: Dict[Node, int] = {}
 
     # ------------------------------------------------------------------
     # binding (done once, by the owning scheduler)
@@ -173,7 +180,19 @@ class DispatchPlanner:
         horizon = self.PREDICT_HORIZON if max_steps is None else min(max_steps, self.PREDICT_HORIZON)
         if horizon <= 0:
             return None
-        return peek(max_steps=horizon)
+        target = peek(max_steps=horizon)
+        books = self._engine_books(sampler)
+        if target is None:
+            books["misses"] += 1
+        else:
+            books["hits"] += 1
+        return target
+
+    def _engine_books(self, sampler) -> Dict[str, int]:
+        """The per-engine prediction counters row for ``sampler``'s type."""
+        return self._prediction.setdefault(
+            type(sampler).__name__, {"hits": 0, "misses": 0, "speculative": 0}
+        )
 
     def speculative_targets(self, sampler) -> Tuple[Node, ...]:
         """Frontier-ranked uncertain prefetch candidates for one chain.
@@ -182,8 +201,11 @@ class DispatchPlanner:
         seeded stable hash (the frontier node's visit count already
         weights *which* chain positions are worth expanding — the
         scheduler calls this per stepping chain, so hot frontier nodes
-        get proportionally more expansion opportunities).  Empty when
-        ``speculation`` is 0.
+        get proportionally more expansion opportunities).  A planner
+        warm-started from a prior run's :meth:`warm_start` statistics
+        promotes candidates that run visited often to the front of the
+        ranking — history says the walk keeps coming back to them.
+        Empty when ``speculation`` is 0.
         """
         self._require_bound()
         if self.speculation == 0:
@@ -192,8 +214,45 @@ class DispatchPlanner:
         if not seq:
             return ()
         unknown = [v for v in seq if not self._history.is_known(v)]
-        unknown.sort(key=lambda v: (_stable_rank(self._seed, v), repr(v)))
-        return tuple(unknown[: self.speculation])
+        warm = self._warm_visits
+        if warm:
+            unknown.sort(
+                key=lambda v: (-warm.get(v, 0), _stable_rank(self._seed, v), repr(v))
+            )
+        else:
+            unknown.sort(key=lambda v: (_stable_rank(self._seed, v), repr(v)))
+        chosen = tuple(unknown[: self.speculation])
+        if chosen:
+            self._engine_books(sampler)["speculative"] += len(chosen)
+        return chosen
+
+    # ------------------------------------------------------------------
+    # cross-run warm start
+    # ------------------------------------------------------------------
+    def warm_start(self, stats: dict) -> None:
+        """Seed planning with a prior run's history statistics.
+
+        Args:
+            stats: A :meth:`HistoryIndex.state_dict` payload from an
+                earlier run (as persisted by a
+                :class:`~repro.datastore.history.HistoryStore`).  The
+                prior visit counts become the speculative ranking's warm
+                prior; the step counters are *not* merged into this run's
+                own accounting — ``summary()`` keeps reporting what this
+                run did, with the warm prior listed separately.
+
+        Raises:
+            PlanningError: If the planner is not bound yet.
+        """
+        self._require_bound()
+        self._warm_visits = {
+            node: int(count) for node, count in stats.get("visits", {}).items()
+        }
+
+    @property
+    def warm_visit_count(self) -> int:
+        """Nodes carrying a warm-start visit prior (0 when cold)."""
+        return len(self._warm_visits)
 
     # ------------------------------------------------------------------
     # step accounting (called by the scheduler after every committed step)
@@ -239,6 +298,8 @@ class DispatchPlanner:
             "fetched_steps": self._history.unknown_steps,
             "cache_first_rate": round(self._history.hit_rate(), 6),
             "region_steps": self._history.region_stats(),
+            "prediction": {k: dict(v) for k, v in sorted(self._prediction.items())},
+            "warm_visits": len(self._warm_visits),
         }
 
     # ------------------------------------------------------------------
@@ -250,6 +311,8 @@ class DispatchPlanner:
         return {
             "history": self._history.state_dict(),
             "ledger": self._ledger.state_dict(),
+            "prediction": {k: dict(v) for k, v in self._prediction.items()},
+            "warm_visits": dict(self._warm_visits),
         }
 
     def load_state(self, state: dict) -> None:
@@ -261,3 +324,12 @@ class DispatchPlanner:
         self._require_bound()
         self._history.load_state(state["history"])
         self._ledger.load_state(state["ledger"])
+        # Keys below joined with the cross-run warm-start work; absent in
+        # snapshots written before it (both default to "nothing known").
+        self._prediction = {
+            engine: {key: int(n) for key, n in row.items()}
+            for engine, row in state.get("prediction", {}).items()
+        }
+        self._warm_visits = {
+            node: int(count) for node, count in state.get("warm_visits", {}).items()
+        }

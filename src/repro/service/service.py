@@ -143,6 +143,7 @@ class TenantSession:
     frozen_cost: int = 0
     frozen_latency: float = 0.0
     frozen_hits: int = 0
+    frozen_warm_hits: int = 0
 
     @property
     def samples(self) -> int:
@@ -171,6 +172,13 @@ class TenantSession:
         if self.stack is not None:
             return self.stack.api.cache_hits
         return self.frozen_hits
+
+    @property
+    def warm_hits(self) -> int:
+        """Hits served from history-warm-started knowledge."""
+        if self.stack is not None:
+            return self.stack.api.warm_hits
+        return self.frozen_warm_hits
 
     @property
     def pending(self) -> int:
@@ -204,6 +212,14 @@ class SamplingService:
             hibernates on explicit :meth:`hibernate` calls.
         spill_store: The key-value store hibernated sessions spill into;
             a private in-memory store by default.
+        history: Optional :class:`~repro.datastore.history.HistoryStore`
+            to warm-start the *shared* cache from: neighborhoods a prior
+            service run (or any single-tenant crawl) paid for preload
+            once, unbilled, and every tenant registered afterwards gets
+            its warm hits attributed through
+            :attr:`~repro.interface.api.RestrictedSocialAPI.warm_hits`.
+            Call :meth:`save_history` to write the (grown) shared
+            knowledge back for the next service run.
 
     Raises:
         ServiceError: On a non-positive ``quantum``.
@@ -219,6 +235,7 @@ class SamplingService:
         cache_ttl: Optional[float] = None,
         idle_hibernate_after: Optional[int] = None,
         spill_store: Optional[KeyValueStore] = None,
+        history=None,
     ) -> None:
         if quantum <= 0.0:
             raise ServiceError("quantum must be positive simulated seconds")
@@ -237,6 +254,19 @@ class SamplingService:
         self._spill = spill_store if spill_store is not None else KeyValueStore()
         self._tenants: Dict[str, TenantSession] = {}
         self._clock = 0.0
+        self._history = history
+        self._warm_users: frozenset = frozenset()
+        self._warm_private: frozenset = frozenset()
+        self._warm_stats: dict = {}
+        if history is not None:
+            record = history.load()
+            if record is not None:
+                for user, (seq, attrs) in record.neighborhoods.items():
+                    if not self._cache.has(user):
+                        self._cache.put(user, frozenset(seq), dict(attrs), seq=seq)
+                self._warm_users = frozenset(record.neighborhoods) | record.private
+                self._warm_private = record.private
+                self._warm_stats = dict(record.stats)
 
     # ------------------------------------------------------------------
     # introspection
@@ -333,6 +363,13 @@ class SamplingService:
         finally:
             self._fleet.set_active_tenant(None)
             self._fleet.drain_dispatches()
+        if self._warm_users:
+            # The shared cache is already warm; the tenant interface only
+            # needs the refusal knowledge and the hit attribution.
+            stack.api.warm_start({}, private=self._warm_private)
+            stack.api.note_warm_start(self._warm_users)
+            if stack.planner is not None and self._warm_stats:
+                stack.planner.warm_start(self._warm_stats)
         return stack
 
     def request(
@@ -506,6 +543,7 @@ class SamplingService:
         session.frozen_cost = session.stack.api.query_cost
         session.frozen_latency = session.stack.api.latency_spent
         session.frozen_hits = session.stack.api.cache_hits
+        session.frozen_warm_hits = session.stack.api.warm_hits
         payload = {
             "api": session.stack.api.state_dict(include_shared=False),
             "walkers": session.stack.walkers.state_dict(),
@@ -610,6 +648,7 @@ class SamplingService:
                 "frozen_cost": session.query_cost,
                 "frozen_latency": session.latency_spent,
                 "frozen_hits": session.cache_hits,
+                "frozen_warm_hits": session.warm_hits,
             }
         sections[_META_SECTION] = {
             "version": _SNAPSHOT_VERSION,
@@ -681,6 +720,7 @@ class SamplingService:
                 frozen_cost=int(row["frozen_cost"]),
                 frozen_latency=float(row["frozen_latency"]),
                 frozen_hits=int(row["frozen_hits"]),
+                frozen_warm_hits=int(row.get("frozen_warm_hits", 0)),
             )
             service._tenants[tid] = session
             payload = sections[f"tenant/{tid}"]
@@ -693,12 +733,48 @@ class SamplingService:
         return service
 
     # ------------------------------------------------------------------
+    # cross-run history
+    # ------------------------------------------------------------------
+    @property
+    def warm_user_count(self) -> int:
+        """Users the attached history store preloaded (0 when cold)."""
+        return len(self._warm_users)
+
+    def save_history(self, metadata: Optional[dict] = None) -> dict:
+        """Write the shared cache's knowledge to the attached history store.
+
+        Every neighborhood any tenant paid for (plus everything the warm
+        start preloaded) becomes the next service run's free territory.
+
+        Raises:
+            ServiceError: When the service was constructed without a
+                ``history`` store.
+        """
+        if self._history is None:
+            raise ServiceError(
+                "this service has no history store; pass history=... at construction"
+            )
+        private = set(self._warm_private)
+        for session in self._tenants.values():
+            if session.stack is not None:
+                api = session.stack.api
+                private.update(
+                    u for u in api.log.queried_users() if api.is_known_private(u)
+                )
+        return self._history.save_cache(
+            self._cache,
+            private=frozenset(private),
+            stats=self._warm_stats or None,
+            metadata=metadata,
+        )
+
+    # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
     def tenant_summary(self, tenant_id: str) -> dict:
         """One tenant's accounting as a plain dict (JSON-friendly)."""
         session = self._session(tenant_id)
-        return {
+        summary = {
             "tenant": session.tenant_id,
             "state": session.state,
             "samples": session.samples,
@@ -706,8 +782,14 @@ class SamplingService:
             "query_cost": session.query_cost,
             "latency_spent": session.latency_spent,
             "cache_hits": session.cache_hits,
+            "warm_hits": session.warm_hits,
             "p95_wall": _p95(session.sample_walls),
         }
+        if session.stack is not None:
+            planning = session.stack.walkers.planning_summary()
+            if planning is not None:
+                summary["prediction"] = planning.get("prediction", {})
+        return summary
 
     def fairness_report(self) -> dict:
         """Cross-tenant fairness picture on the shared service clock.
@@ -733,6 +815,7 @@ class SamplingService:
                 "samples": session.samples,
                 "query_cost": session.query_cost,
                 "cache_hits": session.cache_hits,
+                "warm_hits": session.warm_hits,
                 "p95_wall": p95,
                 "ratio": (p95 / fair_share) if fair_share > 0.0 else 0.0,
             }

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import abc
 import dataclasses
+import random
 from typing import Callable, Hashable, List, Optional, Sequence
 
 from repro.convergence.monitors import ConvergenceMonitor
@@ -302,17 +303,59 @@ class RandomWalkSampler(abc.ABC):
     # ------------------------------------------------------------------
     # planning support
     # ------------------------------------------------------------------
+
+    #: Scratch RNG reused across predictions (lazily created): seeding a
+    #: fresh ``random.Random`` from the OS per call costs more than the
+    #: replay itself.
+    _replay_rng: Optional[random.Random] = None
+
+    def _replay_rng_clone(self) -> random.Random:
+        """A scratch RNG carrying a copy of the live Mersenne state.
+
+        Predictors draw from the clone exactly as the live step would, so
+        the replayed path *is* the future path — without consuming any
+        live state.
+        """
+        rng = self._replay_rng
+        if rng is None:
+            rng = self._replay_rng = random.Random()
+        rng.setstate(self._rng.getstate())
+        return rng
+
+    def _replay_seq_of(self, cache, node: Node) -> Optional[tuple]:
+        """``node``'s stable neighbor tuple as a replay would see it.
+
+        Reads the shared cache, falling back to the step memos when the
+        walk's own current node has been evicted from a bounded cache —
+        the memo is what the real step will draw from.  Returns ``None``
+        for genuinely unknown neighborhoods.
+        """
+        seq = cache.neighbor_seq(node)
+        if seq is None and node == self._current:
+            if self._current_seq is not None:
+                return self._current_seq
+            if self._current_resp is not None:
+                return self._current_resp.neighbor_seq
+        return seq
+
     def predict_next_fetch(self, max_steps: int = 64):
         """The node this walk will *fetch* next, or ``None`` if unknown.
 
         Engines whose per-step randomness can be replayed against cached
-        neighborhoods (e.g. :class:`~repro.walks.srw.SimpleRandomWalk`)
-        override this to clone their RNG and walk forward through known
+        neighborhoods override this to clone their RNG
+        (:meth:`_replay_rng_clone`) and walk forward through known
         territory until the first uncached node — the fetch a
         history-aware planner can issue early, into an open burst's
-        spare slot.  The prediction must consume **no** live RNG state
-        and issue **no** queries.  The default answers ``None``:
-        unpredictable engines simply get no prefetch.
+        spare slot.  All four walk engines now implement the protocol:
+        SRW replays its uniform draw, MHRW replays the
+        proposal-then-accept pair over cached degrees, NBRW threads the
+        simulated predecessor through the exclusion filter, and MTO
+        replays the overlay draw / removal / replacement branches against
+        G* (returning ``None`` at the first branch that would mutate the
+        overlay or depends on an unknown neighborhood).  The prediction
+        must consume **no** live RNG state and issue **no** queries.
+        The default answers ``None``: unpredictable engines simply get
+        no prefetch.
 
         Args:
             max_steps: Simulation horizon — how far through cached

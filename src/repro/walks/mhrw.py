@@ -10,7 +10,7 @@ the paper finds MHRW 1.5–8× slower than SRW in query cost.
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Hashable, Optional
 
 from repro.walks.base import RandomWalkSampler
 
@@ -58,6 +58,43 @@ class MetropolisHastingsWalk(RandomWalkSampler):
         else:
             self._stay()
         return self.current
+
+    def predict_next_fetch(self, max_steps: int = 64) -> Optional[Node]:
+        """Replay proposal draws *and* acceptance tests to the next fetch.
+
+        MHRW queries every proposal before the accept coin lands, so the
+        next fetch is simply the first *uncached* proposal the replayed
+        ``randrange`` produces.  Walking past a cached proposal requires
+        resolving the accept branch, which is exactly one ``random()``
+        against ``min(1, k_u / k_v)`` — both degrees readable from the
+        cache — so the replay continues through accepted moves and
+        rejected holds alike, bit-for-bit with the live step.
+
+        Returns ``None`` on networks with private users (the redraw loop
+        has data-dependent draw counts), at dead ends, or when everything
+        within ``max_steps`` proposals is already cached.
+        """
+        if self._api.may_have_private:
+            return None
+        cache = self._api.cache
+        rng = self._replay_rng_clone()
+        cur = self._current
+        cur_seq = self._replay_seq_of(cache, cur)
+        for _ in range(max_steps):
+            if not cur_seq:
+                return None
+            deg_u = len(cur_seq)
+            proposal = cur_seq[rng.randrange(deg_u)]
+            prop_seq = cache.neighbor_seq(proposal)
+            if prop_seq is None:
+                return proposal
+            deg_v = len(prop_seq)
+            if not deg_v:  # degree-0 proposal: the live accept would fault
+                return None
+            if rng.random() < min(1.0, deg_u / deg_v):
+                cur, cur_seq = proposal, prop_seq
+            # rejected proposals hold in place: same node, same sequence
+        return None
 
     def weight(self, node: Node) -> float:
         """1.0 — the MH stationary distribution is already uniform."""

@@ -67,6 +67,39 @@ class NonBacktrackingWalk(RandomWalkSampler):
         self._advance(nxt, nxt_resp)
         return nxt
 
+    def predict_next_fetch(self, max_steps: int = 64) -> Optional[Node]:
+        """Replay the predecessor-exclusion draw to the next fetch.
+
+        NBRW is SRW with the just-departed node filtered out of the draw
+        (at degree > 1), so the replay threads a *simulated* predecessor
+        alongside the cloned RNG: filter, ``randrange`` over what
+        remains, advance, repeat — until the drawn node's neighborhood is
+        not cached, which is the fetch the live walk will pay for.
+
+        Returns ``None`` on networks with private users (the exclusion
+        fallback re-draws with data-dependent counts), at dead ends, or
+        when the whole horizon is cached.
+        """
+        if self._api.may_have_private:
+            return None
+        cache = self._api.cache
+        rng = self._replay_rng_clone()
+        cur = self._current
+        prev = self._previous
+        seq = self._replay_seq_of(cache, cur)
+        for _ in range(max_steps):
+            if not seq:
+                return None
+            neighbors: Sequence[Node] = seq
+            if prev is not None and len(neighbors) > 1:
+                neighbors = [v for v in neighbors if v != prev]
+            nxt = neighbors[rng.randrange(len(neighbors))]
+            nxt_seq = cache.neighbor_seq(nxt)
+            if nxt_seq is None:
+                return nxt
+            prev, cur, seq = cur, nxt, nxt_seq
+        return None
+
     def weight(self, node: Node) -> float:
         """``1/k_node`` — the node marginal stays degree-proportional."""
         degree = self._api.cached_degree(node)

@@ -17,8 +17,19 @@ algorithm".  This module makes the observation concrete:
   fetch next* (RNG-replay ``predict_next_fetch``) — the "Walk, Not Wait"
   direction of fetching what the chains are about to need.  Because only
   predicted fetches are batched, per-user billing is unchanged and total
-  query cost is equal-or-lower than prefetch-off; chains whose draws
-  cannot be replayed (MTO, private users) fall back to fetch-on-visit.
+  query cost is equal-or-lower than prefetch-off.  Every engine now
+  predicts (SRW, MHRW, NBRW, and MTO's overlay replay); chains whose
+  next draw still cannot be replayed — private users, an unresolvable
+  branch, or an MTO chain whose shared overlay an earlier-stepping
+  chain may rewire first — fall back to fetch-on-visit;
+* uniform SRW groups can opt into a *vectorized* lock-step lane
+  (``vectorized=True``): each round's draws are served by one
+  :meth:`~repro.core.adjacency.CompactAdjacency.draw_many` call over a
+  mirror of the cached neighborhoods, bit-for-bit identical (same
+  per-chain RNG consumption, same query log, same billing) to stepping
+  the chains one at a time.  It is off by default — per-chain seeded
+  draws cannot be batched, so the memoized per-chain fast lane measures
+  faster at every realistic group size.
 """
 
 from __future__ import annotations
@@ -26,12 +37,14 @@ from __future__ import annotations
 from typing import Hashable, List, Optional, Sequence
 
 from repro.convergence.gelman_rubin import GelmanRubinDiagnostic
+from repro.core.adjacency import CompactAdjacency
 from repro.core.overlay import shared_overlay_of
 from repro.errors import SnapshotError, WalkError
 from repro.interface.api import BatchQueryResult
 from repro.interface.telemetry import collect_telemetry
 from repro.walks.base import RandomWalkSampler, SamplingRun, WalkSample
 from repro.walks.results import ParallelRun
+from repro.walks.srw import SimpleRandomWalk
 
 Node = Hashable
 
@@ -49,9 +62,23 @@ class ParallelWalkers:
             cache.  Only actual future fetches are billed — query cost
             is equal-or-lower than with prefetch off, and unpredictable
             chains fall back to fetch-on-visit; off by default.
+        vectorized: ``True`` routes eligible rounds (a uniform SRW
+            group over a private-free network) through one
+            :meth:`~repro.core.adjacency.CompactAdjacency.draw_many`
+            call — bit-for-bit identical to per-chain stepping (same
+            RNG consumption, same query log, same billing).  The
+            default ``None`` keeps the per-chain loop: the draws
+            themselves cannot be batched (each chain's Mersenne
+            ``randrange`` is consumed individually to preserve seeded
+            replays), so the gather only amortizes neighbor
+            *resolution*, and measured lock-step throughput stays below
+            the memoized per-chain fast lane at every group size worth
+            running on one interface (0.5–0.65x at 4–128 chains).
 
     Raises:
-        WalkError: With fewer than two samplers or mismatched interfaces.
+        WalkError: With fewer than two samplers or mismatched interfaces,
+            or when ``vectorized=True`` and the group is not eligible
+            (mixed engines, MTO, or a network with private users).
 
     Example:
         >>> from repro.datasets import load
@@ -67,7 +94,12 @@ class ParallelWalkers:
         30
     """
 
-    def __init__(self, samplers: Sequence[RandomWalkSampler], prefetch: bool = False) -> None:
+    def __init__(
+        self,
+        samplers: Sequence[RandomWalkSampler],
+        prefetch: bool = False,
+        vectorized: Optional[bool] = None,
+    ) -> None:
         if len(samplers) < 2:
             raise WalkError("parallel walking needs at least two samplers")
         api = samplers[0].api
@@ -77,14 +109,50 @@ class ParallelWalkers:
         self._api = api
         self._prefetch = prefetch
         # Chains whose engine overrides predict_next_fetch — the only
-        # ones a draw-aware batch can ever include.  Detected once so an
-        # all-unpredictable group (e.g. parallel MTO) pays nothing for
-        # prefetch=True beyond this check.
-        self._predictors = [
-            s
+        # ones a draw-aware batch can ever include.  Every registry
+        # engine now overrides it, so the check exists for custom
+        # engines that keep the base no-op.  Overlay walkers get one
+        # extra guard: a prediction replays the overlay *as it stands at
+        # round start*, so an MTO chain is only enrolled when no
+        # earlier-stepping chain writes the same overlay — otherwise a
+        # rewire landing before its step could invalidate the replay and
+        # turn the prefetched query into extra §II-B spend.  (The first
+        # chain sharing an overlay always predicts: nothing steps
+        # between the batch and its own step.)
+        self._predictors = []
+        written_overlays: set = set()
+        for s in self._samplers:
+            overlay = getattr(s, "overlay", None)
+            overrides = (
+                type(s).predict_next_fetch is not RandomWalkSampler.predict_next_fetch
+            )
+            if overrides and (overlay is None or id(overlay) not in written_overlays):
+                self._predictors.append(s)
+            if overlay is not None:
+                written_overlays.add(id(overlay))
+        # Per-engine prediction accounting: how often a replay resolved
+        # to a concrete fetch vs answered None (auditable via
+        # planning_summary / SamplingSession.summary).
+        self._predict_stats: dict = {}
+        # Vectorized lock-step lane: a uniform SRW group over a
+        # private-free network can draw every round through one
+        # CompactAdjacency.draw_many call against a mirror of the cached
+        # neighborhoods — same per-chain RNG consumption, same query
+        # log, same billing as per-chain stepping, bit for bit.  Opt-in:
+        # per-chain Mersenne draws cannot be batched without breaking
+        # seeded replays, so the gather never beats the memoized
+        # per-chain fast lane (see the ``vectorized`` doc above).
+        eligible = not api.may_have_private and all(
+            type(s) is SimpleRandomWalk and s._uses_default_trace
             for s in self._samplers
-            if type(s).predict_next_fetch is not RandomWalkSampler.predict_next_fetch
-        ]
+        )
+        if vectorized and not eligible:
+            raise WalkError(
+                "vectorized lock-step requires a uniform SRW group over "
+                "a network without private users"
+            )
+        self._vector_lane = bool(vectorized) and eligible
+        self._mirror: Optional[CompactAdjacency] = CompactAdjacency() if self._vector_lane else None
         # Users already swept into a batch; the network is static, so a
         # once-prefetched user never needs to enter a batch again.
         self._prefetched: set = set()
@@ -142,13 +210,50 @@ class ParallelWalkers:
             # the provider model, so the batch contributes its full
             # latency to the round.
             self._sim_elapsed += self._api.latency_spent - before
-        latencies = [self._timed_step(s) for s in self._samplers]
+        if self._vector_lane:
+            latencies = self._step_round_vectorized()
+        else:
+            latencies = [self._timed_step(s) for s in self._samplers]
         self._sim_elapsed += max(latencies)
         positions = [s.current for s in self._samplers]
         self._rounds += 1
         if self._checkpoint_fn is not None and self._rounds % self._checkpoint_every == 0:
             self._checkpoint_fn(self)
         return positions
+
+    def _step_round_vectorized(self) -> List[float]:
+        """One lock-step round of SRW draws through a single ``draw_many``.
+
+        The mirror adjacency holds each chain's current neighborhood as
+        the immutable tuple the serial fast lane would draw from (rows
+        are filled through ``_current_neighbor_seq``, so a cold memo
+        costs the same free re-read in both lanes).  ``draw_many``
+        consumes exactly one ``randrange(degree)`` per chain in chain
+        order — per-chain RNG streams are independent, so the round is
+        bit-for-bit identical to stepping the chains one at a time —
+        and the follow-up fetches commit in the same chain order,
+        keeping the query log and billing identical too.
+        """
+        mirror = self._mirror
+        samplers = self._samplers
+        currents = []
+        for s in samplers:
+            cur = s._current
+            if not mirror.has_row(cur):
+                mirror.set_row(cur, s._current_neighbor_seq())
+            currents.append(cur)
+        draws = mirror.draw_many(currents, [s._rng for s in samplers])
+        api = self._api
+        latencies: List[float] = []
+        for s, nxt in zip(samplers, draws):
+            before = api.latency_spent
+            if nxt is None:
+                s._stay_fast(0)
+            else:
+                nxt_seq = api.fetch_seq(nxt)
+                s._advance_fast(nxt, len(nxt_seq), seq=nxt_seq)
+            latencies.append(api.latency_spent - before)
+        return latencies
 
     # ------------------------------------------------------------------
     # checkpoint hook + snapshot support
@@ -191,6 +296,7 @@ class ParallelWalkers:
             "prefetched": set(self._prefetched),
             "rounds": self._rounds,
             "sim_elapsed": self._sim_elapsed,
+            "predict_stats": {k: dict(v) for k, v in self._predict_stats.items()},
         }
 
     def load_state(self, state: dict) -> None:
@@ -213,6 +319,21 @@ class ParallelWalkers:
         self._rounds = int(state["rounds"])
         # Absent from snapshots written before latency-aware providers.
         self._sim_elapsed = float(state.get("sim_elapsed", 0.0))
+        # Absent from snapshots written before per-engine prediction.
+        self._predict_stats = {
+            k: dict(v) for k, v in state.get("predict_stats", {}).items()
+        }
+
+    def planning_summary(self) -> dict:
+        """Prefetch/prediction accounting for this group.
+
+        Mirrors the scheduler planner's summary shape where it overlaps
+        so session-level reporting can treat both drivers uniformly.
+        """
+        return {
+            "prefetch_users": len(self._prefetched),
+            "prediction": {k: dict(v) for k, v in self._predict_stats.items()},
+        }
 
     def prefetch_candidates(self) -> BatchQueryResult:
         """Batch-materialize each chain's *predicted* next fetch.
@@ -239,9 +360,18 @@ class ParallelWalkers:
         them handles it exactly as in the unbatched path.
         """
         candidates: dict = {}
+        stats = self._predict_stats
         for s in self._predictors:
             target = s.predict_next_fetch(max_steps=1)
-            if target is not None and target not in self._prefetched:
+            engine = type(s).__name__
+            row = stats.get(engine)
+            if row is None:
+                row = stats[engine] = {"hits": 0, "misses": 0}
+            if target is None:
+                row["misses"] += 1
+                continue
+            row["hits"] += 1
+            if target not in self._prefetched:
                 candidates[target] = None
         if not candidates:
             return BatchQueryResult(

@@ -183,6 +183,22 @@ class EventDrivenWalkers:
         self._api = api
         self._max_lead = int(max_lead)
         self._overlay = shared_overlay_of(samplers)
+        # Chains whose overlay another chain also writes must never
+        # predict: the event interleaving can land a sharer's rewire
+        # between a replay and the predicted fetch, invalidating it (see
+        # MTOSampler.predict_next_fetch).  Private overlays are safe —
+        # only the owning chain writes them, and its own steps are
+        # exactly what the replay simulates.
+        overlay_writers: dict = {}
+        for s in self._samplers:
+            ov = getattr(s, "overlay", None)
+            if ov is not None:
+                overlay_writers[id(ov)] = overlay_writers.get(id(ov), 0) + 1
+        self._predict_ok = [
+            getattr(s, "overlay", None) is None
+            or overlay_writers[id(s.overlay)] == 1
+            for s in self._samplers
+        ]
         self._fleet = None
         if batch_window < 0:
             raise WalkError("batch_window must be non-negative")
@@ -894,7 +910,11 @@ class EventDrivenWalkers:
         for chain, _dispatches in fetches:
             if self._roster[chain] != ROSTER_ACTIVE:
                 continue  # reserves may stop stepping before consuming
-            budget = planner.lookahead
+            # Shared-overlay chains fall back to fetch-on-visit (their
+            # replays can be invalidated by a sharer's rewire before the
+            # step); frontier speculation below stays available — it
+            # reads only the cache, never the overlay.
+            budget = planner.lookahead if self._predict_ok[chain] else 0
             horizon = None
             if self._phase == PHASE_COLLECT:
                 # Never predict past the steps the chain will actually

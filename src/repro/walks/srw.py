@@ -7,7 +7,6 @@ importance weights are ``1 / k_v``.
 
 from __future__ import annotations
 
-import random
 from typing import Hashable, Optional
 
 from repro.walks.base import RandomWalkSampler
@@ -26,11 +25,6 @@ class SimpleRandomWalk(RandomWalkSampler):
         >>> walk.step() in (1, 2)
         True
     """
-
-    #: Scratch RNG reused across predictions (lazily created): seeding a
-    #: fresh ``random.Random`` from the OS per call costs more than the
-    #: replay itself.
-    _replay_rng: Optional[random.Random] = None
 
     def step(self) -> Node:
         """Hop to a uniform accessible neighbor of the current node.
@@ -82,21 +76,10 @@ class SimpleRandomWalk(RandomWalkSampler):
         if self._api.may_have_private:
             return None
         cache = self._api.cache
-        rng = self._replay_rng
-        if rng is None:
-            rng = self._replay_rng = random.Random()
-        rng.setstate(self._rng.getstate())
+        rng = self._replay_rng_clone()
         cur = self._current
         for _ in range(max_steps):
-            seq = cache.neighbor_seq(cur)
-            if seq is None and cur == self._current:
-                # The current node's neighborhood may live only in the
-                # step memos (evicted from a bounded cache); a memo is
-                # what the real step will draw from.
-                if self._current_seq is not None:
-                    seq = self._current_seq
-                elif self._current_resp is not None:
-                    seq = self._current_resp.neighbor_seq
+            seq = self._replay_seq_of(cache, cur)
             if not seq:
                 return None
             cur = seq[rng.randrange(len(seq))]

@@ -104,6 +104,49 @@ def _planning_profile(
     }
 
 
+def _history_profile(
+    mhrw_speedup=1.8,
+    nbrw_speedup=1.9,
+    mhrw_cost=184,
+    cost_parity=True,
+    zero_knob=True,
+    cold_cost=198,
+    warm_cost=142,
+    bit_for_bit=True,
+):
+    return {
+        "zero_knob_bit_for_bit": {
+            "srw": zero_knob,
+            "mhrw": zero_knob,
+            "nbrw": zero_knob,
+            "mto": zero_knob,
+        },
+        "engines": {
+            "mhrw": {
+                "query_cost": mhrw_cost,
+                "speedup": mhrw_speedup,
+                "cost_parity": cost_parity,
+                "prediction_hits": 419,
+                "prediction_misses": 74,
+            },
+            "nbrw": {
+                "query_cost": 263,
+                "speedup": nbrw_speedup,
+                "cost_parity": True,
+                "prediction_hits": 475,
+                "prediction_misses": 66,
+            },
+        },
+        "warm_start": {
+            "cold_cost": cold_cost,
+            "warm_cost": warm_cost,
+            "savings": cold_cost - warm_cost,
+            "warm_hits": 127,
+            "bit_for_bit": bit_for_bit,
+        },
+    }
+
+
 def _service_profile(
     max_ratio=2.1,
     fcfs_ratio=26.5,
@@ -290,6 +333,91 @@ class TestPlanningGate:
         failures = gate.check_planning({"zero_knob_bit_for_bit": True}, _planning_profile())
         assert any("cells missing" in f for f in failures)
 
+    def test_per_engine_rows_gated(self):
+        engines = {
+            "mhrw": {"query_cost": 184, "speedup": 1.8, "cost_parity": True}
+        }
+        base = _planning_profile()
+        base["engines"] = {
+            "mhrw": {"query_cost": 184, "speedup": 1.8, "cost_parity": True}
+        }
+        fresh = _planning_profile()
+        fresh["engines"] = engines
+        assert gate.check_planning(fresh, base) == []
+
+        fresh["engines"] = {
+            "mhrw": {"query_cost": 184, "speedup": 1.8, "cost_parity": False}
+        }
+        assert any("cost parity" in f for f in gate.check_planning(fresh, base))
+
+        fresh["engines"] = {
+            "mhrw": {"query_cost": 220, "speedup": 1.5, "cost_parity": True}
+        }
+        failures = gate.check_planning(fresh, base)
+        assert any("query_cost regressed" in f for f in failures)
+        assert any("speedup regressed" in f for f in failures)
+
+        fresh["engines"] = {}
+        assert any("missing" in f for f in gate.check_planning(fresh, base))
+
+
+class TestHistoryGate:
+    def test_identical_profiles_pass(self):
+        base = _history_profile()
+        assert gate.check_history(base, base) == []
+
+    def test_engine_speedup_floor_enforced(self):
+        fresh = _history_profile(mhrw_speedup=1.2)
+        failures = gate.check_history(fresh, _history_profile(mhrw_speedup=1.2))
+        assert any("below the 1.5x floor" in f for f in failures)
+
+    def test_lost_cost_parity_fails(self):
+        fresh = _history_profile(cost_parity=False)
+        failures = gate.check_history(fresh, _history_profile())
+        assert any("cost parity" in f for f in failures)
+
+    def test_lost_zero_knob_equivalence_fails(self):
+        fresh = _history_profile(zero_knob=False)
+        failures = gate.check_history(fresh, _history_profile())
+        assert any("zero-knob bit-for-bit" in f for f in failures)
+
+    def test_query_cost_drift_fails(self):
+        fresh = _history_profile(mhrw_cost=210)
+        failures = gate.check_history(fresh, _history_profile())
+        assert any("query_cost regressed" in f for f in failures)
+
+    def test_speedup_drift_fails(self):
+        fresh = _history_profile(mhrw_speedup=1.6)
+        failures = gate.check_history(fresh, _history_profile(mhrw_speedup=1.8))
+        assert any("speedup regressed" in f for f in failures)
+
+    def test_missing_engine_fails(self):
+        fresh = _history_profile()
+        del fresh["engines"]["nbrw"]
+        failures = gate.check_history(fresh, _history_profile())
+        assert any("missing" in f for f in failures)
+
+    def test_warm_run_divergence_fails(self):
+        fresh = _history_profile(bit_for_bit=False)
+        failures = gate.check_history(fresh, _history_profile())
+        assert any("diverged" in f for f in failures)
+
+    def test_warm_saving_nothing_fails(self):
+        fresh = _history_profile(warm_cost=198)
+        failures = gate.check_history(fresh, _history_profile())
+        assert any("saved nothing" in f for f in failures)
+
+    def test_warm_savings_regression_fails(self):
+        fresh = _history_profile(warm_cost=190)
+        failures = gate.check_history(fresh, _history_profile())
+        assert any("savings regressed" in f for f in failures)
+
+    def test_missing_warm_section_fails(self):
+        fresh = _history_profile()
+        del fresh["warm_start"]
+        failures = gate.check_history(fresh, _history_profile())
+        assert any("warm_start section missing" in f for f in failures)
+
 
 class TestServiceGate:
     def test_identical_profiles_pass(self):
@@ -338,11 +466,13 @@ class TestRunGate:
         self._write(baseline_dir, "BENCH_scheduler.json", _scheduler_profile())
         self._write(baseline_dir, "BENCH_fleet.json", _fleet_profile())
         self._write(baseline_dir, "BENCH_planning.json", _planning_profile())
+        self._write(baseline_dir, "BENCH_history.json", _history_profile())
         self._write(baseline_dir, "BENCH_service.json", _service_profile())
         self._write(fresh_dir, "BENCH_walk_engine.json", _walk_engine_profile())
         self._write(fresh_dir, "BENCH_scheduler.json", _scheduler_profile())
         self._write(fresh_dir, "BENCH_fleet.json", _fleet_profile())
         self._write(fresh_dir, "BENCH_planning.json", _planning_profile())
+        self._write(fresh_dir, "BENCH_history.json", _history_profile())
         self._write(fresh_dir, "BENCH_service.json", _service_profile())
         assert gate.run_gate(fresh_dir, baseline_dir) == []
         assert gate.main(["--fresh-dir", str(fresh_dir), "--baseline-dir", str(baseline_dir)]) == 0

@@ -106,12 +106,44 @@ class TestPredictNextFetch:
         walk.predict_next_fetch()
         assert walk.rng.getstate() == state_before
 
-    def test_unpredictable_engines_answer_none(self, network):
+    def test_every_registry_engine_predicts(self, network):
+        """All four engines override the base no-op predictor (ISSUE 8)."""
+        from repro.core import MTOSampler
+        from repro.walks import MetropolisHastingsWalk, NonBacktrackingWalk
+        from repro.walks.base import RandomWalkSampler
+
+        for engine in (
+            SimpleRandomWalk,
+            MetropolisHastingsWalk,
+            NonBacktrackingWalk,
+            MTOSampler,
+        ):
+            assert (
+                engine.predict_next_fetch is not RandomWalkSampler.predict_next_fetch
+            )
+
+    def test_mhrw_prediction_matches_reality(self, network):
+        """The acceptance-test replay names the next billed fetch."""
         from repro.walks import MetropolisHastingsWalk
 
         api = network.interface()
         walk = MetropolisHastingsWalk(api, start=network.seed_node(0), seed=7)
-        assert walk.predict_next_fetch() is None
+        checked = 0
+        for _ in range(300):
+            predicted = walk.predict_next_fetch()
+            if predicted is None:
+                walk.step()
+                continue
+            cost_before = api.query_cost
+            queried = set(api.log.queried_users())
+            while api.query_cost == cost_before:
+                walk.step()
+            fetched = set(api.log.queried_users()) - queried
+            assert fetched == {predicted}
+            checked += 1
+            if checked >= 25:
+                break
+        assert checked >= 25
 
     def test_private_users_disable_prediction(self):
         from repro.graph import Graph

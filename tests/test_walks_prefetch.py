@@ -1,13 +1,16 @@
-"""Draw-aware prefetch regressions (ISSUE 7 headline bugfix).
+"""Draw-aware prefetch regressions (ISSUE 7 headline bugfix, ISSUE 8 MTO).
 
 The old ``prefetch_candidates`` batch-fetched every chain's entire
 candidate neighborhood, so prefetch-on cost ~2x the queries of
 prefetch-off while running slower.  Draw-aware prefetch batches only the
 nodes the chains' RNG-replay predictions say they will *actually fetch*,
 so on the seeded epinions-like fixture prefetch-on must now be
-equal-or-lower cost at identical walk behavior — and parallel-MTO groups,
-whose draws cannot be replayed, must degrade to exactly the prefetch-off
-query pattern instead of paying for dead neighborhoods.
+equal-or-lower cost at identical walk behavior.  Since ISSUE 8, MTO
+chains replay the overlay draw/rewire branches too: a shared-overlay
+group prefetches (only where no earlier-stepping chain can rewire the
+replayed rows first) at *identical* billed cost and walk behavior —
+the batch warms the cache with exactly the fetches the steps would have
+paid for anyway.
 """
 
 from repro.core import MTOSampler, OverlayGraph
@@ -60,12 +63,13 @@ class TestPrefetchCostAndThroughput:
         assert api_on.total_queries <= api_off.total_queries + ROUNDS * len(on.chains)
 
     def test_parallel_mto_prefetch_regression(self):
-        """Headline bugfix: prefetch-on parallel MTO ≡ prefetch-off.
+        """Prefetch-on parallel MTO bills identically to prefetch-off.
 
-        MTO draws are data-dependent (rewirings change the neighborhood
-        mid-walk), so ``predict_next_fetch`` answers ``None`` and the
-        batch must stay empty — equal positions, equal billed cost, zero
-        batched queries, instead of the old 2x-cost over-fetch.
+        MTO predictions replay the overlay draw/rewire branches, and a
+        batched node is exactly the ``ensure_known`` fetch the chain's
+        own step then consumes — so positions and the billed §II-B set
+        must be identical, with logical traffic growing only by the
+        free cache reads the warmed batch converts fetches into.
         """
         api_off, off = _mto_group(prefetch=False)
         api_on, on = _mto_group(prefetch=True)
@@ -74,14 +78,36 @@ class TestPrefetchCostAndThroughput:
             on.step_all()
         assert [c.current for c in on.chains] == [c.current for c in off.chains]
         assert api_on.query_cost == api_off.query_cost
-        assert api_on.total_queries == api_off.total_queries
+        # Each batched node costs one logical query in the batch plus one
+        # cache hit when the step consumes it.
+        assert api_on.total_queries <= api_off.total_queries + 2 * ROUNDS * len(on.chains)
 
-    def test_mto_prefetch_batches_are_empty(self):
+    def test_mto_shared_overlay_first_writer_predicts(self):
+        """Only the first chain writing a shared overlay is enrolled.
+
+        Later sharers' replays could be invalidated by an earlier
+        chain's rewire landing before their step, so they must fall back
+        to fetch-on-visit — and the one enrolled chain's predictions
+        must produce non-empty batches (MTO is no longer unpredictable).
+        """
         _, on = _mto_group(prefetch=True)
-        for _ in range(30):
-            result = on.prefetch_candidates()
-            assert not result.responses
+        assert len(on._predictors) == 1
+        assert on._predictors[0] is on.chains[0]
+        batched = 0
+        for _ in range(60):
+            batched += len(on.prefetch_candidates().responses)
             on.step_all()
+        assert batched > 0
+
+    def test_mto_private_overlays_all_predict(self):
+        """Chains with private overlays cannot invalidate each other."""
+        net = load("epinions_like", seed=0, scale=0.3)
+        api = net.interface()
+        chains = [
+            MTOSampler(api, start=net.seed_node(i), seed=i) for i in range(4)
+        ]
+        group = ParallelWalkers(chains, prefetch=True)
+        assert len(group._predictors) == 4
 
 
 class TestCheckpointPrefetchedSet:

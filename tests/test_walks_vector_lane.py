@@ -1,0 +1,134 @@
+"""Vectorized lock-step rounds (ISSUE 8 satellite of the PR-7 hot path).
+
+With ``vectorized=True`` a uniform SRW group steps every round through
+one ``CompactAdjacency.draw_many`` call over a mirror of the cached
+neighborhoods.  ``draw_many`` consumes exactly one ``randrange(degree)``
+per chain in chain order, and per-chain RNG streams are independent, so
+the vectorized round must be *bit-for-bit* identical to stepping the
+chains one at a time: same positions, same Mersenne states, same query
+log, same §II-B billing.
+
+The lane is opt-in: the per-chain seeded draws cannot be batched
+without breaking replays, so the default per-chain fast lane measures
+faster at every realistic group size — the default must stay scalar,
+and forcing the lane on an ineligible group must fail loudly.
+"""
+
+import pytest
+
+from repro.core import MTOSampler
+from repro.datasets import load
+from repro.errors import WalkError
+from repro.walks import ParallelWalkers, SimpleRandomWalk
+from repro.walks.mhrw import MetropolisHastingsWalk
+
+ROUNDS = 150
+CHAINS = 4
+
+
+def _srw_chains(api, net):
+    return [
+        SimpleRandomWalk(api, start=net.seed_node(i), seed=i) for i in range(CHAINS)
+    ]
+
+
+class TestVectorizedLockStep:
+    def test_bit_for_bit_vs_per_chain_stepping(self):
+        net_a = load("epinions_like", seed=0, scale=0.3)
+        api_a = net_a.interface()
+        group = ParallelWalkers(_srw_chains(api_a, net_a), vectorized=True)
+        assert group._vector_lane
+
+        net_b = load("epinions_like", seed=0, scale=0.3)
+        api_b = net_b.interface()
+        serial = _srw_chains(api_b, net_b)
+
+        for _ in range(ROUNDS):
+            group.step_all()
+            for s in serial:
+                s.step()
+
+        assert [c.current for c in group.chains] == [s.current for s in serial]
+        assert [c.steps for c in group.chains] == [s.steps for s in serial]
+        assert [c.trace for c in group.chains] == [s.trace for s in serial]
+        assert [c.rng.getstate() for c in group.chains] == [
+            s.rng.getstate() for s in serial
+        ]
+        assert api_a.query_cost == api_b.query_cost
+        assert api_a.total_queries == api_b.total_queries
+        assert api_a.log.state_dict() == api_b.log.state_dict()
+
+    def test_lane_is_opt_in(self):
+        """Default stays the (measured-faster) per-chain loop."""
+        net = load("epinions_like", seed=0, scale=0.3)
+        api = net.interface()
+        group = ParallelWalkers(_srw_chains(api, net))
+        assert not group._vector_lane
+        group.step_all()
+
+    def test_forcing_an_ineligible_group_raises(self):
+        net = load("epinions_like", seed=0, scale=0.3)
+        api = net.interface()
+        chains = [
+            SimpleRandomWalk(api, start=net.seed_node(0), seed=0),
+            MetropolisHastingsWalk(api, start=net.seed_node(1), seed=1),
+        ]
+        with pytest.raises(WalkError):
+            ParallelWalkers(chains, vectorized=True)
+
+    def test_round_latency_accounting_matches_serial_lane(self):
+        """The lane must time each chain's fetch exactly like _timed_step."""
+        net = load("epinions_like", seed=3, scale=0.3)
+        api = net.interface()
+        group = ParallelWalkers(_srw_chains(api, net), vectorized=True)
+        assert group._vector_lane
+        for _ in range(40):
+            group.step_all()
+        assert group.simulated_elapsed >= 0.0
+        assert group._rounds == 40
+
+    def test_mixed_engine_group_disables_the_lane(self):
+        net = load("epinions_like", seed=0, scale=0.3)
+        api = net.interface()
+        chains = [
+            SimpleRandomWalk(api, start=net.seed_node(0), seed=0),
+            MetropolisHastingsWalk(api, start=net.seed_node(1), seed=1),
+        ]
+        group = ParallelWalkers(chains)
+        assert not group._vector_lane
+        group.step_all()  # falls back to the per-chain loop
+
+    def test_mto_group_disables_the_lane(self):
+        net = load("epinions_like", seed=0, scale=0.3)
+        api = net.interface()
+        chains = [MTOSampler(api, start=net.seed_node(i), seed=i) for i in range(2)]
+        group = ParallelWalkers(chains)
+        assert not group._vector_lane
+        group.step_all()
+
+    def test_private_network_disables_the_lane(self):
+        from repro.graph import Graph
+        from repro.interface import RestrictedSocialAPI
+
+        g = Graph([(1, 2), (2, 3), (3, 1), (3, 4), (4, 1)])
+        api = RestrictedSocialAPI(g, inaccessible=frozenset([4]))
+        chains = [SimpleRandomWalk(api, start=n, seed=n) for n in (1, 2)]
+        with pytest.raises(WalkError):
+            ParallelWalkers(chains, vectorized=True)
+        group = ParallelWalkers(chains)
+        assert not group._vector_lane
+        group.step_all()
+
+    def test_lane_composes_with_prefetch(self):
+        """Prefetch batches + vectorized draws: still the serial billing."""
+        net_a = load("epinions_like", seed=1, scale=0.3)
+        api_a = net_a.interface()
+        on = ParallelWalkers(_srw_chains(api_a, net_a), prefetch=True, vectorized=True)
+        net_b = load("epinions_like", seed=1, scale=0.3)
+        api_b = net_b.interface()
+        off = ParallelWalkers(_srw_chains(api_b, net_b), prefetch=False)
+        for _ in range(ROUNDS):
+            on.step_all()
+            off.step_all()
+        assert [c.current for c in on.chains] == [c.current for c in off.chains]
+        assert api_a.query_cost == api_b.query_cost
