@@ -24,6 +24,7 @@ from repro.analysis.conductance import min_conductance_exact, sweep_conductance
 from repro.analysis.spectral import slem
 from repro.compose import (
     FleetSpec,
+    PlannerSpec,
     ProviderSpec,
     StackConfig,
     WalkSpec,
@@ -42,7 +43,8 @@ from repro.experiments import (
     run_warm_history,
 )
 from repro.generators import barbell_graph, paper_barbell
-from repro.interface import RestrictedSocialAPI
+from repro.interface import RestrictedSocialAPI, collect_telemetry
+from repro.obs import TraceRecorder, export_chrome_trace, reconcile_run
 from repro.planning import DispatchPlanner
 from repro.interface.session import SamplingSession
 from repro.service import SamplingService
@@ -960,3 +962,121 @@ def test_service_profile(network, figure_report):
     lines.append(f"  single-tenant bit-for-bit: {single_tenant_bit_for_bit}")
     lines.append(f"  hibernate/resume bit-for-bit: {hibernate_resume_bit_for_bit}")
     figure_report("\n".join(lines))
+
+
+# ----------------------------------------------------------------------
+# observability profile (machine-readable trajectory artifact)
+# ----------------------------------------------------------------------
+
+_OBS_SAMPLES = 120
+_OBS_OVERHEAD_REPEATS = 5
+_OBS_OVERHEAD_CEILING = 1.10
+
+
+def _obs_stack_config():
+    """The traced reference stack: skewed 3-shard fleet, 4 SRW chains."""
+    return StackConfig(
+        fleet=FleetSpec(
+            num_shards=3,
+            seed=5,
+            weights=(0.6, 0.3, 0.1),
+            shard_latency_spread=1.0,
+            provider=ProviderSpec(
+                latency_distribution="constant", latency_scale=0.5
+            ),
+        ),
+        walk=WalkSpec(engine="srw", chains=4, seed=11),
+        planner=PlannerSpec(lookahead=2),
+    )
+
+
+def _obs_serial_sps(network):
+    """Best-of-N serial SRW steps/s, recorder off vs on.
+
+    The two configurations alternate within each repeat so frequency
+    scaling or a noisy neighbour hits both sides equally — the ratio is
+    what the gate reads, not the absolute numbers.
+    """
+    best = {"off": 0.0, "on": 0.0}
+    for _ in range(_OBS_OVERHEAD_REPEATS):
+        for label in ("off", "on"):
+            api = network.interface()
+            if label == "on":
+                api.set_recorder(TraceRecorder())
+            walk = SimpleRandomWalk(api, start=network.seed_node(0), seed=1)
+            best[label] = max(best[label], _steps_per_second(walk, steps=2 * _TIMED_STEPS))
+    return best["off"], best["on"]
+
+
+def test_obs_profile(network, figure_report):
+    """Emit ``BENCH_obs.json``: the observability subsystem's profile.
+
+    Three gated properties (ISSUE 9): attaching a recorder must not
+    change a seeded fleet run's results bit for bit, replaying the trace
+    must reproduce the §II-B bill and the per-shard books exactly, and
+    the recorder-on serial SRW microbench may cost at most 10% over
+    recorder-off.  The traced fleet run's Perfetto timeline is exported
+    as a CI artifact (``TRACE_FLEET_OUT``).
+    """
+    config = _obs_stack_config()
+    plain = build_stack(config, network).run(num_samples=_OBS_SAMPLES)
+    recorder = TraceRecorder()
+    stack = build_stack(config, network, recorder=recorder)
+    traced = stack.run(num_samples=_OBS_SAMPLES)
+    recorder_on_bit_for_bit = (
+        traced.samples == plain.samples
+        and traced.queries == plain.queries
+        and traced.sim_elapsed == plain.sim_elapsed
+    )
+    assert recorder_on_bit_for_bit, "attaching a recorder changed the run"
+
+    problems = reconcile_run(recorder, collect_telemetry(stack.api))
+    assert problems == [], f"trace failed reconciliation: {problems}"
+
+    trace_path = os.environ.get("TRACE_FLEET_OUT", "TRACE_fleet.json")
+    export_chrome_trace(recorder, trace_path)
+
+    off_sps, on_sps = _obs_serial_sps(network)
+    overhead_ratio = off_sps / on_sps
+    assert overhead_ratio <= _OBS_OVERHEAD_CEILING, (
+        f"recorder-on serial SRW costs {overhead_ratio:.2f}x recorder-off "
+        f"(ceiling {_OBS_OVERHEAD_CEILING}x)"
+    )
+
+    report = {
+        "benchmark": "obs",
+        "dataset": {"name": "epinions_like", "seed": 0, "scale": 0.3},
+        "python": ".".join(str(p) for p in sys.version_info[:3]),
+        "num_samples": _OBS_SAMPLES,
+        "recorder_on_bit_for_bit": recorder_on_bit_for_bit,
+        "reconciled": not problems,
+        "trace_events": len(recorder),
+        "events_by_name": recorder.summary()["by_name"],
+        "query_cost": traced.queries,
+        "recorder_off_steps_per_second": round(off_sps),
+        "recorder_on_steps_per_second": round(on_sps),
+        "overhead_ratio": round(overhead_ratio, 4),
+    }
+
+    out_path = os.environ.get("BENCH_OBS_OUT", "BENCH_obs.json")
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    figure_report(
+        "obs profile  ->  {}\n"
+        "  recorder-on bit-for-bit: {}\n"
+        "  trace: {} events reconciled against {} §II-B queries\n"
+        "  serial SRW: {:.0f} steps/s off, {:.0f} steps/s on "
+        "({:.2f}x overhead)\n"
+        "  timeline: {}".format(
+            out_path,
+            recorder_on_bit_for_bit,
+            len(recorder),
+            traced.queries,
+            off_sps,
+            on_sps,
+            overhead_ratio,
+            trace_path,
+        )
+    )

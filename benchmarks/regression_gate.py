@@ -26,7 +26,12 @@ Two kinds of metrics, two kinds of tolerance:
   ISSUE 8 requirements: per-engine §II-B cost parity under cost-neutral
   planning, a 1.5x prediction-speedup floor for MHRW/NBRW, per-engine
   zero-knob bit-for-bit probes, and strictly positive warm-start
-  savings with per-chain bit-for-bit warm determinism.
+  savings with per-chain bit-for-bit warm determinism; the
+  observability profile carries the ISSUE 9 requirements: attaching a
+  trace recorder must leave a seeded fleet run bit-for-bit identical,
+  replaying its trace must reproduce the §II-B bill exactly, and the
+  recorder-on serial microbench may cost at most 10% over recorder-off
+  (a same-run ratio, so it is hardware-independent enough to gate).
 
 Usage::
 
@@ -62,6 +67,12 @@ HISTORY_SPEEDUP_ENGINES = ("mhrw", "nbrw")
 #: Hard ceiling on the worst tenant's p95 pace over fair share under
 #: deficit-round-robin admission (ISSUE 6 acceptance).
 MAX_SERVICE_FAIR_RATIO = 3.0
+
+#: Hard ceiling on the recorder-on / recorder-off serial SRW throughput
+#: ratio (ISSUE 9 acceptance).  Both runs execute back to back on one
+#: runner, so — like the prefetch parity floor — the ratio gates real
+#: instrumentation cost, not CI hardware.
+MAX_OBS_OVERHEAD_RATIO = 1.10
 
 #: Same-process prefetch-on/prefetch-off throughput parity floor (ISSUE 7
 #: acceptance).  Both runs execute back to back on one runner, so the
@@ -482,6 +493,53 @@ def check_service(
     return failures
 
 
+def check_obs(
+    fresh: dict,
+    baseline: dict,
+    simulated_tolerance: float = 0.02,
+    max_overhead: float = MAX_OBS_OVERHEAD_RATIO,
+) -> List[str]:
+    """Failures for the observability profile (empty list = gate passes)."""
+    failures = []
+    if not fresh.get("recorder_on_bit_for_bit", False):
+        failures.append(
+            "obs: attaching a recorder changed the seeded fleet run "
+            "(recorder-on bit-for-bit equivalence no longer holds)"
+        )
+    if not fresh.get("reconciled", False):
+        failures.append(
+            "obs: trace replay no longer reproduces the §II-B bill "
+            "and per-shard books exactly"
+        )
+    overhead = fresh.get("overhead_ratio")
+    if overhead is None:
+        failures.append("obs: overhead_ratio missing from fresh profile")
+    elif overhead > max_overhead:
+        failures.append(
+            f"obs: recorder-on serial throughput costs {overhead:.2f}x "
+            f"recorder-off, above the {max_overhead:.2f}x ceiling"
+        )
+    # Event count and §II-B cost of the traced reference run are seeded
+    # simulated metrics: drift means the instrumentation coverage (or the
+    # run itself) changed.
+    for metric in ("trace_events", "query_cost"):
+        base_value = baseline.get(metric)
+        fresh_value = fresh.get(metric)
+        if base_value is None:
+            continue
+        if fresh_value is None:
+            failures.append(f"obs: {metric} missing from fresh profile")
+            continue
+        if abs(fresh_value - base_value) > simulated_tolerance * abs(base_value):
+            failures.append(
+                "obs: {} drifted: {} vs baseline {} "
+                "(simulated metric, tolerance {:.0%})".format(
+                    metric, fresh_value, base_value, simulated_tolerance
+                )
+            )
+    return failures
+
+
 def run_gate(
     fresh_dir: Path,
     baseline_dir: Path,
@@ -497,6 +555,7 @@ def run_gate(
         ("BENCH_planning.json", check_planning, {}),
         ("BENCH_history.json", check_history, {}),
         ("BENCH_service.json", check_service, {}),
+        ("BENCH_obs.json", check_obs, {}),
     ]
     for filename, check, extra in pairs:
         baseline_path = baseline_dir / filename

@@ -52,6 +52,15 @@ from repro.interface.providers import (
 )
 from repro.interface.session import SamplingSession
 from repro.interface.telemetry import collect_telemetry
+from repro.obs import (
+    MetricsRegistry,
+    TraceRecorder,
+    attach_stack,
+    export_chrome_trace,
+    export_jsonl,
+    read_jsonl,
+    reconcile_run,
+)
 from repro.service import SamplingService, TenantSession
 from repro.walks.executor import MultiprocessChainExecutor
 from repro.walks.mhrw import MetropolisHastingsWalk
@@ -92,6 +101,13 @@ __all__ = [
     "SamplingService",
     "TenantSession",
     "collect_telemetry",
+    "TraceRecorder",
+    "MetricsRegistry",
+    "attach_stack",
+    "export_jsonl",
+    "read_jsonl",
+    "export_chrome_trace",
+    "reconcile_run",
     "ParallelWalkers",
     "EventDrivenWalkers",
     "MultiprocessChainExecutor",

@@ -56,6 +56,7 @@ from repro.interface.ratelimit import (
     TokenBucketRateLimiter,
     UnlimitedRateLimiter,
 )
+from repro.obs.trace import TraceRecorder
 from repro.planning.lifecycle import AdaptiveChainPolicy
 from repro.planning.planner import DispatchPlanner
 from repro.walks.mhrw import MetropolisHastingsWalk
@@ -380,6 +381,8 @@ def build_stack(
     network,
     cache=None,
     fleet: Optional[ShardedProvider] = None,
+    recorder: Optional[TraceRecorder] = None,
+    tenant: Optional[str] = None,
 ) -> SamplingStack:
     """Assemble provider → interface → walkers → planner from one config.
 
@@ -394,6 +397,17 @@ def build_stack(
         fleet: Optional pre-built fleet to mount instead of building
             ``config.fleet`` — the service layer passes its shared fleet
             so every tenant's interface bills against the same shards.
+        recorder: Optional :class:`~repro.obs.trace.TraceRecorder` wired
+            through every layer *before* the chains bootstrap, so the
+            trace includes the start-node queries the stack bills during
+            assembly.  Attaching one after ``build_stack`` returns (see
+            :func:`repro.obs.attach_stack`) misses those — a
+            reconciliation audit against ``query_cost`` then comes up
+            short by one query per chain.
+        tenant: Optional tenant label forwarded to the interface's
+            recorder hookup (events gain a ``tenant`` attribute; cache
+            counters move to the ``tenant.<label>.*`` namespace).  Only
+            meaningful with ``recorder``.
 
     Raises:
         ComposeError: On an unknown walk engine, too few chains, or a
@@ -423,6 +437,9 @@ def build_stack(
         query_budget=config.query_budget,
         cache=cache,
     )
+    if recorder is not None:
+        fleet.set_recorder(recorder)
+        api.set_recorder(recorder, tenant=tenant)
     samplers = [
         engine(api, start=starts[i], seed=config.walk.seed * 100_003 + i)
         for i in range(config.walk.chains)
@@ -435,6 +452,10 @@ def build_stack(
         batch_window=config.walk.batch_window,
         planner=planner,
     )
+    if recorder is not None:
+        walkers.set_recorder(recorder)
+        if planner is not None:
+            planner.set_recorder(recorder)
     return SamplingStack(config, fleet, api, samplers, walkers)
 
 

@@ -36,6 +36,7 @@ from repro.experiments.latency_sweep import (
     LatencySweepRow,
     run_latency_sweep,
 )
+from repro.experiments.obs_trace import ObsTraceResult, run_obs_trace
 from repro.experiments.runner import (
     SAMPLER_NAMES,
     WarmStartResult,
@@ -78,6 +79,8 @@ __all__ = [
     "LatencySweepResult",
     "LatencySweepRow",
     "run_latency_sweep",
+    "ObsTraceResult",
+    "run_obs_trace",
     "SAMPLER_NAMES",
     "WarmStartResult",
     "cost_at_error",

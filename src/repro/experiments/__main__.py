@@ -15,6 +15,7 @@ Usage::
     python -m repro.experiments history --scale 0.3
     python -m repro.experiments service --scale 0.3
     python -m repro.experiments warmhistory --scale 0.3
+    python -m repro.experiments trace --scale 0.3
     python -m repro.experiments all   --scale 0.5
 
 Each command prints the same rows/series the paper's artifact reports.
@@ -35,6 +36,7 @@ from repro.experiments import (
     run_fleet_sweep,
     run_history_sweep,
     run_latency_sweep,
+    run_obs_trace,
     run_running_example,
     run_table1,
     run_tenant_sweep,
@@ -64,6 +66,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "history",
             "service",
             "warmhistory",
+            "trace",
             "all",
         ],
         help="which artifact to regenerate",
@@ -133,6 +136,13 @@ def main(argv: list[str] | None = None) -> int:
         "warmhistory": lambda: run_warm_history(
             _load_network(seed=args.seed, scale=args.scale),
             seed=args.seed,
+            **({"num_samples": args.samples} if args.samples is not None else {}),
+        ),
+        "trace": lambda: run_obs_trace(
+            _load_network(seed=args.seed, scale=args.scale),
+            seed=args.seed,
+            jsonl_path="TRACE_run.jsonl",
+            chrome_path="TRACE_run.json",
             **({"num_samples": args.samples} if args.samples is not None else {}),
         ),
     }

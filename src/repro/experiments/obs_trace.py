@@ -1,0 +1,177 @@
+"""Traced reference run: record, export, and audit one skewed fleet.
+
+The other drivers answer the paper's questions; this one answers the
+operator's — *what exactly happened, and does the timeline add up?*  It
+runs a seeded multi-tenant workload over a deliberately skewed fleet
+with one :class:`~repro.obs.trace.TraceRecorder` wired through every
+layer (interface → scheduler → planner → fleet → service), then:
+
+* reconciles the trace against each tenant's §II-B bill and the shared
+  fleet's per-shard books (:mod:`repro.obs.audit`) — the run *fails*
+  when any event is missing or double-counted;
+* exports the event log as codec-exact JSONL
+  (:func:`~repro.obs.export.export_jsonl`) and as a Chrome
+  ``trace_event`` timeline that opens directly in Perfetto
+  (https://ui.perfetto.dev) with one lane per chain/shard/tenant.
+
+The trace is deterministic: same seed, same events, byte for byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.compose import FleetSpec, ProviderSpec, StackConfig, WalkSpec
+from repro.datasets.standins import SocialNetwork
+from repro.errors import ExperimentError
+from repro.interface.telemetry import collect_telemetry
+from repro.obs import (
+    TraceRecorder,
+    export_chrome_trace,
+    export_jsonl,
+    reconcile_fleet,
+    reconcile_interface,
+)
+from repro.service import SamplingService
+
+
+@dataclasses.dataclass
+class ObsTraceResult:
+    """Everything one traced reference run produced.
+
+    Attributes:
+        dataset: Network label.
+        num_tenants: Concurrent tenants in the traced workload.
+        num_samples: Samples each cold tenant requested (the hot tenant
+            asks for ``hot_skew`` times as many).
+        events: Total events the recorder captured.
+        events_by_name: Event counts keyed by event name.
+        query_cost_by_tenant: Each tenant's §II-B bill.
+        problems: Reconciliation mismatches — empty means the trace
+            reproduces every bill and every shard book exactly.
+        jsonl_path: Where the JSONL event log was written (``None`` when
+            export was skipped).
+        chrome_path: Where the Perfetto timeline was written (``None``
+            when export was skipped).
+    """
+
+    dataset: str
+    num_tenants: int
+    num_samples: int
+    events: int
+    events_by_name: Dict[str, int]
+    query_cost_by_tenant: Dict[str, int]
+    problems: List[str]
+    jsonl_path: Optional[str] = None
+    chrome_path: Optional[str] = None
+
+    def __str__(self) -> str:
+        lines = [
+            f"traced run — {self.num_tenants} tenants on {self.dataset}: "
+            f"{self.events} events, audit "
+            + ("clean" if not self.problems else f"FAILED ({len(self.problems)})"),
+        ]
+        for name in sorted(self.events_by_name):
+            lines.append(f"  {name:>16}: {self.events_by_name[name]}")
+        for tenant in sorted(self.query_cost_by_tenant):
+            lines.append(
+                f"  tenant {tenant}: {self.query_cost_by_tenant[tenant]} unique queries"
+            )
+        for problem in self.problems:
+            lines.append(f"  MISMATCH: {problem}")
+        if self.jsonl_path:
+            lines.append(f"  event log: {self.jsonl_path}")
+        if self.chrome_path:
+            lines.append(f"  timeline:  {self.chrome_path}  (open in ui.perfetto.dev)")
+        return "\n".join(lines)
+
+
+def run_obs_trace(
+    network: SocialNetwork,
+    num_tenants: int = 3,
+    num_samples: int = 40,
+    hot_skew: float = 4.0,
+    num_shards: int = 3,
+    seed: int = 0,
+    jsonl_path: Optional[str] = None,
+    chrome_path: Optional[str] = None,
+) -> ObsTraceResult:
+    """Run, record, audit, and (optionally) export one traced workload.
+
+    Args:
+        network: Dataset to sample.
+        num_tenants: Concurrent tenants (first one is the hot tenant).
+        num_samples: Samples per cold tenant.
+        hot_skew: Hot tenant's request size as a multiple of a cold one's.
+        num_shards: Shared fleet size; shard weights are deliberately
+            skewed so the timeline shows an uneven fleet.
+        seed: Master seed — the trace is a pure function of it.
+        jsonl_path: When given, write the codec-exact JSONL event log.
+        chrome_path: When given, write the Perfetto ``trace_event`` file.
+
+    Raises:
+        ExperimentError: When the trace fails reconciliation — an
+            unaccounted event means the timeline cannot be trusted.
+    """
+    if num_tenants < 1:
+        raise ExperimentError("a traced run needs at least one tenant")
+    weights = tuple(2.0 ** (-i) for i in range(num_shards))
+    recorder = TraceRecorder()
+    service = SamplingService(
+        network,
+        fleet=FleetSpec(
+            num_shards=num_shards,
+            seed=seed * 7 + 3,
+            weights=weights,
+            shard_latency_spread=1.0,
+            provider=ProviderSpec(latency_distribution="constant", latency_scale=0.5),
+        ),
+        recorder=recorder,
+    )
+    tenants = [f"t{i}" for i in range(num_tenants)]
+    for i, tenant in enumerate(tenants):
+        service.register(
+            tenant,
+            StackConfig(
+                walk=WalkSpec(
+                    engine="mhrw" if i % 2 else "srw",
+                    chains=2,
+                    seed=seed * 1_009 + i,
+                )
+            ),
+        )
+        hot = i == 0
+        service.request(tenant, round(num_samples * hot_skew) if hot else num_samples)
+    service.run_pending()
+
+    problems: List[str] = []
+    costs: Dict[str, int] = {}
+    shards = None
+    for tenant in tenants:
+        telemetry = collect_telemetry(service.tenant(tenant).stack.api)
+        costs[tenant] = telemetry.query_cost
+        problems.extend(reconcile_interface(recorder, telemetry, tenant=tenant))
+        shards = telemetry.shards
+    if shards is not None:
+        problems.extend(reconcile_fleet(recorder, shards))
+    if problems:
+        raise ExperimentError(
+            "trace failed reconciliation: " + "; ".join(problems)
+        )
+
+    if jsonl_path is not None:
+        export_jsonl(recorder, jsonl_path)
+    if chrome_path is not None:
+        export_chrome_trace(recorder, chrome_path)
+    return ObsTraceResult(
+        dataset=network.name,
+        num_tenants=num_tenants,
+        num_samples=num_samples,
+        events=len(recorder),
+        events_by_name=recorder.summary()["by_name"],
+        query_cost_by_tenant=costs,
+        problems=problems,
+        jsonl_path=jsonl_path,
+        chrome_path=chrome_path,
+    )

@@ -28,12 +28,14 @@ import warnings
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro.datastore.documents import DocumentStore
+from repro.errors import PrivateUserError
 from repro.fleet.disruption import DisruptionSchedule
 from repro.fleet.router import ShardRouter
 from repro.graph.adjacency import Graph
 from repro.interface.providers import (
     SocialProvider,
 )
+from repro.obs.trace import EVENT_FETCH, EVENT_RETRY, TraceRecorder
 
 Node = Hashable
 
@@ -190,6 +192,7 @@ class ShardedProvider(SocialProvider):
         self._trace_dispatches = False
         self._dispatch_log: List[FetchDispatch] = []
         self._active_tenant: Optional[str] = None
+        self._recorder: Optional[TraceRecorder] = None
 
     # ------------------------------------------------------------------
     # fleet introspection
@@ -264,6 +267,23 @@ class ShardedProvider(SocialProvider):
         self._stats[shard].prefetched += 1
 
     # ------------------------------------------------------------------
+    # observability (zero-cost when no recorder is attached)
+    # ------------------------------------------------------------------
+    @property
+    def recorder(self) -> Optional[TraceRecorder]:
+        """The attached trace recorder, or ``None`` (the default)."""
+        return self._recorder
+
+    def set_recorder(self, recorder: Optional[TraceRecorder]) -> None:
+        """Attach (or with ``None`` detach) a trace recorder.
+
+        The fleet owns no simulated clock, so its ``shard_fetch``/``retry``
+        events are stamped with the time the interface hinted just before
+        delegating the fetch (see ``TraceRecorder.hint_clock``).
+        """
+        self._recorder = recorder
+
+    # ------------------------------------------------------------------
     # per-tenant attribution (set by the service layer around each tick)
     # ------------------------------------------------------------------
     @property
@@ -293,13 +313,29 @@ class ShardedProvider(SocialProvider):
         stats = self._stats[shard]
         request_index = stats.queries
         stats.queries += 1
-        fetched = self._shards[shard].fetch(user)  # refusals propagate billed
+        try:
+            fetched = self._shards[shard].fetch(user)  # refusals propagate billed
+        except PrivateUserError:
+            if self._recorder is not None:
+                # A refusal consumed a shard request (stats.queries above)
+                # but no latency/retry books — the audit replays it from
+                # this zero-latency mark.
+                self._recorder.record(
+                    EVENT_FETCH,
+                    self._recorder.hinted_clock,
+                    shard=shard,
+                    user=user,
+                    refused=True,
+                )
+            raise
         latency = fetched.latency
+        disrupted = False
         schedule = self._disruptions[shard]
         if schedule is not None:
             latency = schedule.disrupted_latency(request_index, latency)
             if schedule.mode_of(request_index) != "ok":
                 stats.disrupted += 1
+                disrupted = True
         if self._quantum > 0.0 and latency > 0.0:
             latency = self._quantum * math.ceil(latency / self._quantum)
         stats.latency_spent += latency
@@ -310,6 +346,24 @@ class ShardedProvider(SocialProvider):
             self._dispatch_log.append(
                 FetchDispatch(shard=shard, user=user, latency=latency)
             )
+        recorder = self._recorder
+        if recorder is not None:
+            issued = recorder.hinted_clock
+            attrs = {
+                "shard": shard,
+                "user": user,
+                "latency": latency,
+                "attempts": fetched.attempts,
+            }
+            if disrupted:
+                attrs["disrupted"] = True
+            if self._active_tenant is not None:
+                attrs["tenant"] = self._active_tenant
+            recorder.record(EVENT_FETCH, issued, latency, **attrs)
+            if fetched.attempts > 1:
+                recorder.record(
+                    EVENT_RETRY, issued, shard=shard, user=user, attempts=fetched.attempts
+                )
         if latency != fetched.latency:
             fetched = dataclasses.replace(fetched, latency=latency)
         return fetched

@@ -58,6 +58,12 @@ from repro.graph.adjacency import Graph
 from repro.interface.cache import NeighborhoodCache
 from repro.interface.providers import InMemoryGraphProvider, SocialProvider
 from repro.interface.ratelimit import RateLimiter, SimulatedClock, UnlimitedRateLimiter
+from repro.obs.trace import (
+    EVENT_LIMITER_WAIT,
+    EVENT_QUERY,
+    EVENT_REFUSAL,
+    TraceRecorder,
+)
 
 Node = Hashable
 
@@ -205,6 +211,14 @@ class RestrictedSocialAPI:
         self._cache_misses = 0
         self._warm_users: FrozenSet[Node] = frozenset()
         self._warm_hits = 0
+        self._recorder: Optional[TraceRecorder] = None
+        self._obs_attrs: dict = {}
+        self._obs_hits = "interface.cache_hits"
+        self._obs_misses = "interface.cache_misses"
+        self._obs_hit_rate = "interface.cache_hit_rate"
+        self._obs_hit_counter = None
+        self._obs_miss_counter = None
+        self._obs_rate_series = None
 
     # ------------------------------------------------------------------
     # the public queries
@@ -237,6 +251,10 @@ class RestrictedSocialAPI:
             # The refusal consumes one billed request, then is cached.
             self._log.record(user, timestamp=self._clock.now())
             self._known_private.add(user)
+            if self._recorder is not None:
+                self._recorder.record(
+                    EVENT_REFUSAL, self._clock.now(), user=user, **self._obs_attrs
+                )
             raise
 
     def fetch_seq(self, user: Node) -> Tuple[Node, ...]:
@@ -264,6 +282,11 @@ class RestrictedSocialAPI:
                 self._cache_hits += 1
                 if user in self._warm_users:
                     self._warm_hits += 1
+                counter = self._obs_hit_counter
+                if counter is not None:
+                    # Counter-only on the hot lane: no event allocation,
+                    # so recorder-on overhead stays within the CI budget.
+                    counter.value += 1
                 self._log.note(user, False, self._clock.now())
                 return seq
         return self.query(user).neighbor_seq
@@ -320,6 +343,10 @@ class RestrictedSocialAPI:
             except PrivateUserError:
                 self._log.record(user, timestamp=self._clock.now())
                 self._known_private.add(user)
+                if self._recorder is not None:
+                    self._recorder.record(
+                        EVENT_REFUSAL, self._clock.now(), user=user, **self._obs_attrs
+                    )
                 private.append(user)
         return BatchQueryResult(
             responses=responses,
@@ -350,6 +377,8 @@ class RestrictedSocialAPI:
         self._cache_hits += 1
         if user in self._warm_users:
             self._warm_hits += 1
+        if self._obs_hit_counter is not None:
+            self._obs_hit_counter.value += 1
         self._log.record(user, timestamp=self._clock.now(), billed=False)
         return QueryResponse(
             user=user,
@@ -368,14 +397,40 @@ class RestrictedSocialAPI:
         simulated time — exactly the pre-provider semantics.
         """
         self._cache_misses += 1
+        recorder = self._recorder
+        started = 0.0
+        if recorder is not None:
+            self._obs_miss_counter.value += 1
+            started = self._clock.now()
+            # Stamp the issue time for the clockless fleet layer, whose
+            # shard_fetch/retry events land at this simulated instant.
+            recorder.hint_clock(started)
         fetched = self._provider.fetch(user)  # may raise PrivateUserError
 
         wait = self._limiter.try_acquire(self._clock.now())
         while wait > 0:
             self._clock.advance(wait)
             wait = self._limiter.try_acquire(self._clock.now())
+        if recorder is not None:
+            throttled = self._clock.now() - started
+            if throttled > 0.0:
+                recorder.record(
+                    EVENT_LIMITER_WAIT, started, throttled, user=user, **self._obs_attrs
+                )
         self._clock.advance(self._seconds_per_query + fetched.latency)
         self._latency_spent += fetched.latency
+        if recorder is not None:
+            now = self._clock.now()
+            recorder.record(
+                EVENT_QUERY,
+                started,
+                now - started,
+                user=user,
+                latency=fetched.latency,
+                **self._obs_attrs,
+            )
+            hits, misses = self._cache_hits, self._cache_misses
+            self._obs_rate_series.observe(now, hits / (hits + misses))
 
         seq = fetched.neighbor_seq
         neighbors = frozenset(seq)
@@ -451,6 +506,55 @@ class RestrictedSocialAPI:
         *time*, never again in unique-query cost, which the log owns).
         """
         return self._cache_misses
+
+    # ------------------------------------------------------------------
+    # observability (zero-cost when no recorder is attached)
+    # ------------------------------------------------------------------
+    @property
+    def recorder(self) -> Optional[TraceRecorder]:
+        """The attached trace recorder, or ``None`` (the default)."""
+        return self._recorder
+
+    def set_recorder(
+        self, recorder: Optional[TraceRecorder], tenant: Optional[str] = None
+    ) -> None:
+        """Attach (or with ``None`` detach) a trace recorder.
+
+        Attaching only affects *this* interface's hooks; use
+        :func:`repro.obs.attach_stack` to instrument a whole
+        provider → interface → walkers → planner stack with one call.
+
+        Args:
+            recorder: The sink, or ``None`` to detach.
+            tenant: Optional tenant label.  When set, every interface
+                event carries a ``tenant`` attribute and the cache
+                counters/series move from the ``interface.*`` namespace
+                to ``tenant.<label>.*`` — a shared service recorder can
+                then reconcile each tenant's bill separately.  The names
+                are precomputed here so the hot cache-hit lane stays
+                allocation-free.
+        """
+        self._recorder = recorder
+        if tenant is None:
+            self._obs_attrs = {}
+            prefix = "interface"
+        else:
+            self._obs_attrs = {"tenant": str(tenant)}
+            prefix = f"tenant.{tenant}"
+        self._obs_hits = prefix + ".cache_hits"
+        self._obs_misses = prefix + ".cache_misses"
+        self._obs_hit_rate = prefix + ".cache_hit_rate"
+        # Pre-bound counter objects: the cached-step lane bumps `.value`
+        # directly instead of paying a registry lookup per step, which is
+        # what keeps recorder-on overhead inside the CI-gated 10% budget.
+        if recorder is None:
+            self._obs_hit_counter = None
+            self._obs_miss_counter = None
+            self._obs_rate_series = None
+        else:
+            self._obs_hit_counter = recorder.metrics.counter(self._obs_hits)
+            self._obs_miss_counter = recorder.metrics.counter(self._obs_misses)
+            self._obs_rate_series = recorder.metrics.series(self._obs_hit_rate)
 
     @property
     def may_have_private(self) -> bool:
@@ -589,6 +693,12 @@ class RestrictedSocialAPI:
         if include_shared:
             state["cache"] = self._cache.state_dict()
             state["provider"] = self._provider.state_dict()
+            if self._recorder is not None:
+                # An in-flight trace rides full snapshots so a resumed
+                # session keeps recording where it left off.  Tenant-scoped
+                # snapshots skip it: a service-wide recorder is shared
+                # state, and hibernation must not fork it per tenant.
+                state["obs"] = self._recorder.state_dict()
         return state
 
     def load_state(self, state: dict) -> None:
@@ -625,3 +735,13 @@ class RestrictedSocialAPI:
         self._warm_hits = int(state.get("warm_hits", 0))
         if "provider" in state:
             self._provider.load_state(state["provider"])
+        obs = state.get("obs")
+        if obs is not None:
+            recorder = self._recorder if self._recorder is not None else TraceRecorder()
+            recorder.load_state(obs)
+            self._recorder = recorder
+            # load_state rebuilt every instrument, so the pre-bound hot-lane
+            # counters point at dead objects until re-bound here.
+            self._obs_hit_counter = recorder.metrics.counter(self._obs_hits)
+            self._obs_miss_counter = recorder.metrics.counter(self._obs_misses)
+            self._obs_rate_series = recorder.metrics.series(self._obs_hit_rate)

@@ -44,7 +44,7 @@ from typing import Dict, Optional
 from repro.datastore.snapshot import SnapshotBackend
 from repro.errors import SnapshotError
 from repro.interface.api import RestrictedSocialAPI
-from repro.interface.telemetry import collect_telemetry, shard_breakdown_dict
+from repro.interface.telemetry import collect_telemetry
 
 #: Section names used in session snapshots.
 SECTION_META = "meta"
@@ -233,31 +233,22 @@ class SamplingSession:
         retry accounting; this gathers the whole picture — §II-B cost,
         simulated clock, provider latency, retry counts, cache hit/miss
         counts, and (over a fleet) per-shard breakdowns — via
-        :func:`~repro.interface.telemetry.collect_telemetry`, plus the
+        :func:`~repro.interface.telemetry.collect_telemetry` and its
+        record's canonical ``to_dict()`` layout, plus the
         sampler's step count and this session's save count.  Samplers
         that plan (an :class:`~repro.walks.scheduler.EventDrivenWalkers`
         with a dispatch planner) additionally contribute per-chain step
         counts and the planning/prefetch accounting.
         """
         telemetry = collect_telemetry(self._api)
-        summary: Dict[str, object] = {
-            "sampler_type": type(self._sampler).__name__,
-            "steps": getattr(self._sampler, "steps", None),
-            "query_cost": telemetry.query_cost,
-            "total_queries": telemetry.total_queries,
-            "latency_spent": telemetry.latency_spent,
-            "clock_now": telemetry.clock_now,
-            "fetch_attempts": telemetry.fetch_attempts,
-            "retries": telemetry.retries,
-            "abandoned": telemetry.abandoned,
-            "cache_hits": telemetry.cache_hits,
-            "cache_misses": telemetry.cache_misses,
-            "prefetched": telemetry.prefetched,
-            "warm_users": telemetry.warm_users,
-            "warm_hits": telemetry.warm_hits,
-            "shards": shard_breakdown_dict(telemetry),
-            "saves": self._saves,
-        }
+        summary: Dict[str, object] = telemetry.to_dict()
+        summary.update(
+            {
+                "sampler_type": type(self._sampler).__name__,
+                "steps": getattr(self._sampler, "steps", None),
+                "saves": self._saves,
+            }
+        )
         chain_steps = getattr(self._sampler, "chain_steps", None)
         if chain_steps is not None:
             summary["chain_steps"] = tuple(chain_steps)

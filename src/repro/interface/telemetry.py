@@ -44,6 +44,13 @@ class ShardTelemetry:
     prefetched: int = 0
     tenants: Optional[dict] = None
 
+    def to_dict(self) -> dict:
+        """This row as a plain dict — the canonical JSON/report shape."""
+        data = dataclasses.asdict(self)
+        if self.tenants is not None:
+            data["tenants"] = {label: dict(books) for label, books in self.tenants.items()}
+        return data
+
 
 @dataclasses.dataclass(frozen=True)
 class InterfaceTelemetry:
@@ -86,6 +93,21 @@ class InterfaceTelemetry:
     prefetched: int = 0
     warm_users: int = 0
     warm_hits: int = 0
+
+    def to_dict(self) -> dict:
+        """The whole record as plain dicts — one canonical JSON shape.
+
+        Experiment drivers, benchmark reports, and session summaries all
+        serialize telemetry through this method instead of hand-rolling
+        ``dataclasses.asdict`` calls, so every JSON report shares one
+        field layout.  Shard rows are emitted in ascending shard order.
+        """
+        data = dataclasses.asdict(self)
+        if self.shards is not None:
+            data["shards"] = {
+                shard: row.to_dict() for shard, row in sorted(self.shards.items())
+            }
+        return data
 
     def format_summary(self) -> str:
         """A compact human-readable multi-line summary."""
@@ -134,19 +156,42 @@ class InterfaceTelemetry:
 
 
 def iter_provider_stack(provider: SocialProvider) -> Iterator[SocialProvider]:
-    """Yield every provider in a stack: the root, ``inner`` links, shards."""
-    pending = [provider]
-    seen = 0
-    while pending and seen < 256:  # stacks are shallow; guard cycles anyway
-        current = pending.pop()
-        seen += 1
+    """Yield every provider in a stack: the root, ``inner`` links, shards.
+
+    Each distinct provider is yielded exactly once, depth-first from the
+    root (shards before ``inner`` links), so a provider *shared* between
+    two branches — one latency layer mounted under several shards, a
+    fleet-of-fleets reusing a stack — contributes to aggregate telemetry
+    once instead of once per path.  A true cycle (a provider that is its
+    own transitive ``inner``/shard) raises instead of silently truncating
+    the walk and under-reporting totals.
+
+    Raises:
+        RuntimeError: If the stack contains a cycle.
+    """
+    yielded = set()
+
+    def _walk(current: SocialProvider, path: frozenset) -> Iterator[SocialProvider]:
+        ident = id(current)
+        if ident in path:
+            raise RuntimeError(
+                "provider stack contains a cycle through "
+                f"{type(current).__name__}; telemetry totals would be wrong"
+            )
+        if ident in yielded:
+            return
+        yielded.add(ident)
         yield current
+        deeper = path | {ident}
         shards = getattr(current, "shards", None)
         if shards is not None:
-            pending.extend(shards)
+            for shard in shards:
+                yield from _walk(shard, deeper)
         inner = getattr(current, "inner", None)
         if inner is not None:
-            pending.append(inner)
+            yield from _walk(inner, deeper)
+
+    yield from _walk(provider, frozenset())
 
 
 def collect_telemetry(api: RestrictedSocialAPI) -> InterfaceTelemetry:
@@ -160,7 +205,14 @@ def collect_telemetry(api: RestrictedSocialAPI) -> InterfaceTelemetry:
             retries += retry_stats.attempts - retry_stats.fetches
             abandoned += retry_stats.abandoned
         stats = getattr(provider, "stats", None)
-        if stats is not None and getattr(provider, "router", None) is not None:
+        if (
+            shards is None
+            and stats is not None
+            and getattr(provider, "router", None) is not None
+        ):
+            # First fleet wins: in a fleet-of-fleets stack the outermost
+            # ShardedProvider (the one the walk actually routes through,
+            # matching find_fleet) owns the per-shard breakdown.
             shards = {
                 shard: ShardTelemetry(
                     queries=row.queries,
@@ -195,6 +247,4 @@ def shard_breakdown_dict(telemetry: InterfaceTelemetry) -> Optional[Dict[int, di
     """The per-shard breakdown as plain dicts (JSON/report-friendly)."""
     if telemetry.shards is None:
         return None
-    return {
-        shard: dataclasses.asdict(row) for shard, row in sorted(telemetry.shards.items())
-    }
+    return {shard: row.to_dict() for shard, row in sorted(telemetry.shards.items())}

@@ -1,0 +1,105 @@
+"""``repro.obs``: end-to-end run observability over the simulated clocks.
+
+Four small parts compose the subsystem:
+
+* :mod:`repro.obs.trace` — the :class:`TraceRecorder` every layer
+  (interface, scheduler, planner, fleet, service) writes structured,
+  simulated-clock-stamped events into when one is attached;
+* :mod:`repro.obs.metrics` — the :class:`MetricsRegistry` of counters,
+  gauges, and simulated-time series the same hooks stream into;
+* :mod:`repro.obs.export` — JSONL traces (snapshot-codec lines, exact
+  round trip) and Chrome ``trace_event`` timelines for Perfetto;
+* :mod:`repro.obs.audit` — reconciliation: replaying a trace must
+  reproduce the §II-B bill and the per-shard books exactly.
+
+Wiring: pass ``recorder=`` to :func:`repro.compose.build_stack` or
+:class:`repro.service.service.SamplingService` so the trace covers the
+stack's bootstrap queries too; :func:`attach_stack` instruments an
+already-built stack (events before the attach point are simply absent,
+which a ``query_cost`` reconciliation will flag).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.audit import reconcile_fleet, reconcile_interface, reconcile_run
+from repro.obs.export import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    export_chrome_trace,
+    export_jsonl,
+    read_jsonl,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
+from repro.obs.trace import (
+    EVENT_ADMISSION_WAIT,
+    EVENT_BURST_DISPATCH,
+    EVENT_FETCH,
+    EVENT_HIBERNATE,
+    EVENT_LIMITER_WAIT,
+    EVENT_PREFETCH_ISSUE,
+    EVENT_PREFETCH_LAND,
+    EVENT_QUERY,
+    EVENT_REFUSAL,
+    EVENT_RETRY,
+    EVENT_TENANT_TICK,
+    EVENT_WAKE,
+    EVENT_WALK_STEP,
+    TraceEvent,
+    TraceRecorder,
+)
+
+__all__ = [
+    "TraceRecorder",
+    "TraceEvent",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimeSeries",
+    "attach_stack",
+    "export_jsonl",
+    "read_jsonl",
+    "export_chrome_trace",
+    "reconcile_interface",
+    "reconcile_fleet",
+    "reconcile_run",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "EVENT_QUERY",
+    "EVENT_REFUSAL",
+    "EVENT_LIMITER_WAIT",
+    "EVENT_WALK_STEP",
+    "EVENT_BURST_DISPATCH",
+    "EVENT_ADMISSION_WAIT",
+    "EVENT_PREFETCH_ISSUE",
+    "EVENT_PREFETCH_LAND",
+    "EVENT_FETCH",
+    "EVENT_RETRY",
+    "EVENT_TENANT_TICK",
+    "EVENT_HIBERNATE",
+    "EVENT_WAKE",
+]
+
+
+def attach_stack(stack, recorder: TraceRecorder, tenant: Optional[str] = None) -> TraceRecorder:
+    """Wire one recorder through every layer of a built sampling stack.
+
+    Duck-typed on purpose (``repro.obs`` imports none of the layer
+    modules): anything with ``api`` / ``walkers`` / ``fleet`` and an
+    optional ``planner`` works — a :class:`~repro.compose.SamplingStack`
+    in practice.  Returns the recorder for chaining.
+
+    Note that a stack instrumented *after* construction has already
+    billed its bootstrap queries untraced; build with
+    ``build_stack(..., recorder=...)`` when the trace must reconcile
+    against ``query_cost`` exactly.
+    """
+    stack.api.set_recorder(recorder, tenant=tenant)
+    stack.fleet.set_recorder(recorder)
+    stack.walkers.set_recorder(recorder)
+    planner = getattr(stack, "planner", None)
+    if planner is not None:
+        planner.set_recorder(recorder)
+    return recorder

@@ -1,0 +1,238 @@
+"""Live metric streams over simulated time: counters, gauges, series.
+
+The telemetry record (:mod:`repro.interface.telemetry`) is an end-of-run
+aggregate — it answers *what* a run cost, never *when*.  This registry is
+the time-resolved half of observability: instrumented layers push samples
+as the simulated clocks advance, so a finished run can answer "when did
+the cache hit rate collapse?", "which shard's queue was deepest at
+t=800s?", or "when did R̂ cross threshold?".
+
+Everything here is deterministic: instruments are keyed by name in
+insertion order, time-series samples are bucketed on the *simulated*
+clock (never the wall clock), and the whole registry round-trips through
+``state_dict()``/``load_state()`` so an in-flight recorder survives a
+checkpoint bit-for-bit.
+
+Instruments:
+
+* :class:`Counter` — monotonically accumulating float/int.
+* :class:`Gauge` — last-write-wins level (queue depth, ledger balance).
+* :class:`Histogram` — fixed-bound distribution (latency shapes).
+* :class:`TimeSeries` — ``(bucket, value)`` samples over simulated time;
+  one value per bucket, last write wins, so streaming a gauge into a
+  series costs O(1) amortized and stays bounded by run length.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount!r}")
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins level."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = value
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's current level."""
+        self.value = value
+
+
+class Histogram:
+    """A fixed-bound distribution: counts per bucket plus sum/count.
+
+    Args:
+        bounds: Ascending upper bounds; an observation lands in the first
+            bucket whose bound is >= the value, or the overflow bucket.
+    """
+
+    __slots__ = ("bounds", "buckets", "count", "total")
+
+    def __init__(self, bounds: Tuple[float, ...]) -> None:
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must ascend, got {bounds!r}")
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.buckets[index] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class TimeSeries:
+    """``(bucket start, value)`` samples over simulated time.
+
+    Args:
+        bucket: Bucket width in simulated seconds; observations within
+            one bucket coalesce (last write wins), so high-frequency
+            streams stay bounded by run length, not event count.
+    """
+
+    __slots__ = ("bucket", "samples")
+
+    def __init__(self, bucket: float = 1.0) -> None:
+        if bucket <= 0:
+            raise ValueError(f"time-series bucket must be > 0, got {bucket!r}")
+        self.bucket = bucket
+        self.samples: List[Tuple[float, float]] = []
+
+    def observe(self, ts: float, value: float) -> None:
+        """Record ``value`` at simulated time ``ts``.
+
+        Timestamps must be non-decreasing (simulated clocks only move
+        forward); an in-bucket repeat overwrites, a new bucket appends.
+        """
+        start = math.floor(ts / self.bucket) * self.bucket
+        if self.samples and self.samples[-1][0] == start:
+            self.samples[-1] = (start, value)
+        else:
+            self.samples.append((start, value))
+
+    def last(self) -> Optional[float]:
+        """The most recent value, or ``None`` when empty."""
+        return self.samples[-1][1] if self.samples else None
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshot-exact.
+
+    Layers never construct instruments directly — they ask the registry
+    (``registry.counter("interface.cache_hits").inc()``), so every stream
+    a run produced is discoverable by name afterwards via
+    :meth:`snapshot`.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created at 0 on first use."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created at 0.0 on first use."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str, bounds: Tuple[float, ...] = (0.1, 0.5, 1.0, 2.0, 5.0)) -> Histogram:
+        """The histogram called ``name`` (``bounds`` applies on creation)."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(bounds)
+        return instrument
+
+    def series(self, name: str, bucket: float = 1.0) -> TimeSeries:
+        """The time series called ``name`` (``bucket`` applies on creation)."""
+        instrument = self._series.get(name)
+        if instrument is None:
+            instrument = self._series[name] = TimeSeries(bucket)
+        return instrument
+
+    def counter_value(self, name: str) -> float:
+        """Read a counter without creating it (0 when absent)."""
+        instrument = self._counters.get(name)
+        return instrument.value if instrument is not None else 0
+
+    def snapshot(self) -> dict:
+        """Every instrument's current state as plain values.
+
+        Counters/gauges map name -> value; histograms map name ->
+        ``{bounds, buckets, count, total}``; series map name -> sample
+        list.  Derived rates (e.g. cache hit rate) are the caller's
+        arithmetic — the registry only stores what was observed.
+        """
+        return {
+            "counters": {name: c.value for name, c in self._counters.items()},
+            "gauges": {name: g.value for name, g in self._gauges.items()},
+            "histograms": {
+                name: {
+                    "bounds": list(h.bounds),
+                    "buckets": list(h.buckets),
+                    "count": h.count,
+                    "total": h.total,
+                }
+                for name, h in self._histograms.items()
+            },
+            "series": {
+                name: {"bucket": s.bucket, "samples": [list(p) for p in s.samples]}
+                for name, s in self._series.items()
+            },
+        }
+
+    def state_dict(self) -> dict:
+        """Snapshot-codec-safe state (tuples for sample points)."""
+        return {
+            "counters": dict((name, c.value) for name, c in self._counters.items()),
+            "gauges": dict((name, g.value) for name, g in self._gauges.items()),
+            "histograms": {
+                name: {
+                    "bounds": h.bounds,
+                    "buckets": tuple(h.buckets),
+                    "count": h.count,
+                    "total": h.total,
+                }
+                for name, h in self._histograms.items()
+            },
+            "series": {
+                name: {"bucket": s.bucket, "samples": tuple(s.samples)}
+                for name, s in self._series.items()
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` payload, replacing all instruments."""
+        self._counters = {name: Counter(value) for name, value in state.get("counters", {}).items()}
+        self._gauges = {name: Gauge(value) for name, value in state.get("gauges", {}).items()}
+        self._histograms = {}
+        for name, payload in state.get("histograms", {}).items():
+            histogram = Histogram(tuple(payload["bounds"]))
+            histogram.buckets = list(payload["buckets"])
+            histogram.count = payload["count"]
+            histogram.total = payload["total"]
+            self._histograms[name] = histogram
+        self._series = {}
+        for name, payload in state.get("series", {}).items():
+            series = TimeSeries(payload["bucket"])
+            series.samples = [tuple(point) for point in payload["samples"]]
+            self._series[name] = series

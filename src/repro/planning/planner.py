@@ -32,6 +32,7 @@ from typing import Dict, Hashable, Optional, Tuple
 
 from repro.datastore.snapshot import encode_value
 from repro.errors import PlanningError
+from repro.obs.trace import TraceRecorder
 from repro.planning.history import HistoryIndex
 from repro.planning.lifecycle import AdaptiveChainPolicy
 from repro.planning.prefetch import PrefetchLedger
@@ -96,6 +97,7 @@ class DispatchPlanner:
         # counts frontier candidates offered under the speculation knob.
         self._prediction: Dict[str, Dict[str, int]] = {}
         self._warm_visits: Dict[Node, int] = {}
+        self._recorder: Optional[TraceRecorder] = None
 
     # ------------------------------------------------------------------
     # binding (done once, by the owning scheduler)
@@ -148,6 +150,31 @@ class DispatchPlanner:
     def policy(self) -> Optional[AdaptiveChainPolicy]:
         """The adaptive chain policy, or ``None``."""
         return self._policy
+
+    # ------------------------------------------------------------------
+    # observability (zero-cost when no recorder is attached)
+    # ------------------------------------------------------------------
+    @property
+    def recorder(self) -> Optional[TraceRecorder]:
+        """The attached trace recorder, or ``None``."""
+        return self._recorder
+
+    def set_recorder(self, recorder: Optional[TraceRecorder]) -> None:
+        """Attach (or detach, with ``None``) a trace recorder.
+
+        The planner streams prefetch-ledger balances into the recorder's
+        metrics registry; the prefetch *events* are emitted by the owning
+        scheduler, which knows the simulated dispatch times.
+        """
+        self._recorder = recorder
+
+    def _publish_ledger(self) -> None:
+        """Stream the ledger balance into the attached metrics registry."""
+        metrics = self._recorder.metrics
+        metrics.gauge("prefetch.outstanding").set(float(self._ledger.outstanding))
+        metrics.gauge("prefetch.used").set(float(self._ledger.used))
+        metrics.gauge("prefetch.wasted").set(float(self._ledger.wasted))
+        metrics.gauge("prefetch.issued").set(float(self._ledger.issued))
 
     # ------------------------------------------------------------------
     # prediction (consulted by the scheduler's burst-settling hook)
@@ -274,11 +301,17 @@ class DispatchPlanner:
         """
         self._require_bound()
         self._history.record_step(node, known=free)
-        return self._ledger.mark_used(node)
+        landed = self._ledger.mark_used(node)
+        if self._recorder is not None and landed is not None:
+            self._publish_ledger()
+        return landed
 
     def on_retire(self, chain: int) -> int:
         """Write off a retired chain's outstanding prefetches; returns count."""
-        return self._ledger.drop_chain(chain)
+        dropped = self._ledger.drop_chain(chain)
+        if self._recorder is not None and dropped:
+            self._publish_ledger()
+        return dropped
 
     # ------------------------------------------------------------------
     # reporting

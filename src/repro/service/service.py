@@ -64,6 +64,12 @@ from repro.datastore.kv import KeyValueStore
 from repro.datastore.snapshot import SnapshotBackend, decode_value, encode_value
 from repro.errors import QueryBudgetExhaustedError, ServiceError
 from repro.interface.cache import NeighborhoodCache
+from repro.obs.trace import (
+    EVENT_HIBERNATE,
+    EVENT_TENANT_TICK,
+    EVENT_WAKE,
+    TraceRecorder,
+)
 
 __all__ = [
     "SamplingService",
@@ -220,6 +226,13 @@ class SamplingService:
             :attr:`~repro.interface.api.RestrictedSocialAPI.warm_hits`.
             Call :meth:`save_history` to write the (grown) shared
             knowledge back for the next service run.
+        recorder: Optional shared :class:`~repro.obs.trace.TraceRecorder`.
+            The service attaches it to the shared fleet and to every
+            tenant stack it builds (registration *and* wake), so one
+            recorder sees the whole multi-tenant run: per-tenant query
+            and walk events, shard fetches with tenant attribution, and
+            the service-level ``tenant_tick``/``hibernate``/``wake``
+            lifecycle on the service clock.
 
     Raises:
         ServiceError: On a non-positive ``quantum``.
@@ -236,6 +249,7 @@ class SamplingService:
         idle_hibernate_after: Optional[int] = None,
         spill_store: Optional[KeyValueStore] = None,
         history=None,
+        recorder: Optional[TraceRecorder] = None,
     ) -> None:
         if quantum <= 0.0:
             raise ServiceError("quantum must be positive simulated seconds")
@@ -254,6 +268,9 @@ class SamplingService:
         self._spill = spill_store if spill_store is not None else KeyValueStore()
         self._tenants: Dict[str, TenantSession] = {}
         self._clock = 0.0
+        self._recorder = recorder
+        if recorder is not None:
+            self._fleet.set_recorder(recorder)
         self._history = history
         self._warm_users: frozenset = frozenset()
         self._warm_private: frozenset = frozenset()
@@ -285,6 +302,11 @@ class SamplingService:
     def fairness(self) -> bool:
         """Whether deficit-round-robin admission is on."""
         return self._fairness
+
+    @property
+    def recorder(self) -> Optional[TraceRecorder]:
+        """The shared trace recorder, or ``None``."""
+        return self._recorder
 
     @property
     def clock(self) -> float:
@@ -358,7 +380,12 @@ class SamplingService:
         self._fleet.set_active_tenant(tenant_id)
         try:
             stack = build_stack(
-                config, self._network, cache=self._cache, fleet=self._fleet
+                config,
+                self._network,
+                cache=self._cache,
+                fleet=self._fleet,
+                recorder=self._recorder,
+                tenant=tenant_id,
             )
         finally:
             self._fleet.set_active_tenant(None)
@@ -371,6 +398,25 @@ class SamplingService:
             if stack.planner is not None and self._warm_stats:
                 stack.planner.warm_start(self._warm_stats)
         return stack
+
+    def _attach_recorder(self, stack: SamplingStack, tenant_id: str) -> None:
+        """Wire the service's shared recorder through a *rebuilt* stack.
+
+        Fresh registrations are instrumented by ``build_stack`` itself
+        (so bootstrap queries are traced); this hook re-attaches after a
+        hibernated tenant is materialized — its unbilled rebuild must
+        stay out of the trace, so the recorder is wired only once the
+        tenant's own state is loaded back on top.  Tenant snapshots stay
+        recorder-free: hibernation serializes with
+        ``include_shared=False``, which skips the interface's embedded
+        recorder state.
+        """
+        if self._recorder is None:
+            return
+        stack.api.set_recorder(self._recorder, tenant=tenant_id)
+        stack.walkers.set_recorder(self._recorder)
+        if stack.planner is not None:
+            stack.planner.set_recorder(self._recorder)
 
     def request(
         self, tenant_id: str, num_samples: int, thinning: int = 1
@@ -483,21 +529,42 @@ class SamplingService:
         admission loop.
         """
         walkers = session.stack.walkers
+        recorder = self._recorder
         before_time = walkers.simulated_elapsed
         before_samples = walkers.samples_collected
+        before_clock = self._clock
         try:
             done = walkers.collect_tick(session.requested)
         except QueryBudgetExhaustedError:
             self._charge(session, walkers.simulated_elapsed - before_time)
+            if recorder is not None:
+                recorder.record(
+                    EVENT_TENANT_TICK,
+                    before_clock,
+                    self._clock - before_clock,
+                    tenant=session.tenant_id,
+                    exhausted=True,
+                )
             session.state = STATE_EXHAUSTED
             session.deficit = 0.0
             return False
         self._charge(session, walkers.simulated_elapsed - before_time)
+        if recorder is not None:
+            recorder.record(
+                EVENT_TENANT_TICK,
+                before_clock,
+                self._clock - before_clock,
+                tenant=session.tenant_id,
+            )
         anchor = session.arrival if session.arrival is not None else 0.0
         for count in range(before_samples + 1, walkers.samples_collected + 1):
             since_arrival = max(1, count - session.epoch_base)
             session.sample_clock.append(self._clock)
             session.sample_walls.append((self._clock - anchor) / since_arrival)
+            if recorder is not None:
+                recorder.metrics.series(
+                    f"tenant.{session.tenant_id}.pace"
+                ).observe(self._clock, session.sample_walls[-1])
         return done
 
     def _charge(self, session: TenantSession, delta: float) -> None:
@@ -552,6 +619,10 @@ class SamplingService:
         session.stack = None
         session.state = STATE_HIBERNATED
         session.idle_rounds = 0
+        if self._recorder is not None:
+            self._recorder.record(
+                EVENT_HIBERNATE, self._clock, tenant=session.tenant_id
+            )
         return session
 
     def _wake(self, session: TenantSession) -> None:
@@ -561,8 +632,12 @@ class SamplingService:
             raise ServiceError(
                 f"tenant {session.tenant_id!r} has no spilled session to wake"
             )
-        session.stack = self._materialize(session.config, decode_value(payload))
+        session.stack = self._materialize(
+            session.config, decode_value(payload), tenant_id=session.tenant_id
+        )
         self._spill.delete(("tenant", session.tenant_id))
+        if self._recorder is not None:
+            self._recorder.record(EVENT_WAKE, self._clock, tenant=session.tenant_id)
         if session.requested > session.stack.walkers.samples_collected:
             self._arm(session)
             session.state = STATE_ACTIVE
@@ -570,7 +645,9 @@ class SamplingService:
             session.state = STATE_IDLE
         session.idle_rounds = 0
 
-    def _materialize(self, config: StackConfig, sections: dict) -> SamplingStack:
+    def _materialize(
+        self, config: StackConfig, sections: dict, tenant_id: Optional[str] = None
+    ) -> SamplingStack:
         """Rebuild a stack from tenant-scoped snapshot sections.
 
         Rebuilding is not free of side effects: ``build_stack`` bootstraps
@@ -585,23 +662,35 @@ class SamplingService:
         own state on top.
         """
         self._fleet.set_active_tenant(None)
+        # The rebuild's side-effect fetches are unbilled replays — they
+        # must stay out of the trace or the per-shard reconciliation
+        # would count fetches the restored books never saw.
+        self._fleet.set_recorder(None)
         fleet_state = self._fleet.state_dict()
         cache_state = self._cache.state_dict()
-        for start in walk_starts(config, self._network):
-            if self._cache.neighbors(start) is None:
-                fetched = self._fleet.fetch(start)
-                self._cache.put(
-                    start,
-                    frozenset(fetched.neighbor_seq),
-                    fetched.attributes,
-                    seq=fetched.neighbor_seq,
-                )
-        stack = build_stack(config, self._network, cache=self._cache, fleet=self._fleet)
-        self._fleet.load_state(fleet_state)
-        self._cache.load_state(cache_state)
-        self._fleet.drain_dispatches()
+        try:
+            for start in walk_starts(config, self._network):
+                if self._cache.neighbors(start) is None:
+                    fetched = self._fleet.fetch(start)
+                    self._cache.put(
+                        start,
+                        frozenset(fetched.neighbor_seq),
+                        fetched.attributes,
+                        seq=fetched.neighbor_seq,
+                    )
+            stack = build_stack(
+                config, self._network, cache=self._cache, fleet=self._fleet
+            )
+            self._fleet.load_state(fleet_state)
+            self._cache.load_state(cache_state)
+            self._fleet.drain_dispatches()
+        finally:
+            if self._recorder is not None:
+                self._fleet.set_recorder(self._recorder)
         stack.api.load_state(sections["api"])
         stack.walkers.load_state(sections["walkers"])
+        if tenant_id is not None:
+            self._attach_recorder(stack, tenant_id)
         return stack
 
     # ------------------------------------------------------------------
@@ -727,7 +816,9 @@ class SamplingService:
             if session.state == STATE_HIBERNATED:
                 service._spill.set(("tenant", tid), encode_value(payload))
             else:
-                session.stack = service._materialize(session.config, payload)
+                session.stack = service._materialize(
+                    session.config, payload, tenant_id=tid
+                )
                 if session.state == STATE_ACTIVE:
                     service._arm(session)
         return service

@@ -85,6 +85,14 @@ from repro.core.overlay import shared_overlay_of
 from repro.errors import PrivateUserError, SnapshotError, WalkError
 from repro.fleet.provider import FetchDispatch, find_fleet
 from repro.interface.telemetry import collect_telemetry
+from repro.obs.trace import (
+    EVENT_ADMISSION_WAIT,
+    EVENT_BURST_DISPATCH,
+    EVENT_PREFETCH_ISSUE,
+    EVENT_PREFETCH_LAND,
+    EVENT_WALK_STEP,
+    TraceRecorder,
+)
 from repro.planning.lifecycle import (
     ROSTER_ACTIVE,
     ROSTER_RESERVE,
@@ -261,6 +269,7 @@ class EventDrivenWalkers:
         self._events = 0
         self._checkpoint_fn = None
         self._checkpoint_every = 0
+        self._recorder: Optional[TraceRecorder] = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -339,6 +348,38 @@ class EventDrivenWalkers:
             }
         )
         return summary
+
+    # ------------------------------------------------------------------
+    # observability (zero-cost when no recorder is attached)
+    # ------------------------------------------------------------------
+    @property
+    def recorder(self) -> Optional[TraceRecorder]:
+        """The attached trace recorder, or ``None`` (the default)."""
+        return self._recorder
+
+    def set_recorder(self, recorder: Optional[TraceRecorder]) -> None:
+        """Attach (or with ``None`` detach) a trace recorder.
+
+        The scheduler stamps its ``walk_step``/``burst_dispatch``/
+        ``prefetch_*``/``admission_wait`` spans on *event time* (the
+        concurrent makespan clock), streams R̂ and per-shard in-flight
+        depth into the recorder's metrics, and never perturbs the run:
+        every hook is a guarded no-op branch when detached, and a pure
+        observation when attached.
+        """
+        self._recorder = recorder
+
+    def _record_step(self, chain: int, when: float, latency: float) -> None:
+        """Record one committed walk step (caller guards the recorder)."""
+        sampler = self._samplers[chain]
+        self._recorder.record(
+            EVENT_WALK_STEP,
+            when,
+            latency,
+            chain=chain,
+            engine=type(sampler).__name__,
+            node=sampler.current,
+        )
 
     # ------------------------------------------------------------------
     # event-queue plumbing
@@ -626,11 +667,21 @@ class EventDrivenWalkers:
                 if monitor.converged(traces):
                     self._r_hat = monitor.r_hat(traces)
                     self._converged = True
+                    if self._recorder is not None:
+                        self._recorder.metrics.series("walk.r_hat").observe(
+                            self._sim_time, self._r_hat
+                        )
                     return
+                if self._recorder is not None:
+                    self._recorder.metrics.series("walk.r_hat").observe(
+                        self._sim_time, monitor.r_hat(traces)
+                    )
                 self._next_check = rounds + max(check_every, rounds // 5)
             when, _seq, chain = heapq.heappop(self._heap)
             self._sim_time = max(self._sim_time, when)
             latency = self._timed_step(chain)
+            if self._recorder is not None:
+                self._record_step(chain, when, latency)
             self._burn_rounds[chain] += 1
             self._ready[chain] = when + latency
             floor = min(self._burn_rounds)
@@ -704,6 +755,8 @@ class EventDrivenWalkers:
                     continue
             else:
                 latency = self._timed_step(chain)
+                if self._recorder is not None:
+                    self._record_step(chain, when, latency)
                 self._since[chain] += 1
                 self._ready[chain] = when + latency
             self._push(chain, self._ready[chain])
@@ -799,6 +852,7 @@ class EventDrivenWalkers:
         and becomes ready when the last of its bursts lands.
         """
         fleet = self._fleet
+        recorder = self._recorder
         joined: Dict[int, List[List[float]]] = {}  # chain -> bursts it rides
         for chain, dispatches in fetches:
             self._ready[chain] = when
@@ -815,11 +869,33 @@ class EventDrivenWalkers:
                     burst = [start, dispatch.latency, 1.0]
                     self._open_bursts[shard] = burst
                     fleet.record_burst(shard, 1)
+                    if recorder is not None:
+                        if start > when:
+                            recorder.record(
+                                EVENT_ADMISSION_WAIT,
+                                when,
+                                start - when,
+                                chain=chain,
+                                shard=shard,
+                            )
+                        recorder.record(
+                            EVENT_BURST_DISPATCH,
+                            start,
+                            dispatch.latency,
+                            shard=shard,
+                            chain=chain,
+                        )
                 else:
                     burst[1] = max(burst[1], dispatch.latency)
                     burst[2] += 1.0
                     fleet.record_burst_depth(shard, int(burst[2]))
+                if recorder is not None:
+                    recorder.metrics.series(f"shard.{shard}.in_flight").observe(
+                        when, burst[2]
+                    )
                 joined.setdefault(chain, []).append(burst)
+        if recorder is not None:
+            recorder.metrics.gauge("walk.queue_depth").set(float(len(self._heap)))
         for chain, bursts in joined.items():  # insertion order: deterministic
             done = max(start + max_latency for start, max_latency, _ in bursts)
             if done > self._ready[chain]:
@@ -971,6 +1047,26 @@ class EventDrivenWalkers:
         # hook applies the land time then).  Walk, not wait.
         lands_at = burst[0] + burst[1]
         self._planner.ledger.record_issue(target, chain, lands_at)
+        if self._recorder is not None:
+            self._recorder.record(
+                EVENT_PREFETCH_ISSUE,
+                when,
+                chain=chain,
+                user=target,
+                shard=shard,
+                lands_at=lands_at,
+                fetches=len(dispatched),
+            )
+            self._recorder.record(
+                EVENT_PREFETCH_LAND,
+                lands_at,
+                chain=chain,
+                user=target,
+                shard=shard,
+            )
+            self._recorder.metrics.gauge("prefetch.outstanding").set(
+                float(self._planner.ledger.outstanding)
+            )
         assert response.user == target
         return True
 
@@ -1080,7 +1176,15 @@ class EventDrivenWalkers:
                 if monitor.converged(traces):
                     self._r_hat = monitor.r_hat(traces)
                     self._converged = True
+                    if self._recorder is not None:
+                        self._recorder.metrics.series("walk.r_hat").observe(
+                            self._sim_time, self._r_hat
+                        )
                     return
+                if self._recorder is not None:
+                    self._recorder.metrics.series("walk.r_hat").observe(
+                        self._sim_time, monitor.r_hat(traces)
+                    )
                 self._next_check = rounds + max(check_every, rounds // 5)
             group = self._pop_tick()
             when = group[-1][0]  # the held group departs together
@@ -1093,6 +1197,10 @@ class EventDrivenWalkers:
                 self._samplers[chain].step()
                 dispatches = self._fleet.drain_dispatches()
                 fetches.append((chain, dispatches))
+                if self._recorder is not None:
+                    self._record_step(
+                        chain, when, sum(d.latency for d in dispatches)
+                    )
                 lands_at = self._observe_step(chain, dispatches)
                 if lands_at is not None:
                     waits.append((chain, lands_at))
@@ -1174,6 +1282,10 @@ class EventDrivenWalkers:
                 sampler.step()
                 dispatches = self._fleet.drain_dispatches()
                 fetches.append((chain, dispatches))
+                if self._recorder is not None:
+                    self._record_step(
+                        chain, when, sum(d.latency for d in dispatches)
+                    )
                 self._since[chain] += 1
                 self._collect_steps[chain] += 1
                 lands_at = self._observe_step(chain, dispatches)

@@ -452,6 +452,70 @@ class TestServiceGate:
         assert any("mode rows missing" in f for f in failures)
 
 
+def _obs_profile(
+    bit_for_bit=True,
+    reconciled=True,
+    overhead=1.03,
+    trace_events=404,
+    query_cost=83,
+):
+    return {
+        "recorder_on_bit_for_bit": bit_for_bit,
+        "reconciled": reconciled,
+        "overhead_ratio": overhead,
+        "trace_events": trace_events,
+        "query_cost": query_cost,
+        "recorder_off_steps_per_second": 50_000,
+        "recorder_on_steps_per_second": 48_500,
+    }
+
+
+class TestObsGate:
+    def test_identical_profiles_pass(self):
+        base = _obs_profile()
+        assert gate.check_obs(base, base) == []
+
+    def test_lost_bit_for_bit_fails(self):
+        fresh = _obs_profile(bit_for_bit=False)
+        failures = gate.check_obs(fresh, _obs_profile())
+        assert any("bit-for-bit" in f for f in failures)
+
+    def test_lost_reconciliation_fails(self):
+        fresh = _obs_profile(reconciled=False)
+        failures = gate.check_obs(fresh, _obs_profile())
+        assert any("§II-B bill" in f for f in failures)
+
+    def test_overhead_above_ceiling_fails(self):
+        fresh = _obs_profile(overhead=1.25)
+        failures = gate.check_obs(fresh, _obs_profile())
+        assert any("ceiling" in f for f in failures)
+
+    def test_overhead_jitter_under_ceiling_passes(self):
+        fresh = _obs_profile(overhead=1.09)
+        assert gate.check_obs(fresh, _obs_profile()) == []
+
+    def test_missing_overhead_fails(self):
+        fresh = _obs_profile()
+        del fresh["overhead_ratio"]
+        failures = gate.check_obs(fresh, _obs_profile())
+        assert any("overhead_ratio missing" in f for f in failures)
+
+    def test_simulated_drift_fails(self):
+        fresh = _obs_profile(trace_events=380)  # ~6% event-coverage drift
+        failures = gate.check_obs(fresh, _obs_profile())
+        assert any("trace_events drifted" in f for f in failures)
+
+        fresh = _obs_profile(query_cost=90)
+        failures = gate.check_obs(fresh, _obs_profile())
+        assert any("query_cost drifted" in f for f in failures)
+
+    def test_missing_simulated_metric_fails(self):
+        fresh = _obs_profile()
+        del fresh["query_cost"]
+        failures = gate.check_obs(fresh, _obs_profile())
+        assert any("query_cost missing" in f for f in failures)
+
+
 class TestRunGate:
     def _write(self, directory, name, payload):
         with open(directory / name, "w") as fh:
@@ -468,12 +532,14 @@ class TestRunGate:
         self._write(baseline_dir, "BENCH_planning.json", _planning_profile())
         self._write(baseline_dir, "BENCH_history.json", _history_profile())
         self._write(baseline_dir, "BENCH_service.json", _service_profile())
+        self._write(baseline_dir, "BENCH_obs.json", _obs_profile())
         self._write(fresh_dir, "BENCH_walk_engine.json", _walk_engine_profile())
         self._write(fresh_dir, "BENCH_scheduler.json", _scheduler_profile())
         self._write(fresh_dir, "BENCH_fleet.json", _fleet_profile())
         self._write(fresh_dir, "BENCH_planning.json", _planning_profile())
         self._write(fresh_dir, "BENCH_history.json", _history_profile())
         self._write(fresh_dir, "BENCH_service.json", _service_profile())
+        self._write(fresh_dir, "BENCH_obs.json", _obs_profile())
         assert gate.run_gate(fresh_dir, baseline_dir) == []
         assert gate.main(["--fresh-dir", str(fresh_dir), "--baseline-dir", str(baseline_dir)]) == 0
 

@@ -1,0 +1,218 @@
+"""Tests for the trace recorder and metrics registry (ISSUE 9)."""
+
+import pytest
+
+from repro.compose import FleetSpec, ProviderSpec, StackConfig, WalkSpec, build_stack
+from repro.datasets import load
+from repro.datastore.snapshot import decode_value, encode_value
+from repro.obs import (
+    EVENT_FETCH,
+    EVENT_QUERY,
+    EVENT_WALK_STEP,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+    TraceEvent,
+    TraceRecorder,
+    attach_stack,
+)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return load("epinions_like", seed=0, scale=0.15)
+
+
+def _fleet_config(chains=2, lookahead=0):
+    from repro.compose import PlannerSpec
+
+    return StackConfig(
+        fleet=FleetSpec(
+            num_shards=2,
+            seed=3,
+            provider=ProviderSpec(latency_distribution="constant", latency_scale=0.5),
+        ),
+        walk=WalkSpec(engine="srw", chains=chains, seed=7),
+        planner=PlannerSpec(lookahead=lookahead) if lookahead else None,
+    )
+
+
+class TestTraceRecorder:
+    def test_record_assigns_sequence_numbers(self):
+        recorder = TraceRecorder()
+        a = recorder.record(EVENT_QUERY, 1.0, 0.5, user="u1")
+        b = recorder.record(EVENT_FETCH, 1.0, shard=0)
+        assert (a.seq, b.seq) == (0, 1)
+        assert len(recorder) == 2
+        assert recorder.events == [a, b]
+        assert a.dur == 0.5 and b.dur == 0.0
+        assert b.attrs == {"shard": 0}
+
+    def test_events_named_filters_in_order(self):
+        recorder = TraceRecorder()
+        recorder.record(EVENT_QUERY, 0.0, user="a")
+        recorder.record(EVENT_WALK_STEP, 1.0, chain=0)
+        recorder.record(EVENT_QUERY, 2.0, user="b")
+        queries = recorder.events_named(EVENT_QUERY)
+        assert [e.attrs["user"] for e in queries] == ["a", "b"]
+
+    def test_count_is_a_counter_bump(self):
+        recorder = TraceRecorder()
+        recorder.count("interface.cache_hits")
+        recorder.count("interface.cache_hits", 2)
+        assert recorder.metrics.counter_value("interface.cache_hits") == 3
+        assert len(recorder) == 0  # no event allocated
+
+    def test_hint_clock_round_trips(self):
+        recorder = TraceRecorder()
+        assert recorder.hinted_clock == 0.0
+        recorder.hint_clock(12.5)
+        assert recorder.hinted_clock == 12.5
+
+    def test_summary_counts_by_name(self):
+        recorder = TraceRecorder()
+        recorder.record(EVENT_QUERY, 0.0, user="a")
+        recorder.record(EVENT_QUERY, 1.0, user="b")
+        recorder.record(EVENT_WALK_STEP, 1.0, chain=0)
+        recorder.count("interface.cache_hits")
+        summary = recorder.summary()
+        assert summary["events"] == 3
+        assert summary["by_name"] == {EVENT_QUERY: 2, EVENT_WALK_STEP: 1}
+        assert summary["counters"] == {"interface.cache_hits": 1}
+
+    def test_state_dict_round_trips_through_codec(self):
+        recorder = TraceRecorder()
+        recorder.record(EVENT_QUERY, 1.5, 0.25, user=("tuple", "id"), latency=0.25)
+        recorder.count("interface.cache_hits")
+        recorder.hint_clock(3.0)
+        recorder.metrics.series("walk.r_hat").observe(2.0, 1.08)
+        payload = decode_value(encode_value(recorder.state_dict()))
+        revived = TraceRecorder()
+        revived.load_state(payload)
+        assert revived.events == recorder.events
+        assert revived.hinted_clock == 3.0
+        assert revived.metrics.state_dict() == recorder.metrics.state_dict()
+        # the revived sequence continues where the original left off
+        event = revived.record(EVENT_QUERY, 4.0, user="next")
+        assert event.seq == len(recorder.events)
+
+    def test_trace_event_codec_preserves_exact_types(self):
+        event = TraceEvent(seq=3, name=EVENT_FETCH, ts=0.1, dur=0.0, attrs={"shard": 2})
+        assert decode_value(encode_value(event)) == event
+
+
+class TestMetricsRegistry:
+    def test_counter_rejects_negative_increments(self):
+        counter = Counter()
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge()
+        gauge.set(4.0)
+        gauge.set(2.0)
+        assert gauge.value == 2.0
+
+    def test_histogram_buckets_and_mean(self):
+        histogram = Histogram(bounds=(1.0, 2.0))
+        for value in (0.5, 1.5, 5.0):
+            histogram.observe(value)
+        assert histogram.buckets == [1, 1, 1]
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(7.0 / 3.0)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+
+    def test_series_buckets_coalesce_last_write_wins(self):
+        series = TimeSeries(bucket=1.0)
+        series.observe(0.2, 1.0)
+        series.observe(0.9, 2.0)  # same bucket: overwrites
+        series.observe(1.5, 3.0)  # new bucket: appends
+        assert series.samples == [(0.0, 2.0), (1.0, 3.0)]
+        assert series.last() == 3.0
+
+    def test_series_rejects_nonpositive_bucket(self):
+        with pytest.raises(ValueError):
+            TimeSeries(bucket=0.0)
+
+    def test_registry_instruments_are_created_once(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.series("s") is registry.series("s")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.counter_value("absent") == 0
+
+    def test_registry_state_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", bounds=(1.0,)).observe(0.5)
+        registry.series("s", bucket=0.5).observe(0.7, 9.0)
+        revived = MetricsRegistry()
+        revived.load_state(decode_value(encode_value(registry.state_dict())))
+        assert revived.state_dict() == registry.state_dict()
+        assert revived.snapshot() == registry.snapshot()
+
+
+class TestNoOpParity:
+    def test_recorder_does_not_change_a_fleet_run(self, network):
+        config = _fleet_config(lookahead=2)
+        plain = build_stack(config, network).run(num_samples=40)
+        recorder = TraceRecorder()
+        traced = build_stack(config, network, recorder=recorder).run(num_samples=40)
+        assert traced.samples == plain.samples
+        assert traced.queries == plain.queries
+        assert traced.sim_elapsed == plain.sim_elapsed
+        assert len(recorder) > 0
+
+    def test_identical_runs_produce_identical_traces(self, network):
+        config = _fleet_config(lookahead=2)
+
+        def traced_run():
+            recorder = TraceRecorder()
+            build_stack(config, network, recorder=recorder).run(num_samples=40)
+            return recorder
+
+        first, second = traced_run(), traced_run()
+        assert first.events == second.events
+        assert first.metrics.state_dict() == second.metrics.state_dict()
+
+    def test_detaching_mid_run_stops_recording(self, network):
+        api = network.interface()
+        recorder = TraceRecorder()
+        api.set_recorder(recorder)
+        api.query(network.seed_node(0))
+        recorded = len(recorder)
+        api.set_recorder(None)
+        api.query(network.seed_node(1))
+        assert len(recorder) == recorded
+        assert api.recorder is None
+
+
+class TestAttachStack:
+    def test_attach_stack_wires_every_layer(self, network):
+        config = _fleet_config(lookahead=2)
+        stack = build_stack(config, network)
+        recorder = TraceRecorder()
+        assert attach_stack(stack, recorder) is recorder
+        assert stack.api.recorder is recorder
+        assert stack.fleet.recorder is recorder
+        assert stack.walkers.recorder is recorder
+        assert stack.planner.recorder is recorder
+
+    def test_post_build_attach_misses_bootstrap_queries(self, network):
+        config = _fleet_config()
+        late = TraceRecorder()
+        attach_stack(build_stack(config, network), late)
+        early = TraceRecorder()
+        build_stack(config, network, recorder=early)
+        # build_stack pays the start-node queries before walkers exist;
+        # a late attach cannot see them, which is why reconciliation
+        # requires wiring through build_stack.
+        assert len(early.events_named(EVENT_QUERY)) > 0
+        assert len(late.events_named(EVENT_QUERY)) == 0

@@ -4,6 +4,7 @@ import pytest
 
 from repro.compose import FleetSpec, ProviderSpec, build_fleet
 from repro.datasets import load
+from repro.fleet import ShardRouter, ShardedProvider
 from repro.interface import (
     FlakyProvider,
     InMemoryGraphProvider,
@@ -38,6 +39,52 @@ class TestStackWalking:
         assert kinds.count("FlakyProvider") == 2
         assert kinds.count("LatencyModelProvider") == 2
         assert kinds[0] == "ShardedProvider"
+
+    def test_shared_provider_yields_once(self, network):
+        # One latency layer mounted under both shards: aggregate telemetry
+        # must count it once, not once per path.
+        shared = LatencyModelProvider(
+            InMemoryGraphProvider(network.graph), distribution="constant", scale=0.5
+        )
+        fleet = ShardedProvider([shared, shared], ShardRouter(2, seed=0))
+        providers = list(iter_provider_stack(fleet))
+        assert providers.count(shared) == 1
+        assert [type(p).__name__ for p in providers] == [
+            "ShardedProvider",
+            "LatencyModelProvider",
+            "InMemoryGraphProvider",
+        ]
+
+    def test_true_cycle_raises_instead_of_truncating(self, network):
+        base = InMemoryGraphProvider(network.graph)
+        layer = LatencyModelProvider(base, distribution="constant", scale=0.5)
+        layer._inner = layer  # forge a provider that is its own inner
+        with pytest.raises(RuntimeError, match="cycle"):
+            list(iter_provider_stack(layer))
+
+    def test_fleet_of_fleets_outer_owns_the_breakdown(self, network):
+        inner_fleet = build_fleet(
+            FleetSpec(
+                num_shards=2,
+                seed=4,
+                provider=ProviderSpec(latency_distribution="constant", latency_scale=0.5),
+            ),
+            network.graph,
+        )
+        plain = LatencyModelProvider(
+            InMemoryGraphProvider(network.graph), distribution="constant", scale=0.5
+        )
+        outer = ShardedProvider([inner_fleet, plain, plain], ShardRouter(3, seed=9))
+        api = RestrictedSocialAPI(outer)
+        for user in list(network.graph.nodes())[:40]:
+            api.query(user)
+        telemetry = collect_telemetry(api)
+        # First fleet wins: the breakdown is the outer fleet's three
+        # shards, not the inner fleet's two.
+        assert set(telemetry.shards) == {0, 1, 2}
+        assert (
+            sum(r.queries for r in telemetry.shards.values()) == api.query_cost
+        )
 
 
 class TestCollect:
@@ -96,3 +143,66 @@ class TestCollect:
         as_dicts = shard_breakdown_dict(telemetry)
         assert as_dicts[0]["queries"] == telemetry.shards[0].queries
         assert "shard  0" in telemetry.format_summary()
+
+    def test_untenanted_fleet_normalizes_tenants_to_none(self, network):
+        # Without a service layer attributing fetches, the per-shard
+        # tenant books are empty — collect_telemetry normalizes {} to
+        # None so reports don't carry meaningless empty dicts.
+        spec = FleetSpec(
+            num_shards=2,
+            seed=6,
+            provider=ProviderSpec(latency_distribution="constant", latency_scale=0.25),
+        )
+        api = RestrictedSocialAPI(build_fleet(spec, network.graph))
+        for user in list(network.graph.nodes())[:30]:
+            api.query(user)
+        telemetry = collect_telemetry(api)
+        assert all(row.tenants is None for row in telemetry.shards.values())
+        assert all(
+            row["tenants"] is None for row in shard_breakdown_dict(telemetry).values()
+        )
+
+
+class TestToDict:
+    def test_plain_interface_shape(self, network):
+        api = network.interface()
+        walk = SimpleRandomWalk(api, start=network.seed_node(1), seed=2)
+        for _ in range(30):
+            walk.step()
+        data = collect_telemetry(api).to_dict()
+        assert data["query_cost"] == api.query_cost
+        assert data["total_queries"] == api.total_queries
+        assert data["cache_hits"] == api.cache_hits
+        assert data["shards"] is None
+        # one canonical layout: exactly the dataclass fields, no extras
+        assert set(data) == {
+            "query_cost",
+            "total_queries",
+            "latency_spent",
+            "clock_now",
+            "fetch_attempts",
+            "retries",
+            "abandoned",
+            "shards",
+            "cache_hits",
+            "cache_misses",
+            "prefetched",
+            "warm_users",
+            "warm_hits",
+        }
+
+    def test_fleet_shape_nests_shard_rows(self, network):
+        spec = FleetSpec(
+            num_shards=2,
+            seed=3,
+            provider=ProviderSpec(latency_distribution="constant", latency_scale=0.25),
+        )
+        api = RestrictedSocialAPI(build_fleet(spec, network.graph))
+        for user in list(network.graph.nodes())[:30]:
+            api.query(user)
+        telemetry = collect_telemetry(api)
+        data = telemetry.to_dict()
+        assert sorted(data["shards"]) == [0, 1]
+        for shard, row in telemetry.shards.items():
+            assert data["shards"][shard] == row.to_dict()
+            assert isinstance(data["shards"][shard]["queries"], int)
