@@ -44,7 +44,18 @@ from repro.experiments import (
 )
 from repro.generators import barbell_graph, paper_barbell
 from repro.interface import RestrictedSocialAPI, collect_telemetry
-from repro.obs import TraceRecorder, export_chrome_trace, reconcile_run
+from repro.obs import (
+    SLOWatcher,
+    TraceRecorder,
+    attribute_run,
+    cache_hit_rate_slo,
+    diff_traces,
+    export_chrome_trace,
+    reconcile_attribution,
+    reconcile_run,
+    retry_rate_slo,
+    shard_in_flight_slo,
+)
 from repro.planning import DispatchPlanner
 from repro.interface.session import SamplingSession
 from repro.service import SamplingService
@@ -1077,6 +1088,155 @@ def test_obs_profile(network, figure_report):
             off_sps,
             on_sps,
             overhead_ratio,
+            trace_path,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# causal profiler profile (machine-readable trajectory artifact)
+# ----------------------------------------------------------------------
+
+_CAUSALITY_WATCH_REPEATS = 5
+_CAUSALITY_WATCH_CEILING = 1.10
+
+
+def _causality_config(planner=True):
+    """The obs reference stack, with the prefetch planner toggleable."""
+    config = _obs_stack_config()
+    return StackConfig(
+        fleet=config.fleet,
+        walk=config.walk,
+        planner=PlannerSpec(lookahead=2) if planner else None,
+    )
+
+
+def _causality_watcher(recorder):
+    """The reference SLO set the watched runs poll."""
+    return SLOWatcher(
+        recorder,
+        [
+            cache_hit_rate_slo(0.99, min_count=10),
+            shard_in_flight_slo(0, 6.0),
+            retry_rate_slo(0.5, min_count=10),
+        ],
+    )
+
+
+def _causality_run(network, planner=True, watch=False):
+    """One seeded traced run; returns (recorder, stack, result, watcher)."""
+    recorder = TraceRecorder()
+    stack = build_stack(_causality_config(planner), network, recorder=recorder)
+    watcher = None
+    if watch:
+        watcher = _causality_watcher(recorder)
+        stack.walkers.set_watcher(watcher)
+    result = stack.run(num_samples=_OBS_SAMPLES)
+    return recorder, stack, result, watcher
+
+
+def _causality_watch_seconds(network):
+    """Best-of-N wall seconds for the traced run, watcher off vs on.
+
+    Alternating within each repeat so machine noise hits both sides
+    equally; the gate reads the ratio of the two minima.
+    """
+    best = {"off": float("inf"), "on": float("inf")}
+    for _ in range(_CAUSALITY_WATCH_REPEATS):
+        for label in ("off", "on"):
+            with _gc_quiesced():
+                t0 = time.perf_counter()
+                _causality_run(network, watch=(label == "on"))
+                best[label] = min(best[label], time.perf_counter() - t0)
+    return best["off"], best["on"]
+
+
+def test_obs_causality_profile(network, figure_report):
+    """Emit ``BENCH_obs_causality.json``: the causal profiler's profile.
+
+    Three gated properties (ISSUE 10): the critical-path attribution
+    must tile the run's simulated wall-clock bit-for-bit and reconcile
+    against the telemetry books, the planner-on/off trace diff must name
+    planner prefetching as the dominant causal driver, and attaching an
+    SLO watcher must leave samples and billing bit-for-bit identical at
+    no more than 10% real-time overhead.  The profiled trace is exported
+    as a CI artifact (``TRACE_CAUSALITY_OUT``).
+    """
+    from repro.interface.telemetry import collect_telemetry as _telemetry
+    from repro.obs import export_jsonl
+
+    recorder_on, stack_on, result_on, _ = _causality_run(network, planner=True)
+    attribution = attribute_run(recorder_on)
+    attribution_reconciles = (
+        attribution.wall_clock == stack_on.walkers.simulated_elapsed
+        and reconcile_attribution(attribution, telemetry=_telemetry(stack_on.api)) == []
+    )
+    assert attribution_reconciles, "critical-path attribution failed to reconcile"
+
+    recorder_off, _, result_off, _ = _causality_run(network, planner=False)
+    diff = diff_traces(
+        recorder_off, recorder_on, label_a="planner-off", label_b="planner-on"
+    )
+    assert diff.dominant_driver == "planner_prefetch", (
+        f"trace diff blamed {diff.dominant_driver!r}, expected planner prefetch"
+    )
+
+    _, _, watched, watcher = _causality_run(network, planner=True, watch=True)
+    watcher_bit_for_bit = (
+        watched.samples == result_on.samples
+        and watched.queries == result_on.queries
+        and watched.sim_elapsed == result_on.sim_elapsed
+    )
+    assert watcher_bit_for_bit, "attaching an SLO watcher changed the run"
+
+    off_seconds, on_seconds = _causality_watch_seconds(network)
+    watcher_overhead_ratio = on_seconds / off_seconds
+    assert watcher_overhead_ratio <= _CAUSALITY_WATCH_CEILING, (
+        f"watcher-on run costs {watcher_overhead_ratio:.2f}x watcher-off "
+        f"(ceiling {_CAUSALITY_WATCH_CEILING}x)"
+    )
+
+    trace_path = os.environ.get("TRACE_CAUSALITY_OUT", "TRACE_causality.jsonl")
+    export_jsonl(recorder_on, trace_path)
+
+    report = {
+        "benchmark": "obs_causality",
+        "dataset": {"name": "epinions_like", "seed": 0, "scale": 0.3},
+        "python": ".".join(str(p) for p in sys.version_info[:3]),
+        "num_samples": _OBS_SAMPLES,
+        "attribution_reconciles": attribution_reconciles,
+        "wall_clock": attribution.wall_clock,
+        "categories": {k: round(v, 6) for k, v in attribution.categories.items()},
+        "counts": dict(attribution.counts),
+        "path_segments": attribution.counts["path_segments"],
+        "diff": diff.to_dict(),
+        "dominant_driver": diff.dominant_driver,
+        "watcher_bit_for_bit": watcher_bit_for_bit,
+        "watcher_breaches": len(watcher.breaches),
+        "watcher_overhead_ratio": round(watcher_overhead_ratio, 4),
+    }
+
+    out_path = os.environ.get("BENCH_OBS_CAUSALITY_OUT", "BENCH_obs_causality.json")
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    figure_report(
+        "causality profile  ->  {}\n"
+        "  attribution: {:.3f}s wall tiled into {} exclusive segments, "
+        "reconciled {}\n"
+        "  diff: planner-on {:+.3f}s vs planner-off, dominant driver {}\n"
+        "  watcher: bit-for-bit {}, {} breaches, {:.2f}x overhead\n"
+        "  trace: {}".format(
+            out_path,
+            attribution.wall_clock,
+            attribution.counts["path_segments"],
+            attribution_reconciles,
+            diff.wall_delta,
+            diff.dominant_driver,
+            watcher_bit_for_bit,
+            len(watcher.breaches),
+            watcher_overhead_ratio,
             trace_path,
         )
     )

@@ -31,7 +31,15 @@ Two kinds of metrics, two kinds of tolerance:
   trace recorder must leave a seeded fleet run bit-for-bit identical,
   replaying its trace must reproduce the §II-B bill exactly, and the
   recorder-on serial microbench may cost at most 10% over recorder-off
-  (a same-run ratio, so it is hardware-independent enough to gate).
+  (a same-run ratio, so it is hardware-independent enough to gate); the
+  causal-profiler profile carries the ISSUE 10 requirements: the
+  critical-path attribution must tile the simulated wall-clock exactly
+  against the telemetry books, the planner-on/off reference diff must
+  blame planner prefetching, and an attached SLO watcher must be
+  bit-for-bit invisible at no more than 10% wall-time overhead.  When a
+  planning/service/obs check fails with both causality traces on disk,
+  the gate appends a one-paragraph critical-path diff explaining which
+  category moved.
 
 Usage::
 
@@ -73,6 +81,16 @@ MAX_SERVICE_FAIR_RATIO = 3.0
 #: runner, so — like the prefetch parity floor — the ratio gates real
 #: instrumentation cost, not CI hardware.
 MAX_OBS_OVERHEAD_RATIO = 1.10
+
+#: Hard ceiling on the watcher-on / watcher-off traced-run wall-time
+#: ratio (ISSUE 10 acceptance).  Interleaved best-of-N on one runner, so
+#: the ratio gates real SLO-poll cost, not CI hardware.
+MAX_WATCHER_OVERHEAD_RATIO = 1.10
+
+#: The causal driver the planner-on/off reference diff must name
+#: (ISSUE 10 acceptance): planner prefetching converts provider round
+#: trips into free cache-hit steps, and the diff must say so.
+EXPECTED_DIFF_DRIVER = "planner_prefetch"
 
 #: Same-process prefetch-on/prefetch-off throughput parity floor (ISSUE 7
 #: acceptance).  Both runs execute back to back on one runner, so the
@@ -540,6 +558,94 @@ def check_obs(
     return failures
 
 
+def check_obs_causality(
+    fresh: dict,
+    baseline: dict,
+    simulated_tolerance: float = 0.02,
+    max_overhead: float = MAX_WATCHER_OVERHEAD_RATIO,
+) -> List[str]:
+    """Failures for the causal-profiler profile (empty list = pass)."""
+    failures = []
+    if not fresh.get("attribution_reconciles", False):
+        failures.append(
+            "obs_causality: critical-path attribution no longer tiles the "
+            "simulated wall-clock bit-for-bit against the telemetry books"
+        )
+    if not fresh.get("watcher_bit_for_bit", False):
+        failures.append(
+            "obs_causality: attaching an SLO watcher changed the seeded run "
+            "(watcher bit-for-bit equivalence no longer holds)"
+        )
+    overhead = fresh.get("watcher_overhead_ratio")
+    if overhead is None:
+        failures.append("obs_causality: watcher_overhead_ratio missing from fresh profile")
+    elif overhead > max_overhead:
+        failures.append(
+            f"obs_causality: watcher-on run costs {overhead:.2f}x watcher-off, "
+            f"above the {max_overhead:.2f}x ceiling"
+        )
+    driver = fresh.get("dominant_driver")
+    if driver != EXPECTED_DIFF_DRIVER:
+        failures.append(
+            f"obs_causality: planner-on/off diff blamed {driver!r}, "
+            f"expected {EXPECTED_DIFF_DRIVER!r}"
+        )
+    # The profiled run is seeded: its wall-clock and critical-path shape
+    # are simulated metrics — drift means the causal account changed.
+    for metric in ("wall_clock", "path_segments"):
+        base_value = baseline.get(metric)
+        fresh_value = fresh.get(metric)
+        if base_value is None:
+            continue
+        if fresh_value is None:
+            failures.append(f"obs_causality: {metric} missing from fresh profile")
+            continue
+        if abs(fresh_value - base_value) > simulated_tolerance * abs(base_value):
+            failures.append(
+                "obs_causality: {} drifted: {} vs baseline {} "
+                "(simulated metric, tolerance {:.0%})".format(
+                    metric, fresh_value, base_value, simulated_tolerance
+                )
+            )
+    return failures
+
+
+#: Gate sections whose failures are worth a causal second opinion.
+_HINTED_PREFIXES = ("planning:", "service:", "obs:", "obs_causality:")
+
+
+def critical_path_hint(
+    fresh_dir: Path, baseline_dir: Path, trace_name: str = "TRACE_causality.jsonl"
+) -> "str | None":
+    """One-paragraph causal diff of the baseline vs fresh reference trace.
+
+    When a planning/service/obs check fails and both the committed and
+    the freshly generated causality traces are on disk, this diffs them
+    (:func:`repro.obs.diff.diff_traces`) so the failure report says
+    *which critical-path category moved* instead of just which number.
+    Returns ``None`` when either trace (or the ``repro`` package) is
+    unavailable — the hint is best-effort, never a gate failure of its
+    own.
+    """
+    baseline_trace = baseline_dir / trace_name
+    fresh_trace = fresh_dir / trace_name
+    if not baseline_trace.exists() or not fresh_trace.exists():
+        return None
+    try:
+        # CI invokes this script without PYTHONPATH=src; reach the
+        # in-repo package relative to this file before giving up.
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+        from repro.obs import diff_traces, read_jsonl
+
+        events_base, _ = read_jsonl(baseline_trace)
+        events_fresh, _ = read_jsonl(fresh_trace)
+        return diff_traces(
+            events_base, events_fresh, label_a="baseline", label_b="fresh"
+        ).explain()
+    except Exception:
+        return None
+
+
 def run_gate(
     fresh_dir: Path,
     baseline_dir: Path,
@@ -556,6 +662,7 @@ def run_gate(
         ("BENCH_history.json", check_history, {}),
         ("BENCH_service.json", check_service, {}),
         ("BENCH_obs.json", check_obs, {}),
+        ("BENCH_obs_causality.json", check_obs_causality, {}),
     ]
     for filename, check, extra in pairs:
         baseline_path = baseline_dir / filename
@@ -611,6 +718,10 @@ def main(argv=None) -> int:
         print("benchmark regression gate: FAIL")
         for failure in failures:
             print(f"  - {failure}")
+        if any(f.startswith(_HINTED_PREFIXES) for f in failures):
+            hint = critical_path_hint(args.fresh_dir, args.baseline_dir)
+            if hint:
+                print(f"  critical-path hint: {hint}")
         return 1
     print("benchmark regression gate: ok")
     return 0

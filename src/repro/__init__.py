@@ -53,13 +53,23 @@ from repro.interface.providers import (
 from repro.interface.session import SamplingSession
 from repro.interface.telemetry import collect_telemetry
 from repro.obs import (
+    SLO,
     MetricsRegistry,
+    SLOWatcher,
+    TraceDiff,
     TraceRecorder,
     attach_stack,
+    attribute_run,
+    attribute_service,
+    build_dag,
+    diff_traces,
     export_chrome_trace,
     export_jsonl,
+    filter_events,
     read_jsonl,
+    reconcile_attribution,
     reconcile_run,
+    reconcile_service,
 )
 from repro.service import SamplingService, TenantSession
 from repro.walks.executor import MultiprocessChainExecutor
@@ -107,7 +117,17 @@ __all__ = [
     "export_jsonl",
     "read_jsonl",
     "export_chrome_trace",
+    "filter_events",
     "reconcile_run",
+    "attribute_run",
+    "attribute_service",
+    "reconcile_attribution",
+    "reconcile_service",
+    "build_dag",
+    "diff_traces",
+    "TraceDiff",
+    "SLO",
+    "SLOWatcher",
     "ParallelWalkers",
     "EventDrivenWalkers",
     "MultiprocessChainExecutor",

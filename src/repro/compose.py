@@ -453,7 +453,7 @@ def build_stack(
         planner=planner,
     )
     if recorder is not None:
-        walkers.set_recorder(recorder)
+        walkers.set_recorder(recorder, tenant=tenant)
         if planner is not None:
             planner.set_recorder(recorder)
     return SamplingStack(config, fleet, api, samplers, walkers)

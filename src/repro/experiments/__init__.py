@@ -36,6 +36,11 @@ from repro.experiments.latency_sweep import (
     LatencySweepRow,
     run_latency_sweep,
 )
+from repro.experiments.obs_causality import (
+    ObsCriticalPathResult,
+    run_obs_critical_path,
+    run_obs_tracediff,
+)
 from repro.experiments.obs_trace import ObsTraceResult, run_obs_trace
 from repro.experiments.runner import (
     SAMPLER_NAMES,
@@ -81,6 +86,9 @@ __all__ = [
     "run_latency_sweep",
     "ObsTraceResult",
     "run_obs_trace",
+    "ObsCriticalPathResult",
+    "run_obs_critical_path",
+    "run_obs_tracediff",
     "SAMPLER_NAMES",
     "WarmStartResult",
     "cost_at_error",

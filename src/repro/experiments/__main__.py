@@ -16,9 +16,17 @@ Usage::
     python -m repro.experiments service --scale 0.3
     python -m repro.experiments warmhistory --scale 0.3
     python -m repro.experiments trace --scale 0.3
+    python -m repro.experiments trace --scale 0.3 --tenant t0 --chain 1
+    python -m repro.experiments causality --scale 0.3
+    python -m repro.experiments tracediff --scale 0.3
+    python -m repro.experiments tracediff --a base.jsonl --b cand.jsonl
     python -m repro.experiments all   --scale 0.5
 
 Each command prints the same rows/series the paper's artifact reports.
+``trace`` accepts ``--tenant`` / ``--shard`` / ``--chain`` to slice the
+exported timeline to one lane; ``tracediff`` either runs the built-in
+planner-on/off pair or causally diffs two previously exported JSONL
+traces given ``--a`` and ``--b``.
 """
 
 from __future__ import annotations
@@ -36,7 +44,9 @@ from repro.experiments import (
     run_fleet_sweep,
     run_history_sweep,
     run_latency_sweep,
+    run_obs_critical_path,
     run_obs_trace,
+    run_obs_tracediff,
     run_running_example,
     run_table1,
     run_tenant_sweep,
@@ -67,6 +77,8 @@ def _build_parser() -> argparse.ArgumentParser:
             "service",
             "warmhistory",
             "trace",
+            "causality",
+            "tracediff",
             "all",
         ],
         help="which artifact to regenerate",
@@ -81,6 +93,21 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--samples", type=int, default=None, help="samples per walk (driver default)"
     )
+    parser.add_argument(
+        "--tenant", type=str, default=None, help="trace: slice exports to one tenant"
+    )
+    parser.add_argument(
+        "--shard", type=int, default=None, help="trace: slice exports to one shard"
+    )
+    parser.add_argument(
+        "--chain", type=int, default=None, help="trace: slice exports to one chain"
+    )
+    parser.add_argument(
+        "--a", type=str, default=None, help="tracediff: baseline JSONL trace"
+    )
+    parser.add_argument(
+        "--b", type=str, default=None, help="tracediff: candidate JSONL trace"
+    )
     return parser
 
 
@@ -88,6 +115,25 @@ def _load_network(seed: int, scale: float):
     from repro.datasets import load
 
     return load("epinions_like", seed=seed, scale=scale)
+
+
+def _tracediff(args: argparse.Namespace) -> str:
+    """Causal diff: two exported traces, or the built-in planner pair."""
+    if (args.a is None) != (args.b is None):
+        raise SystemExit("tracediff needs both --a and --b (or neither)")
+    if args.a is not None:
+        from repro.obs import diff_traces, read_jsonl
+
+        events_a, _ = read_jsonl(args.a)
+        events_b, _ = read_jsonl(args.b)
+        diff = diff_traces(events_a, events_b, label_a=args.a, label_b=args.b)
+    else:
+        diff = run_obs_tracediff(
+            _load_network(seed=args.seed, scale=args.scale),
+            seed=args.seed,
+            **({"num_samples": args.samples} if args.samples is not None else {}),
+        )
+    return diff.explain()
 
 
 def _kw(args: argparse.Namespace, **extra) -> dict:
@@ -143,8 +189,18 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             jsonl_path="TRACE_run.jsonl",
             chrome_path="TRACE_run.json",
+            export_tenant=args.tenant,
+            export_shard=args.shard,
+            export_chain=args.chain,
             **({"num_samples": args.samples} if args.samples is not None else {}),
         ),
+        "causality": lambda: run_obs_critical_path(
+            _load_network(seed=args.seed, scale=args.scale),
+            seed=args.seed,
+            jsonl_path="TRACE_causality.jsonl",
+            **({"num_samples": args.samples} if args.samples is not None else {}),
+        ),
+        "tracediff": lambda: _tracediff(args),
     }
     names = list(jobs) if args.experiment == "all" else [args.experiment]
     for name in names:

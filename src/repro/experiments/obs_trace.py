@@ -96,6 +96,9 @@ def run_obs_trace(
     seed: int = 0,
     jsonl_path: Optional[str] = None,
     chrome_path: Optional[str] = None,
+    export_tenant: Optional[str] = None,
+    export_shard: Optional[int] = None,
+    export_chain: Optional[int] = None,
 ) -> ObsTraceResult:
     """Run, record, audit, and (optionally) export one traced workload.
 
@@ -109,6 +112,11 @@ def run_obs_trace(
         seed: Master seed — the trace is a pure function of it.
         jsonl_path: When given, write the codec-exact JSONL event log.
         chrome_path: When given, write the Perfetto ``trace_event`` file.
+        export_tenant: Slice the exports to one tenant's events
+            (:func:`~repro.obs.export.filter_events`); the audit always
+            runs over the full trace.
+        export_shard: Slice the exports to one shard's events.
+        export_chain: Slice the exports to one chain's events.
 
     Raises:
         ExperimentError: When the trace fails reconciliation — an
@@ -160,10 +168,15 @@ def run_obs_trace(
             "trace failed reconciliation: " + "; ".join(problems)
         )
 
+    slices = {
+        "tenant": export_tenant,
+        "shard": export_shard,
+        "chain": export_chain,
+    }
     if jsonl_path is not None:
-        export_jsonl(recorder, jsonl_path)
+        export_jsonl(recorder, jsonl_path, **slices)
     if chrome_path is not None:
-        export_chrome_trace(recorder, chrome_path)
+        export_chrome_trace(recorder, chrome_path, **slices)
     return ObsTraceResult(
         dataset=network.name,
         num_tenants=num_tenants,

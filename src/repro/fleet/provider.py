@@ -360,10 +360,21 @@ class ShardedProvider(SocialProvider):
             if self._active_tenant is not None:
                 attrs["tenant"] = self._active_tenant
             recorder.record(EVENT_FETCH, issued, latency, **attrs)
+            recorder.count("fleet.fetches")
             if fetched.attempts > 1:
+                # Disruption/quantum transforms apply to the whole response,
+                # so the pre-transform wasted share is clamped to the billed
+                # latency: the profiler's backoff split stays a partition.
+                backoff = min(fetched.wasted_latency, latency)
                 recorder.record(
-                    EVENT_RETRY, issued, shard=shard, user=user, attempts=fetched.attempts
+                    EVENT_RETRY,
+                    issued,
+                    shard=shard,
+                    user=user,
+                    attempts=fetched.attempts,
+                    backoff=backoff,
                 )
+                recorder.count("fleet.retries", fetched.attempts - 1)
         if latency != fetched.latency:
             fetched = dataclasses.replace(fetched, latency=latency)
         return fetched

@@ -65,6 +65,10 @@ class ProviderFetch:
         latency: Simulated seconds this response took to arrive, including
             any retried/timed-out attempts.  Zero for in-memory providers.
         attempts: Fetch attempts consumed (1 unless a flaky layer retried).
+        wasted_latency: The share of ``latency`` burnt on failed attempts
+            (retry backoff); zero unless a flaky layer retried.  The
+            causal profiler splits ``latency`` into useful shard time and
+            retry backoff with this.
     """
 
     user: Node
@@ -72,6 +76,7 @@ class ProviderFetch:
     attributes: Dict
     latency: float = 0.0
     attempts: int = 1
+    wasted_latency: float = 0.0
 
 
 class SocialProvider(abc.ABC):
@@ -391,6 +396,7 @@ class FlakyProvider(SocialProvider):
                 fetched,
                 latency=fetched.latency + wasted,
                 attempts=attempt,
+                wasted_latency=fetched.wasted_latency + wasted,
             )
         self._abandoned += 1
         raise ProviderTimeoutError(user, self._max_attempts, wasted_latency=wasted)

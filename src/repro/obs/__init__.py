@@ -10,7 +10,15 @@ Four small parts compose the subsystem:
 * :mod:`repro.obs.export` — JSONL traces (snapshot-codec lines, exact
   round trip) and Chrome ``trace_event`` timelines for Perfetto;
 * :mod:`repro.obs.audit` — reconciliation: replaying a trace must
-  reproduce the §II-B bill and the per-shard books exactly.
+  reproduce the §II-B bill and the per-shard books exactly;
+* :mod:`repro.obs.causality` — the causal profiler: rebuild the causal
+  DAG from a trace, walk the critical path, and attribute 100% of the
+  simulated wall-clock to exclusive wait categories, reconciled
+  bit-for-bit against the telemetry books;
+* :mod:`repro.obs.diff` — trace-diff regression attribution: align two
+  runs and explain their wall-clock / §II-B cost delta causally;
+* :mod:`repro.obs.watch` — live declarative SLO watchers polled at the
+  layers' commit points on the simulated clock.
 
 Wiring: pass ``recorder=`` to :func:`repro.compose.build_stack` or
 :class:`repro.service.service.SamplingService` so the trace covers the
@@ -24,11 +32,31 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.obs.audit import reconcile_fleet, reconcile_interface, reconcile_run
+from repro.obs.causality import (
+    CATEGORY_ADMISSION_WAIT,
+    CATEGORY_BURST_HOLD,
+    CATEGORY_PREFETCH_WAIT,
+    CATEGORY_RETRY_BACKOFF,
+    CATEGORY_SCHEDULER_HOLD,
+    CATEGORY_SHARD_LATENCY,
+    CATEGORY_TENANT_QUANTUM,
+    Attribution,
+    CausalDag,
+    Segment,
+    ServiceAttribution,
+    attribute_run,
+    attribute_service,
+    build_dag,
+    reconcile_attribution,
+    reconcile_service,
+)
+from repro.obs.diff import TraceDiff, diff_traces
 from repro.obs.export import (
     TRACE_FORMAT,
     TRACE_VERSION,
     export_chrome_trace,
     export_jsonl,
+    filter_events,
     read_jsonl,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
@@ -43,11 +71,21 @@ from repro.obs.trace import (
     EVENT_QUERY,
     EVENT_REFUSAL,
     EVENT_RETRY,
+    EVENT_SAMPLE,
+    EVENT_SLO_BREACH,
     EVENT_TENANT_TICK,
     EVENT_WAKE,
     EVENT_WALK_STEP,
     TraceEvent,
     TraceRecorder,
+)
+from repro.obs.watch import (
+    SLO,
+    SLOWatcher,
+    cache_hit_rate_slo,
+    retry_rate_slo,
+    shard_in_flight_slo,
+    tenant_pace_slo,
 )
 
 __all__ = [
@@ -62,9 +100,34 @@ __all__ = [
     "export_jsonl",
     "read_jsonl",
     "export_chrome_trace",
+    "filter_events",
     "reconcile_interface",
     "reconcile_fleet",
     "reconcile_run",
+    "Attribution",
+    "ServiceAttribution",
+    "Segment",
+    "CausalDag",
+    "attribute_run",
+    "attribute_service",
+    "build_dag",
+    "reconcile_attribution",
+    "reconcile_service",
+    "TraceDiff",
+    "diff_traces",
+    "SLO",
+    "SLOWatcher",
+    "tenant_pace_slo",
+    "cache_hit_rate_slo",
+    "shard_in_flight_slo",
+    "retry_rate_slo",
+    "CATEGORY_SHARD_LATENCY",
+    "CATEGORY_RETRY_BACKOFF",
+    "CATEGORY_ADMISSION_WAIT",
+    "CATEGORY_BURST_HOLD",
+    "CATEGORY_PREFETCH_WAIT",
+    "CATEGORY_SCHEDULER_HOLD",
+    "CATEGORY_TENANT_QUANTUM",
     "TRACE_FORMAT",
     "TRACE_VERSION",
     "EVENT_QUERY",
@@ -80,6 +143,8 @@ __all__ = [
     "EVENT_TENANT_TICK",
     "EVENT_HIBERNATE",
     "EVENT_WAKE",
+    "EVENT_SAMPLE",
+    "EVENT_SLO_BREACH",
 ]
 
 
@@ -98,7 +163,7 @@ def attach_stack(stack, recorder: TraceRecorder, tenant: Optional[str] = None) -
     """
     stack.api.set_recorder(recorder, tenant=tenant)
     stack.fleet.set_recorder(recorder)
-    stack.walkers.set_recorder(recorder)
+    stack.walkers.set_recorder(recorder, tenant=tenant)
     planner = getattr(stack, "planner", None)
     if planner is not None:
         planner.set_recorder(recorder)

@@ -39,15 +39,55 @@ def _events_of(source: Union[TraceRecorder, Iterable[TraceEvent]]) -> List[Trace
     return list(source)
 
 
-def export_jsonl(recorder: TraceRecorder, path: "str | os.PathLike") -> int:
+def filter_events(
+    events: Iterable[TraceEvent],
+    *,
+    tenant: Optional[str] = None,
+    shard: Optional[int] = None,
+    chain: Optional[int] = None,
+) -> List[TraceEvent]:
+    """Slice a trace down to one tenant's / shard's / chain's events.
+
+    Filters are conjunctive and strict: a filtered dimension keeps only
+    events that *carry* the attribute with the requested value, so the
+    slice is exactly the lane a Perfetto view would show.  ``None``
+    leaves a dimension unfiltered.
+    """
+    kept = []
+    for event in events:
+        if tenant is not None and event.attrs.get("tenant") != tenant:
+            continue
+        if shard is not None and event.attrs.get("shard") != shard:
+            continue
+        if chain is not None and event.attrs.get("chain") != chain:
+            continue
+        kept.append(event)
+    return kept
+
+
+def export_jsonl(
+    recorder: TraceRecorder,
+    path: "str | os.PathLike",
+    *,
+    tenant: Optional[str] = None,
+    shard: Optional[int] = None,
+    chain: Optional[int] = None,
+) -> int:
     """Write a recorder's events + metrics as one atomic JSONL file.
 
     Layout: a header object, one codec-encoded line per event (JSON
     arrays — the codec's tagged form), and a footer object carrying the
     metrics registry state.  Returns the number of events written.
+
+    ``tenant`` / ``shard`` / ``chain`` slice the event lines via
+    :func:`filter_events`; the header's event count reflects the slice
+    and the metrics footer stays complete (registry state is global —
+    a slice of a histogram is not a histogram).
     """
     target = os.fspath(path)
     events = recorder.events
+    if tenant is not None or shard is not None or chain is not None:
+        events = filter_events(events, tenant=tenant, shard=shard, chain=chain)
     header = {"format": TRACE_FORMAT, "version": TRACE_VERSION, "events": len(events)}
     tmp = target + ".tmp"
     with open(tmp, "w") as fh:
@@ -127,6 +167,10 @@ def _lane_of(event: TraceEvent) -> Tuple[str, str]:
 def export_chrome_trace(
     source: Union[TraceRecorder, Iterable[TraceEvent]],
     path: "Optional[str | os.PathLike]" = None,
+    *,
+    tenant: Optional[str] = None,
+    shard: Optional[int] = None,
+    chain: Optional[int] = None,
 ) -> dict:
     """Render events in Chrome ``trace_event`` JSON (Perfetto-ready).
 
@@ -134,8 +178,12 @@ def export_chrome_trace(
     ``ph="i"`` instants; one thread lane per chain/shard/tenant (named
     via ``ph="M"`` metadata), timestamps in microseconds of simulated
     time.  Returns the document; also writes it to ``path`` when given.
+    ``tenant`` / ``shard`` / ``chain`` slice the timeline to matching
+    lanes via :func:`filter_events`.
     """
     events = _events_of(source)
+    if tenant is not None or shard is not None or chain is not None:
+        events = filter_events(events, tenant=tenant, shard=shard, chain=chain)
     lanes: Dict[Tuple[str, str], int] = {}
     rows: List[dict] = []
     for event in events:

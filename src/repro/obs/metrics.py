@@ -91,6 +91,52 @@ class Histogram:
         """Mean of all observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile's bucket upper bound — exact, not estimated.
+
+        A bounded histogram cannot interpolate honestly, so this returns
+        the smallest bound whose cumulative count covers rank
+        ``ceil(q * count)``: the tightest upper bound the buckets can
+        prove for the ``q``-quantile.  Observations past the last bound
+        have no provable bound, so a rank landing in the overflow bucket
+        returns ``inf``.  An empty histogram returns 0.0 (like
+        :attr:`mean`).
+
+        Raises:
+            ValueError: If ``q`` is outside ``(0, 1]``.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"percentile wants q in (0, 1], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for i, bound in enumerate(self.bounds):
+            seen += self.buckets[i]
+            if seen >= rank:
+                return bound
+        return math.inf
+
+    def summary(self) -> dict:
+        """p50/p95/p99 plus count and mean — what an SLO watcher reads."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+    def to_dict(self) -> dict:
+        """Buckets, totals, and the :meth:`summary` quantiles, plain values."""
+        return {
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "total": self.total,
+            "summary": self.summary(),
+        }
+
 
 class TimeSeries:
     """``(bucket start, value)`` samples over simulated time.
@@ -174,6 +220,40 @@ class MetricsRegistry:
         instrument = self._counters.get(name)
         return instrument.value if instrument is not None else 0
 
+    def gauge_value(self, name: str) -> Optional[float]:
+        """Read a gauge without creating it (``None`` when absent).
+
+        The SLO watcher polls with these non-creating readers so a
+        watched run's registry state stays byte-identical to an
+        unwatched one — reads must never mint instruments.
+        """
+        instrument = self._gauges.get(name)
+        return instrument.value if instrument is not None else None
+
+    def series_last(self, name: str) -> Optional[float]:
+        """Latest sample of a series without creating it (``None`` when absent/empty)."""
+        instrument = self._series.get(name)
+        return instrument.last() if instrument is not None else None
+
+    def histogram_summary(self, name: str) -> Optional[dict]:
+        """A histogram's :meth:`Histogram.summary` without creating it."""
+        instrument = self._histograms.get(name)
+        return instrument.summary() if instrument is not None else None
+
+    def histogram_percentile(
+        self, name: str, q: float, min_count: int = 1
+    ) -> Optional[float]:
+        """A histogram's :meth:`Histogram.percentile` without creating it.
+
+        Returns ``None`` when the histogram is absent or holds fewer
+        than ``min_count`` observations — a quantile over a near-empty
+        stream is noise, not a signal an SLO should fire on.
+        """
+        instrument = self._histograms.get(name)
+        if instrument is None or instrument.count < min_count:
+            return None
+        return instrument.percentile(q)
+
     def snapshot(self) -> dict:
         """Every instrument's current state as plain values.
 
@@ -186,13 +266,7 @@ class MetricsRegistry:
             "counters": {name: c.value for name, c in self._counters.items()},
             "gauges": {name: g.value for name, g in self._gauges.items()},
             "histograms": {
-                name: {
-                    "bounds": list(h.bounds),
-                    "buckets": list(h.buckets),
-                    "count": h.count,
-                    "total": h.total,
-                }
-                for name, h in self._histograms.items()
+                name: h.to_dict() for name, h in self._histograms.items()
             },
             "series": {
                 name: {"bucket": s.bucket, "samples": [list(p) for p in s.samples]}

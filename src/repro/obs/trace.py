@@ -49,6 +49,8 @@ EVENT_RETRY = "retry"
 EVENT_TENANT_TICK = "tenant_tick"
 EVENT_HIBERNATE = "hibernate"
 EVENT_WAKE = "wake"
+EVENT_SAMPLE = "sample"
+EVENT_SLO_BREACH = "slo_breach"
 
 
 @dataclasses.dataclass

@@ -1,0 +1,257 @@
+"""Live SLO watchers over the metrics streams, on the simulated clock.
+
+A :class:`SLOWatcher` holds declarative :class:`SLO` objects and is
+polled by the instrumented layers at their commit points — the
+scheduler after every committed event/tick, the service after every
+tenant tick.  Each poll reads the attached recorder's
+:class:`~repro.obs.metrics.MetricsRegistry` through *non-creating*
+readers and, on a threshold crossing, records one ordered
+``slo_breach`` event into the same trace the run is writing.  The
+breach timestamp is therefore exact and deterministic: the first
+simulated commit at which the condition held.
+
+Watching never perturbs a run.  Polls read metrics and append events
+only — no walk state, no RNG, no billing is touched — so a watched run
+is bit-for-bit identical in samples and cost to an unwatched one, and
+the hooks are cheap enough to live under the recorder's CI-gated 1.10x
+overhead ceiling (one guarded branch per commit, a handful of dict
+lookups per armed SLO).
+
+Breaches edge-trigger: an SLO fires once when its condition first
+crosses and re-arms silently when the stream recovers, so a persistent
+violation is one event, not one per tick.
+
+Declarative helpers cover the paper-stack's four canonical objectives:
+:func:`tenant_pace_slo` (per-tenant p95 seconds-per-sample ceiling, via
+the service's pace histogram), :func:`cache_hit_rate_slo` (shared-cache
+hit-share floor), :func:`shard_in_flight_slo` (per-shard burst-depth
+ceiling), and :func:`retry_rate_slo` (fleet retry-per-fetch ceiling).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import EVENT_SLO_BREACH, TraceEvent, TraceRecorder
+
+__all__ = [
+    "SLO",
+    "SLOWatcher",
+    "tenant_pace_slo",
+    "cache_hit_rate_slo",
+    "shard_in_flight_slo",
+    "retry_rate_slo",
+]
+
+#: Instrument readers an :class:`SLO` may bind to.
+INSTRUMENTS = ("counter", "gauge", "series", "histogram_quantile", "ratio", "share")
+
+
+@dataclasses.dataclass(frozen=True)
+class SLO:
+    """One declarative objective over a live metric stream.
+
+    Attributes:
+        name: Stable identifier stamped on breach events.
+        metric: Registry instrument name to read.
+        kind: ``"floor"`` (breach when value < threshold) or
+            ``"ceiling"`` (breach when value > threshold).
+        threshold: The objective.
+        instrument: How to read ``metric`` — ``"counter"``, ``"gauge"``,
+            ``"series"`` (latest sample), ``"histogram_quantile"``
+            (bounded-bucket quantile, see
+            :meth:`~repro.obs.metrics.Histogram.percentile`),
+            ``"ratio"`` (``metric / ratio_to``), or ``"share"``
+            (``metric / (metric + ratio_to)``).
+        quantile: The quantile for ``histogram_quantile``.
+        ratio_to: Denominator counter for ``ratio`` / ``share``.
+        min_count: Observations required before the SLO evaluates —
+            quantiles and rates are noise until streams fill.
+    """
+
+    name: str
+    metric: str
+    kind: str
+    threshold: float
+    instrument: str = "gauge"
+    quantile: float = 0.95
+    ratio_to: Optional[str] = None
+    min_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("floor", "ceiling"):
+            raise ValueError(f"SLO kind must be 'floor' or 'ceiling', got {self.kind!r}")
+        if self.instrument not in INSTRUMENTS:
+            raise ValueError(
+                f"SLO instrument must be one of {INSTRUMENTS}, got {self.instrument!r}"
+            )
+        if self.instrument in ("ratio", "share") and self.ratio_to is None:
+            raise ValueError(f"SLO instrument {self.instrument!r} needs ratio_to")
+        if not 0.0 < self.quantile <= 1.0:
+            raise ValueError(f"SLO quantile must be in (0, 1], got {self.quantile!r}")
+
+    def evaluate(self, metrics: MetricsRegistry) -> Optional[float]:
+        """Read the current value, or ``None`` when not yet evaluable."""
+        if self.instrument == "counter":
+            return float(metrics.counter_value(self.metric))
+        if self.instrument == "gauge":
+            return metrics.gauge_value(self.metric)
+        if self.instrument == "series":
+            return metrics.series_last(self.metric)
+        if self.instrument == "histogram_quantile":
+            return metrics.histogram_percentile(
+                self.metric, self.quantile, min_count=max(1, self.min_count)
+            )
+        numerator = metrics.counter_value(self.metric)
+        denominator = metrics.counter_value(self.ratio_to)
+        if self.instrument == "share":
+            denominator = numerator + denominator
+        if denominator < max(1, self.min_count):
+            return None
+        return numerator / denominator
+
+    def breached(self, value: float) -> bool:
+        """Whether ``value`` violates the objective."""
+        if self.kind == "floor":
+            return value < self.threshold
+        return value > self.threshold
+
+
+class SLOWatcher:
+    """Polls declared SLOs against a recorder's live metrics.
+
+    Attach with ``EventDrivenWalkers.set_watcher`` /
+    ``SamplingService.set_watcher``; the layers poll at their commit
+    points on their simulated clocks.  SLOs are evaluated in
+    declaration order every poll, so breach events are totally ordered
+    and deterministic.
+    """
+
+    def __init__(self, recorder: TraceRecorder, slos: Sequence[SLO]) -> None:
+        self._recorder = recorder
+        self._metrics = recorder.metrics
+        self._slos = list(slos)
+        # Evaluation runs once per commit point on the hot path, so each
+        # SLO's reader is compiled to a closure here instead of
+        # re-dispatching on the instrument string every poll.
+        self._evaluators = [self._compile(slo) for slo in self._slos]
+        self._armed = [True] * len(self._slos)
+        self._breaches: List[TraceEvent] = []
+
+    def _compile(self, slo: SLO):
+        metrics = self._metrics
+        metric = slo.metric
+        if slo.instrument == "counter":
+            return lambda: float(metrics.counter_value(metric))
+        if slo.instrument == "gauge":
+            return lambda: metrics.gauge_value(metric)
+        if slo.instrument == "series":
+            return lambda: metrics.series_last(metric)
+        if slo.instrument == "histogram_quantile":
+            quantile = slo.quantile
+            floor_count = max(1, slo.min_count)
+            return lambda: metrics.histogram_percentile(
+                metric, quantile, min_count=floor_count
+            )
+        ratio_to = slo.ratio_to
+        share = slo.instrument == "share"
+        floor_count = max(1, slo.min_count)
+
+        def _rate() -> Optional[float]:
+            numerator = metrics.counter_value(metric)
+            denominator = metrics.counter_value(ratio_to)
+            if share:
+                denominator = numerator + denominator
+            if denominator < floor_count:
+                return None
+            return numerator / denominator
+
+        return _rate
+
+    @property
+    def slos(self) -> List[SLO]:
+        """The declared objectives, in evaluation order."""
+        return list(self._slos)
+
+    @property
+    def breaches(self) -> List[TraceEvent]:
+        """Every breach event fired so far, in emission order."""
+        return list(self._breaches)
+
+    def poll(self, now: float) -> None:
+        """Evaluate every SLO at simulated time ``now``; record crossings."""
+        armed = self._armed
+        for index, evaluate in enumerate(self._evaluators):
+            value = evaluate()
+            if value is None:
+                continue
+            slo = self._slos[index]
+            if slo.breached(value):
+                if armed[index]:
+                    armed[index] = False
+                    event = self._recorder.record(
+                        EVENT_SLO_BREACH,
+                        now,
+                        slo=slo.name,
+                        metric=slo.metric,
+                        value=value,
+                        threshold=slo.threshold,
+                        kind=slo.kind,
+                    )
+                    self._breaches.append(event)
+            elif not armed[index]:
+                armed[index] = True  # recovered: re-arm for the next crossing
+
+
+def tenant_pace_slo(tenant: str, ceiling: float, *, min_count: int = 1) -> SLO:
+    """p95 seconds-per-sample ceiling for one tenant's delivery pace."""
+    return SLO(
+        name=f"tenant.{tenant}.pace_p95",
+        metric=f"tenant.{tenant}.pace_hist",
+        kind="ceiling",
+        threshold=ceiling,
+        instrument="histogram_quantile",
+        quantile=0.95,
+        min_count=min_count,
+    )
+
+
+def cache_hit_rate_slo(
+    floor: float, *, prefix: str = "interface", min_count: int = 10
+) -> SLO:
+    """Hit-share floor over ``<prefix>.cache_hits`` / ``.cache_misses``."""
+    return SLO(
+        name=f"{prefix}.cache_hit_rate",
+        metric=f"{prefix}.cache_hits",
+        kind="floor",
+        threshold=floor,
+        instrument="share",
+        ratio_to=f"{prefix}.cache_misses",
+        min_count=min_count,
+    )
+
+
+def shard_in_flight_slo(shard: int, ceiling: float) -> SLO:
+    """Burst-depth ceiling on one shard's in-flight series."""
+    return SLO(
+        name=f"shard.{shard}.in_flight",
+        metric=f"shard.{shard}.in_flight",
+        kind="ceiling",
+        threshold=ceiling,
+        instrument="series",
+    )
+
+
+def retry_rate_slo(ceiling: float, *, min_count: int = 10) -> SLO:
+    """Retries-per-fetch ceiling over the shared fleet's counters."""
+    return SLO(
+        name="fleet.retry_rate",
+        metric="fleet.retries",
+        kind="ceiling",
+        threshold=ceiling,
+        instrument="ratio",
+        ratio_to="fleet.fetches",
+        min_count=min_count,
+    )

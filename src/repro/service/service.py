@@ -269,6 +269,7 @@ class SamplingService:
         self._tenants: Dict[str, TenantSession] = {}
         self._clock = 0.0
         self._recorder = recorder
+        self._watcher = None
         if recorder is not None:
             self._fleet.set_recorder(recorder)
         self._history = history
@@ -307,6 +308,17 @@ class SamplingService:
     def recorder(self) -> Optional[TraceRecorder]:
         """The shared trace recorder, or ``None``."""
         return self._recorder
+
+    def set_watcher(self, watcher) -> None:
+        """Attach (or with ``None`` detach) a live SLO watcher.
+
+        The watcher is polled once per tenant tick on the service clock,
+        after the tick's time has been charged and its pace metrics
+        streamed — so a breach event lands at the first admission commit
+        where the condition held.  Polling only reads metrics and
+        appends breach events; samples and billing stay bit-for-bit.
+        """
+        self._watcher = watcher
 
     @property
     def clock(self) -> float:
@@ -414,7 +426,7 @@ class SamplingService:
         if self._recorder is None:
             return
         stack.api.set_recorder(self._recorder, tenant=tenant_id)
-        stack.walkers.set_recorder(self._recorder)
+        stack.walkers.set_recorder(self._recorder, tenant=tenant_id)
         if stack.planner is not None:
             stack.planner.set_recorder(self._recorder)
 
@@ -538,15 +550,22 @@ class SamplingService:
         except QueryBudgetExhaustedError:
             self._charge(session, walkers.simulated_elapsed - before_time)
             if recorder is not None:
+                # The absolute post-charge clock rides along because float
+                # addition is not associative: the profiler's service
+                # timeline tiles on these exact values, never on re-summed
+                # durations.
                 recorder.record(
                     EVENT_TENANT_TICK,
                     before_clock,
                     self._clock - before_clock,
                     tenant=session.tenant_id,
+                    clock=self._clock,
                     exhausted=True,
                 )
             session.state = STATE_EXHAUSTED
             session.deficit = 0.0
+            if self._watcher is not None:
+                self._watcher.poll(self._clock)
             return False
         self._charge(session, walkers.simulated_elapsed - before_time)
         if recorder is not None:
@@ -555,6 +574,7 @@ class SamplingService:
                 before_clock,
                 self._clock - before_clock,
                 tenant=session.tenant_id,
+                clock=self._clock,
             )
         anchor = session.arrival if session.arrival is not None else 0.0
         for count in range(before_samples + 1, walkers.samples_collected + 1):
@@ -565,6 +585,11 @@ class SamplingService:
                 recorder.metrics.series(
                     f"tenant.{session.tenant_id}.pace"
                 ).observe(self._clock, session.sample_walls[-1])
+                recorder.metrics.histogram(
+                    f"tenant.{session.tenant_id}.pace_hist"
+                ).observe(session.sample_walls[-1])
+        if self._watcher is not None:
+            self._watcher.poll(self._clock)
         return done
 
     def _charge(self, session: TenantSession, delta: float) -> None:

@@ -90,7 +90,9 @@ from repro.obs.trace import (
     EVENT_BURST_DISPATCH,
     EVENT_PREFETCH_ISSUE,
     EVENT_PREFETCH_LAND,
+    EVENT_SAMPLE,
     EVENT_WALK_STEP,
+    TraceEvent,
     TraceRecorder,
 )
 from repro.planning.lifecycle import (
@@ -270,6 +272,8 @@ class EventDrivenWalkers:
         self._checkpoint_fn = None
         self._checkpoint_every = 0
         self._recorder: Optional[TraceRecorder] = None
+        self._obs_tenant: Optional[str] = None
+        self._watcher = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -357,22 +361,43 @@ class EventDrivenWalkers:
         """The attached trace recorder, or ``None`` (the default)."""
         return self._recorder
 
-    def set_recorder(self, recorder: Optional[TraceRecorder]) -> None:
+    def set_recorder(self, recorder: Optional[TraceRecorder], tenant=None) -> None:
         """Attach (or with ``None`` detach) a trace recorder.
 
-        The scheduler stamps its ``walk_step``/``burst_dispatch``/
-        ``prefetch_*``/``admission_wait`` spans on *event time* (the
-        concurrent makespan clock), streams R̂ and per-shard in-flight
-        depth into the recorder's metrics, and never perturbs the run:
-        every hook is a guarded no-op branch when detached, and a pure
-        observation when attached.
+        The scheduler stamps its ``walk_step``/``sample``/
+        ``burst_dispatch``/``prefetch_*``/``admission_wait`` spans on
+        *event time* (the concurrent makespan clock), streams R̂ and
+        per-shard in-flight depth into the recorder's metrics, and never
+        perturbs the run: every hook is a guarded no-op branch when
+        detached, and a pure observation when attached.
+
+        Args:
+            recorder: The sink, or ``None`` to detach.
+            tenant: Optional tenant label stamped on every event this
+                scheduler emits.  Multi-tenant services share one
+                recorder across schedulers whose chains are all numbered
+                ``0..k-1``; the label is what keeps their causal
+                timelines separable.
         """
         self._recorder = recorder
+        self._obs_tenant = None if tenant is None else str(tenant)
 
-    def _record_step(self, chain: int, when: float, latency: float) -> None:
+    def set_watcher(self, watcher) -> None:
+        """Attach (or with ``None`` detach) a live SLO watcher.
+
+        The watcher is polled at every commit point (event/tick), on the
+        simulated clock — after the tick's state has fully settled, so a
+        breach event's timestamp is the first commit at which the
+        condition held.  Polling reads metrics and appends breach events
+        only; it never touches walk state, so watched runs stay
+        bit-for-bit identical in samples and billing.
+        """
+        self._watcher = watcher
+
+    def _record_step(self, chain: int, when: float, latency: float):
         """Record one committed walk step (caller guards the recorder)."""
         sampler = self._samplers[chain]
-        self._recorder.record(
+        event = self._recorder.record(
             EVENT_WALK_STEP,
             when,
             latency,
@@ -380,6 +405,26 @@ class EventDrivenWalkers:
             engine=type(sampler).__name__,
             node=sampler.current,
         )
+        if self._obs_tenant is not None:
+            event.attrs["tenant"] = self._obs_tenant
+        return event
+
+    def _record_sample(self, chain: int, when: float) -> None:
+        """Record one merged sample (caller guards the recorder).
+
+        Samples read local chain state — they cost no queries and no
+        simulated time — but they are *actions* on the causal timeline:
+        the critical path of a run ends at its last committed action,
+        which is usually a sample, not a step.
+        """
+        event = self._recorder.record(
+            EVENT_SAMPLE,
+            when,
+            chain=chain,
+            node=self._samplers[chain].current,
+        )
+        if self._obs_tenant is not None:
+            event.attrs["tenant"] = self._obs_tenant
 
     # ------------------------------------------------------------------
     # event-queue plumbing
@@ -397,6 +442,8 @@ class EventDrivenWalkers:
     def _event_committed(self) -> None:
         """One action landed; the state is a clean resumable cut."""
         self._events += 1
+        if self._watcher is not None:
+            self._watcher.poll(self._sim_time)
         if self._checkpoint_fn is not None and self._events % self._checkpoint_every == 0:
             self._checkpoint_fn(self)
 
@@ -749,6 +796,8 @@ class EventDrivenWalkers:
                 collected[chain] += 1
                 self._since[chain] = 0
                 self._ready[chain] = when  # collection reads local state: free
+                if self._recorder is not None:
+                    self._record_sample(chain, when)
                 if collected[chain] >= quota:
                     # Fair share delivered: the chain leaves the queue.
                     self._event_committed()
@@ -790,6 +839,8 @@ class EventDrivenWalkers:
                 self._merged.append(sample)
                 self._merged_chain.append(chain)
                 self._since[chain] = 0
+                if self._recorder is not None:
+                    self._record_sample(chain, self._sim_time)
                 self._event_committed()
             if len(self._merged) >= num_samples:
                 break
@@ -833,7 +884,7 @@ class EventDrivenWalkers:
 
     def _settle_tick(
         self, when: float, fetches: List[Tuple[int, Tuple[FetchDispatch, ...]]]
-    ) -> None:
+    ) -> Dict[int, List[Tuple[int, List[float], bool]]]:
         """Coalesce one tick's dispatches into bursts; set chain ready times.
 
         Every shard keeps at most one *open* burst: a round trip that has
@@ -850,20 +901,31 @@ class EventDrivenWalkers:
         delay chains already committed).  A chain whose step issued several
         fetches (e.g. a redraw around a refusal) fires them concurrently
         and becomes ready when the last of its bursts lands.
+
+        Returns:
+            Chain -> ``(shard, burst, opened)`` entries for every burst
+            the chain rides this tick (live burst references — later
+            joiners and prefetches mutate them).  The causal profiler's
+            step annotation reads the references *before* prefetch
+            planning, so the captured latencies are exactly the ones the
+            ready times were computed from.
         """
         fleet = self._fleet
         recorder = self._recorder
-        joined: Dict[int, List[List[float]]] = {}  # chain -> bursts it rides
+        tenant = self._obs_tenant
+        # chain -> (shard, burst ref, opened-by-this-chain) joins
+        joined: Dict[int, List[Tuple[int, List[float], bool]]] = {}
         for chain, dispatches in fetches:
             self._ready[chain] = when
             for dispatch in dispatches:
                 shard = dispatch.shard
                 burst = self._open_bursts[shard]
-                if (
+                opened = (
                     burst is None
                     or burst[0] < when  # already departed
                     or int(burst[2]) >= fleet.batch_cap(shard)
-                ):
+                )
+                if opened:
                     start = max(when, self._next_free[shard])
                     self._next_free[shard] = start + fleet.admission_interval(shard)
                     burst = [start, dispatch.latency, 1.0]
@@ -871,19 +933,17 @@ class EventDrivenWalkers:
                     fleet.record_burst(shard, 1)
                     if recorder is not None:
                         if start > when:
+                            attrs = {"chain": chain, "shard": shard}
+                            if tenant is not None:
+                                attrs["tenant"] = tenant
                             recorder.record(
-                                EVENT_ADMISSION_WAIT,
-                                when,
-                                start - when,
-                                chain=chain,
-                                shard=shard,
+                                EVENT_ADMISSION_WAIT, when, start - when, **attrs
                             )
+                        attrs = {"shard": shard, "chain": chain}
+                        if tenant is not None:
+                            attrs["tenant"] = tenant
                         recorder.record(
-                            EVENT_BURST_DISPATCH,
-                            start,
-                            dispatch.latency,
-                            shard=shard,
-                            chain=chain,
+                            EVENT_BURST_DISPATCH, start, dispatch.latency, **attrs
                         )
                 else:
                     burst[1] = max(burst[1], dispatch.latency)
@@ -893,13 +953,33 @@ class EventDrivenWalkers:
                     recorder.metrics.series(f"shard.{shard}.in_flight").observe(
                         when, burst[2]
                     )
-                joined.setdefault(chain, []).append(burst)
+                joined.setdefault(chain, []).append((shard, burst, opened))
         if recorder is not None:
             recorder.metrics.gauge("walk.queue_depth").set(float(len(self._heap)))
-        for chain, bursts in joined.items():  # insertion order: deterministic
-            done = max(start + max_latency for start, max_latency, _ in bursts)
+        for chain, entries in joined.items():  # insertion order: deterministic
+            done = max(burst[0] + burst[1] for _shard, burst, _opened in entries)
             if done > self._ready[chain]:
                 self._ready[chain] = done
+        return joined
+
+    def _annotate_tick(self, step_events, joined) -> None:
+        """Stamp settle outcomes onto this tick's ``walk_step`` events.
+
+        Called after burst settling and prefetch waits but *before*
+        prefetch planning (which mutates the open bursts in place): the
+        captured per-burst ``(shard, start, latency, opened)`` tuples and
+        the final ``ready`` time are exactly the operands the loop's own
+        ready-time computation used, so the causal profiler can replay
+        the attribution bit-for-bit from the trace alone.
+        """
+        for chain, event in step_events.items():
+            entries = joined.get(chain)
+            if entries:
+                event.attrs["bursts"] = tuple(
+                    (shard, burst[0], burst[1], opened)
+                    for shard, burst, opened in entries
+                )
+            event.attrs["ready"] = self._ready[chain]
 
     def _tick_committed(self, events_in_tick: int) -> None:
         """Commit a whole tick; checkpoints fire only at tick boundaries.
@@ -911,6 +991,8 @@ class EventDrivenWalkers:
         """
         before = self._events
         self._events += events_in_tick
+        if self._watcher is not None:
+            self._watcher.poll(self._sim_time)
         if (
             self._checkpoint_fn is not None
             and self._checkpoint_every > 0
@@ -1048,22 +1130,19 @@ class EventDrivenWalkers:
         lands_at = burst[0] + burst[1]
         self._planner.ledger.record_issue(target, chain, lands_at)
         if self._recorder is not None:
-            self._recorder.record(
-                EVENT_PREFETCH_ISSUE,
-                when,
-                chain=chain,
-                user=target,
-                shard=shard,
-                lands_at=lands_at,
-                fetches=len(dispatched),
-            )
-            self._recorder.record(
-                EVENT_PREFETCH_LAND,
-                lands_at,
-                chain=chain,
-                user=target,
-                shard=shard,
-            )
+            issue_attrs = {
+                "chain": chain,
+                "user": target,
+                "shard": shard,
+                "lands_at": lands_at,
+                "fetches": len(dispatched),
+            }
+            land_attrs = {"chain": chain, "user": target, "shard": shard}
+            if self._obs_tenant is not None:
+                issue_attrs["tenant"] = self._obs_tenant
+                land_attrs["tenant"] = self._obs_tenant
+            self._recorder.record(EVENT_PREFETCH_ISSUE, when, **issue_attrs)
+            self._recorder.record(EVENT_PREFETCH_LAND, lands_at, **land_attrs)
             self._recorder.metrics.gauge("prefetch.outstanding").set(
                 float(self._planner.ledger.outstanding)
             )
@@ -1192,13 +1271,14 @@ class EventDrivenWalkers:
             fetches: List[Tuple[int, Tuple[FetchDispatch, ...]]] = []
             pushes: List[int] = []
             waits: List[Tuple[int, float]] = []
+            step_events: Dict[int, TraceEvent] = {}
             for _when, _seq, chain in group:
                 floor_before = min(self._burn_rounds)
                 self._samplers[chain].step()
                 dispatches = self._fleet.drain_dispatches()
                 fetches.append((chain, dispatches))
                 if self._recorder is not None:
-                    self._record_step(
+                    step_events[chain] = self._record_step(
                         chain, when, sum(d.latency for d in dispatches)
                     )
                 lands_at = self._observe_step(chain, dispatches)
@@ -1215,9 +1295,12 @@ class EventDrivenWalkers:
                         if self._burn_rounds[idx] - floor < self._max_lead:
                             self._parked.discard(idx)
                             pushes.append(idx)
-            self._settle_tick(when, fetches)
+            joined = self._settle_tick(when, fetches)
             if self._planner is not None:
                 self._apply_prefetch_waits(waits)
+            if step_events:
+                self._annotate_tick(step_events, joined)
+            if self._planner is not None:
                 self._plan_prefetches(when, fetches)
             for chain in pushes:
                 self._push(chain, self._ready[chain])
@@ -1254,6 +1337,7 @@ class EventDrivenWalkers:
         fetches: List[Tuple[int, Tuple[FetchDispatch, ...]]] = []
         pushes: List[int] = []
         waits: List[Tuple[int, float]] = []
+        step_events: Dict[int, TraceEvent] = {}
         events = 0
         for _when, _seq, chain in group:
             if len(self._merged) >= num_samples:
@@ -1275,6 +1359,8 @@ class EventDrivenWalkers:
                 self._collected[chain] += 1
                 self._since[chain] = 0
                 self._ready[chain] = when  # collection reads local state: free
+                if self._recorder is not None:
+                    self._record_sample(chain, when)
                 if self._collected[chain] >= self._quota:
                     # Fair share delivered: the chain leaves the queue.
                     continue
@@ -1283,7 +1369,7 @@ class EventDrivenWalkers:
                 dispatches = self._fleet.drain_dispatches()
                 fetches.append((chain, dispatches))
                 if self._recorder is not None:
-                    self._record_step(
+                    step_events[chain] = self._record_step(
                         chain, when, sum(d.latency for d in dispatches)
                     )
                 self._since[chain] += 1
@@ -1292,9 +1378,12 @@ class EventDrivenWalkers:
                 if lands_at is not None:
                     waits.append((chain, lands_at))
             pushes.append(chain)
-        self._settle_tick(when, fetches)
+        joined = self._settle_tick(when, fetches)
         if self._planner is not None:
             self._apply_prefetch_waits(waits)
+        if step_events:
+            self._annotate_tick(step_events, joined)
+        if self._planner is not None:
             self._plan_prefetches(when, fetches)
         for chain in pushes:
             self._push(chain, self._ready[chain])

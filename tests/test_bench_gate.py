@@ -516,6 +516,79 @@ class TestObsGate:
         assert any("query_cost missing" in f for f in failures)
 
 
+def _obs_causality_profile(
+    reconciles=True,
+    bit_for_bit=True,
+    overhead=0.98,
+    driver="planner_prefetch",
+    wall_clock=8.5,
+    path_segments=15,
+):
+    return {
+        "attribution_reconciles": reconciles,
+        "watcher_bit_for_bit": bit_for_bit,
+        "watcher_overhead_ratio": overhead,
+        "dominant_driver": driver,
+        "wall_clock": wall_clock,
+        "path_segments": path_segments,
+    }
+
+
+class TestObsCausalityGate:
+    def test_identical_profiles_pass(self):
+        base = _obs_causality_profile()
+        assert gate.check_obs_causality(base, base) == []
+
+    def test_broken_attribution_fails(self):
+        failures = gate.check_obs_causality(
+            _obs_causality_profile(reconciles=False), _obs_causality_profile()
+        )
+        assert any("attribution" in f for f in failures)
+
+    def test_perturbing_watcher_fails(self):
+        failures = gate.check_obs_causality(
+            _obs_causality_profile(bit_for_bit=False), _obs_causality_profile()
+        )
+        assert any("watcher" in f for f in failures)
+
+    def test_watcher_overhead_ceiling(self):
+        failures = gate.check_obs_causality(
+            _obs_causality_profile(overhead=1.2), _obs_causality_profile()
+        )
+        assert any("ceiling" in f for f in failures)
+        fresh = _obs_causality_profile()
+        del fresh["watcher_overhead_ratio"]
+        failures = gate.check_obs_causality(fresh, _obs_causality_profile())
+        assert any("watcher_overhead_ratio missing" in f for f in failures)
+
+    def test_wrong_dominant_driver_fails(self):
+        failures = gate.check_obs_causality(
+            _obs_causality_profile(driver="shard_latency"), _obs_causality_profile()
+        )
+        assert any("blamed" in f for f in failures)
+
+    def test_simulated_drift_fails(self):
+        failures = gate.check_obs_causality(
+            _obs_causality_profile(wall_clock=9.5), _obs_causality_profile()
+        )
+        assert any("wall_clock drifted" in f for f in failures)
+        failures = gate.check_obs_causality(
+            _obs_causality_profile(path_segments=20), _obs_causality_profile()
+        )
+        assert any("path_segments drifted" in f for f in failures)
+
+
+class TestCriticalPathHint:
+    def test_hint_is_none_when_traces_are_absent(self, tmp_path):
+        assert gate.critical_path_hint(tmp_path, tmp_path) is None
+
+    def test_hint_diffs_the_committed_trace_against_itself(self, tmp_path):
+        baseline_dir = _GATE_PATH.parent / "baselines"
+        hint = gate.critical_path_hint(baseline_dir, baseline_dir)
+        assert hint is not None
+        assert "equivalent" in hint
+
+
 class TestRunGate:
     def _write(self, directory, name, payload):
         with open(directory / name, "w") as fh:
@@ -533,6 +606,7 @@ class TestRunGate:
         self._write(baseline_dir, "BENCH_history.json", _history_profile())
         self._write(baseline_dir, "BENCH_service.json", _service_profile())
         self._write(baseline_dir, "BENCH_obs.json", _obs_profile())
+        self._write(baseline_dir, "BENCH_obs_causality.json", _obs_causality_profile())
         self._write(fresh_dir, "BENCH_walk_engine.json", _walk_engine_profile())
         self._write(fresh_dir, "BENCH_scheduler.json", _scheduler_profile())
         self._write(fresh_dir, "BENCH_fleet.json", _fleet_profile())
@@ -540,6 +614,7 @@ class TestRunGate:
         self._write(fresh_dir, "BENCH_history.json", _history_profile())
         self._write(fresh_dir, "BENCH_service.json", _service_profile())
         self._write(fresh_dir, "BENCH_obs.json", _obs_profile())
+        self._write(fresh_dir, "BENCH_obs_causality.json", _obs_causality_profile())
         assert gate.run_gate(fresh_dir, baseline_dir) == []
         assert gate.main(["--fresh-dir", str(fresh_dir), "--baseline-dir", str(baseline_dir)]) == 0
 

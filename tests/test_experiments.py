@@ -265,3 +265,43 @@ class TestFleetSweep:
         out = capsys.readouterr().out
         assert "fleet sweep" in out
         assert "shards" in out
+
+
+class TestTraceCli:
+    def test_trace_flags_slice_the_exports(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments.__main__ import main
+        from repro.obs import read_jsonl
+
+        monkeypatch.chdir(tmp_path)  # the CLI writes TRACE_run.* in cwd
+        assert (
+            main(
+                [
+                    "trace",
+                    "--scale", "0.1",
+                    "--samples", "8",
+                    "--tenant", "t0",
+                    "--chain", "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "traced run" in out
+        events, metrics = read_jsonl(tmp_path / "TRACE_run.jsonl")
+        assert events, "the slice should keep tenant t0 / chain 0 events"
+        assert all(e.attrs["tenant"] == "t0" for e in events)
+        assert all(e.attrs["chain"] == 0 for e in events)
+        # The metrics footer stays global even for a sliced export.
+        assert metrics.counter_value("fleet.fetches") > 0
+
+    def test_causality_subcommand_prints_the_attribution(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.experiments.__main__ import main
+
+        monkeypatch.chdir(tmp_path)  # writes TRACE_causality.jsonl in cwd
+        assert main(["causality", "--scale", "0.1", "--samples", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "attribution reconciled" in out
+        assert "tenant t0" in out
+        assert (tmp_path / "TRACE_causality.jsonl").exists()

@@ -1,0 +1,130 @@
+"""Trace-diff regression-attribution tests (ISSUE 10).
+
+The gated property: over the seeded planner-on vs planner-off reference
+pair, :func:`repro.obs.diff.diff_traces` must name planner prefetching
+as the dominant causal driver of the wall-clock delta.
+"""
+
+import pytest
+
+from repro.compose import (
+    FleetSpec,
+    PlannerSpec,
+    ProviderSpec,
+    StackConfig,
+    WalkSpec,
+    build_stack,
+)
+from repro.datasets import load
+from repro.experiments import run_obs_tracediff
+from repro.obs import TraceRecorder, diff_traces, export_jsonl
+
+
+@pytest.fixture(scope="module")
+def network():
+    return load("epinions_like", seed=0, scale=0.15)
+
+
+def _run(network, planner):
+    recorder = TraceRecorder()
+    stack = build_stack(
+        StackConfig(
+            fleet=FleetSpec(
+                num_shards=3,
+                seed=5,
+                weights=(0.6, 0.3, 0.1),
+                shard_latency_spread=1.0,
+                provider=ProviderSpec(
+                    latency_distribution="constant", latency_scale=0.5
+                ),
+            ),
+            walk=WalkSpec(engine="srw", chains=4, seed=11),
+            planner=PlannerSpec(lookahead=2) if planner else None,
+        ),
+        network,
+        recorder=recorder,
+    )
+    stack.run(num_samples=40)
+    return recorder
+
+
+@pytest.fixture(scope="module")
+def planner_pair(network):
+    return _run(network, planner=False), _run(network, planner=True)
+
+
+class TestDiffTraces:
+    def test_dominant_driver_is_planner_prefetch(self, planner_pair):
+        """The ISSUE 10 acceptance assertion for the reference pair."""
+        off, on = planner_pair
+        diff = diff_traces(off, on, label_a="planner-off", label_b="planner-on")
+        assert diff.dominant_driver == "planner_prefetch"
+        assert diff.wall_delta < 0.0  # planner-on finishes sooner
+
+    def test_planner_preserves_the_bill(self, planner_pair):
+        off, on = planner_pair
+        diff = diff_traces(off, on)
+        assert diff.cost_delta == 0
+
+    def test_drivers_ranked_by_magnitude(self, planner_pair):
+        off, on = planner_pair
+        diff = diff_traces(off, on)
+        magnitudes = [abs(delta) for _category, delta in diff.drivers]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_identical_runs_are_equivalent(self, planner_pair):
+        off, _ = planner_pair
+        diff = diff_traces(off, off, label_a="x", label_b="y")
+        assert diff.dominant_driver == "none"
+        assert diff.wall_delta == 0.0
+        assert "equivalent" in diff.explain()
+
+    def test_explain_names_the_prefetch_disparity(self, planner_pair):
+        off, on = planner_pair
+        explanation = diff_traces(
+            off, on, label_a="planner-off", label_b="planner-on"
+        ).explain()
+        assert "planner prefetch" in explanation
+        assert "free cache-hit" in explanation
+        assert "planner-on" in explanation
+
+    def test_to_dict_is_report_ready(self, planner_pair):
+        off, on = planner_pair
+        payload = diff_traces(off, on, label_a="a", label_b="b").to_dict()
+        assert payload["labels"] == ["a", "b"]
+        assert payload["dominant_driver"] == "planner_prefetch"
+        assert payload["cost_delta"] == 0
+        assert payload["wall_delta"] == pytest.approx(
+            payload["wall_clock"][1] - payload["wall_clock"][0]
+        )
+        assert all(len(pair) == 2 for pair in payload["drivers"])
+
+
+class TestExperimentDriver:
+    def test_run_obs_tracediff_blames_the_planner(self, network):
+        diff = run_obs_tracediff(network, num_samples=30, seed=1)
+        assert diff.dominant_driver == "planner_prefetch"
+
+    def test_cli_builtin_pair(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["tracediff", "--scale", "0.1", "--samples", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "Dominant driver: planner prefetch" in out
+
+    def test_cli_diffs_two_exported_traces(self, network, planner_pair, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        off, on = planner_pair
+        a, b = tmp_path / "off.jsonl", tmp_path / "on.jsonl"
+        export_jsonl(off, a)
+        export_jsonl(on, b)
+        assert main(["tracediff", "--a", str(a), "--b", str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "planner prefetch" in out
+
+    def test_cli_rejects_half_a_pair(self, tmp_path):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["tracediff", "--a", str(tmp_path / "only.jsonl")])

@@ -1,4 +1,4 @@
-"""Tests for the JSONL and Chrome ``trace_event`` exporters (ISSUE 9)."""
+"""Tests for the JSONL and Chrome ``trace_event`` exporters (ISSUE 9/10)."""
 
 import json
 
@@ -15,6 +15,7 @@ from repro.obs import (
     TraceRecorder,
     export_chrome_trace,
     export_jsonl,
+    filter_events,
     read_jsonl,
 )
 
@@ -109,6 +110,80 @@ class TestJsonl:
         path.write_text("\n".join(lines) + "\n")
         with pytest.raises(SnapshotError, match="corrupt line"):
             read_jsonl(path)
+
+    def test_malformed_footer_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        export_jsonl(_sample_recorder(), path)
+        lines = path.read_text().splitlines()
+        # A dict line that is not a metrics footer: a truncated write
+        # that cut the footer mid-object would decode like this.
+        lines[-1] = json.dumps({"metrcs": {}})
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SnapshotError, match="malformed footer"):
+            read_jsonl(path)
+
+
+class TestFilteredExports:
+    def test_filter_events_is_conjunctive_and_strict(self):
+        recorder = _sample_recorder()
+        events = recorder.events
+        assert filter_events(events) == list(events)
+        chain0 = filter_events(events, chain=0)
+        assert [e.name for e in chain0] == [EVENT_WALK_STEP]
+        # Events that lack a filtered attr are dropped, not passed through.
+        assert filter_events(events, tenant="alice", chain=0) == []
+        assert filter_events(events, tenant="nobody") == []
+        shard1 = filter_events(events, shard=1)
+        assert [e.attrs["shard"] for e in shard1] == [1]
+
+    def test_jsonl_slice_keeps_the_full_metrics_footer(self, tmp_path):
+        recorder = _sample_recorder()
+        path = tmp_path / "alice.jsonl"
+        assert export_jsonl(recorder, path, tenant="alice") == 1
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["events"] == 1
+        events, metrics = read_jsonl(path)
+        assert [e.attrs["tenant"] for e in events] == ["alice"]
+        # Registry state is global; the slice must not shrink it.
+        assert metrics.state_dict() == recorder.metrics.state_dict()
+
+    def test_chrome_trace_slices_to_matching_lanes(self):
+        recorder = _sample_recorder()
+        document = export_chrome_trace(recorder, chain=0)
+        names = {
+            row["args"]["name"]
+            for row in document["traceEvents"]
+            if row["ph"] == "M" and row["name"] == "thread_name"
+        }
+        assert names == {"chain 0"}
+        data_rows = [r for r in document["traceEvents"] if r["ph"] in ("X", "i")]
+        assert all(row["args"]["chain"] == 0 for row in data_rows)
+
+    def test_chrome_trace_preserves_tuple_user_ids(self):
+        recorder = TraceRecorder()
+        recorder.record(EVENT_QUERY, 0.5, 1.0, user=("node", 7), latency=0.5)
+        document = export_chrome_trace(recorder)
+        (span,) = [r for r in document["traceEvents"] if r["ph"] == "X"]
+        # The §II-B user id rides through to the timeline args untouched,
+        # and the attr-less query event lands in the interface lane.
+        assert span["args"]["user"] == ("node", 7)
+        (lane,) = [
+            r["args"]["name"]
+            for r in document["traceEvents"]
+            if r["ph"] == "M" and r["name"] == "thread_name"
+        ]
+        assert lane == "interface api"
+
+    def test_tuple_user_ids_round_trip_through_jsonl(self, tmp_path):
+        recorder = TraceRecorder()
+        recorder.record(EVENT_QUERY, 0.5, 1.0, user=("node", 7), latency=0.5)
+        recorder.record(EVENT_QUERY, 1.5, 1.0, user="plain", latency=0.5)
+        path = tmp_path / "users.jsonl"
+        export_jsonl(recorder, path)
+        events, _ = read_jsonl(path)
+        assert events[0].attrs["user"] == ("node", 7)
+        assert type(events[0].attrs["user"]) is tuple
+        assert events[1].attrs["user"] == "plain"
 
 
 class TestChromeTrace:

@@ -1,5 +1,7 @@
 """Tests for the trace recorder and metrics registry (ISSUE 9)."""
 
+import math
+
 import pytest
 
 from repro.compose import FleetSpec, ProviderSpec, StackConfig, WalkSpec, build_stack
@@ -146,6 +148,71 @@ class TestMetricsRegistry:
         assert registry.series("s") is registry.series("s")
         assert registry.histogram("h") is registry.histogram("h")
         assert registry.counter_value("absent") == 0
+
+    def test_percentile_is_the_tightest_provable_bound(self):
+        histogram = Histogram(bounds=(0.1, 0.5, 1.0))
+        for value in (0.05, 0.05, 0.3, 0.3, 0.3, 0.3, 0.3, 0.7, 0.7, 0.9):
+            histogram.observe(value)
+        # Ranks: bucket cumulative counts are 2 / 7 / 10.
+        assert histogram.percentile(0.20) == 0.1  # rank 2 -> first bucket
+        assert histogram.percentile(0.50) == 0.5  # rank 5 -> second bucket
+        assert histogram.percentile(0.70) == 0.5  # rank 7, still covered
+        assert histogram.percentile(0.71) == 1.0  # rank 8 -> third bucket
+        assert histogram.percentile(1.0) == 1.0
+
+    def test_percentile_overflow_has_no_provable_bound(self):
+        histogram = Histogram(bounds=(1.0,))
+        histogram.observe(0.5)
+        histogram.observe(99.0)
+        assert histogram.percentile(0.5) == 1.0
+        assert histogram.percentile(0.95) == math.inf
+
+    def test_percentile_edge_cases(self):
+        histogram = Histogram(bounds=(1.0,))
+        assert histogram.percentile(0.95) == 0.0  # empty, like mean
+        histogram.observe(0.5)
+        # One observation: every quantile resolves to its bucket bound.
+        assert histogram.percentile(0.01) == 1.0
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                histogram.percentile(bad)
+
+    def test_summary_reports_the_watcher_quantiles(self):
+        histogram = Histogram(bounds=(0.5, 1.0))
+        for value in (0.2, 0.4, 0.8, 2.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary == {
+            "count": 4,
+            "mean": pytest.approx(0.85),
+            "p50": 0.5,
+            "p95": math.inf,
+            "p99": math.inf,
+        }
+        assert Histogram(bounds=(1.0,)).summary()["count"] == 0
+
+    def test_to_dict_carries_the_summary(self):
+        histogram = Histogram(bounds=(1.0,))
+        histogram.observe(0.5)
+        payload = histogram.to_dict()
+        assert payload["summary"] == histogram.summary()
+
+    def test_reads_never_mint_instruments(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("c") == 0
+        assert registry.gauge_value("g") is None
+        assert registry.series_last("s") is None
+        assert registry.histogram_summary("h") is None
+        assert registry.histogram_percentile("h", 0.95) is None
+        empty = {"counters": {}, "gauges": {}, "histograms": {}, "series": {}}
+        assert registry.snapshot() == empty
+
+    def test_histogram_percentile_reader_gates_on_min_count(self):
+        registry = MetricsRegistry()
+        registry.histogram("pace", bounds=(1.0,)).observe(0.5)
+        assert registry.histogram_percentile("pace", 0.95, min_count=2) is None
+        registry.histogram("pace").observe(0.6)
+        assert registry.histogram_percentile("pace", 0.95, min_count=2) == 1.0
 
     def test_registry_state_round_trips(self):
         registry = MetricsRegistry()

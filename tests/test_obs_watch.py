@@ -1,0 +1,308 @@
+"""Live SLO watcher tests (ISSUE 10).
+
+The gated properties: a watched run is bit-for-bit identical to an
+unwatched one in samples and billing, breach events are deterministic
+and totally ordered on the simulated clock, and a breached SLO
+edge-triggers — one event per crossing, silent re-arm on recovery.
+"""
+
+import pytest
+
+from repro.compose import (
+    FleetSpec,
+    PlannerSpec,
+    ProviderSpec,
+    StackConfig,
+    WalkSpec,
+    build_stack,
+)
+from repro.datasets import load
+from repro.obs import (
+    EVENT_SLO_BREACH,
+    SLO,
+    SLOWatcher,
+    TraceRecorder,
+    cache_hit_rate_slo,
+    retry_rate_slo,
+    shard_in_flight_slo,
+    tenant_pace_slo,
+)
+from repro.service import SamplingService
+
+
+@pytest.fixture(scope="module")
+def network():
+    return load("epinions_like", seed=0, scale=0.15)
+
+
+class TestSLO:
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            SLO(name="x", metric="m", kind="sideways", threshold=1.0)
+
+    def test_rejects_bad_instrument(self):
+        with pytest.raises(ValueError, match="instrument"):
+            SLO(name="x", metric="m", kind="floor", threshold=1.0, instrument="vibes")
+
+    def test_ratio_needs_denominator(self):
+        with pytest.raises(ValueError, match="ratio_to"):
+            SLO(name="x", metric="m", kind="floor", threshold=1.0, instrument="ratio")
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError, match="quantile"):
+            SLO(
+                name="x",
+                metric="m",
+                kind="ceiling",
+                threshold=1.0,
+                instrument="histogram_quantile",
+                quantile=1.5,
+            )
+
+    def test_evaluate_reads_every_instrument_kind(self):
+        recorder = TraceRecorder()
+        metrics = recorder.metrics
+        metrics.counter("hits").inc(9)
+        metrics.counter("misses").inc(1)
+        metrics.gauge("depth").set(4.0)
+        metrics.series("flight").observe(1.0, 2.0)
+        for value in (0.1, 0.2, 3.0):
+            metrics.histogram("pace", bounds=(0.5, 1.0)).observe(value)
+        reads = {
+            "counter": SLO("c", "hits", "ceiling", 10, instrument="counter"),
+            "gauge": SLO("g", "depth", "ceiling", 10, instrument="gauge"),
+            "series": SLO("s", "flight", "ceiling", 10, instrument="series"),
+            "quantile": SLO(
+                "q", "pace", "ceiling", 10, instrument="histogram_quantile"
+            ),
+            "ratio": SLO(
+                "r", "misses", "ceiling", 1, instrument="ratio", ratio_to="hits"
+            ),
+            "share": SLO(
+                "h", "hits", "floor", 0.5, instrument="share", ratio_to="misses"
+            ),
+        }
+        assert reads["counter"].evaluate(metrics) == 9.0
+        assert reads["gauge"].evaluate(metrics) == 4.0
+        assert reads["series"].evaluate(metrics) == 2.0
+        assert reads["quantile"].evaluate(metrics) == float("inf")  # p95 overflows
+        assert reads["ratio"].evaluate(metrics) == pytest.approx(1 / 9)
+        assert reads["share"].evaluate(metrics) == pytest.approx(0.9)
+
+    def test_min_count_gates_noisy_streams(self):
+        recorder = TraceRecorder()
+        metrics = recorder.metrics
+        metrics.counter("retries").inc(1)
+        metrics.counter("fetches").inc(2)
+        slo = SLO(
+            "r",
+            "retries",
+            "ceiling",
+            0.1,
+            instrument="ratio",
+            ratio_to="fetches",
+            min_count=10,
+        )
+        assert slo.evaluate(metrics) is None  # only 2 fetches so far
+        metrics.counter("fetches").inc(8)
+        assert slo.evaluate(metrics) == pytest.approx(0.1)
+
+    def test_absent_instruments_evaluate_to_none(self):
+        metrics = TraceRecorder().metrics
+        assert SLO("g", "nope", "floor", 1.0).evaluate(metrics) is None
+        assert (
+            SLO("s", "nope", "floor", 1.0, instrument="series").evaluate(metrics)
+            is None
+        )
+        assert (
+            SLO(
+                "q", "nope", "floor", 1.0, instrument="histogram_quantile"
+            ).evaluate(metrics)
+            is None
+        )
+
+
+class TestSLOWatcher:
+    def test_edge_trigger_and_rearm(self):
+        recorder = TraceRecorder()
+        depth = recorder.metrics.gauge("queue.depth")
+        watcher = SLOWatcher(
+            recorder, [SLO("depth", "queue.depth", "ceiling", 3.0)]
+        )
+        depth.set(5.0)
+        watcher.poll(1.0)
+        watcher.poll(2.0)  # still breached: no second event
+        assert len(watcher.breaches) == 1
+        depth.set(1.0)
+        watcher.poll(3.0)  # recovery: silent re-arm
+        assert len(watcher.breaches) == 1
+        depth.set(9.0)
+        watcher.poll(4.0)  # second crossing: fires again
+        assert len(watcher.breaches) == 2
+        assert [event.ts for event in watcher.breaches] == [1.0, 4.0]
+
+    def test_breach_events_carry_the_verdict(self):
+        recorder = TraceRecorder()
+        recorder.metrics.gauge("queue.depth").set(5.0)
+        watcher = SLOWatcher(
+            recorder, [SLO("depth.slo", "queue.depth", "ceiling", 3.0)]
+        )
+        watcher.poll(1.5)
+        (event,) = recorder.events_named(EVENT_SLO_BREACH)
+        assert event.ts == 1.5
+        assert event.attrs["slo"] == "depth.slo"
+        assert event.attrs["metric"] == "queue.depth"
+        assert event.attrs["value"] == 5.0
+        assert event.attrs["threshold"] == 3.0
+        assert event.attrs["kind"] == "ceiling"
+
+    def test_polls_never_mint_instruments(self):
+        recorder = TraceRecorder()
+        watcher = SLOWatcher(
+            recorder,
+            [
+                tenant_pace_slo("ghost", 0.5),
+                cache_hit_rate_slo(0.9),
+                shard_in_flight_slo(7, 3.0),
+                retry_rate_slo(0.1),
+            ],
+        )
+        for t in (1.0, 2.0, 3.0):
+            watcher.poll(t)
+        assert watcher.breaches == []
+        snapshot = recorder.metrics.snapshot()
+        assert all(not section for section in snapshot.values())
+
+    def test_slos_evaluate_in_declaration_order(self):
+        recorder = TraceRecorder()
+        recorder.metrics.gauge("a").set(9.0)
+        recorder.metrics.gauge("b").set(9.0)
+        watcher = SLOWatcher(
+            recorder,
+            [SLO("second", "b", "ceiling", 1.0), SLO("first", "a", "ceiling", 1.0)],
+        )
+        watcher.poll(1.0)
+        assert [event.attrs["slo"] for event in watcher.breaches] == [
+            "second",
+            "first",
+        ]
+
+
+class TestHelpers:
+    def test_helper_slos_bind_the_documented_streams(self):
+        pace = tenant_pace_slo("alice", 0.75)
+        assert pace.metric == "tenant.alice.pace_hist"
+        assert pace.instrument == "histogram_quantile" and pace.quantile == 0.95
+        hit = cache_hit_rate_slo(0.8)
+        assert hit.kind == "floor" and hit.ratio_to == "interface.cache_misses"
+        flight = shard_in_flight_slo(2, 5.0)
+        assert flight.metric == "shard.2.in_flight" and flight.instrument == "series"
+        retry = retry_rate_slo(0.2)
+        assert retry.metric == "fleet.retries" and retry.ratio_to == "fleet.fetches"
+
+
+def _stack_config():
+    return StackConfig(
+        fleet=FleetSpec(
+            num_shards=3,
+            seed=5,
+            weights=(0.6, 0.3, 0.1),
+            shard_latency_spread=1.0,
+            provider=ProviderSpec(
+                latency_distribution="uniform",
+                latency_scale=0.5,
+                failure_rate=0.15,
+                max_attempts=6,
+            ),
+        ),
+        walk=WalkSpec(engine="srw", chains=4, seed=11),
+        planner=PlannerSpec(lookahead=2),
+    )
+
+
+def _watcher_for(recorder):
+    return SLOWatcher(
+        recorder,
+        [
+            cache_hit_rate_slo(0.95, min_count=5),
+            shard_in_flight_slo(0, 3.0),
+            retry_rate_slo(0.05, min_count=5),
+        ],
+    )
+
+
+class TestWatchedRuns:
+    def test_watched_stack_run_is_bit_for_bit(self, network):
+        plain_recorder = TraceRecorder()
+        plain = build_stack(_stack_config(), network, recorder=plain_recorder).run(
+            num_samples=40
+        )
+        recorder = TraceRecorder()
+        stack = build_stack(_stack_config(), network, recorder=recorder)
+        watcher = _watcher_for(recorder)
+        stack.walkers.set_watcher(watcher)
+        watched = stack.run(num_samples=40)
+        assert watched.samples == plain.samples
+        assert watched.queries == plain.queries
+        assert watched.sim_elapsed == plain.sim_elapsed
+        # The watched trace is the plain trace plus breach events only.
+        plain_names = [e.name for e in plain_recorder.events]
+        watched_names = [
+            e.name for e in recorder.events if e.name != EVENT_SLO_BREACH
+        ]
+        assert watched_names == plain_names
+
+    def test_breaches_land_ordered_on_the_simulated_clock(self, network):
+        recorder = TraceRecorder()
+        stack = build_stack(_stack_config(), network, recorder=recorder)
+        watcher = _watcher_for(recorder)
+        stack.walkers.set_watcher(watcher)
+        stack.run(num_samples=40)
+        breaches = recorder.events_named(EVENT_SLO_BREACH)
+        assert breaches, "the tight SLOs should have breached"
+        seqs = [event.seq for event in breaches]
+        assert seqs == sorted(seqs)
+        timestamps = [event.ts for event in breaches]
+        assert timestamps == sorted(timestamps)
+        assert watcher.breaches == breaches
+
+    def test_watched_service_run_is_bit_for_bit(self, network):
+        def _run(watch):
+            recorder = TraceRecorder()
+            service = SamplingService(
+                network, fleet=_stack_config().fleet, recorder=recorder
+            )
+            watcher = None
+            if watch:
+                watcher = SLOWatcher(
+                    recorder,
+                    [tenant_pace_slo("alice", 0.4), retry_rate_slo(0.05, min_count=5)],
+                )
+                service.set_watcher(watcher)
+            for tenant in ("alice", "bob"):
+                service.register(
+                    tenant,
+                    StackConfig(walk=WalkSpec(engine="srw", chains=2, seed=3)),
+                )
+                service.request(tenant, 20)
+            service.run_pending()
+            samples = {
+                tenant: tuple(
+                    service.tenant(tenant).stack.walkers.result().samples
+                )
+                for tenant in ("alice", "bob")
+            }
+            costs = {
+                tenant: service.tenant(tenant).stack.api.query_cost
+                for tenant in ("alice", "bob")
+            }
+            return samples, costs, watcher
+
+        plain_samples, plain_costs, _ = _run(watch=False)
+        samples, costs, watcher = _run(watch=True)
+        assert samples == plain_samples
+        assert costs == plain_costs
+        assert any(
+            event.attrs["slo"] == "tenant.alice.pace_p95"
+            for event in watcher.breaches
+        )
